@@ -1,0 +1,67 @@
+// Reproduces Figure 11: average query execution time for keyword queries
+// with a varying number of keywords (1–4), one series per approach, over a
+// warm index (the DIL entries are materialized before timing, matching the
+// paper's preprocessing/query phase split).
+//
+// Paper shape to reproduce: execution time grows with keyword count, and
+// the Relationships series sits highest (more ontologically related nodes
+// per keyword → longer inverted lists to merge).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "eval/workload.h"
+
+using namespace xontorank;
+
+namespace {
+
+constexpr size_t kQueriesPerLength = 30;
+constexpr size_t kMaxKeywords = 4;
+constexpr size_t kTopK = 10;
+constexpr int kRepetitions = 5;
+
+}  // namespace
+
+int main() {
+  // SNOMED-scale ontology (see bench_util.h) so inverted-list lengths track
+  // the paper's per-strategy ordering.
+  bench::ExperimentSetup setup(/*num_documents=*/40, /*seed=*/11,
+                               /*extra_concepts=*/3000);
+  auto engines = setup.BuildEngines();
+
+  std::printf("FIGURE 11 — AVERAGE EXECUTION TIME (ms) FOR KEYWORD QUERIES "
+              "WITH VARYING NUMBER OF KEYWORDS (top-%zu, %zu queries/point)\n\n",
+              kTopK, kQueriesPerLength);
+  std::printf("%-10s", "#keywords");
+  for (Strategy s : kAllStrategies) {
+    std::printf(" %13s", std::string(StrategyName(s)).c_str());
+  }
+  std::printf("\n");
+  bench::PrintRule(68);
+
+  for (size_t k = 1; k <= kMaxKeywords; ++k) {
+    std::vector<KeywordQuery> queries;
+    for (const WorkloadQuery& wq :
+         FixedLengthQueries(setup.ontology, k, kQueriesPerLength, 97)) {
+      queries.push_back(ParseQuery(wq.text));
+    }
+    std::printf("%-10zu", k);
+    for (auto& engine : engines) {
+      // Warm-up: materialize DIL entries (preprocessing phase work).
+      for (const KeywordQuery& q : queries) engine->Search(q, kTopK);
+      Timer timer;
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        for (const KeywordQuery& q : queries) engine->Search(q, kTopK);
+      }
+      double avg_ms = timer.ElapsedMillis() /
+                      static_cast<double>(kRepetitions * queries.size());
+      std::printf(" %13.4f", avg_ms);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scaling study (beyond the paper's fixed corpus): preprocessing time and
+// warm query latency as (a) the corpus grows and (b) the ontology grows
+// toward SNOMED scale via synthetic extension. Quantifies the paper's §IX
+// future-work claim that an in-memory ontology representation scales the
+// index creation process.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "eval/workload.h"
+#include "onto/ontology_generator.h"
+
+using namespace xontorank;
+
+namespace {
+
+void RunPoint(const Ontology& ontology, size_t num_documents,
+              const char* label) {
+  CdaGeneratorOptions gen_options;
+  gen_options.num_documents = num_documents;
+  gen_options.seed = 11;
+  CdaGenerator generator(ontology, gen_options);
+
+  IndexBuildOptions options;
+  options.strategy = Strategy::kRelationships;
+  options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
+
+  Timer build_timer;
+  XOntoRank engine(generator.GenerateCorpus(), ontology, options);
+  double build_ms = build_timer.ElapsedMillis();
+
+  std::vector<KeywordQuery> queries;
+  for (const WorkloadQuery& wq : TableOneQueries()) {
+    queries.push_back(ParseQuery(wq.text));
+  }
+  for (const KeywordQuery& q : queries) engine.Search(q, 10);  // warm
+  Timer query_timer;
+  constexpr int kReps = 10;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const KeywordQuery& q : queries) engine.Search(q, 10);
+  }
+  double query_ms =
+      query_timer.ElapsedMillis() / static_cast<double>(kReps * queries.size());
+
+  std::printf("%-26s %10zu %12zu %14.1f %16.4f\n", label,
+              ontology.concept_count(), num_documents, build_ms, query_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SCALING — Relationships strategy: preprocessing and warm "
+              "query latency vs corpus and ontology size\n\n");
+  std::printf("%-26s %10s %12s %14s %16s\n", "point", "concepts", "documents",
+              "build (ms)", "query (ms/qry)");
+  bench::PrintRule(84);
+
+  // (a) Corpus scaling over the curated fragment.
+  Ontology fragment = BuildSnomedCardiologyFragment();
+  for (size_t docs : {10, 25, 50, 100}) {
+    RunPoint(fragment, docs, "corpus sweep");
+  }
+
+  // (b) Ontology scaling: extend the fragment synthetically.
+  for (size_t extra : {1000, 5000, 20000}) {
+    Ontology extended = BuildSnomedCardiologyFragment();
+    OntologyGeneratorOptions gen;
+    gen.num_concepts = extra;
+    gen.seed = 13;
+    ExtendOntology(extended, gen);
+    RunPoint(extended, 25, "ontology sweep");
+  }
+  return 0;
+}

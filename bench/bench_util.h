@@ -1,0 +1,85 @@
+#ifndef XONTORANK_BENCH_BENCH_UTIL_H_
+#define XONTORANK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cda/cda_generator.h"
+#include "core/xontorank.h"
+#include "onto/ontology_generator.h"
+#include "onto/snomed_fragment.h"
+
+namespace xontorank {
+namespace bench {
+
+/// Default experiment corpus: the curated cardiology fragment plus a
+/// deterministic CDA corpus sized so every bench binary finishes in seconds
+/// while preserving the paper's corpus shape.
+///
+/// `extra_concepts > 0` extends the fragment with that many synthetic
+/// concepts so the ontology approaches SNOMED-like scale; the performance
+/// experiments (Table III, Fig. 11) need this for the paper's orderings to
+/// emerge (the bare 265-concept fragment is so small and dense that the
+/// Graph strategy's decay ball covers most of it).
+struct ExperimentSetup {
+  /// The clinically rich graph (with `may_treat` therapy edges): drives the
+  /// corpus generator (doctors know indications) and the relevance oracle
+  /// (so does the judging expert).
+  Ontology ontology;
+  /// The graph the *search engines* index against. Real SNOMED CT carries
+  /// no medication-indication relationships, so by default this is the
+  /// SNOMED-faithful fragment (therapy edges stripped); codes are identical
+  /// to `ontology`'s, so the corpus's references resolve either way.
+  Ontology search_ontology;
+  std::unique_ptr<CdaGenerator> generator;
+
+  explicit ExperimentSetup(size_t num_documents = 40, uint64_t seed = 11,
+                           size_t extra_concepts = 0,
+                           bool faithful_search_graph = true)
+      : ontology(BuildSnomedCardiologyFragment(true)),
+        search_ontology(
+            BuildSnomedCardiologyFragment(!faithful_search_graph)) {
+    if (extra_concepts > 0) {
+      OntologyGeneratorOptions gen;
+      gen.num_concepts = extra_concepts;
+      gen.seed = 13;
+      ExtendOntology(ontology, gen);
+      ExtendOntology(search_ontology, gen);
+    }
+    CdaGeneratorOptions options;
+    options.num_documents = num_documents;
+    options.seed = seed;
+    generator = std::make_unique<CdaGenerator>(ontology, options);
+  }
+
+  /// Builds one engine per strategy, each over an identical corpus copy,
+  /// indexing against the search ontology.
+  std::vector<std::unique_ptr<XOntoRank>> BuildEngines(
+      ScoreOptions score = {},
+      IndexBuildOptions::VocabularyMode mode =
+          IndexBuildOptions::VocabularyMode::kNone) const {
+    std::vector<std::unique_ptr<XOntoRank>> engines;
+    for (Strategy strategy : kAllStrategies) {
+      IndexBuildOptions options;
+      options.strategy = strategy;
+      options.score = score;
+      options.vocabulary_mode = mode;
+      engines.push_back(std::make_unique<XOntoRank>(
+          generator->GenerateCorpus(), search_ontology, options));
+    }
+    return engines;
+  }
+};
+
+/// Prints a horizontal rule sized to `width`.
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace xontorank
+
+#endif  // XONTORANK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Quickstart: generate a small synthetic EMR corpus over the curated
+// SNOMED cardiology fragment, build an ontology-aware index, and search it.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cda/cda_generator.h"
+#include "core/xontorank.h"
+#include "onto/snomed_fragment.h"
+
+using namespace xontorank;
+
+int main() {
+  // 1. The ontology: a curated SNOMED CT cardiology/respiratory fragment.
+  Ontology ontology = BuildSnomedCardiologyFragment();
+  std::printf("Ontology: %zu concepts, %zu is-a edges, %zu relationships\n",
+              ontology.concept_count(), ontology.isa_edge_count(),
+              ontology.relationship_count());
+
+  // 2. The corpus: synthetic HL7 CDA patient records referencing it.
+  CdaGeneratorOptions gen_options;
+  gen_options.num_documents = 25;
+  gen_options.seed = 2026;
+  CdaGenerator generator(ontology, gen_options);
+  std::vector<XmlDocument> corpus = generator.GenerateCorpus();
+  CdaCorpusStats stats = CdaGenerator::ComputeStats(corpus);
+  std::printf(
+      "Corpus: %zu documents, %.0f elements/doc, %.0f ontology refs/doc, "
+      "%.1f KB/doc\n\n",
+      stats.documents, stats.AvgElements(), stats.AvgOntoRefs(),
+      stats.AvgKilobytes());
+
+  // 3. Preprocessing phase: build the XOnto-DIL index (Relationships
+  //    strategy, paper defaults decay=0.5 threshold=0.1 omega=0.5).
+  IndexBuildOptions options;
+  options.strategy = Strategy::kRelationships;
+  XOntoRank engine(std::move(corpus), ontology, options);
+  std::printf("Index: %zu nodes, %zu code nodes, %zu keywords, %zu postings "
+              "(built in %.0f ms)\n\n",
+              engine.build_stats().indexed_nodes,
+              engine.build_stats().code_nodes,
+              engine.build_stats().precomputed_keywords,
+              engine.build_stats().total_postings,
+              engine.build_stats().build_millis);
+
+  // 4. Query phase.
+  const char* query = "\"bronchial structure\" theophylline";
+  std::printf("Query: %s\n", query);
+  auto results = engine.Search(query, 5);
+  std::printf("Top %zu results:\n", results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const QueryResult& r = results[i];
+    const XmlNode* node = engine.ResolveResult(r);
+    std::printf("  %zu. doc %u  element <%s>  dewey %s  score %.3f\n", i + 1,
+                r.element.doc_id(), node ? node->tag().c_str() : "?",
+                r.element.ToString().c_str(), r.score);
+  }
+  if (!results.empty()) {
+    std::printf("\nBest result fragment:\n%s\n",
+                engine.ResultFragmentXml(results[0]).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#ifndef XONTORANK_CDA_CDA_DOCUMENT_H_
+#define XONTORANK_CDA_CDA_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// A coded value: the CDA idiom for referencing an ontology concept
+/// (`<code code=".." codeSystem=".." displayName=".."/>`, Fig. 1).
+struct CdaCodedValue {
+  std::string code;
+  std::string code_system;
+  std::string code_system_name;
+  std::string display_name;
+
+  bool empty() const { return code.empty(); }
+};
+
+/// Document author (CDA header `<author>` block).
+struct CdaAuthor {
+  std::string id_extension;
+  std::string given_name;
+  std::string family_name;
+  std::string suffix;
+  std::string time;  ///< authoring timestamp, yyyymmdd
+};
+
+/// Record target (CDA header `<recordTarget>` block).
+struct CdaPatient {
+  std::string id_extension;
+  std::string given_name;
+  std::string family_name;
+  std::string suffix;
+  std::string gender_code;  ///< "M" / "F"
+  std::string birth_time;   ///< yyyymmdd
+  std::string provider_org_id;
+};
+
+/// A clinical-statement Observation entry: a coded observation with zero or
+/// more coded values (Fig. 1 lines 37–47). Values may nest (line 45–46).
+struct CdaObservation {
+  CdaCodedValue code;
+  std::vector<CdaCodedValue> values;
+  /// Optional id of a narrative `<content>` chunk this observation points at
+  /// through `<originalText><reference value="..."/>` (Fig. 1 line 40).
+  std::string original_text_ref;
+  std::string effective_time;
+};
+
+/// A SubstanceAdministration entry (Fig. 1 lines 49–56): free-text dosing
+/// instructions plus the consumable's coded drug.
+struct CdaSubstanceAdministration {
+  std::string content_id;  ///< id of the `<content>` wrapping the drug name
+  std::string drug_name;   ///< narrative drug name inside `<content>`
+  std::string instructions;
+  CdaCodedValue drug_code;
+};
+
+/// One row of a vital-signs narrative table (Fig. 1 lines 67–75).
+struct CdaVitalSign {
+  std::string name;
+  std::string value;
+};
+
+/// One entry of a section: exactly one of the alternatives is populated.
+struct CdaEntry {
+  enum class Kind { kObservation, kSubstanceAdministration };
+  Kind kind = Kind::kObservation;
+  CdaObservation observation;
+  CdaSubstanceAdministration substance_administration;
+};
+
+/// A document section (LOINC-coded), possibly nested (Fig. 1 lines 58–81).
+struct CdaSection {
+  CdaCodedValue code;  ///< LOINC section code
+  std::string title;
+  std::string narrative_text;          ///< free text under `<text>`
+  std::vector<CdaVitalSign> vitals;    ///< rendered as a narrative table
+  std::vector<CdaEntry> entries;
+  std::vector<CdaSection> subsections;
+};
+
+/// An HL7 CDA R2 clinical document (header + structured body).
+struct CdaDocument {
+  std::string id_extension;
+  std::string template_id = "2.16.840.1.113883.3.27.1776";
+  CdaAuthor author;
+  CdaPatient patient;
+  std::vector<CdaSection> sections;
+};
+
+/// Renders a CdaDocument as an XML tree following the CDA R2 shape of
+/// Fig. 1 (ClinicalDocument → header blocks → component/StructuredBody →
+/// component/section → entry/...). Code nodes get their OntoRef populated so
+/// the result is directly indexable without reparsing.
+XmlDocument CdaToXml(const CdaDocument& doc, uint32_t doc_id);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CDA_CDA_DOCUMENT_H_

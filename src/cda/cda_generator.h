@@ -1,0 +1,120 @@
+#ifndef XONTORANK_CDA_CDA_GENERATOR_H_
+#define XONTORANK_CDA_CDA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cda/cda_document.h"
+#include "onto/ontology.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Parameters of the synthetic CDA corpus generator.
+struct CdaGeneratorOptions {
+  /// Number of patient documents (the paper's corpus: one CDA document per
+  /// patient, conglomerating all hospitalization entries).
+  size_t num_documents = 50;
+
+  /// PRNG seed; the corpus is a pure function of (ontology, options).
+  uint64_t seed = 7;
+
+  /// Mean number of hospitalization encounters per patient (each becomes a
+  /// top-level section with Problems / Medications / Procedures / Vital
+  /// Signs subsections). Defaults target the paper's corpus statistics of
+  /// ~47 KB and ~151 ontological references per document.
+  size_t mean_encounters = 4;
+  /// Mean problems (coded Observations) per encounter.
+  size_t mean_problems = 5;
+  /// Mean medications (SubstanceAdministrations) per encounter.
+  size_t mean_medications = 4;
+  /// Mean procedures per encounter.
+  size_t mean_procedures = 2;
+
+  /// Zipf exponent controlling disorder popularity skew across the corpus
+  /// (common disorders recur in many patients, like a real clinic).
+  double zipf_exponent = 1.3;
+
+  /// Specialty focus: preferred term of a finding category whose descendant
+  /// disorders dominate the corpus (the paper's corpus comes from a
+  /// children's *cardiac* clinic). Empty or unresolvable disables focusing.
+  std::string focus_category = "Disease of heart";
+  /// Probability that a problem is drawn from the focus category (the rest
+  /// come from the full clinical-finding pool — comorbidities).
+  double focus_probability = 0.7;
+
+  /// If true, each vital-signs section additionally carries LOINC-coded
+  /// observation entries (heart rate 8867-4, body temperature 8310-5,
+  /// respiratory rate 9279-1), exercising the multi-ontology path when a
+  /// LOINC fragment is registered. Off by default to keep the experiment
+  /// corpus single-system like the paper's.
+  bool loinc_vital_codes = false;
+};
+
+/// Summary statistics of a generated corpus, mirroring the numbers the
+/// paper reports for its hospital corpus (§VII).
+struct CdaCorpusStats {
+  size_t documents = 0;
+  size_t total_elements = 0;
+  size_t total_onto_refs = 0;
+  size_t total_bytes = 0;
+
+  double AvgElements() const {
+    return documents == 0 ? 0.0
+                          : static_cast<double>(total_elements) /
+                                static_cast<double>(documents);
+  }
+  double AvgOntoRefs() const {
+    return documents == 0 ? 0.0
+                          : static_cast<double>(total_onto_refs) /
+                                static_cast<double>(documents);
+  }
+  double AvgKilobytes() const {
+    return documents == 0 ? 0.0
+                          : static_cast<double>(total_bytes) / 1024.0 /
+                                static_cast<double>(documents);
+  }
+};
+
+/// Deterministic generator of CDA-shaped patient records over an ontology.
+///
+/// Substitutes for the anonymized EMR database of the paper's children's
+/// cardiac clinic (see DESIGN.md §1): each document is one patient; each
+/// encounter contributes coded problem Observations (disorders drawn
+/// Zipf-skewed from the ontology's clinical findings), coherent medication
+/// entries (drugs whose `may_treat` relationships reach the patient's
+/// problems, when the ontology defines any), procedures, a vital-signs
+/// table, and narrative text mentioning the coded concepts' display names.
+class CdaGenerator {
+ public:
+  /// `ontology` must outlive the generator.
+  CdaGenerator(const Ontology& ontology, CdaGeneratorOptions options);
+
+  /// Generates patient document number `index` (deterministic per index).
+  CdaDocument GenerateDocument(uint32_t index) const;
+
+  /// Generates the full corpus as XML trees; doc ids are 0..n-1.
+  std::vector<XmlDocument> GenerateCorpus() const;
+
+  /// Serializes every document and accumulates corpus statistics.
+  static CdaCorpusStats ComputeStats(const std::vector<XmlDocument>& corpus);
+
+ private:
+  ConceptId PickDisorder(class Rng& rng) const;
+  ConceptId PickDrugFor(ConceptId disorder, class Rng& rng) const;
+  ConceptId PickProcedureFor(ConceptId disorder, class Rng& rng) const;
+  CdaCodedValue CodedValueFor(ConceptId concept_id) const;
+
+  const Ontology* ontology_;
+  CdaGeneratorOptions options_;
+  std::vector<ConceptId> disorders_;   // popularity-ranked clinical findings
+  std::vector<ConceptId> focus_disorders_;  // popularity-ranked focus subset
+  std::vector<ConceptId> drugs_;
+  std::vector<ConceptId> procedures_;
+  RelationTypeId may_treat_ = 0;
+  bool has_may_treat_ = false;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CDA_CDA_GENERATOR_H_

@@ -1,0 +1,46 @@
+#ifndef XONTORANK_CDA_CDA_VALIDATOR_H_
+#define XONTORANK_CDA_CDA_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// One structural finding of the CDA validator.
+struct CdaDiagnostic {
+  enum class Severity { kError, kWarning };
+  Severity severity;
+  std::string message;
+  DeweyId where;  ///< offending element (document root for document-level)
+
+  bool is_error() const { return severity == Severity::kError; }
+};
+
+/// Structural validation of a CDA R2-shaped document against the subset of
+/// the specification this system relies on (Fig. 1 / Fig. 3 shape).
+///
+/// Errors (indexing would be degraded or misleading):
+///  - root element is not `ClinicalDocument`
+///  - missing `component/StructuredBody`
+///  - a `StructuredBody` without any `section`
+///  - a coded element carrying `code` without `codeSystem` (the pair is
+///    what makes a code node resolvable, §III)
+///
+/// Warnings (tolerated but worth surfacing):
+///  - missing header blocks (`id`, `author`, `recordTarget`)
+///  - a `section` without `code` and without `title` (invisible to both
+///    textual and ontological matching)
+///  - an `originalText/reference` whose target `ID` does not exist in the
+///    document (dangling narrative link)
+std::vector<CdaDiagnostic> ValidateCda(const XmlDocument& doc);
+
+/// OK iff ValidateCda reports no errors; the Status message carries the
+/// first error otherwise.
+Status CheckCda(const XmlDocument& doc);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CDA_CDA_VALIDATOR_H_

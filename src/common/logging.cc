@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace xontorank {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;  // tools opt into chattier levels
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace internal_logging {
+
+LogMessage::~LogMessage() {
+  std::string line = "[";
+  line += LogLevelName(level_);
+  line += "] ";
+  line += stream_.str();
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace internal_logging
+
+}  // namespace xontorank

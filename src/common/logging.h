@@ -1,0 +1,74 @@
+#ifndef XONTORANK_COMMON_LOGGING_H_
+#define XONTORANK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace xontorank {
+
+/// Minimal leveled logging for the tools and generators (the library core
+/// stays silent; fallible operations report through Status instead).
+///
+/// Usage: `XONTO_LOG(kInfo) << "indexed " << n << " documents";`
+/// Messages below the global threshold are discarded without formatting
+/// cost beyond stream construction. Output goes to stderr as
+/// `[LEVEL] message\n`. Not thread-safe beyond the atomicity of one
+/// fwrite per message.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global threshold; messages with level < threshold are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Short name ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+namespace internal_logging {
+
+/// Collects one message and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// No-op sink for suppressed levels.
+struct NullMessage {
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+}  // namespace xontorank
+
+/// Logs at the given level (a LogLevel enumerator name without the prefix,
+/// e.g. XONTO_LOG(kInfo)). Evaluates stream arguments only when enabled.
+#define XONTO_LOG(level)                                            \
+  if (::xontorank::LogLevel::level < ::xontorank::GetLogLevel()) { \
+  } else                                                            \
+    ::xontorank::internal_logging::LogMessage(                      \
+        ::xontorank::LogLevel::level)
+
+#endif  // XONTORANK_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#ifndef XONTORANK_COMMON_STRING_UTIL_H_
+#define XONTORANK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xontorank {
+
+/// Returns `s` with ASCII letters lower-cased. Non-ASCII bytes pass through.
+std::string AsciiToLower(std::string_view s);
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on the single character `sep`. Empty pieces are preserved
+/// (splitting "a,,b" on ',' yields {"a", "", "b"}).
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every character of `s` is an ASCII decimal digit and `s` is
+/// non-empty. Used to exclude numeric code strings from node text (§III).
+bool IsAllDigits(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// FNV-1a 64-bit hash. Stable across platforms; used for deterministic
+/// hashing of strings in the corpus generator and indexes.
+uint64_t Fnv1aHash(std::string_view s);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_COMMON_STRING_UTIL_H_

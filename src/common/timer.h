@@ -1,0 +1,35 @@
+#ifndef XONTORANK_COMMON_TIMER_H_
+#define XONTORANK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace xontorank {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_COMMON_TIMER_H_

@@ -1,0 +1,63 @@
+#ifndef XONTORANK_CORE_ELEM_RANK_H_
+#define XONTORANK_CORE_ELEM_RANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// ElemRank parameters (XRANK §4: a PageRank adaptation with three edge
+/// classes weighted separately).
+struct ElemRankOptions {
+  /// Damping share of hyperlink (ID/IDREF-style) edges.
+  double d1 = 0.15;
+  /// Damping share of forward containment edges (parent → child), divided
+  /// by the parent's child count.
+  double d2 = 0.25;
+  /// Damping share of reverse containment edges (child → parent),
+  /// aggregated without division (a parent accrues from all children).
+  double d3 = 0.10;
+  /// Power-iteration bound.
+  int max_iterations = 100;
+  /// L1 convergence tolerance.
+  double tolerance = 1e-9;
+};
+
+/// ElemRank: structural authority of XML elements (XRANK's ElemRank; §V-A
+/// notes it can be incorporated into NS — the paper skipped it because its
+/// CDA corpus carried no ID-IDREF edges; ours do, via the
+/// `<originalText><reference value="m1"/>` → `<content ID="m1">` pattern).
+///
+/// Elements are numbered by preorder position across the corpus (documents
+/// in vector order), matching CorpusIndex's unit numbering. Hyperlink edges
+/// connect a `reference`/IDREF element to the element whose `ID` attribute
+/// carries the referenced value within the same document. Ranks are
+/// normalized so the maximum is 1, making them directly usable as a
+/// multiplicative factor on NS.
+class ElemRank {
+ public:
+  ElemRank(const std::vector<XmlDocument>& corpus,
+           ElemRankOptions options = {});
+
+  /// Rank of element unit `unit` in [0, 1]; max over the corpus is 1.
+  double rank(uint32_t unit) const { return ranks_[unit]; }
+
+  size_t size() const { return ranks_.size(); }
+
+  /// Number of hyperlink edges discovered (for stats/tests).
+  size_t hyperlink_edge_count() const { return hyperlink_edges_; }
+
+  /// Iterations the power method actually ran.
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  std::vector<double> ranks_;
+  size_t hyperlink_edges_ = 0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_ELEM_RANK_H_

@@ -1,0 +1,79 @@
+#ifndef XONTORANK_CORE_EXPLAIN_H_
+#define XONTORANK_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index_builder.h"
+#include "core/query_processor.h"
+#include "ir/query.h"
+#include "onto/ontology_index.h"
+
+namespace xontorank {
+
+/// One hop of an authority-flow path through the ontology (§IV). The first
+/// step is always the seed (the concept whose terms matched the keyword).
+struct OntoPathStep {
+  enum class Kind {
+    kSeed,             ///< keyword-matching concept (score = IRS)
+    kIsADown,          ///< superclass → subclass, undamped
+    kIsAUp,            ///< subclass → superclass, damped by fan-out
+    kRelationForward,  ///< source → target through ∃r.target (§VI-C)
+    kRelationReverse,  ///< target → source through the dotted link
+    kGraphEdge,        ///< undirected hop (Graph strategy)
+  };
+  Kind kind;
+  ConceptId concept_id;  ///< concept reached by this step
+  double score;          ///< OntoScore at this concept
+  std::string via;       ///< relation type name for relationship hops
+};
+
+/// The best authority-flow path from a keyword into one concept.
+struct OntoExplanation {
+  ConceptId target;
+  double score = 0.0;
+  std::vector<OntoPathStep> path;  ///< seed first, target last
+};
+
+/// Recomputes OS(w, ·) under `strategy` recording provenance, and returns
+/// the maximal-score path into `target`. NotFound if the target's score
+/// falls below the threshold (i.e., OS(w, target) = 0).
+Result<OntoExplanation> ExplainOntoScore(const OntologyIndex& index,
+                                         const Keyword& keyword,
+                                         Strategy strategy,
+                                         const ScoreOptions& options,
+                                         ConceptId target);
+
+/// Renders a path as one line, e.g.
+/// `Bronchial structure [irs 1.00] →(∃finding_site_of)→ Asthma [0.50]`.
+std::string FormatExplanation(const Ontology& ontology,
+                              const OntoExplanation& explanation);
+
+/// Why one query result matched one keyword: the witness node in the
+/// result's subtree with the maximal decayed NS, and whether that NS came
+/// from text or from an ontological association (Eq. 5's max).
+struct KeywordEvidence {
+  Keyword keyword;
+  DeweyId witness;        ///< the node contributing Eq. 3's max
+  double node_score = 0;  ///< NS(w, witness)
+  double decayed = 0;     ///< NS · decay^dist — the Eq. 2 value at the result
+  bool ontological = false;      ///< true if NS came from ω·OS
+  size_t system = 0;             ///< ontological system index (if ontological)
+  OntoExplanation onto_path;     ///< populated when ontological
+};
+
+/// Explains every keyword of `query` for `result`. The index must be the
+/// one that produced the result. Fails if the result does not actually
+/// cover some keyword (it then did not come from this index/query).
+Result<std::vector<KeywordEvidence>> ExplainResult(CorpusIndex& index,
+                                                   const KeywordQuery& query,
+                                                   const QueryResult& result);
+
+/// Multi-line human-readable rendering of ExplainResult output.
+std::string FormatEvidence(const CorpusIndex& index,
+                           const std::vector<KeywordEvidence>& evidence);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_EXPLAIN_H_

@@ -1,0 +1,270 @@
+#include "core/index_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "common/timer.h"
+#include "core/node_text.h"
+#include "ir/tokenizer.h"
+
+namespace xontorank {
+
+CorpusIndex::CorpusIndex(const std::vector<XmlDocument>& corpus,
+                         OntologySet systems, IndexBuildOptions options)
+    : corpus_(&corpus),
+      systems_(std::move(systems)),
+      options_(options),
+      node_index_(options.score.bm25) {
+  assert(!systems_.empty() && "at least one ontological system is required");
+  for (size_t s = 0; s < systems_.size(); ++s) {
+    onto_indexes_.push_back(std::make_unique<OntologyIndex>(
+        systems_.system(s), options.score.bm25));
+  }
+  Timer timer;
+  IndexCorpus();
+  if (options_.use_elem_rank) {
+    elem_rank_ = std::make_unique<ElemRank>(corpus, options_.elem_rank);
+  }
+  Precompute();
+  stats_.build_millis = timer.ElapsedMillis();
+  stats_.documents = corpus.size();
+  stats_.precomputed_keywords = dil_.keyword_count();
+  stats_.total_postings = dil_.TotalPostings();
+}
+
+void CorpusIndex::IndexCorpus() {
+  const auto& excluded = DefaultExcludedAttributes();
+  uint32_t unit = 0;
+  for (const XmlDocument& doc : *corpus_) {
+    if (doc.root() == nullptr) continue;
+    doc.root()->Visit([&](const XmlNode& node) {
+      if (!node.is_element()) return;
+      node_index_.AddUnit(unit, TextualDescription(node, excluded));
+      unit_deweys_.push_back(doc.DeweyIdOf(node));
+      if (node.onto_ref().has_value()) {
+        size_t system = systems_.FindSystem(node.onto_ref()->system);
+        if (system != OntologySet::npos) {
+          ConceptId c =
+              systems_.system(system).FindByCode(node.onto_ref()->code);
+          if (c != kInvalidConcept) {
+            code_units_.push_back(
+                {unit, static_cast<uint32_t>(system), c});
+            ++stats_.code_nodes;
+          }
+        }
+      }
+      ++unit;
+    });
+  }
+  node_index_.Finalize();
+  stats_.indexed_nodes = unit;
+}
+
+void CorpusIndex::Precompute() {
+  if (options_.vocabulary_mode == IndexBuildOptions::VocabularyMode::kNone) {
+    return;
+  }
+  // Vocabulary = corpus tokens, optionally united with ontology tokens.
+  std::vector<std::string> vocab = node_index_.Vocabulary();
+  if (options_.vocabulary_mode ==
+      IndexBuildOptions::VocabularyMode::kCorpusAndOntology) {
+    for (const auto& onto_index : onto_indexes_) {
+      std::vector<std::string> onto_vocab = onto_index->Vocabulary();
+      vocab.insert(vocab.end(), onto_vocab.begin(), onto_vocab.end());
+    }
+    std::sort(vocab.begin(), vocab.end());
+    vocab.erase(std::unique(vocab.begin(), vocab.end()), vocab.end());
+  }
+  size_t num_threads = options_.num_threads == 0
+                           ? std::max(1u, std::thread::hardware_concurrency())
+                           : options_.num_threads;
+  num_threads = std::min(num_threads, vocab.size() == 0 ? 1 : vocab.size());
+
+  if (num_threads <= 1) {
+    for (const std::string& token : vocab) {
+      Keyword kw = MakeKeyword(token);
+      if (kw.tokens.empty()) continue;
+      dil_.Put(kw.Canonical(), BuildPostings(kw));
+    }
+    return;
+  }
+
+  // Parallel: workers claim keywords round-robin and produce entries into
+  // per-worker buffers; the (ordered) XOntoDil is assembled afterwards so
+  // the result is bit-identical to the serial build.
+  std::vector<std::vector<std::pair<std::string, std::vector<DilPosting>>>>
+      buffers(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([this, t, num_threads, &vocab, &buffers]() {
+      for (size_t i = t; i < vocab.size(); i += num_threads) {
+        Keyword kw = MakeKeyword(vocab[i]);
+        if (kw.tokens.empty()) continue;
+        buffers[t].emplace_back(kw.Canonical(), BuildPostings(kw));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (auto& buffer : buffers) {
+    for (auto& [canonical, postings] : buffer) {
+      dil_.Put(std::move(canonical), std::move(postings));
+    }
+  }
+}
+
+OntoScoreMap CorpusIndex::ComputeOntoScoreRow(const Keyword& keyword,
+                                              size_t system) const {
+  return ComputeOntoScores(*onto_indexes_[system], keyword, options_.strategy,
+                           options_.score);
+}
+
+std::vector<DilPosting> CorpusIndex::BuildPostings(
+    const Keyword& keyword) const {
+  // NS(w, v) = max(IRS(w, v), ω·OS(w, concept(v))), Eq. 5. Both components
+  // are normalized to [0, 1] before combination.
+  std::unordered_map<uint32_t, double> node_scores;
+
+  // Textual component.
+  for (const ScoredUnit& unit : node_index_.Lookup(keyword)) {
+    node_scores[unit.unit_id] = unit.score;
+  }
+
+  // Ontological component, through the corpus's code nodes. Each system's
+  // OntoScore row is computed once and applied to that system's code nodes.
+  if (options_.strategy != Strategy::kXRank) {
+    const double w = options_.score.ontology_weight;
+    for (size_t system = 0; system < systems_.size(); ++system) {
+      OntoScoreMap onto_scores = ComputeOntoScoreRow(keyword, system);
+      if (onto_scores.empty()) continue;
+      for (const CodeUnit& code_unit : code_units_) {
+        if (code_unit.system != system) continue;
+        auto it = onto_scores.find(code_unit.concept_id);
+        if (it == onto_scores.end()) continue;
+        double ns = w * it->second;
+        auto [entry, inserted] = node_scores.emplace(code_unit.unit, ns);
+        if (!inserted && ns > entry->second) entry->second = ns;
+      }
+    }
+  }
+
+  std::vector<DilPosting> postings;
+  postings.reserve(node_scores.size());
+  const double blend = options_.elem_rank_blend;
+  for (const auto& [unit, score] : node_scores) {
+    if (score <= 0.0) continue;
+    double final_score = score;
+    if (elem_rank_ != nullptr) {
+      final_score *= (1.0 - blend) + blend * elem_rank_->rank(unit);
+    }
+    postings.push_back({unit_deweys_[unit], final_score});
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const DilPosting& a, const DilPosting& b) {
+              return a.dewey < b.dewey;
+            });
+  return postings;
+}
+
+void CorpusIndex::AppendDocument(const XmlDocument& doc) {
+  assert(!corpus_->empty() && &corpus_->back() == &doc &&
+         "document must already sit at the end of the corpus vector");
+  const auto& excluded = DefaultExcludedAttributes();
+  node_index_.Reopen();
+  uint32_t unit = static_cast<uint32_t>(unit_deweys_.size());
+  if (doc.root() != nullptr) {
+    doc.root()->Visit([&](const XmlNode& node) {
+      if (!node.is_element()) return;
+      node_index_.AddUnit(unit, TextualDescription(node, excluded));
+      unit_deweys_.push_back(doc.DeweyIdOf(node));
+      if (node.onto_ref().has_value()) {
+        size_t system = systems_.FindSystem(node.onto_ref()->system);
+        if (system != OntologySet::npos) {
+          ConceptId c =
+              systems_.system(system).FindByCode(node.onto_ref()->code);
+          if (c != kInvalidConcept) {
+            code_units_.push_back({unit, static_cast<uint32_t>(system), c});
+            ++stats_.code_nodes;
+          }
+        }
+      }
+      ++unit;
+    });
+  }
+  node_index_.Finalize();
+  stats_.indexed_nodes = unit;
+  stats_.documents = corpus_->size();
+
+  if (options_.use_elem_rank) {
+    elem_rank_ = std::make_unique<ElemRank>(*corpus_, options_.elem_rank);
+  }
+
+  // Collection-wide statistics changed: invalidate everything and rebuild
+  // the precomputed vocabulary (a no-op under VocabularyMode::kNone).
+  dil_ = XOntoDil();
+  Precompute();
+  stats_.precomputed_keywords = dil_.keyword_count();
+  stats_.total_postings = dil_.TotalPostings();
+}
+
+void CorpusIndex::AdoptPrecomputed(XOntoDil dil) {
+  dil_ = std::move(dil);
+  stats_.precomputed_keywords = dil_.keyword_count();
+  stats_.total_postings = dil_.TotalPostings();
+}
+
+const DilEntry* CorpusIndex::GetEntry(const Keyword& keyword) {
+  std::string canonical = keyword.Canonical();
+  {
+    std::lock_guard<std::mutex> lock(dil_mutex_);
+    if (const DilEntry* entry = dil_.Find(canonical)) return entry;
+  }
+  // Build outside the lock (the expensive part is read-only); a racing
+  // thread may build the same entry, in which case the first Put wins and
+  // the duplicate work is discarded.
+  std::vector<DilPosting> postings = BuildPostings(keyword);
+  std::lock_guard<std::mutex> lock(dil_mutex_);
+  if (const DilEntry* entry = dil_.Find(canonical)) return entry;
+  dil_.Put(canonical, std::move(postings));
+  return dil_.Find(canonical);
+}
+
+CorpusIndex::NodeSupport CorpusIndex::ComputeNodeSupport(
+    const DeweyId& dewey, const Keyword& keyword) const {
+  NodeSupport support;
+  // unit_deweys_ is ascending (units are assigned in document order), so
+  // the unit id can be recovered by binary search.
+  auto it = std::lower_bound(unit_deweys_.begin(), unit_deweys_.end(), dewey);
+  if (it == unit_deweys_.end() || !(*it == dewey)) return support;
+  uint32_t unit = static_cast<uint32_t>(it - unit_deweys_.begin());
+
+  for (const ScoredUnit& scored : node_index_.Lookup(keyword)) {
+    if (scored.unit_id == unit) {
+      support.textual_irs = scored.score;
+      break;
+    }
+  }
+  for (const CodeUnit& code_unit : code_units_) {
+    if (code_unit.unit != unit) continue;
+    support.is_code_node = true;
+    support.system = code_unit.system;
+    support.concept_id = code_unit.concept_id;
+    if (options_.strategy != Strategy::kXRank) {
+      OntoScoreMap row = ComputeOntoScoreRow(keyword, code_unit.system);
+      auto score_it = row.find(code_unit.concept_id);
+      if (score_it != row.end()) support.onto_score = score_it->second;
+    }
+    break;
+  }
+  return support;
+}
+
+std::vector<std::string> CorpusIndex::PrecomputedVocabulary() const {
+  std::vector<std::string> out;
+  out.reserve(dil_.entries().size());
+  for (const auto& [kw, entry] : dil_.entries()) out.push_back(kw);
+  return out;
+}
+
+}  // namespace xontorank

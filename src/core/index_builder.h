@@ -1,0 +1,200 @@
+#ifndef XONTORANK_CORE_INDEX_BUILDER_H_
+#define XONTORANK_CORE_INDEX_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/elem_rank.h"
+#include "core/onto_score.h"
+#include "core/options.h"
+#include "core/xonto_dil.h"
+#include "ir/query.h"
+#include "ir/text_index.h"
+#include "onto/ontology.h"
+#include "onto/ontology_index.h"
+#include "onto/ontology_set.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Options of the preprocessing phase (§V).
+struct IndexBuildOptions {
+  /// Which OntoScore strategy the XOnto-DILs embed. kXRank disables the
+  /// ontology entirely (the baseline).
+  Strategy strategy = Strategy::kRelationships;
+
+  /// Decay / threshold / ω / BM25 knobs.
+  ScoreOptions score;
+
+  /// Which keywords get precomputed DIL entries (§V-B "Vocabulary").
+  enum class VocabularyMode {
+    /// Tokens occurring in the CDA corpus only.
+    kCorpusOnly,
+    /// Union of corpus tokens and ontology term tokens — the paper's full
+    /// Vocabulary definition. Keywords that appear only in the ontology can
+    /// still match documents through code nodes.
+    kCorpusAndOntology,
+    /// No precomputation; every entry is built on demand (lazy). Queries
+    /// return identical results; only build cost moves to query time.
+    kNone,
+  };
+  VocabularyMode vocabulary_mode = VocabularyMode::kCorpusAndOntology;
+
+  /// If true, posting scores are modulated by ElemRank, XRANK's structural
+  /// PageRank over elements (§V-A: "ElemRank could be incorporated in NS").
+  /// The paper disabled it (its corpus had no ID-IDREF edges); our CDA
+  /// corpus carries reference→content links, so the extension is
+  /// exercisable. Final score: NS · ((1-λ) + λ·ElemRank(v)).
+  bool use_elem_rank = false;
+
+  /// Blend λ between pure NS (0) and fully ElemRank-modulated (1).
+  double elem_rank_blend = 0.5;
+
+  /// ElemRank damping/iteration knobs (used when use_elem_rank is set).
+  ElemRankOptions elem_rank;
+
+  /// Worker threads for vocabulary precomputation (stage 2+3 of §V-B are
+  /// embarrassingly parallel across keywords). 1 = serial; 0 = one thread
+  /// per hardware core. Query-time entry caching remains single-threaded.
+  size_t num_threads = 1;
+};
+
+/// Index-construction statistics (reported by Table III's bench).
+struct IndexBuildStats {
+  size_t documents = 0;
+  size_t indexed_nodes = 0;
+  size_t code_nodes = 0;
+  size_t precomputed_keywords = 0;
+  size_t total_postings = 0;
+  double build_millis = 0.0;
+};
+
+/// The queryable XOntoRank index over a CDA corpus and an ontology.
+///
+/// Construction runs the three §V-B stages:
+///   1. *Full-text indexing*: every element node of every document becomes
+///      an IR unit scored by BM25 over its §III textual description; the
+///      ontology's concepts are indexed the same way.
+///   2. *OntoScore computation*: per keyword, Algorithm 1 (merged
+///      best-first expansion) produces the OntoScore hash-map row.
+///   3. *DIL creation*: per keyword, a Dewey inverted list whose posting
+///      scores are NS(w,v) = max(IRS(w,v), ω·OS(w, concept(v))) (Eq. 5).
+///
+/// Entries for keywords outside the precomputed vocabulary (notably quoted
+/// phrases) are built on demand and cached; results are identical either
+/// way.
+///
+/// Thread-safety: after construction, any number of threads may call the
+/// const accessors and GetEntry concurrently (the entry cache is mutex-
+/// guarded and returned pointers are stable). AdoptPrecomputed and
+/// AppendDocument are exclusive operations: no other call may run
+/// concurrently with them.
+class CorpusIndex {
+ public:
+  /// `corpus` and every ontology in `systems` must outlive the index. A
+  /// bare `Ontology&` converts implicitly to a one-system collection.
+  CorpusIndex(const std::vector<XmlDocument>& corpus, OntologySet systems,
+              IndexBuildOptions options);
+
+  const IndexBuildStats& stats() const { return stats_; }
+  const IndexBuildOptions& options() const { return options_; }
+
+  /// The registered ontological systems collection (§III).
+  const OntologySet& systems() const { return systems_; }
+
+  /// Convenience: the primary (first) system.
+  const Ontology& ontology() const { return systems_.system(0); }
+  const OntologyIndex& ontology_index(size_t system = 0) const {
+    return *onto_indexes_[system];
+  }
+  const std::vector<XmlDocument>& corpus() const { return *corpus_; }
+
+  /// The inverted list for `keyword` under this index's strategy, building
+  /// and caching it if needed. The returned pointer is stable for the life
+  /// of the index; nullptr is never returned (an unmatched keyword yields
+  /// an empty list).
+  const DilEntry* GetEntry(const Keyword& keyword);
+
+  /// Builds the inverted list for `keyword` without touching the cache
+  /// (used by the Table III bench to time entry creation).
+  std::vector<DilPosting> BuildPostings(const Keyword& keyword) const;
+
+  /// The OntoScore hash-map row for `keyword` within one ontological
+  /// system (stage 2 output); empty under the XRANK strategy.
+  OntoScoreMap ComputeOntoScoreRow(const Keyword& keyword,
+                                   size_t system = 0) const;
+
+  /// The precomputed single-token vocabulary.
+  std::vector<std::string> PrecomputedVocabulary() const;
+
+  /// Per-node support breakdown backing Eq. 5, used by the explain API:
+  /// the node's textual IRS for the keyword, and — when the node is a code
+  /// node — its concept and OntoScore under this index's strategy.
+  struct NodeSupport {
+    double textual_irs = 0.0;
+    bool is_code_node = false;
+    size_t system = 0;
+    ConceptId concept_id = kInvalidConcept;
+    double onto_score = 0.0;
+  };
+  /// `dewey` must address an element of this corpus; returns a zero
+  /// NodeSupport for unknown addresses.
+  NodeSupport ComputeNodeSupport(const DeweyId& dewey,
+                                 const Keyword& keyword) const;
+
+  /// Total postings currently materialized (precomputed + cached).
+  size_t TotalPostings() const { return dil_.TotalPostings(); }
+
+  /// A snapshot of every materialized entry (for persistence).
+  const XOntoDil& materialized() const { return dil_; }
+
+  /// Replaces the materialized entries with `dil` (typically one loaded
+  /// from an index file): subsequent GetEntry calls for its keywords are
+  /// served without recomputation. Entries must have been built with the
+  /// same corpus, systems and options or queries will be inconsistent.
+  void AdoptPrecomputed(XOntoDil dil);
+
+  /// Indexes one more document, appended to the corpus vector this index
+  /// was built over (the caller must have pushed it there already; the
+  /// document's doc id must be its corpus position). Collection statistics
+  /// (df, average length) change globally, so every materialized entry is
+  /// dropped and — under an eager vocabulary mode — recomputed; queries
+  /// afterwards are identical to a fresh build over the extended corpus.
+  void AppendDocument(const XmlDocument& doc);
+
+ private:
+  void IndexCorpus();
+  void Precompute();
+
+  const std::vector<XmlDocument>* corpus_;
+  OntologySet systems_;
+  IndexBuildOptions options_;
+
+  TextIndex node_index_;  ///< stage 1 over document nodes
+  /// Stage 1 over each system's concepts (parallel to systems_).
+  std::vector<std::unique_ptr<OntologyIndex>> onto_indexes_;
+  std::vector<DeweyId> unit_deweys_;  ///< unit id → node address
+  /// A code node resolved against its ontological system.
+  struct CodeUnit {
+    uint32_t unit;
+    uint32_t system;
+    ConceptId concept_id;
+  };
+  std::vector<CodeUnit> code_units_;
+
+  std::unique_ptr<ElemRank> elem_rank_;  ///< set when options.use_elem_rank
+
+  /// Guards dil_ for concurrent GetEntry calls. BuildPostings itself is
+  /// const and lock-free; only cache insertion is serialized.
+  mutable std::mutex dil_mutex_;
+  XOntoDil dil_;  ///< precomputed + demand-cached entries
+  IndexBuildStats stats_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_INDEX_BUILDER_H_

@@ -1,0 +1,26 @@
+#ifndef XONTORANK_CORE_NODE_TEXT_H_
+#define XONTORANK_CORE_NODE_TEXT_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Builds the textual description of an element node per §III: the
+/// concatenation of its tag name, attribute names, attribute values and
+/// direct text content. Values of attributes named in `excluded_attributes`
+/// (code strings, OIDs, ids) are omitted, as are values that are pure
+/// numeric/OID strings, since these are unlikely query keywords.
+///
+/// Text content covers the element's *direct* text-node children only;
+/// descendant text reaches ancestors through containment-edge score
+/// propagation (Eq. 2), not through textual duplication.
+std::string TextualDescription(
+    const XmlNode& element,
+    const std::unordered_set<std::string>& excluded_attributes);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_NODE_TEXT_H_

@@ -1,0 +1,68 @@
+#ifndef XONTORANK_CORE_ONTO_SCORE_H_
+#define XONTORANK_CORE_ONTO_SCORE_H_
+
+#include <unordered_map>
+
+#include "core/options.h"
+#include "ir/query.h"
+#include "onto/dl_view.h"
+#include "onto/ontology.h"
+#include "onto/ontology_index.h"
+
+namespace xontorank {
+
+/// OntoScores of one keyword across the ontology: concept → OS(w, c) with
+/// OS ≥ threshold. This is one hash-map row of the paper's OntoScore Hash
+/// Map H (§V-B, Algorithm 1).
+using OntoScoreMap = std::unordered_map<ConceptId, double>;
+
+/// Computes OS(w, ·) for `keyword` under the given strategy (§IV, §VI).
+///
+/// All three ontology-aware strategies are instances of a merged
+/// multi-source best-first expansion (Observation 1): every concept whose
+/// terms contain the keyword seeds the frontier with its normalized IRS;
+/// authority then flows along edges with strategy-specific transfer factors,
+/// each ≤ 1, and every node settles once at its maximum attainable score
+/// (the max-combining aggregate of Eq. 10). Expansion stops below
+/// `options.threshold`.
+///
+/// Transfer factors:
+///  - Graph (§IV-A): every edge (is-a or relationship, either direction)
+///    costs `decay`.
+///  - Taxonomy (§IV-B): super→sub propagation costs 1 (a subclass fully
+///    satisfies a query for its superclass); sub→super propagation costs
+///    1/|subclasses(parent)| (partial satisfaction, split across the
+///    parent's fan-out — the paper's 1/26 Asthma example).
+///  - Relationships (§VI-C): Taxonomy factors, plus traversal through the
+///    implicit DL view: following r(u,v) from u to v costs
+///    decay/indeg_r(v) (is-a up into ∃r.v, then the dotted link), and from
+///    v to u costs decay (dotted link, then is-a down). Restriction nodes
+///    are visited as implicit intermediate states without materializing
+///    the DL graph, so sibling flow u1 → ∃r.v → u2 is captured exactly as
+///    in the materialized view.
+///
+/// Under Strategy::kXRank the map is empty (the baseline ignores the
+/// ontology).
+OntoScoreMap ComputeOntoScores(const OntologyIndex& index,
+                               const Keyword& keyword, Strategy strategy,
+                               const ScoreOptions& options);
+
+/// Reference implementation of the Relationships strategy that *does*
+/// materialize the DL view (§IV-C) and runs the generic expansion over it.
+/// Exists to validate, by equivalence testing, that the implicit traversal
+/// of ComputeOntoScores matches the materialized semantics exactly.
+OntoScoreMap ComputeRelationshipScoresOnDlView(const DlView& view,
+                                               const OntologyIndex& index,
+                                               const Keyword& keyword,
+                                               const ScoreOptions& options);
+
+/// Reference implementation of Algorithm 1 *without* Observation 1: one
+/// independent BFS per seed concept, combined by max. Exponentially slower
+/// on dense graphs; used to property-test the merged expansion.
+OntoScoreMap ComputeGraphScoresIndependent(const OntologyIndex& index,
+                                           const Keyword& keyword,
+                                           const ScoreOptions& options);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_ONTO_SCORE_H_

@@ -1,0 +1,77 @@
+#include "core/onto_score_pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace xontorank {
+
+OntoScoreMap ComputeOntoScoresPageRank(
+    const OntologyIndex& index, const Keyword& keyword,
+    const PageRankOntoScoreOptions& options) {
+  const Ontology& onto = index.ontology();
+  const size_t n = onto.concept_count();
+  if (n == 0) return {};
+
+  // Restart distribution r: IRS-weighted seeds, normalized to sum 1.
+  std::vector<double> restart(n, 0.0);
+  double restart_mass = 0.0;
+  for (const ScoredConcept& seed : index.Match(keyword)) {
+    restart[seed.concept_id] = seed.irs;
+    restart_mass += seed.irs;
+  }
+  if (restart_mass <= 0.0) return {};
+  for (double& r : restart) r /= restart_mass;
+
+  // Undirected degree (is-a in both directions + relationships both ways),
+  // matching the Graph strategy's edge set.
+  std::vector<uint32_t> degree(n, 0);
+  for (ConceptId c = 0; c < n; ++c) {
+    degree[c] = static_cast<uint32_t>(
+        onto.Parents(c).size() + onto.Children(c).size() +
+        onto.OutRelationships(c).size() + onto.InRelationships(c).size());
+  }
+
+  std::vector<double> rank = restart;
+  std::vector<double> next(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // next = (1-d)·restart + d·(flow in from neighbors, split by degree).
+    for (size_t v = 0; v < n; ++v) {
+      next[v] = (1.0 - options.damping) * restart[v];
+    }
+    for (ConceptId u = 0; u < n; ++u) {
+      if (degree[u] == 0) {
+        // Dangling node: return its authority to the restart distribution.
+        for (size_t v = 0; v < n; ++v) {
+          next[v] += options.damping * rank[u] * restart[v];
+        }
+        continue;
+      }
+      double share = options.damping * rank[u] / degree[u];
+      for (ConceptId p : onto.Parents(u)) next[p] += share;
+      for (ConceptId ch : onto.Children(u)) next[ch] += share;
+      for (const ConceptRelationship& rel : onto.OutRelationships(u)) {
+        next[rel.target] += share;
+      }
+      for (const ConceptRelationship& rel : onto.InRelationships(u)) {
+        next[rel.source] += share;
+      }
+    }
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+
+  double max_rank = 0.0;
+  for (double r : rank) max_rank = std::max(max_rank, r);
+  OntoScoreMap out;
+  if (max_rank <= 0.0) return out;
+  for (ConceptId c = 0; c < n; ++c) {
+    double normalized = rank[c] / max_rank;
+    if (normalized >= options.cutoff) out.emplace(c, normalized);
+  }
+  return out;
+}
+
+}  // namespace xontorank

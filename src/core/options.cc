@@ -1,0 +1,30 @@
+#include "core/options.h"
+
+namespace xontorank {
+
+std::string_view StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kXRank:
+      return "XRANK";
+    case Strategy::kGraph:
+      return "Graph";
+    case Strategy::kTaxonomy:
+      return "Taxonomy";
+    case Strategy::kRelationships:
+      return "Relationships";
+  }
+  return "Unknown";
+}
+
+const std::unordered_set<std::string>& DefaultExcludedAttributes() {
+  static const auto* kExcluded = new std::unordered_set<std::string>{
+      "code",       "codeSystem", "root",
+      "extension",  "templateId", "xmlns",
+      "xmlns:voc",  "xmlns:xsi",  "xsi:type",
+      "xsi:schemaLocation",       "ID",
+      "value",      "Id",         "id",
+  };
+  return *kExcluded;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,71 @@
+#ifndef XONTORANK_CORE_OPTIONS_H_
+#define XONTORANK_CORE_OPTIONS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/bm25.h"
+
+namespace xontorank {
+
+/// The four ranking strategies evaluated in the paper (§VII-A).
+enum class Strategy {
+  /// Baseline: no ontology use; keywords must occur textually (XRANK).
+  kXRank,
+  /// §IV-A: ontology viewed as an undirected, unlabeled graph; authority
+  /// decays uniformly per edge.
+  kGraph,
+  /// §IV-B: is-a links only; subclasses satisfy superclass queries fully,
+  /// superclasses are damped by their subclass fan-out.
+  kTaxonomy,
+  /// §IV-C: description-logic view including all relationship types via
+  /// existential role restrictions.
+  kRelationships,
+};
+
+/// Human-readable strategy name as used in the paper's tables.
+std::string_view StrategyName(Strategy s);
+
+/// All four strategies in table order.
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kXRank, Strategy::kGraph, Strategy::kTaxonomy,
+    Strategy::kRelationships};
+
+/// Tunables of OntoScore propagation and result scoring. Paper defaults
+/// (§VII): decay = 0.5, threshold = 0.1, ω = 0.5.
+struct ScoreOptions {
+  /// Semantic-relevance decay per traversed edge (Graph strategy) or per
+  /// dotted link (Relationships strategy), and per containment edge during
+  /// result-score propagation (Eq. 2).
+  double decay = 0.5;
+
+  /// OntoScore values below this are neither stored nor expanded
+  /// (Algorithm 1); bounds the BFS and the XOnto-DIL size.
+  double threshold = 0.1;
+
+  /// Weight ω of the ontological association in Eq. 5:
+  /// NS(w,v) = max(IRS(w,v), ω·OS(w, concept(v))).
+  double ontology_weight = 0.5;
+
+  /// Approximation cap (§IX future work: "approximation and early pruning
+  /// techniques"): at most this many concepts receive an OntoScore per
+  /// keyword; 0 = unlimited. Because the expansion settles nodes in
+  /// descending score order, a cap of N keeps exactly the N highest-scoring
+  /// concepts of the exact computation (ties at the boundary aside) — a
+  /// principled, monotone approximation that bounds both time and DIL size.
+  size_t max_concepts_per_keyword = 0;
+
+  /// IR scoring knobs (the paper uses BM25).
+  Bm25Params bm25;
+};
+
+/// Attribute names whose values are excluded from a node's textual
+/// description (§III: "an expert specifies the attributes that should not be
+/// included" — code strings, OIDs, ids are unlikely query keywords).
+const std::unordered_set<std::string>& DefaultExcludedAttributes();
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_OPTIONS_H_

@@ -1,0 +1,102 @@
+#include "core/query_expansion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/onto_score.h"
+
+namespace xontorank {
+
+namespace {
+
+IndexBuildOptions BaselineOptions(const QueryExpansionOptions& options) {
+  IndexBuildOptions build;
+  build.strategy = Strategy::kXRank;  // textual postings only
+  build.score = options.score;
+  build.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
+  return build;
+}
+
+}  // namespace
+
+QueryExpansionEngine::QueryExpansionEngine(
+    const std::vector<XmlDocument>& corpus, OntologySet systems,
+    QueryExpansionOptions options)
+    : options_(options),
+      index_(corpus, std::move(systems), BaselineOptions(options)),
+      processor_(options.score) {}
+
+std::vector<QueryExpansionEngine::WeightedKeyword>
+QueryExpansionEngine::Expand(const Keyword& keyword) const {
+  std::vector<WeightedKeyword> expansions;
+  expansions.emplace_back(keyword, 1.0);
+
+  // Rank candidate concepts across all systems by association degree.
+  std::vector<std::pair<double, const Concept*>> candidates;
+  for (size_t s = 0; s < index_.systems().size(); ++s) {
+    const Ontology& onto = index_.systems().system(s);
+    OntoScoreMap scores =
+        ComputeOntoScores(index_.ontology_index(s), keyword,
+                          options_.expansion_strategy, options_.score);
+    for (const auto& [concept_id, score] : scores) {
+      if (score < options_.min_association) continue;
+      candidates.emplace_back(score, &onto.GetConcept(concept_id));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second->preferred_term < b.second->preferred_term;
+            });
+
+  for (const auto& [score, concept_ptr] : candidates) {
+    if (expansions.size() > options_.max_expansions_per_keyword) break;
+    Keyword expanded = MakeKeyword(concept_ptr->preferred_term);
+    if (expanded.tokens.empty() || expanded == keyword) continue;
+    bool duplicate = false;
+    for (const WeightedKeyword& existing : expansions) {
+      if (existing.first == expanded) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) expansions.emplace_back(std::move(expanded), score);
+  }
+  return expansions;
+}
+
+std::vector<QueryResult> QueryExpansionEngine::Search(
+    const KeywordQuery& query, size_t top_k) {
+  if (query.empty()) return {};
+  scratch_.clear();
+  std::vector<const DilEntry*> lists;
+  for (const Keyword& keyword : query.keywords) {
+    // Union the textual lists of all disjuncts, max-combining per node with
+    // the association-weighted score.
+    std::map<DeweyId, double> merged;
+    for (const auto& [expanded, weight] : Expand(keyword)) {
+      const DilEntry* entry = index_.GetEntry(expanded);
+      for (const DilPosting& p : entry->postings) {
+        double score = p.score * weight;
+        auto [it, inserted] = merged.emplace(p.dewey, score);
+        if (!inserted && score > it->second) it->second = score;
+      }
+    }
+    auto entry = std::make_unique<DilEntry>();
+    entry->keyword = keyword.Canonical() + " (expanded)";
+    entry->postings.reserve(merged.size());
+    for (const auto& [dewey, score] : merged) {
+      entry->postings.push_back({dewey, score});
+    }
+    scratch_.push_back(std::move(entry));
+    lists.push_back(scratch_.back().get());
+  }
+  return processor_.Execute(lists, top_k);
+}
+
+std::vector<QueryResult> QueryExpansionEngine::Search(
+    std::string_view query_text, size_t top_k) {
+  return Search(ParseQuery(query_text), top_k);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,157 @@
+#include "core/query_processor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xontorank {
+
+namespace {
+
+/// A stack frame mirrors one component of the current Dewey path.
+struct Frame {
+  uint32_t component;
+  std::vector<double> scores;  ///< per-keyword subtree max (Eq. 3)
+  bool descendant_emitted = false;
+};
+
+class Merger {
+ public:
+  Merger(const std::vector<std::span<const DilPosting>>& lists,
+         const ScoreOptions& options)
+      : lists_(lists), options_(options), num_keywords_(lists.size()) {}
+
+  std::vector<QueryResult> Run() {
+    cursors_.assign(num_keywords_, 0);
+    while (true) {
+      // Pick the smallest current Dewey id across lists.
+      int chosen = -1;
+      for (size_t w = 0; w < num_keywords_; ++w) {
+        if (cursors_[w] >= lists_[w].size()) continue;
+        if (chosen < 0 ||
+            lists_[w][cursors_[w]].dewey <
+                lists_[chosen][cursors_[chosen]].dewey) {
+          chosen = static_cast<int>(w);
+        }
+      }
+      if (chosen < 0) break;
+      const DilPosting& posting = lists_[chosen][cursors_[chosen]++];
+      Consume(posting, static_cast<size_t>(chosen));
+    }
+    PopTo(0);
+    SortAndTruncate();
+    return std::move(results_);
+  }
+
+  void set_top_k(size_t top_k) { top_k_ = top_k; }
+
+ private:
+  void Consume(const DilPosting& posting, size_t keyword) {
+    // Common prefix of the stack path and the posting's Dewey id.
+    size_t common = 0;
+    while (common < stack_.size() && common < posting.dewey.size() &&
+           stack_[common].component == posting.dewey[common]) {
+      ++common;
+    }
+    PopTo(common);
+    while (stack_.size() < posting.dewey.size()) {
+      Frame frame;
+      frame.component = posting.dewey[stack_.size()];
+      frame.scores.assign(num_keywords_, 0.0);
+      stack_.push_back(std::move(frame));
+    }
+    Frame& top = stack_.back();
+    top.scores[keyword] = std::max(top.scores[keyword], posting.score);
+  }
+
+  /// Pops frames until the stack has `depth` frames, emitting results and
+  /// propagating subtree scores upward with decay (Eq. 2).
+  void PopTo(size_t depth) {
+    while (stack_.size() > depth) {
+      Frame frame = std::move(stack_.back());
+      stack_.pop_back();
+      bool has_all = true;
+      double total = 0.0;
+      for (double s : frame.scores) {
+        if (s <= 0.0) {
+          has_all = false;
+          break;
+        }
+        total += s;
+      }
+      bool emitted = false;
+      if (has_all && !frame.descendant_emitted) {
+        QueryResult result;
+        result.element = CurrentDewey(frame.component);
+        result.score = total;
+        result.keyword_scores = frame.scores;
+        results_.push_back(std::move(result));
+        emitted = true;
+      }
+      if (!stack_.empty()) {
+        Frame& parent = stack_.back();
+        for (size_t w = 0; w < num_keywords_; ++w) {
+          parent.scores[w] =
+              std::max(parent.scores[w], frame.scores[w] * options_.decay);
+        }
+        parent.descendant_emitted |=
+            emitted || frame.descendant_emitted;
+      }
+    }
+  }
+
+  /// Dewey id of the node formed by the current stack plus `last`.
+  DeweyId CurrentDewey(uint32_t last) const {
+    std::vector<uint32_t> comps;
+    comps.reserve(stack_.size() + 1);
+    for (const Frame& f : stack_) comps.push_back(f.component);
+    comps.push_back(last);
+    return DeweyId(std::move(comps));
+  }
+
+  void SortAndTruncate() {
+    std::sort(results_.begin(), results_.end(),
+              [](const QueryResult& a, const QueryResult& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.element < b.element;
+              });
+    if (top_k_ > 0 && results_.size() > top_k_) results_.resize(top_k_);
+  }
+
+  const std::vector<std::span<const DilPosting>>& lists_;
+  ScoreOptions options_;
+  size_t num_keywords_;
+  std::vector<size_t> cursors_;
+  std::vector<Frame> stack_;
+  std::vector<QueryResult> results_;
+  size_t top_k_ = 0;
+};
+
+}  // namespace
+
+std::vector<QueryResult> QueryProcessor::Execute(
+    const std::vector<const DilEntry*>& lists, size_t top_k) const {
+  std::vector<std::span<const DilPosting>> spans;
+  spans.reserve(lists.size());
+  for (const DilEntry* list : lists) {
+    spans.push_back(list == nullptr
+                        ? std::span<const DilPosting>()
+                        : std::span<const DilPosting>(list->postings));
+  }
+  return Execute(spans, top_k);
+}
+
+std::vector<QueryResult> QueryProcessor::Execute(
+    const std::vector<std::span<const DilPosting>>& lists,
+    size_t top_k) const {
+  if (lists.empty()) return {};
+  // A keyword with no postings can never be covered: no results (Eq. 1 is
+  // conjunctive). Short-circuit to avoid a full merge.
+  for (const auto& list : lists) {
+    if (list.empty()) return {};
+  }
+  Merger merger(lists, options_);
+  merger.set_top_k(top_k);
+  return merger.Run();
+}
+
+}  // namespace xontorank

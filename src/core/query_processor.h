@@ -1,0 +1,60 @@
+#ifndef XONTORANK_CORE_QUERY_PROCESSOR_H_
+#define XONTORANK_CORE_QUERY_PROCESSOR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/options.h"
+#include "core/xonto_dil.h"
+#include "xml/dewey_id.h"
+
+namespace xontorank {
+
+/// One query result: the most specific element whose subtree is associated
+/// with every query keyword (Eq. 1), with its overall score (Eq. 4) and the
+/// per-keyword subtree scores it aggregates (Eq. 3).
+struct QueryResult {
+  DeweyId element;
+  double score = 0.0;
+  std::vector<double> keyword_scores;
+};
+
+/// Evaluates keyword queries by a single sort-merge pass over XOnto Dewey
+/// inverted lists (XRANK's DIL algorithm, §V).
+///
+/// The processor walks all postings of all keywords in global Dewey
+/// (document) order while maintaining a stack mirroring the current root-to-
+/// node path. Each stack frame accumulates, per keyword, the maximum
+/// NS·decay^distance seen in the frame's subtree (Eq. 2/3, max-combined).
+/// When a frame pops with every keyword's score positive and no strict
+/// descendant already emitted, it is a result (the Eq. 1 minimality
+/// condition); its score is the keyword-score sum (Eq. 4).
+///
+/// Complexity: O(P·d) for P total postings of depth ≤ d, independent of
+/// result count.
+class QueryProcessor {
+ public:
+  explicit QueryProcessor(const ScoreOptions& options) : options_(options) {}
+
+  /// Runs the merge over one inverted list per query keyword. Null list
+  /// pointers are treated as empty lists (the keyword matches nothing, so
+  /// there are no results). Returns up to `top_k` results ordered by
+  /// descending score, ties broken by Dewey order; `top_k == 0` means all.
+  std::vector<QueryResult> Execute(const std::vector<const DilEntry*>& lists,
+                                   size_t top_k) const;
+
+  /// Zero-copy variant over posting ranges (each span must be sorted by
+  /// Dewey id); used by the ranked processor to evaluate single documents
+  /// without materializing slice copies.
+  std::vector<QueryResult> Execute(
+      const std::vector<std::span<const DilPosting>>& lists,
+      size_t top_k) const;
+
+ private:
+  ScoreOptions options_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_QUERY_PROCESSOR_H_

@@ -1,0 +1,132 @@
+#include "core/ranked_query_processor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace xontorank {
+
+namespace {
+
+/// Score-descending permutation of a list's postings.
+std::vector<uint32_t> RankByScore(const DilEntry& entry) {
+  std::vector<uint32_t> order(entry.postings.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&entry](uint32_t a, uint32_t b) {
+    if (entry.postings[a].score != entry.postings[b].score) {
+      return entry.postings[a].score > entry.postings[b].score;
+    }
+    return entry.postings[a].dewey < entry.postings[b].dewey;
+  });
+  return order;
+}
+
+/// The contiguous [begin, end) range of a document's postings within a
+/// Dewey-sorted list.
+std::pair<size_t, size_t> DocRange(const DilEntry& entry, uint32_t doc_id) {
+  auto begin = std::lower_bound(
+      entry.postings.begin(), entry.postings.end(), doc_id,
+      [](const DilPosting& p, uint32_t doc) { return p.dewey.doc_id() < doc; });
+  auto end = std::upper_bound(
+      entry.postings.begin(), entry.postings.end(), doc_id,
+      [](uint32_t doc, const DilPosting& p) { return doc < p.dewey.doc_id(); });
+  return {static_cast<size_t>(begin - entry.postings.begin()),
+          static_cast<size_t>(end - entry.postings.begin())};
+}
+
+}  // namespace
+
+std::vector<QueryResult> RankedQueryProcessor::Execute(
+    const std::vector<const DilEntry*>& lists, size_t top_k,
+    RankedQueryStats* stats) const {
+  assert(top_k >= 1 && "ranked evaluation needs a finite k");
+  if (stats != nullptr) *stats = RankedQueryStats();
+  if (lists.empty()) return {};
+  for (const DilEntry* list : lists) {
+    if (list == nullptr || list->postings.empty()) return {};
+  }
+
+  if (stats != nullptr) {
+    std::unordered_set<uint32_t> docs;
+    for (const DilEntry* list : lists) {
+      for (const DilPosting& p : list->postings) docs.insert(p.dewey.doc_id());
+    }
+    stats->documents_total = docs.size();
+  }
+
+  std::vector<std::vector<uint32_t>> ranked;
+  ranked.reserve(lists.size());
+  for (const DilEntry* list : lists) ranked.push_back(RankByScore(*list));
+  std::vector<size_t> frontier(lists.size(), 0);
+
+  QueryProcessor exact(options_);
+  std::unordered_set<uint32_t> processed;
+  std::vector<QueryResult> results;
+
+  auto result_less = [](const QueryResult& a, const QueryResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.element < b.element;
+  };
+
+  // Evaluates one document exactly by slicing each list to the document's
+  // posting range (zero-copy spans) and running the standard merge.
+  auto process_document = [&](uint32_t doc_id) {
+    std::vector<std::span<const DilPosting>> slices(lists.size());
+    for (size_t w = 0; w < lists.size(); ++w) {
+      auto [begin, end] = DocRange(*lists[w], doc_id);
+      slices[w] = std::span<const DilPosting>(lists[w]->postings.data() + begin,
+                                              end - begin);
+    }
+    std::vector<QueryResult> doc_results = exact.Execute(slices, 0);
+    results.insert(results.end(), doc_results.begin(), doc_results.end());
+    std::sort(results.begin(), results.end(), result_less);
+    if (results.size() > top_k) results.resize(top_k);
+    if (stats != nullptr) ++stats->documents_processed;
+  };
+
+  while (true) {
+    // Threshold: sum of the frontier scores of all lists. Any result of an
+    // unprocessed document is bounded by it. If any list is exhausted, every
+    // document containing that keyword has already been touched (and
+    // processed in full), and untouched documents miss the keyword
+    // entirely — no new result can appear, so the scan is done.
+    double threshold = 0.0;
+    bool some_exhausted = false;
+    for (size_t w = 0; w < lists.size(); ++w) {
+      if (frontier[w] < ranked[w].size()) {
+        threshold += lists[w]->postings[ranked[w][frontier[w]]].score;
+      } else {
+        some_exhausted = true;
+      }
+    }
+    if (some_exhausted) break;
+    if (results.size() >= top_k && results.back().score >= threshold) {
+      if (stats != nullptr) stats->terminated_early = true;
+      break;
+    }
+
+    // Advance the list whose frontier posting has the highest score.
+    size_t best_list = lists.size();
+    double best_score = -1.0;
+    for (size_t w = 0; w < lists.size(); ++w) {
+      if (frontier[w] >= ranked[w].size()) continue;
+      double s = lists[w]->postings[ranked[w][frontier[w]]].score;
+      if (s > best_score) {
+        best_score = s;
+        best_list = w;
+      }
+    }
+    const DilPosting& posting =
+        lists[best_list]->postings[ranked[best_list][frontier[best_list]]];
+    ++frontier[best_list];
+    if (stats != nullptr) ++stats->postings_consumed;
+
+    uint32_t doc_id = posting.dewey.doc_id();
+    if (processed.insert(doc_id).second) {
+      process_document(doc_id);
+    }
+  }
+  return results;
+}
+
+}  // namespace xontorank

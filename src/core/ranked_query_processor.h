@@ -1,0 +1,55 @@
+#ifndef XONTORANK_CORE_RANKED_QUERY_PROCESSOR_H_
+#define XONTORANK_CORE_RANKED_QUERY_PROCESSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/query_processor.h"
+#include "core/xonto_dil.h"
+
+namespace xontorank {
+
+/// Statistics of one ranked execution (how much early termination saved).
+struct RankedQueryStats {
+  size_t documents_processed = 0;  ///< documents fully evaluated
+  size_t documents_total = 0;      ///< distinct documents across the lists
+  size_t postings_consumed = 0;    ///< ranked-frontier advances
+  bool terminated_early = false;
+};
+
+/// Top-k evaluation over *ranked* inverted lists (XRANK's RDIL idea):
+/// instead of merging every posting in Dewey order, postings are consumed
+/// in descending score order and whole documents are evaluated exactly
+/// (with the standard Eq. 1–4 merge) as they are first touched. A
+/// threshold-algorithm bound decides when no unseen document can beat the
+/// current k-th result:
+///
+///   best possible unseen result score ≤ Σ_w frontier_w
+///
+/// where frontier_w is the score of list w's next unconsumed posting (any
+/// result's per-keyword component is a decayed NS of some posting, and
+/// decay ≤ 1). When the k-th tentative result reaches that bound the scan
+/// stops — typically after touching a small fraction of the corpus for
+/// selective queries.
+///
+/// Produces exactly the same top-k as QueryProcessor::Execute (same scores,
+/// same score-then-Dewey ordering); only the amount of work differs.
+class RankedQueryProcessor {
+ public:
+  explicit RankedQueryProcessor(const ScoreOptions& options)
+      : options_(options) {}
+
+  /// Runs ranked evaluation; `top_k` must be ≥ 1 (the exhaustive processor
+  /// is strictly better for "all results"). `stats`, if non-null, receives
+  /// work counters.
+  std::vector<QueryResult> Execute(const std::vector<const DilEntry*>& lists,
+                                   size_t top_k,
+                                   RankedQueryStats* stats = nullptr) const;
+
+ private:
+  ScoreOptions options_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_RANKED_QUERY_PROCESSOR_H_

@@ -1,0 +1,43 @@
+#ifndef XONTORANK_CORE_RESULT_GROUPING_H_
+#define XONTORANK_CORE_RESULT_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_processor.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// A group of structurally similar results: same root-to-element tag path.
+struct ResultGroup {
+  /// Tag-path signature, e.g.
+  /// "ClinicalDocument/component/StructuredBody/component/section".
+  std::string signature;
+  /// Members in descending score order.
+  std::vector<QueryResult> results;
+
+  double best_score() const {
+    return results.empty() ? 0.0 : results.front().score;
+  }
+};
+
+/// Groups results by their structural signature (Hristidis et al. [31],
+/// cited in §VIII: "group structurally similar tree-results to avoid
+/// overwhelming the user"). A CDA query tends to return dozens of
+/// `section`-shaped or `Observation`-shaped results; grouping shows one
+/// exemplar per shape.
+///
+/// Groups are ordered by best member score (descending, ties by
+/// signature); results whose Dewey id does not resolve in `corpus` are
+/// dropped.
+std::vector<ResultGroup> GroupResultsByPath(
+    const std::vector<QueryResult>& results,
+    const std::vector<XmlDocument>& corpus);
+
+/// The tag-path signature of one element.
+std::string PathSignature(const XmlDocument& doc, const DeweyId& element);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_RESULT_GROUPING_H_

@@ -1,0 +1,41 @@
+#ifndef XONTORANK_CORE_SNIPPET_H_
+#define XONTORANK_CORE_SNIPPET_H_
+
+#include <string>
+
+#include "ir/query.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Options of snippet construction.
+struct SnippetOptions {
+  /// Maximum snippet length in bytes (the window is centered on the first
+  /// highlighted keyword; ellipses mark trimming).
+  size_t max_length = 160;
+  /// Markers wrapped around keyword occurrences.
+  std::string open_mark = "[";
+  std::string close_mark = "]";
+};
+
+/// Builds a one-line display snippet for a result element: the subtree's
+/// human-visible text (character data plus displayName/title content, in
+/// document order), with occurrences of the query keywords highlighted and
+/// the window trimmed around the first match.
+///
+/// Keywords match case-insensitively at token boundaries; phrase keywords
+/// must occur contiguously. An element with no visible text yields an empty
+/// snippet. Results whose keywords matched only ontologically may have no
+/// highlight — the snippet then shows the subtree's leading text.
+std::string MakeSnippet(const XmlDocument& doc, const DeweyId& element,
+                        const KeywordQuery& query,
+                        const SnippetOptions& options = {});
+
+/// The raw visible text of a subtree (what MakeSnippet highlights):
+/// text nodes and displayName attribute values, space-joined, whitespace
+/// collapsed.
+std::string VisibleText(const XmlNode& subtree);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_SNIPPET_H_

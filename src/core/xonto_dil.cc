@@ -1,0 +1,37 @@
+#include "core/xonto_dil.h"
+
+#include <algorithm>
+
+namespace xontorank {
+
+size_t DilEntry::ApproxSizeBytes() const {
+  size_t bytes = 0;
+  for (const DilPosting& p : postings) {
+    bytes += p.dewey.size() * sizeof(uint32_t) + sizeof(float);
+  }
+  return bytes;
+}
+
+void XOntoDil::Put(std::string keyword, std::vector<DilPosting> postings) {
+  std::sort(postings.begin(), postings.end(),
+            [](const DilPosting& a, const DilPosting& b) {
+              return a.dewey < b.dewey;
+            });
+  DilEntry entry;
+  entry.keyword = keyword;
+  entry.postings = std::move(postings);
+  entries_[std::move(keyword)] = std::move(entry);
+}
+
+const DilEntry* XOntoDil::Find(const std::string& keyword) const {
+  auto it = entries_.find(keyword);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+size_t XOntoDil::TotalPostings() const {
+  size_t total = 0;
+  for (const auto& [kw, entry] : entries_) total += entry.postings.size();
+  return total;
+}
+
+}  // namespace xontorank

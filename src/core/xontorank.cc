@@ -1,0 +1,53 @@
+#include "core/xontorank.h"
+
+#include "xml/xml_writer.h"
+
+namespace xontorank {
+
+XOntoRank::XOntoRank(std::vector<XmlDocument> corpus, OntologySet systems,
+                     IndexBuildOptions options)
+    : corpus_(std::move(corpus)),
+      index_(corpus_, std::move(systems), options),
+      processor_(options.score) {}
+
+std::vector<QueryResult> XOntoRank::Search(const KeywordQuery& query,
+                                           size_t top_k) {
+  if (query.empty()) return {};
+  std::vector<const DilEntry*> lists;
+  lists.reserve(query.size());
+  for (const Keyword& kw : query.keywords) {
+    lists.push_back(index_.GetEntry(kw));
+  }
+  return processor_.Execute(lists, top_k);
+}
+
+std::vector<QueryResult> XOntoRank::Search(std::string_view query_text,
+                                           size_t top_k) {
+  return Search(ParseQuery(query_text), top_k);
+}
+
+uint32_t XOntoRank::AddDocument(XmlDocument doc) {
+  uint32_t doc_id = static_cast<uint32_t>(corpus_.size());
+  doc.set_doc_id(doc_id);
+  corpus_.push_back(std::move(doc));
+  index_.AppendDocument(corpus_.back());
+  return doc_id;
+}
+
+const XmlNode* XOntoRank::ResolveResult(const QueryResult& result) const {
+  if (result.element.empty()) return nullptr;
+  uint32_t doc_id = result.element.doc_id();
+  if (doc_id >= corpus_.size()) return nullptr;
+  return corpus_[doc_id].Resolve(result.element);
+}
+
+std::string XOntoRank::ResultFragmentXml(const QueryResult& result) const {
+  const XmlNode* node = ResolveResult(result);
+  if (node == nullptr) return "";
+  XmlWriteOptions options;
+  options.pretty = true;
+  options.emit_declaration = false;
+  return WriteXml(*node, options);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,82 @@
+#ifndef XONTORANK_CORE_XONTORANK_H_
+#define XONTORANK_CORE_XONTORANK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/index_builder.h"
+#include "core/query_processor.h"
+#include "onto/ontology.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// The XOntoRank system facade: ontology-aware keyword search over a corpus
+/// of XML EMR documents (§V architecture: preprocessing + query phase).
+///
+/// Typical use:
+/// ```
+///   Ontology onto = BuildSnomedCardiologyFragment();
+///   std::vector<XmlDocument> corpus = ...;           // parse or generate
+///   XOntoRank engine(std::move(corpus), onto, {});   // preprocessing phase
+///   auto results = engine.Search("\"bronchial structure\" theophylline", 10);
+///   for (const QueryResult& r : results)
+///     std::cout << engine.ResultFragmentXml(r) << "\n";
+/// ```
+///
+/// The engine owns the corpus; the ontologies are borrowed and must outlive
+/// it. Multiple ontological systems (e.g. SNOMED CT + LOINC) can be
+/// registered by passing an OntologySet; a bare Ontology converts
+/// implicitly.
+///
+/// Thread-safety: concurrent Search calls are safe (the on-demand DIL cache
+/// is synchronized); AddDocument is an exclusive operation.
+class XOntoRank {
+ public:
+  XOntoRank(std::vector<XmlDocument> corpus, OntologySet systems,
+            IndexBuildOptions options = {});
+
+  XOntoRank(const XOntoRank&) = delete;
+  XOntoRank& operator=(const XOntoRank&) = delete;
+
+  /// Executes a parsed keyword query; returns the top-k results by
+  /// descending score (`top_k == 0` returns all).
+  std::vector<QueryResult> Search(const KeywordQuery& query, size_t top_k);
+
+  /// Convenience: parses `query_text` (quoted phrases supported) first.
+  std::vector<QueryResult> Search(std::string_view query_text, size_t top_k);
+
+  /// Appends one document to the corpus and re-indexes incrementally; its
+  /// doc id is assigned (its corpus position). Subsequent queries are
+  /// identical to those of an engine freshly built over the full corpus.
+  /// Returns the assigned doc id.
+  uint32_t AddDocument(XmlDocument doc);
+
+  /// The document a result belongs to.
+  const XmlDocument& document(uint32_t doc_id) const {
+    return corpus_[doc_id];
+  }
+  size_t corpus_size() const { return corpus_.size(); }
+
+  /// Resolves a result to its XML element (the Database Access Module of
+  /// Fig. 8); nullptr if the Dewey id does not address a node.
+  const XmlNode* ResolveResult(const QueryResult& result) const;
+
+  /// Serializes the result's XML fragment (e.g. Fig. 4), pretty-printed.
+  std::string ResultFragmentXml(const QueryResult& result) const;
+
+  const CorpusIndex& index() const { return index_; }
+  CorpusIndex& mutable_index() { return index_; }
+  const IndexBuildStats& build_stats() const { return index_.stats(); }
+
+ private:
+  std::vector<XmlDocument> corpus_;
+  CorpusIndex index_;
+  QueryProcessor processor_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_XONTORANK_H_

@@ -1,0 +1,109 @@
+#include "emr/emr_database.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace xontorank {
+
+void EmrDatabase::AddPatient(PatientRow row) {
+  patients_.push_back(std::move(row));
+}
+
+void EmrDatabase::AddEncounter(EncounterRow row) {
+  encounters_.push_back(std::move(row));
+}
+
+void EmrDatabase::AddDiagnosis(DiagnosisRow row) {
+  diagnoses_.push_back(std::move(row));
+}
+
+void EmrDatabase::AddMedication(MedicationRow row) {
+  medications_.push_back(std::move(row));
+}
+
+void EmrDatabase::AddVital(VitalRow row) { vitals_.push_back(std::move(row)); }
+
+Status EmrDatabase::Validate() const {
+  std::unordered_set<PatientId> patient_ids;
+  for (const PatientRow& p : patients_) {
+    if (!patient_ids.insert(p.patient_id).second) {
+      return Status::FailedPrecondition(
+          StringPrintf("duplicate patient id %u", p.patient_id));
+    }
+  }
+  std::unordered_set<EncounterId> encounter_ids;
+  for (const EncounterRow& e : encounters_) {
+    if (!encounter_ids.insert(e.encounter_id).second) {
+      return Status::FailedPrecondition(
+          StringPrintf("duplicate encounter id %u", e.encounter_id));
+    }
+    if (patient_ids.count(e.patient_id) == 0) {
+      return Status::FailedPrecondition(
+          StringPrintf("encounter %u references unknown patient %u",
+                       e.encounter_id, e.patient_id));
+    }
+  }
+  auto check_encounter_ref = [&](EncounterId id, const char* table) {
+    return encounter_ids.count(id) > 0
+               ? Status::OK()
+               : Status::FailedPrecondition(StringPrintf(
+                     "%s row references unknown encounter %u", table, id));
+  };
+  for (const DiagnosisRow& d : diagnoses_) {
+    XONTO_RETURN_IF_ERROR(check_encounter_ref(d.encounter_id, "diagnoses"));
+  }
+  for (const MedicationRow& m : medications_) {
+    XONTO_RETURN_IF_ERROR(check_encounter_ref(m.encounter_id, "medications"));
+  }
+  for (const VitalRow& v : vitals_) {
+    XONTO_RETURN_IF_ERROR(check_encounter_ref(v.encounter_id, "vitals"));
+  }
+  return Status::OK();
+}
+
+std::vector<const EncounterRow*> EmrDatabase::EncountersOf(
+    PatientId patient) const {
+  std::vector<const EncounterRow*> out;
+  for (const EncounterRow& e : encounters_) {
+    if (e.patient_id == patient) out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EncounterRow* a, const EncounterRow* b) {
+              if (a->admit_date != b->admit_date) {
+                return a->admit_date < b->admit_date;
+              }
+              return a->encounter_id < b->encounter_id;
+            });
+  return out;
+}
+
+std::vector<const DiagnosisRow*> EmrDatabase::DiagnosesOf(
+    EncounterId encounter) const {
+  std::vector<const DiagnosisRow*> out;
+  for (const DiagnosisRow& d : diagnoses_) {
+    if (d.encounter_id == encounter) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const MedicationRow*> EmrDatabase::MedicationsOf(
+    EncounterId encounter) const {
+  std::vector<const MedicationRow*> out;
+  for (const MedicationRow& m : medications_) {
+    if (m.encounter_id == encounter) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<const VitalRow*> EmrDatabase::VitalsOf(
+    EncounterId encounter) const {
+  std::vector<const VitalRow*> out;
+  for (const VitalRow& v : vitals_) {
+    if (v.encounter_id == encounter) out.push_back(&v);
+  }
+  return out;
+}
+
+}  // namespace xontorank

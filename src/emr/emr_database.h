@@ -1,0 +1,106 @@
+#ifndef XONTORANK_EMR_EMR_DATABASE_H_
+#define XONTORANK_EMR_EMR_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xontorank {
+
+/// In-memory relational EMR database, modeling the anonymized hospital
+/// system the paper's corpus came from (§VII: "the relational anonymized
+/// EMR database of the Cardiac Division of a local hospital"). Five tables
+/// with integer keys; referential integrity is validated, not assumed.
+
+using PatientId = uint32_t;
+using EncounterId = uint32_t;
+
+/// patients(patient_id, given_name, family_name, gender, birth_date, mrn)
+struct PatientRow {
+  PatientId patient_id;
+  std::string given_name;
+  std::string family_name;
+  std::string gender;      ///< "M"/"F"
+  std::string birth_date;  ///< yyyymmdd
+  std::string mrn;         ///< medical record number
+};
+
+/// encounters(encounter_id, patient_id, admit_date, attending, note)
+struct EncounterRow {
+  EncounterId encounter_id;
+  PatientId patient_id;
+  std::string admit_date;  ///< yyyymmdd
+  std::string attending;   ///< physician name
+  std::string note;        ///< free-text encounter note
+};
+
+/// diagnoses(encounter_id, concept_code, description)
+struct DiagnosisRow {
+  EncounterId encounter_id;
+  std::string concept_code;  ///< ontology code (SNOMED in our corpus)
+  std::string description;
+};
+
+/// medications(encounter_id, concept_code, drug_name, dose_mg, frequency_hours)
+struct MedicationRow {
+  EncounterId encounter_id;
+  std::string concept_code;
+  std::string drug_name;
+  int dose_mg;
+  int frequency_hours;
+};
+
+/// vitals(encounter_id, name, value)
+struct VitalRow {
+  EncounterId encounter_id;
+  std::string name;
+  std::string value;
+};
+
+/// The database: row-stores plus key-indexed access paths.
+class EmrDatabase {
+ public:
+  EmrDatabase() = default;
+
+  // ---- Loading (bulk inserts; ids must be dense-ish but not contiguous) --
+  void AddPatient(PatientRow row);
+  void AddEncounter(EncounterRow row);
+  void AddDiagnosis(DiagnosisRow row);
+  void AddMedication(MedicationRow row);
+  void AddVital(VitalRow row);
+
+  /// Verifies referential integrity: every encounter references a known
+  /// patient; every diagnosis/medication/vital references a known
+  /// encounter; patient and encounter ids are unique.
+  Status Validate() const;
+
+  // ---- Access paths ----
+  size_t patient_count() const { return patients_.size(); }
+  size_t encounter_count() const { return encounters_.size(); }
+  size_t diagnosis_count() const { return diagnoses_.size(); }
+  size_t medication_count() const { return medications_.size(); }
+  size_t vital_count() const { return vitals_.size(); }
+
+  const std::vector<PatientRow>& patients() const { return patients_; }
+
+  /// Encounters of one patient, in admit-date order.
+  std::vector<const EncounterRow*> EncountersOf(PatientId patient) const;
+
+  /// Per-encounter detail rows, in insertion order.
+  std::vector<const DiagnosisRow*> DiagnosesOf(EncounterId encounter) const;
+  std::vector<const MedicationRow*> MedicationsOf(EncounterId encounter) const;
+  std::vector<const VitalRow*> VitalsOf(EncounterId encounter) const;
+
+ private:
+  std::vector<PatientRow> patients_;
+  std::vector<EncounterRow> encounters_;
+  std::vector<DiagnosisRow> diagnoses_;
+  std::vector<MedicationRow> medications_;
+  std::vector<VitalRow> vitals_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_EMR_EMR_DATABASE_H_

@@ -1,0 +1,155 @@
+#include "emr/emr_generator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "onto/snomed_fragment.h"
+
+namespace xontorank {
+
+namespace {
+
+constexpr const char* kGivenNames[] = {
+    "Ana", "Luis", "Mia", "Noah", "Ava", "Liam", "Zoe", "Ethan",
+    "Ivy", "Owen", "Ruth", "Cole", "Nora", "Eli", "June", "Max"};
+constexpr const char* kFamilyNames[] = {
+    "Alvarez", "Becker", "Castro", "Dunn",   "Eng",   "Flores",
+    "Grant",   "Huang",  "Ibarra", "Jensen", "Klein", "Lopez",
+    "Meyer",   "Novak",  "Osman",  "Price"};
+constexpr const char* kAttendings[] = {"Woodblack", "Rivera", "Chen",
+                                       "Okafor", "Silva", "Marsh"};
+constexpr const char* kNotes[] = {
+    "Admitted from the emergency department; clinical course stable.",
+    "Transferred from outside hospital for further cardiac evaluation.",
+    "Elective admission for scheduled procedure; tolerated well.",
+    "Readmission for symptom recurrence; medications adjusted.",
+};
+
+std::vector<ConceptId> DescendantsOfTerm(const Ontology& onto,
+                                         std::string_view term) {
+  ConceptId root = onto.FindByPreferredTerm(term);
+  std::vector<ConceptId> out;
+  if (root == kInvalidConcept) return out;
+  std::vector<bool> seen(onto.concept_count(), false);
+  std::deque<ConceptId> frontier{root};
+  seen[root] = true;
+  while (!frontier.empty()) {
+    ConceptId cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    for (ConceptId child : onto.Children(cur)) {
+      if (!seen[child]) {
+        seen[child] = true;
+        frontier.push_back(child);
+      }
+    }
+  }
+  if (!out.empty()) out.erase(out.begin());  // drop the category root
+  return out;
+}
+
+}  // namespace
+
+EmrDatabase GenerateEmrDatabase(const Ontology& ontology,
+                                const EmrGeneratorOptions& options) {
+  Rng rng(options.seed);
+  EmrDatabase db;
+
+  std::vector<ConceptId> disorders =
+      DescendantsOfTerm(ontology, "Clinical finding");
+  std::vector<ConceptId> drugs =
+      DescendantsOfTerm(ontology, "Pharmaceutical / biologic product");
+  if (disorders.empty()) {
+    for (ConceptId c = 0; c < ontology.concept_count(); ++c) {
+      (c % 2 == 0 ? disorders : drugs).push_back(c);
+    }
+  }
+  rng.Shuffle(disorders);
+
+  auto may_treat = ontology.FindRelationType(kRelMayTreat);
+
+  EncounterId next_encounter = 1;
+  for (uint32_t p = 0; p < options.num_patients; ++p) {
+    PatientRow patient;
+    patient.patient_id = p + 1;
+    patient.given_name = kGivenNames[rng.NextBelow(std::size(kGivenNames))];
+    patient.family_name = kFamilyNames[rng.NextBelow(std::size(kFamilyNames))];
+    patient.gender = rng.NextBool(0.5) ? "M" : "F";
+    patient.birth_date = StringPrintf(
+        "19%02llu%02llu%02llu", (unsigned long long)(80 + rng.NextBelow(20)),
+        (unsigned long long)(1 + rng.NextBelow(12)),
+        (unsigned long long)(1 + rng.NextBelow(28)));
+    patient.mrn = StringPrintf("MRN%06u", 100000 + p);
+    db.AddPatient(patient);
+
+    size_t encounters =
+        1 + rng.NextBelow(2 * options.mean_encounters_per_patient);
+    for (size_t e = 0; e < encounters; ++e) {
+      EncounterRow encounter;
+      encounter.encounter_id = next_encounter++;
+      encounter.patient_id = patient.patient_id;
+      encounter.admit_date = StringPrintf(
+          "200%llu%02llu%02llu", (unsigned long long)rng.NextBelow(9),
+          (unsigned long long)(1 + rng.NextBelow(12)),
+          (unsigned long long)(1 + rng.NextBelow(28)));
+      encounter.attending = kAttendings[rng.NextBelow(std::size(kAttendings))];
+      encounter.note = kNotes[rng.NextBelow(std::size(kNotes))];
+      db.AddEncounter(encounter);
+
+      size_t num_dx =
+          1 + rng.NextBelow(2 * options.mean_diagnoses_per_encounter);
+      std::vector<ConceptId> encounter_disorders;
+      for (size_t d = 0; d < num_dx; ++d) {
+        ConceptId disorder =
+            disorders[rng.NextZipf(disorders.size(), options.zipf_exponent)];
+        encounter_disorders.push_back(disorder);
+        DiagnosisRow dx;
+        dx.encounter_id = encounter.encounter_id;
+        dx.concept_code = ontology.GetConcept(disorder).code;
+        dx.description = ontology.GetConcept(disorder).preferred_term;
+        db.AddDiagnosis(dx);
+      }
+
+      size_t num_meds =
+          rng.NextBelow(2 * options.mean_medications_per_encounter + 1);
+      for (size_t m = 0; m < num_meds; ++m) {
+        ConceptId disorder = rng.Choose(encounter_disorders);
+        ConceptId drug = kInvalidConcept;
+        if (may_treat.has_value()) {
+          std::vector<ConceptId> treaters;
+          for (const ConceptRelationship& rel :
+               ontology.InRelationships(disorder)) {
+            if (rel.type == *may_treat) treaters.push_back(rel.source);
+          }
+          if (!treaters.empty()) drug = rng.Choose(treaters);
+        }
+        if (drug == kInvalidConcept && !drugs.empty()) {
+          drug = rng.Choose(drugs);
+        }
+        if (drug == kInvalidConcept) continue;
+        MedicationRow med;
+        med.encounter_id = encounter.encounter_id;
+        med.concept_code = ontology.GetConcept(drug).code;
+        med.drug_name = ontology.GetConcept(drug).preferred_term;
+        med.dose_mg = static_cast<int>(5 * (1 + rng.NextBelow(30)));
+        med.frequency_hours = static_cast<int>(4 * (1 + rng.NextBelow(6)));
+        db.AddMedication(med);
+      }
+
+      db.AddVital({encounter.encounter_id, "Temperature",
+                   StringPrintf("%.1f C", 36.0 + rng.NextDouble() * 3.0)});
+      db.AddVital({encounter.encounter_id, "Pulse",
+                   StringPrintf("%llu / minute",
+                                (unsigned long long)(60 + rng.NextBelow(90)))});
+      db.AddVital({encounter.encounter_id, "Blood pressure",
+                   StringPrintf("%llu/%llu mmHg",
+                                (unsigned long long)(85 + rng.NextBelow(50)),
+                                (unsigned long long)(45 + rng.NextBelow(40)))});
+    }
+  }
+  return db;
+}
+
+}  // namespace xontorank

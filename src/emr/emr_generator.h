@@ -1,0 +1,33 @@
+#ifndef XONTORANK_EMR_EMR_GENERATOR_H_
+#define XONTORANK_EMR_EMR_GENERATOR_H_
+
+#include <cstdint>
+
+#include "emr/emr_database.h"
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// Parameters of the synthetic relational EMR generator.
+struct EmrGeneratorOptions {
+  size_t num_patients = 30;
+  uint64_t seed = 17;
+  size_t mean_encounters_per_patient = 3;
+  size_t mean_diagnoses_per_encounter = 4;
+  size_t mean_medications_per_encounter = 3;
+  /// Zipf exponent of diagnosis popularity.
+  double zipf_exponent = 1.3;
+};
+
+/// Generates a synthetic relational EMR database whose diagnosis and
+/// medication codes come from `ontology` (medications coherent with the
+/// diagnoses through `may_treat` relationships when present). The database
+/// stands in for the paper's anonymized hospital system; feed it through
+/// ConvertEmrToCda to reproduce the full §VII corpus pipeline
+/// (relational DB → CDA documents → XOntoRank index).
+EmrDatabase GenerateEmrDatabase(const Ontology& ontology,
+                                const EmrGeneratorOptions& options = {});
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_EMR_EMR_GENERATOR_H_

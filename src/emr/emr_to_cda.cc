@@ -1,0 +1,144 @@
+#include "emr/emr_to_cda.h"
+
+#include "common/string_util.h"
+#include "onto/snomed_fragment.h"
+
+namespace xontorank {
+
+namespace {
+
+CdaCodedValue CodedValue(const Ontology& ontology, const std::string& code,
+                         const std::string& fallback_display) {
+  ConceptId concept_id = ontology.FindByCode(code);
+  std::string display = concept_id != kInvalidConcept
+                            ? ontology.GetConcept(concept_id).preferred_term
+                            : fallback_display;
+  return CdaCodedValue{code, ontology.system_id(), ontology.name(),
+                       std::move(display)};
+}
+
+}  // namespace
+
+Result<std::vector<CdaDocument>> ConvertEmrToCda(
+    const EmrDatabase& database, const Ontology& ontology,
+    const EmrToCdaOptions& options) {
+  XONTO_RETURN_IF_ERROR(database.Validate());
+
+  std::vector<CdaDocument> documents;
+  documents.reserve(database.patient_count());
+
+  for (const PatientRow& patient : database.patients()) {
+    CdaDocument doc;
+    doc.id_extension = StringPrintf("p%06u", patient.patient_id);
+    doc.patient.id_extension = patient.mrn;
+    doc.patient.given_name = patient.given_name;
+    doc.patient.family_name = patient.family_name;
+    doc.patient.gender_code = patient.gender;
+    doc.patient.birth_time = patient.birth_date;
+    doc.patient.provider_org_id = "M001";
+
+    std::vector<const EncounterRow*> encounters =
+        database.EncountersOf(patient.patient_id);
+    // Header author: the attending of the first encounter.
+    if (!encounters.empty()) {
+      doc.author.id_extension =
+          StringPrintf("a%06u", encounters.front()->encounter_id);
+      doc.author.family_name = encounters.front()->attending;
+      doc.author.suffix = "MD";
+      doc.author.time = encounters.front()->admit_date;
+    }
+
+    size_t episode = 0;
+    for (const EncounterRow* encounter : encounters) {
+      CdaSection section;
+      section.code = CdaCodedValue{"34133-9", kLoincSystemId, "LOINC",
+                                   "Summarization of episode note"};
+      section.title = StringPrintf("Hospitalization %zu (admitted %s)",
+                                   ++episode, encounter->admit_date.c_str());
+      section.narrative_text = encounter->note;
+
+      // Problems from the diagnoses table.
+      std::vector<const DiagnosisRow*> diagnoses =
+          database.DiagnosesOf(encounter->encounter_id);
+      if (!diagnoses.empty()) {
+        CdaSection problems;
+        problems.code = CdaCodedValue{"11450-4", kLoincSystemId, "LOINC",
+                                      "Problem list"};
+        problems.title = "Problems";
+        for (const DiagnosisRow* diagnosis : diagnoses) {
+          if (!options.allow_unresolved_codes &&
+              ontology.FindByCode(diagnosis->concept_code) ==
+                  kInvalidConcept) {
+            return Status::NotFound("diagnosis code '" +
+                                    diagnosis->concept_code +
+                                    "' does not resolve in the ontology");
+          }
+          CdaEntry entry;
+          entry.kind = CdaEntry::Kind::kObservation;
+          entry.observation.code = CdaCodedValue{
+              "404684003", ontology.system_id(), ontology.name(), "Finding"};
+          entry.observation.values.push_back(CodedValue(
+              ontology, diagnosis->concept_code, diagnosis->description));
+          problems.entries.push_back(std::move(entry));
+          problems.narrative_text +=
+              diagnosis->description.empty()
+                  ? ""
+                  : (diagnosis->description + ". ");
+        }
+        section.subsections.push_back(std::move(problems));
+      }
+
+      // Medications table.
+      std::vector<const MedicationRow*> medications =
+          database.MedicationsOf(encounter->encounter_id);
+      if (!medications.empty()) {
+        CdaSection meds;
+        meds.code = CdaCodedValue{"10160-0", kLoincSystemId, "LOINC",
+                                  "History of medication use"};
+        meds.title = "Medications";
+        size_t med_index = 0;
+        for (const MedicationRow* medication : medications) {
+          if (!options.allow_unresolved_codes &&
+              ontology.FindByCode(medication->concept_code) ==
+                  kInvalidConcept) {
+            return Status::NotFound("medication code '" +
+                                    medication->concept_code +
+                                    "' does not resolve in the ontology");
+          }
+          CdaEntry entry;
+          entry.kind = CdaEntry::Kind::kSubstanceAdministration;
+          entry.substance_administration.content_id =
+              StringPrintf("e%u_m%zu", encounter->encounter_id, med_index++);
+          entry.substance_administration.drug_name = medication->drug_name;
+          entry.substance_administration.instructions =
+              StringPrintf(" %d mg every %d hours.", medication->dose_mg,
+                           medication->frequency_hours);
+          entry.substance_administration.drug_code = CodedValue(
+              ontology, medication->concept_code, medication->drug_name);
+          meds.entries.push_back(std::move(entry));
+        }
+        section.subsections.push_back(std::move(meds));
+      }
+
+      // Vitals table.
+      std::vector<const VitalRow*> vitals =
+          database.VitalsOf(encounter->encounter_id);
+      if (!vitals.empty()) {
+        CdaSection vital_section;
+        vital_section.code = CdaCodedValue{"8716-3", kLoincSystemId, "LOINC",
+                                           "Vital signs"};
+        vital_section.title = "Vital Signs";
+        for (const VitalRow* vital : vitals) {
+          vital_section.vitals.push_back({vital->name, vital->value});
+        }
+        section.subsections.push_back(std::move(vital_section));
+      }
+
+      doc.sections.push_back(std::move(section));
+    }
+    documents.push_back(std::move(doc));
+  }
+  return documents;
+}
+
+}  // namespace xontorank

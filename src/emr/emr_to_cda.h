@@ -1,0 +1,44 @@
+#ifndef XONTORANK_EMR_EMR_TO_CDA_H_
+#define XONTORANK_EMR_EMR_TO_CDA_H_
+
+#include <vector>
+
+#include "cda/cda_document.h"
+#include "common/status.h"
+#include "emr/emr_database.h"
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// Options of the relational-to-CDA conversion.
+struct EmrToCdaOptions {
+  /// If true, diagnosis/medication codes that do not resolve in the
+  /// ontology are still emitted as code nodes (they simply will not act as
+  /// ontological entry points); if false, conversion fails on the first
+  /// unresolvable code.
+  bool allow_unresolved_codes = true;
+};
+
+/// Converts a relational EMR database into one CDA document per patient,
+/// conglomerating all hospitalization entries — the paper's §VII corpus
+/// construction ("We developed a program to convert automatically the
+/// relational anonymized EMR database ... into a set of XML CDA documents.
+/// Each CDA document represents the medical record of a single patient").
+///
+/// Mapping:
+///  - patients → CDA header recordTarget
+///  - encounters → top-level episode sections (admit date, attending,
+///    free-text note)
+///  - diagnoses → Problems subsection Observations with coded values
+///  - medications → Medications subsection SubstanceAdministrations
+///  - vitals → Vital Signs subsection narrative table
+///
+/// `ontology` supplies display names for resolvable codes; it must outlive
+/// the call. Output order follows the patients table.
+Result<std::vector<CdaDocument>> ConvertEmrToCda(
+    const EmrDatabase& database, const Ontology& ontology,
+    const EmrToCdaOptions& options = {});
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_EMR_EMR_TO_CDA_H_

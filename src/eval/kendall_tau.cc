@@ -1,0 +1,69 @@
+#include "eval/kendall_tau.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xontorank {
+
+double TopKKendallTau(const std::vector<std::string>& list_a,
+                      const std::vector<std::string>& list_b, double penalty) {
+  // rank maps: item -> position (0-based); absence = not in top-k.
+  std::unordered_map<std::string, size_t> rank_a, rank_b;
+  for (size_t i = 0; i < list_a.size(); ++i) rank_a.emplace(list_a[i], i);
+  for (size_t i = 0; i < list_b.size(); ++i) rank_b.emplace(list_b[i], i);
+
+  // Universe = union, deduplicated preserving first occurrence.
+  std::vector<std::string> universe = list_a;
+  for (const std::string& item : list_b) {
+    if (rank_a.find(item) == rank_a.end()) universe.push_back(item);
+  }
+
+  double distance = 0.0;
+  for (size_t x = 0; x < universe.size(); ++x) {
+    for (size_t y = x + 1; y < universe.size(); ++y) {
+      const std::string& i = universe[x];
+      const std::string& j = universe[y];
+      auto ia = rank_a.find(i), ja = rank_a.find(j);
+      auto ib = rank_b.find(i), jb = rank_b.find(j);
+      bool i_in_a = ia != rank_a.end(), j_in_a = ja != rank_a.end();
+      bool i_in_b = ib != rank_b.end(), j_in_b = jb != rank_b.end();
+
+      if (i_in_a && j_in_a && i_in_b && j_in_b) {
+        // Case 1: both in both — penalize opposite order.
+        bool a_order = ia->second < ja->second;
+        bool b_order = ib->second < jb->second;
+        if (a_order != b_order) distance += 1.0;
+      } else if (i_in_a && j_in_a && (i_in_b || j_in_b)) {
+        // Case 2: both in A, one in B. If the one absent from B is ranked
+        // ahead in A, the orders provably disagree (the absent one must be
+        // "below" the present one in B's conceptual full ranking).
+        bool present_is_i = i_in_b;
+        size_t present_rank = present_is_i ? ia->second : ja->second;
+        size_t absent_rank = present_is_i ? ja->second : ia->second;
+        if (absent_rank < present_rank) distance += 1.0;
+      } else if (i_in_b && j_in_b && (i_in_a || j_in_a)) {
+        bool present_is_i = i_in_a;
+        size_t present_rank = present_is_i ? ib->second : jb->second;
+        size_t absent_rank = present_is_i ? jb->second : ib->second;
+        if (absent_rank < present_rank) distance += 1.0;
+      } else if ((i_in_a && !i_in_b && j_in_b && !j_in_a) ||
+                 (j_in_a && !j_in_b && i_in_b && !i_in_a)) {
+        // Case 3: one exclusive to each list.
+        distance += 1.0;
+      } else {
+        // Case 4: both exclusive to the same list.
+        distance += penalty;
+      }
+    }
+  }
+
+  // Normalization: the distance of two disjoint lists of these lengths.
+  double ka = static_cast<double>(list_a.size());
+  double kb = static_cast<double>(list_b.size());
+  double max_distance = ka * kb + penalty * (ka * (ka - 1.0) / 2.0 +
+                                             kb * (kb - 1.0) / 2.0);
+  if (max_distance <= 0.0) return 0.0;
+  return std::min(1.0, distance / max_distance);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,31 @@
+#ifndef XONTORANK_EVAL_KENDALL_TAU_H_
+#define XONTORANK_EVAL_KENDALL_TAU_H_
+
+#include <string>
+#include <vector>
+
+namespace xontorank {
+
+/// Top-k Kendall tau distance with penalty parameter p between two top-k
+/// lists (Fagin, Kumar & Sivakumar, SODA'03 — the measure of Table II).
+///
+/// Every unordered pair {i, j} of items appearing in either list
+/// contributes:
+///  - both items in both lists: 1 if the lists order them oppositely;
+///  - both in one list, exactly one in the other: 1 if the item missing
+///    from the second list is ranked *ahead* of the present one in the
+///    first (we then know the orders disagree), else 0;
+///  - one item exclusive to each list: 1 (they provably disagree);
+///  - both items exclusive to the same list: p (order in the other list is
+///    unknowable; p interpolates between optimistic 0 and pessimistic 1).
+///
+/// The result is normalized by the distance of two disjoint lists
+/// (k² + 2·C(k,2)·p), so it lies in [0, 1] with 0 = identical lists.
+/// Lists may be shorter than k (fewer results); items must be unique
+/// within a list.
+double TopKKendallTau(const std::vector<std::string>& list_a,
+                      const std::vector<std::string>& list_b, double penalty);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_EVAL_KENDALL_TAU_H_

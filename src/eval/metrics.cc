@@ -1,0 +1,51 @@
+#include "eval/metrics.h"
+
+namespace xontorank {
+
+double PrecisionAtK(const std::vector<bool>& relevance, size_t k) {
+  if (k == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < k && i < relevance.size(); ++i) {
+    if (relevance[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<bool>& relevance, size_t k,
+                 size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < k && i < relevance.size(); ++i) {
+    if (relevance[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double AveragePrecision(const std::vector<bool>& relevance,
+                        size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < relevance.size(); ++i) {
+    if (!relevance[i]) continue;
+    ++hits;
+    sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+  }
+  return sum / static_cast<double>(total_relevant);
+}
+
+double ReciprocalRank(const std::vector<bool>& relevance) {
+  for (size_t i = 0; i < relevance.size(); ++i) {
+    if (relevance[i]) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+double FScore(double precision, double recall, double beta) {
+  double beta2 = beta * beta;
+  double denom = beta2 * precision + recall;
+  if (denom <= 0.0) return 0.0;
+  return (1.0 + beta2) * precision * recall / denom;
+}
+
+}  // namespace xontorank

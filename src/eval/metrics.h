@@ -1,0 +1,37 @@
+#ifndef XONTORANK_EVAL_METRICS_H_
+#define XONTORANK_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xontorank {
+
+/// Classic ranked-retrieval metrics over a per-rank relevance vector
+/// (`relevance[i]` = was the i-th returned result relevant). Used by the
+/// precision/recall experiment backing the paper's §IX claim that "the
+/// precision and recall of our algorithm is better than the baseline".
+
+/// Fraction of the first k results that are relevant; results shorter than
+/// k are padded with non-relevant (the engine returned nothing there).
+/// k = 0 returns 0.
+double PrecisionAtK(const std::vector<bool>& relevance, size_t k);
+
+/// Fraction of all `total_relevant` items found within the first k results.
+/// 0 when total_relevant == 0.
+double RecallAtK(const std::vector<bool>& relevance, size_t k,
+                 size_t total_relevant);
+
+/// Mean of precision@i over the ranks i of relevant results, divided by
+/// total_relevant (standard AP; 0 when total_relevant == 0).
+double AveragePrecision(const std::vector<bool>& relevance,
+                        size_t total_relevant);
+
+/// 1/rank of the first relevant result; 0 if none.
+double ReciprocalRank(const std::vector<bool>& relevance);
+
+/// Harmonic F-measure; 0 when both inputs are 0.
+double FScore(double precision, double recall, double beta = 1.0);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_EVAL_METRICS_H_

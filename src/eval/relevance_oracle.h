@@ -1,0 +1,79 @@
+#ifndef XONTORANK_EVAL_RELEVANCE_ORACLE_H_
+#define XONTORANK_EVAL_RELEVANCE_ORACLE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/query_processor.h"
+#include "ir/query.h"
+#include "onto/ontology.h"
+#include "onto/ontology_index.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Options of the simulated expert judgment.
+struct OracleOptions {
+  /// Maximum ontology distance (undirected hops) at which a keyword's
+  /// concept still counts as semantically related to a concept referenced
+  /// by the result.
+  size_t max_hops = 3;
+};
+
+/// Deterministic stand-in for the paper's single domain-expert survey
+/// (Table I; see DESIGN.md §1).
+///
+/// A result is judged relevant iff *every* query keyword is supported by
+/// the result's subtree, where support means either
+///  (a) a textual occurrence of the keyword (phrase-aware) in the subtree's
+///      element descriptions, or
+///  (b) an ontological connection: some concept matching the keyword
+///      reaches some concept the subtree references by a *monotone* chain
+///      of at most `max_hops` edges — every edge traversed in the same
+///      orientation (is-a edges point child→parent, relationship edges
+///      source→target; the chain runs either all along or all against that
+///      orientation). Monotone chains capture specialization ("disorder of
+///      bronchus" supports an Asthma record), therapy/site links in either
+///      reading, and their compositions — but NOT sibling hops through a
+///      shared hub (acetaminophen→Pain←aspirin), which is exactly the
+///      mapping the paper's expert rejects in q10. Support can additionally
+///      be *blocked* per (keyword concept, document concept) pair.
+///
+/// Blocked pairs model contextual mismatches even a monotone chain cannot
+/// see (e.g. a record that merely mentions fever is not about
+/// acetaminophen, although acetaminophen treats fever).
+class RelevanceOracle {
+ public:
+  /// `ontology` must outlive the oracle.
+  explicit RelevanceOracle(const Ontology& ontology, OracleOptions options = {});
+
+  /// Declares that keyword concept `term_a` must not be considered related
+  /// to document concept `term_b` (and vice versa). Terms are preferred
+  /// terms; unknown terms are ignored.
+  void BlockPair(std::string_view term_a, std::string_view term_b);
+
+  /// Judges one result of `query` within `doc`.
+  bool IsRelevant(const KeywordQuery& query, const XmlDocument& doc,
+                  const QueryResult& result) const;
+
+  /// Convenience for Table I: counts how many of `results` (one algorithm's
+  /// top-5) are judged relevant.
+  size_t CountRelevant(const KeywordQuery& query,
+                       const std::vector<XmlDocument>& corpus,
+                       const std::vector<QueryResult>& results) const;
+
+ private:
+  bool KeywordSupported(const Keyword& keyword, const XmlNode& subtree,
+                        const std::vector<ConceptId>& doc_concepts) const;
+  bool Blocked(ConceptId a, ConceptId b) const;
+
+  const Ontology* ontology_;
+  OntologyIndex index_;
+  OracleOptions options_;
+  std::unordered_set<uint64_t> blocked_pairs_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_EVAL_RELEVANCE_ORACLE_H_

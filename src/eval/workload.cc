@@ -1,0 +1,99 @@
+#include "eval/workload.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "eval/relevance_oracle.h"
+
+namespace xontorank {
+
+std::vector<WorkloadQuery> TableOneQueries() {
+  return {
+      {"q1", "\"cardiac arrest\" epinephrine"},
+      {"q2", "coarctation propranolol"},
+      {"q3", "\"neonatal cyanosis\" prostaglandin"},
+      {"q4", "carbapenem endocarditis"},
+      {"q5", "ibuprofen \"patent ductus arteriosus\""},
+      {"q6", "\"supraventricular arrhythmia\" adenosine"},
+      {"q7", "\"pericardial effusion\" furosemide"},
+      {"q8", "\"regurgitant flow\" \"mitral valve\""},
+      {"q9", "amiodarone \"supraventricular arrhythmia\""},
+      {"q10", "\"supraventricular arrhythmia\" acetaminophen"},
+  };
+}
+
+std::vector<WorkloadQuery> ExtendedExpertQueries() {
+  return {
+      {"e1", "\"atrial fibrillation\" digoxin"},
+      {"e2", "\"ventricular fibrillation\" defibrillation"},
+      {"e3", "\"heart failure\" furosemide"},
+      {"e4", "\"tetralogy of fallot\" propranolol"},
+      {"e5", "\"pulmonary edema\" \"heart failure\""},
+      {"e6", "\"cardiogenic shock\" dopamine"},
+      {"e7", "\"mitral valve\" stenosis"},
+      {"e8", "asthma theophylline"},
+      {"e9", "\"kawasaki disease\" aspirin"},
+      {"e10", "\"complete heart block\" pacemaker"},
+  };
+}
+
+namespace {
+
+/// Picks a random preferred term and quotes it if multi-word.
+std::string PickTerm(const Ontology& ontology, Rng& rng) {
+  ConceptId c =
+      static_cast<ConceptId>(rng.NextBelow(ontology.concept_count()));
+  const std::string& term = ontology.GetConcept(c).preferred_term;
+  if (term.find(' ') != std::string::npos) return "\"" + term + "\"";
+  return term;
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> GeneratedQueries(const Ontology& ontology,
+                                            size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WorkloadQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string text = PickTerm(ontology, rng) + " " + PickTerm(ontology, rng);
+    queries.push_back({StringPrintf("g%zu", i + 1), std::move(text)});
+  }
+  return queries;
+}
+
+std::vector<WorkloadQuery> FixedLengthQueries(const Ontology& ontology,
+                                              size_t num_keywords,
+                                              size_t count, uint64_t seed) {
+  Rng rng(seed ^ (num_keywords * 0x9e3779b9ULL));
+  std::vector<WorkloadQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string text;
+    for (size_t k = 0; k < num_keywords; ++k) {
+      if (k > 0) text.push_back(' ');
+      text += PickTerm(ontology, rng);
+    }
+    queries.push_back(
+        {StringPrintf("k%zu_%zu", num_keywords, i + 1), std::move(text)});
+  }
+  return queries;
+}
+
+void InstallContextualMismatches(RelevanceOracle& oracle) {
+  // The paper's q10 discussion: acetaminophen and aspirin both relieve pain,
+  // but in a cardiology context the drugs are unrelated (aspirin's cardiac
+  // benefits have no acetaminophen counterpart). The expert likewise does
+  // not accept a record that merely mentions pain or fever as evidence
+  // about acetaminophen itself.
+  oracle.BlockPair("Acetaminophen", "Aspirin");
+  oracle.BlockPair("Acetaminophen", "Ibuprofen");
+  oracle.BlockPair("Acetaminophen", "Ketorolac");
+  oracle.BlockPair("Acetaminophen", "Morphine");
+  oracle.BlockPair("Acetaminophen", "Fentanyl");
+  oracle.BlockPair("Acetaminophen", "Pain");
+  oracle.BlockPair("Acetaminophen", "Fever");
+  oracle.BlockPair("Acetaminophen", "Chest pain");
+  oracle.BlockPair("Acetaminophen", "Headache");
+}
+
+}  // namespace xontorank

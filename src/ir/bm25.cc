@@ -1,0 +1,25 @@
+#include "ir/bm25.h"
+
+#include <cmath>
+
+namespace xontorank {
+
+double Bm25TermScore(size_t tf, size_t df, size_t num_units,
+                     size_t unit_length, double avg_length,
+                     const Bm25Params& params) {
+  if (tf == 0 || df == 0 || num_units == 0) return 0.0;
+  const double n = static_cast<double>(num_units);
+  const double idf =
+      std::log(1.0 + (n - static_cast<double>(df) + 0.5) /
+                         (static_cast<double>(df) + 0.5));
+  const double tfd = static_cast<double>(tf);
+  const double len_norm =
+      params.k1 *
+      (1.0 - params.b +
+       params.b * (avg_length > 0.0
+                       ? static_cast<double>(unit_length) / avg_length
+                       : 1.0));
+  return idf * (tfd * (params.k1 + 1.0)) / (tfd + len_norm);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,32 @@
+#ifndef XONTORANK_IR_BM25_H_
+#define XONTORANK_IR_BM25_H_
+
+#include <cstddef>
+
+namespace xontorank {
+
+/// Okapi BM25 parameters (Robertson & Walker, SIGIR'94 — the IR function the
+/// paper uses for IRS, §III).
+struct Bm25Params {
+  double k1 = 1.2;  ///< term-frequency saturation
+  double b = 0.75;  ///< length normalization strength
+};
+
+/// Per-term BM25 contribution for one (term, unit) pair.
+///
+/// \param tf          term frequency within the unit
+/// \param df          number of units containing the term
+/// \param num_units   total number of units in the collection
+/// \param unit_length token count of the unit
+/// \param avg_length  mean token count across all units
+/// \param params      k1/b knobs
+///
+/// Uses the non-negative idf variant log(1 + (N - df + 0.5)/(df + 0.5)) so
+/// very frequent terms cannot produce negative scores.
+double Bm25TermScore(size_t tf, size_t df, size_t num_units,
+                     size_t unit_length, double avg_length,
+                     const Bm25Params& params = {});
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_IR_BM25_H_

@@ -1,0 +1,74 @@
+#include "ir/query.h"
+
+#include "common/string_util.h"
+#include "ir/tokenizer.h"
+
+namespace xontorank {
+
+std::string Keyword::Canonical() const {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::string KeywordQuery::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    if (keywords[i].is_phrase()) {
+      out.push_back('"');
+      out += keywords[i].Canonical();
+      out.push_back('"');
+    } else {
+      out += keywords[i].Canonical();
+    }
+  }
+  return out;
+}
+
+Keyword MakeKeyword(std::string_view text) {
+  Keyword kw;
+  kw.display = std::string(TrimWhitespace(text));
+  kw.tokens = Tokenize(text);
+  return kw;
+}
+
+KeywordQuery ParseQuery(std::string_view query_text) {
+  KeywordQuery query;
+  size_t i = 0;
+  while (i < query_text.size()) {
+    // Skip separators.
+    while (i < query_text.size() &&
+           (query_text[i] == ' ' || query_text[i] == '\t')) {
+      ++i;
+    }
+    if (i >= query_text.size()) break;
+    std::string_view raw;
+    if (query_text[i] == '"') {
+      size_t close = query_text.find('"', i + 1);
+      if (close == std::string_view::npos) {
+        raw = query_text.substr(i + 1);
+        i = query_text.size();
+      } else {
+        raw = query_text.substr(i + 1, close - i - 1);
+        i = close + 1;
+      }
+    } else {
+      size_t end = i;
+      while (end < query_text.size() && query_text[end] != ' ' &&
+             query_text[end] != '\t' && query_text[end] != '"') {
+        ++end;
+      }
+      raw = query_text.substr(i, end - i);
+      i = end;
+    }
+    Keyword kw = MakeKeyword(raw);
+    if (!kw.tokens.empty()) query.keywords.push_back(std::move(kw));
+  }
+  return query;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,52 @@
+#ifndef XONTORANK_IR_QUERY_H_
+#define XONTORANK_IR_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xontorank {
+
+/// One query keyword (§III). A keyword may be a phrase enclosed in quotes in
+/// the query string (e.g. `"cardiac arrest"` in Table I), in which case it
+/// matches only adjacent occurrences of its tokens.
+struct Keyword {
+  /// Normalized tokens; a plain keyword has exactly one.
+  std::vector<std::string> tokens;
+  /// The keyword as the user wrote it (for display).
+  std::string display;
+
+  bool is_phrase() const { return tokens.size() > 1; }
+
+  /// Canonical single-string form ("cardiac arrest") used as a hash-map key.
+  std::string Canonical() const;
+
+  bool operator==(const Keyword& other) const { return tokens == other.tokens; }
+};
+
+/// A keyword query: a set of keywords, all of which a result subtree must be
+/// associated with (conjunctive semantics, §III).
+struct KeywordQuery {
+  std::vector<Keyword> keywords;
+
+  bool empty() const { return keywords.empty(); }
+  size_t size() const { return keywords.size(); }
+
+  /// Round-trippable rendering, quoting phrases.
+  std::string ToString() const;
+};
+
+/// Parses a query string into keywords. Double-quoted spans become phrase
+/// keywords; other whitespace-separated words become single-token keywords.
+/// Tokens are normalized exactly as document text is tokenized, so matching
+/// is consistent. Keywords that normalize to nothing (e.g. punctuation) are
+/// dropped.
+KeywordQuery ParseQuery(std::string_view query_text);
+
+/// Builds a single keyword from raw text (used programmatically by the
+/// benchmark workloads). Multi-token text becomes a phrase keyword.
+Keyword MakeKeyword(std::string_view text);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_IR_QUERY_H_

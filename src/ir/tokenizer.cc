@@ -1,0 +1,115 @@
+#include "ir/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xontorank {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool KeepToken(std::string_view token, const TokenizerOptions& options) {
+  if (token.size() < options.min_token_length) return false;
+  if (options.drop_numeric_tokens && IsAllDigits(token)) return false;
+  return true;
+}
+
+/// Applies folding and stopword filtering; empties the token to drop it.
+void PostProcess(std::string& token, const TokenizerOptions& options) {
+  if (options.fold_plurals) token = FoldPlural(std::move(token));
+  if (options.stopwords != nullptr && options.stopwords->count(token) > 0) {
+    token.clear();
+  }
+}
+
+}  // namespace
+
+const std::unordered_set<std::string>& DefaultClinicalStopwords() {
+  static const auto* kStopwords = new std::unordered_set<std::string>{
+      "the",  "a",    "an",   "of",   "and",  "or",    "to",    "in",
+      "on",   "for",  "with", "was",  "is",   "are",   "were",  "be",
+      "been", "by",   "at",   "as",   "if",   "from",  "this",  "that",
+      "than", "then", "it",   "its",  "his",  "her",   "their", "no",
+      "not",  "but",  "into", "over", "under", "after", "before",
+      "every", "each", "per",  "during",
+  };
+  return *kStopwords;
+}
+
+std::string FoldPlural(std::string token) {
+  if (token.size() < 4) return token;
+  auto ends_with = [&token](std::string_view suffix) {
+    return token.size() >= suffix.size() &&
+           token.compare(token.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+  };
+  if (ends_with("ies")) {
+    token.erase(token.size() - 3);
+    token.push_back('y');
+    return token;
+  }
+  if (ends_with("sses") || ends_with("xes") || ends_with("zes") ||
+      ends_with("ches") || ends_with("shes")) {
+    token.erase(token.size() - 2);
+    return token;
+  }
+  if (ends_with("ss") || ends_with("us") || ends_with("is")) {
+    return token;  // "stenosis", "ductus", "access" stay intact
+  }
+  if (token.back() == 's') token.pop_back();
+  return token;
+}
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i])) ++i;
+    if (i > start) {
+      std::string token = AsciiToLower(text.substr(start, i - start));
+      if (KeepToken(token, options)) {
+        PostProcess(token, options);
+        if (!token.empty()) tokens.push_back(std::move(token));
+      }
+    }
+  }
+  return tokens;
+}
+
+std::vector<PositionedToken> TokenizeWithPositions(
+    std::string_view text, const TokenizerOptions& options,
+    uint32_t* raw_token_count) {
+  std::vector<PositionedToken> tokens;
+  uint32_t position = 0;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i])) ++i;
+    if (i > start) {
+      std::string token = AsciiToLower(text.substr(start, i - start));
+      // Position advances over every raw token so that phrase adjacency is
+      // preserved even when a dropped token sits between two kept ones.
+      if (KeepToken(token, options)) {
+        PostProcess(token, options);
+        if (!token.empty()) tokens.push_back({std::move(token), position});
+      }
+      ++position;
+    }
+  }
+  if (raw_token_count != nullptr) *raw_token_count = position;
+  return tokens;
+}
+
+std::string NormalizeToken(std::string_view token) {
+  return AsciiToLower(TrimWhitespace(token));
+}
+
+}  // namespace xontorank

@@ -1,0 +1,70 @@
+#ifndef XONTORANK_IR_TOKENIZER_H_
+#define XONTORANK_IR_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace xontorank {
+
+/// Options controlling tokenization.
+///
+/// Queries and documents must be tokenized with the *same* options or
+/// lookups will silently miss (e.g. an index folding plurals while the
+/// query does not). The engine defaults keep everything off; callers
+/// enabling folding or stopwords must apply the options on both sides.
+struct TokenizerOptions {
+  /// Tokens shorter than this are dropped.
+  size_t min_token_length = 1;
+  /// If true, tokens consisting solely of digits are dropped. Per §III,
+  /// numeric code strings (concept codes, OIDs) are excluded from a node's
+  /// textual description since they are unlikely query keywords.
+  bool drop_numeric_tokens = true;
+  /// If true, a light "s-stemmer" folds English plurals so that
+  /// "arrhythmias" and "arrhythmia" index identically: -ies → -y,
+  /// -es after s/x/z/ch/sh is stripped, and a trailing -s is stripped
+  /// (except -ss/-us/-is). Only tokens of ≥ 4 characters are folded.
+  bool fold_plurals = false;
+  /// Tokens contained here (post-folding) are dropped. Non-owning; must
+  /// outlive every call using these options. nullptr disables filtering.
+  const std::unordered_set<std::string>* stopwords = nullptr;
+};
+
+/// A small English stopword list suited to clinical narrative ("the", "of",
+/// "with", "every", …). Never includes medical terms.
+const std::unordered_set<std::string>& DefaultClinicalStopwords();
+
+/// The plural-folding rule used when TokenizerOptions::fold_plurals is set,
+/// exposed for tests and for callers that normalize query terms manually.
+std::string FoldPlural(std::string token);
+
+/// Splits text into lower-cased alphanumeric tokens.
+///
+/// A token is a maximal run of ASCII letters and digits; everything else is
+/// a separator. Case is folded, so "Asthma" and "asthma" index identically.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+/// Like Tokenize but also reports each token's ordinal position, which the
+/// positional index uses for phrase matching. Positions are ordinals over
+/// the *raw* token stream, so dropped tokens (numbers, stopwords) still
+/// consume a position and never fake adjacency.
+struct PositionedToken {
+  std::string token;
+  uint32_t position;
+};
+/// If `raw_token_count` is non-null it receives the total number of raw
+/// tokens scanned (kept or dropped) — the amount by which a caller that
+/// concatenates segments must advance its position base.
+std::vector<PositionedToken> TokenizeWithPositions(
+    std::string_view text, const TokenizerOptions& options = {},
+    uint32_t* raw_token_count = nullptr);
+
+/// Normalizes a single keyword (lower-case, trims): the form under which
+/// terms are stored in vocabularies.
+std::string NormalizeToken(std::string_view token);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_IR_TOKENIZER_H_

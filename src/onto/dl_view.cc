@@ -1,0 +1,95 @@
+#include "onto/dl_view.h"
+
+#include <cassert>
+
+namespace xontorank {
+
+namespace {
+
+uint64_t RestrictionKey(RelationTypeId role, ConceptId filler) {
+  return (static_cast<uint64_t>(role) << 32) | filler;
+}
+
+}  // namespace
+
+DlView::DlView(const Ontology& ontology) : ontology_(&ontology) {
+  const size_t n = ontology.concept_count();
+
+  // Atomic nodes occupy ids [0, n) so AtomicNode is the identity shift.
+  kinds_.assign(n, Kind::kAtomic);
+  payload_.resize(n);
+  for (ConceptId c = 0; c < n; ++c) payload_[c] = c;
+  isa_parents_.resize(n);
+  isa_children_.resize(n);
+  dotted_.resize(n);
+
+  // Original is-a edges between atomic nodes.
+  for (ConceptId c = 0; c < n; ++c) {
+    for (ConceptId parent : ontology.Parents(c)) {
+      isa_parents_[c].push_back(parent);
+      isa_children_[parent].push_back(c);
+    }
+  }
+
+  // One restriction node per distinct (role, filler); is-a edge from each
+  // relationship source into it; dotted link to the filler.
+  for (ConceptId c = 0; c < n; ++c) {
+    for (const ConceptRelationship& rel : ontology.OutRelationships(c)) {
+      uint64_t key = RestrictionKey(rel.type, rel.target);
+      DlNodeId restriction;
+      auto it = restriction_index_.find(key);
+      if (it != restriction_index_.end()) {
+        restriction = it->second;
+      } else {
+        restriction = static_cast<DlNodeId>(kinds_.size());
+        restriction_index_.emplace(key, restriction);
+        kinds_.push_back(Kind::kRestriction);
+        payload_.push_back(static_cast<uint32_t>(restriction_info_.size()));
+        restriction_info_.push_back({rel.type, rel.target});
+        isa_parents_.emplace_back();
+        isa_children_.emplace_back();
+        dotted_.emplace_back();
+        dotted_[restriction].push_back(AtomicNode(rel.target));
+        dotted_[AtomicNode(rel.target)].push_back(restriction);
+      }
+      isa_parents_[c].push_back(restriction);
+      isa_children_[restriction].push_back(c);
+    }
+  }
+}
+
+ConceptId DlView::ConceptOf(DlNodeId id) const {
+  assert(IsAtomic(id));
+  return payload_[id];
+}
+
+RelationTypeId DlView::RoleOf(DlNodeId id) const {
+  assert(!IsAtomic(id));
+  return restriction_info_[payload_[id]].role;
+}
+
+ConceptId DlView::FillerOf(DlNodeId id) const {
+  assert(!IsAtomic(id));
+  return restriction_info_[payload_[id]].filler;
+}
+
+std::string DlView::NodeName(DlNodeId id) const {
+  if (IsAtomic(id)) return ontology_->GetConcept(ConceptOf(id)).preferred_term;
+  const RestrictionInfo& info = restriction_info_[payload_[id]];
+  return "Exists " + ontology_->RelationTypeName(info.role) + " " +
+         ontology_->GetConcept(info.filler).preferred_term;
+}
+
+DlNodeId DlView::AtomicNode(ConceptId concept_id) const {
+  assert(concept_id < ontology_->concept_count());
+  return concept_id;
+}
+
+std::optional<DlNodeId> DlView::RestrictionNode(RelationTypeId role,
+                                                ConceptId filler) const {
+  auto it = restriction_index_.find(RestrictionKey(role, filler));
+  if (it == restriction_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,79 @@
+#include "onto/loinc_fragment.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+#include "onto/snomed_fragment.h"
+
+namespace xontorank {
+
+namespace {
+
+struct LoincRow {
+  const char* code;
+  const char* term;
+  const char* parent;  // preferred term of parent, "" for roots
+  const char* synonyms;
+};
+
+// clang-format off
+constexpr LoincRow kLoincRows[] = {
+    {"LP29693-6", "Laboratory and clinical document ontology", "", "LOINC document root"},
+    {"LP173418-7", "Clinical document", "Laboratory and clinical document ontology", "Document type"},
+    {"34133-9", "Summarization of episode note", "Clinical document", "Episode summary|Continuity of care document"},
+    {"18842-5", "Discharge summary", "Clinical document", "Discharge summarization note"},
+    {"11506-3", "Progress note", "Clinical document", "Subsequent evaluation note"},
+    {"34117-2", "History and physical note", "Clinical document", "H and P note"},
+    {"LP173421-1", "Document section", "Laboratory and clinical document ontology", "Section code"},
+    {"11450-4", "Problem list", "Document section", "Problem list reported|Problems section"},
+    {"10160-0", "History of medication use", "Document section", "Medications section|Medication use"},
+    {"47519-4", "History of procedures", "Document section", "Procedures section|Procedure history"},
+    {"8716-3", "Vital signs", "Document section", "Vital signs panel|Vital signs section"},
+    {"10164-2", "History of present illness", "Document section", "HPI section"},
+    {"29545-1", "Physical examination", "Document section", "Physical findings|Exam section"},
+    {"30954-2", "Relevant diagnostic tests", "Document section", "Studies section"},
+    {"48765-2", "Allergies and adverse reactions", "Document section", "Allergies section"},
+    {"10157-6", "Family history", "Document section", "Family member diseases section"},
+    {"29762-2", "Social history", "Document section", "Social history section"},
+    {"LP30605-7", "Vital sign measurement", "Laboratory and clinical document ontology", "Vital sign observation"},
+    {"8310-5", "Body temperature measurement", "Vital sign measurement", "Temperature reading"},
+    {"8867-4", "Heart rate measurement", "Vital sign measurement", "Pulse reading"},
+    {"9279-1", "Respiratory rate measurement", "Vital sign measurement", "Breathing rate reading"},
+    {"8480-6", "Systolic blood pressure", "Vital sign measurement", "Systolic pressure reading"},
+    {"8462-4", "Diastolic blood pressure", "Vital sign measurement", "Diastolic pressure reading"},
+    {"8302-2", "Body height measurement", "Vital sign measurement", "Height reading"},
+    {"29463-7", "Body weight measurement", "Vital sign measurement", "Weight reading"},
+    {"59408-5", "Oxygen saturation measurement", "Vital sign measurement", "Pulse oximetry reading"},
+};
+// clang-format on
+
+}  // namespace
+
+Ontology BuildLoincDocumentFragment() {
+  Ontology onto(kLoincSystemId, "LOINC");
+  for (const LoincRow& row : kLoincRows) {
+    std::vector<std::string> synonyms;
+    if (row.synonyms[0] != '\0') {
+      for (std::string_view syn : SplitString(row.synonyms, '|')) {
+        synonyms.emplace_back(syn);
+      }
+    }
+    onto.AddConcept(row.code, row.term, std::move(synonyms));
+  }
+  for (const LoincRow& row : kLoincRows) {
+    if (row.parent[0] == '\0') continue;
+    ConceptId child = onto.FindByCode(row.code);
+    ConceptId parent = onto.FindByPreferredTerm(row.parent);
+    assert(child != kInvalidConcept && parent != kInvalidConcept);
+    Status st = onto.AddIsA(child, parent);
+    assert(st.ok());
+    (void)st;
+  }
+  Status valid = onto.Validate();
+  assert(valid.ok());
+  (void)valid;
+  return onto;
+}
+
+}  // namespace xontorank

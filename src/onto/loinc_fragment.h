@@ -1,0 +1,20 @@
+#ifndef XONTORANK_ONTO_LOINC_FRAGMENT_H_
+#define XONTORANK_ONTO_LOINC_FRAGMENT_H_
+
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// Builds a small LOINC document-ontology fragment covering the section and
+/// panel codes the CDA generator emits (problem list, medications,
+/// procedures, vital signs, episode notes) plus the common vital-sign
+/// observation codes, organized under LOINC's document/clinical hierarchy.
+///
+/// Registering this fragment as a second ontological system (§III's
+/// collection O) lets queries like ["vital signs", pulse] reach section
+/// code nodes ontologically even when a section carries no title text.
+Ontology BuildLoincDocumentFragment();
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_ONTO_LOINC_FRAGMENT_H_

@@ -1,0 +1,164 @@
+#include "onto/ontology.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xontorank {
+
+std::string Concept::FullText() const {
+  std::string out = preferred_term;
+  for (const std::string& syn : synonyms) {
+    out.push_back(' ');
+    out += syn;
+  }
+  return out;
+}
+
+Ontology::Ontology(std::string system_id, std::string name)
+    : system_id_(std::move(system_id)), name_(std::move(name)) {}
+
+ConceptId Ontology::AddConcept(std::string code, std::string preferred_term,
+                               std::vector<std::string> synonyms) {
+  auto it = code_index_.find(code);
+  if (it != code_index_.end()) return it->second;
+  ConceptId id = static_cast<ConceptId>(concepts_.size());
+  code_index_.emplace(code, id);
+  term_index_.emplace(preferred_term, id);
+  concepts_.push_back(
+      {std::move(code), std::move(preferred_term), std::move(synonyms)});
+  parents_.emplace_back();
+  children_.emplace_back();
+  out_rels_.emplace_back();
+  in_rels_.emplace_back();
+  return id;
+}
+
+Status Ontology::AddIsA(ConceptId child, ConceptId parent) {
+  if (child >= concepts_.size() || parent >= concepts_.size()) {
+    return Status::InvalidArgument("is-a endpoint is not a known concept");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("is-a self-loop on concept '" +
+                                   concepts_[child].preferred_term + "'");
+  }
+  if (std::find(parents_[child].begin(), parents_[child].end(), parent) !=
+      parents_[child].end()) {
+    return Status::OK();  // duplicate edge, idempotent
+  }
+  parents_[child].push_back(parent);
+  children_[parent].push_back(child);
+  ++isa_edge_count_;
+  return Status::OK();
+}
+
+RelationTypeId Ontology::InternRelationType(std::string_view name) {
+  std::string key(name);
+  auto it = relation_type_index_.find(key);
+  if (it != relation_type_index_.end()) return it->second;
+  RelationTypeId id = static_cast<RelationTypeId>(relation_type_names_.size());
+  relation_type_index_.emplace(key, id);
+  relation_type_names_.push_back(std::move(key));
+  return id;
+}
+
+std::optional<RelationTypeId> Ontology::FindRelationType(
+    std::string_view name) const {
+  auto it = relation_type_index_.find(std::string(name));
+  if (it == relation_type_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Ontology::AddRelationship(ConceptId source, std::string_view type_name,
+                                 ConceptId target) {
+  if (source >= concepts_.size() || target >= concepts_.size()) {
+    return Status::InvalidArgument(
+        "relationship endpoint is not a known concept");
+  }
+  RelationTypeId type = InternRelationType(type_name);
+  ConceptRelationship rel{source, target, type};
+  auto& out = out_rels_[source];
+  if (std::find(out.begin(), out.end(), rel) != out.end()) {
+    return Status::OK();  // duplicate edge, idempotent
+  }
+  out.push_back(rel);
+  in_rels_[target].push_back(rel);
+  ++relationship_count_;
+  return Status::OK();
+}
+
+Status Ontology::Validate() const {
+  // Is-a acyclicity via iterative three-color DFS.
+  enum class Color : uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(concepts_.size(), Color::kWhite);
+  std::vector<std::pair<ConceptId, size_t>> stack;
+  for (ConceptId start = 0; start < concepts_.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    stack.emplace_back(start, 0);
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge < parents_[node].size()) {
+        ConceptId next = parents_[node][edge++];
+        if (color[next] == Color::kGray) {
+          return Status::FailedPrecondition(
+              "is-a cycle through concept '" +
+              concepts_[next].preferred_term + "'");
+        }
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ConceptId Ontology::FindByCode(std::string_view code) const {
+  auto it = code_index_.find(std::string(code));
+  return it == code_index_.end() ? kInvalidConcept : it->second;
+}
+
+ConceptId Ontology::FindByPreferredTerm(std::string_view term) const {
+  auto it = term_index_.find(std::string(term));
+  return it == term_index_.end() ? kInvalidConcept : it->second;
+}
+
+size_t Ontology::RelationInDegree(ConceptId target, RelationTypeId type) const {
+  size_t count = 0;
+  for (const ConceptRelationship& rel : in_rels_[target]) {
+    if (rel.type == type) ++count;
+  }
+  return count;
+}
+
+bool Ontology::IsAncestorOf(ConceptId ancestor, ConceptId descendant) const {
+  if (ancestor == descendant) return true;
+  std::vector<bool> seen(concepts_.size(), false);
+  std::vector<ConceptId> frontier{descendant};
+  seen[descendant] = true;
+  while (!frontier.empty()) {
+    ConceptId cur = frontier.back();
+    frontier.pop_back();
+    for (ConceptId parent : parents_[cur]) {
+      if (parent == ancestor) return true;
+      if (!seen[parent]) {
+        seen[parent] = true;
+        frontier.push_back(parent);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<ConceptId> Ontology::AllConcepts() const {
+  std::vector<ConceptId> ids(concepts_.size());
+  for (ConceptId i = 0; i < concepts_.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,170 @@
+#ifndef XONTORANK_ONTO_ONTOLOGY_H_
+#define XONTORANK_ONTO_ONTOLOGY_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xontorank {
+
+/// Dense internal identifier of an ontology concept.
+using ConceptId = uint32_t;
+inline constexpr ConceptId kInvalidConcept =
+    std::numeric_limits<ConceptId>::max();
+
+/// Interned identifier of a (non-taxonomic) relationship type such as
+/// `finding-site-of` or `causative-agent`.
+using RelationTypeId = uint32_t;
+
+/// One concept: a unit of knowledge with one or more natural-language terms
+/// (§II, SNOMED CT). The `code` is the string that CDA code nodes reference.
+struct Concept {
+  std::string code;            ///< e.g. "195967001"
+  std::string preferred_term;  ///< e.g. "Asthma"
+  std::vector<std::string> synonyms;
+
+  /// All terms concatenated — the concept's textual description used for
+  /// IR-scoring keywords against the concept.
+  std::string FullText() const;
+};
+
+/// A typed, directed attribute relationship `type(source, target)`, e.g.
+/// finding-site-of(Asthma, Bronchial structure).
+struct ConceptRelationship {
+  ConceptId source;
+  ConceptId target;
+  RelationTypeId type;
+
+  bool operator==(const ConceptRelationship& other) const {
+    return source == other.source && target == other.target &&
+           type == other.type;
+  }
+};
+
+/// An in-memory ontology graph: concepts, a taxonomic is-a DAG, and typed
+/// attribute relationships (§II: SNOMED CT structure).
+///
+/// This is the in-memory representation the paper lists as future work to
+/// replace the flat-file UMLS API; all graph navigation used by the
+/// OntoScore algorithms is O(1) adjacency-list access.
+///
+/// Build with AddConcept / AddIsA / AddRelationship, then call Validate()
+/// once; read accessors are const and cheap.
+class Ontology {
+ public:
+  /// \param system_id identifier of the ontological system (SNOMED's OID
+  ///        "2.16.840.1.113883.6.96" in the CDA documents).
+  /// \param name human-readable system name ("SNOMED CT").
+  explicit Ontology(std::string system_id, std::string name = "");
+
+  Ontology(Ontology&&) noexcept = default;
+  Ontology& operator=(Ontology&&) noexcept = default;
+
+  const std::string& system_id() const { return system_id_; }
+  const std::string& name() const { return name_; }
+
+  // ---- Construction ----
+
+  /// Adds a concept. Codes must be unique within the ontology; a duplicate
+  /// returns the already-existing concept's id and does not modify it.
+  ConceptId AddConcept(std::string code, std::string preferred_term,
+                       std::vector<std::string> synonyms = {});
+
+  /// Records `child is-a parent`. Self-loops are rejected; duplicate edges
+  /// are ignored. Cycle freedom is checked by Validate().
+  Status AddIsA(ConceptId child, ConceptId parent);
+
+  /// Records `type(source, target)`. Duplicate edges are ignored.
+  Status AddRelationship(ConceptId source, std::string_view type_name,
+                         ConceptId target);
+
+  /// Interns a relationship type name, returning its id.
+  RelationTypeId InternRelationType(std::string_view name);
+
+  /// Checks structural invariants: the is-a graph must be a DAG (§IV-B).
+  Status Validate() const;
+
+  // ---- Lookup ----
+
+  size_t concept_count() const { return concepts_.size(); }
+  size_t isa_edge_count() const { return isa_edge_count_; }
+  size_t relationship_count() const { return relationship_count_; }
+  size_t relation_type_count() const { return relation_type_names_.size(); }
+
+  const Concept& GetConcept(ConceptId id) const { return concepts_[id]; }
+
+  /// Looks a concept up by its code; kInvalidConcept if absent. This is the
+  /// `f(sys, code)` resolution function of Eq. 5.
+  ConceptId FindByCode(std::string_view code) const;
+
+  /// Looks a concept up by exact preferred term (case-sensitive);
+  /// kInvalidConcept if absent.
+  ConceptId FindByPreferredTerm(std::string_view term) const;
+
+  const std::string& RelationTypeName(RelationTypeId id) const {
+    return relation_type_names_[id];
+  }
+
+  /// Id of a previously interned relation type, or nullopt.
+  std::optional<RelationTypeId> FindRelationType(std::string_view name) const;
+
+  // ---- Navigation ----
+
+  /// Direct superclasses of `id` (targets of its is-a edges).
+  const std::vector<ConceptId>& Parents(ConceptId id) const {
+    return parents_[id];
+  }
+
+  /// Direct subclasses of `id`. `|Children(c)|` is the authority-split
+  /// denominator of the Taxonomy strategy (§IV-B).
+  const std::vector<ConceptId>& Children(ConceptId id) const {
+    return children_[id];
+  }
+
+  /// Outgoing attribute relationships of `id` (id is the source).
+  const std::vector<ConceptRelationship>& OutRelationships(ConceptId id) const {
+    return out_rels_[id];
+  }
+
+  /// Incoming attribute relationships of `id` (id is the target).
+  const std::vector<ConceptRelationship>& InRelationships(ConceptId id) const {
+    return in_rels_[id];
+  }
+
+  /// Number of relationships of `type` arriving at `target` — the in-degree
+  /// of the existential role restriction ∃type.target in the DL view, used
+  /// as the damping denominator in §VI-C.
+  size_t RelationInDegree(ConceptId target, RelationTypeId type) const;
+
+  /// True if `ancestor` can be reached from `descendant` by following is-a
+  /// edges upward (reflexive: a concept is its own ancestor).
+  bool IsAncestorOf(ConceptId ancestor, ConceptId descendant) const;
+
+  /// All ids, 0..concept_count-1 (helper for iteration in tests/benches).
+  std::vector<ConceptId> AllConcepts() const;
+
+ private:
+  std::string system_id_;
+  std::string name_;
+  std::vector<Concept> concepts_;
+  std::vector<std::vector<ConceptId>> parents_;
+  std::vector<std::vector<ConceptId>> children_;
+  std::vector<std::vector<ConceptRelationship>> out_rels_;
+  std::vector<std::vector<ConceptRelationship>> in_rels_;
+  std::unordered_map<std::string, ConceptId> code_index_;
+  std::unordered_map<std::string, ConceptId> term_index_;
+  std::vector<std::string> relation_type_names_;
+  std::unordered_map<std::string, RelationTypeId> relation_type_index_;
+  size_t isa_edge_count_ = 0;
+  size_t relationship_count_ = 0;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_ONTO_ONTOLOGY_H_

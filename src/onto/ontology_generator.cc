@@ -1,0 +1,149 @@
+#include "onto/ontology_generator.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace xontorank {
+
+namespace {
+
+/// Pseudo-medical term factory: prefix+suffix morpheme composition yields a
+/// vocabulary whose tokens look domain-plausible and collide naturally.
+std::vector<std::string> BuildVocabulary(size_t size, Rng& rng) {
+  static constexpr const char* kPrefixes[] = {
+      "cardi", "bronch", "pulmon", "arteri", "ventricul", "atri",  "vascul",
+      "hepat", "nephr",  "neur",   "derm",   "gastr",     "oste",  "my",
+      "angi",  "hem",    "thromb", "septic", "sten",      "fibr",  "cyst",
+      "aden",  "lymph",  "pleur",  "peric",  "endoc",     "valv",  "aort",
+      "trache", "alveol", "capill", "ischem", "embol",    "hypox", "tachy",
+      "brady", "hyper",  "hypo",   "dys",    "micro"};
+  static constexpr const char* kSuffixes[] = {
+      "itis",   "osis",  "oma",    "pathy",  "ectasis", "algia", "emia",
+      "plasia", "trophy", "sclerosis", "spasm", "stenosis", "rrhythmia",
+      "megaly", "ptosis", "plegia", "uria",   "phagia",  "pnea",  "genic",
+      "ole",    "ium",    "ar",     "al",     "ine",     "ide",   "ate"};
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> vocab;
+  vocab.reserve(size);
+  size_t attempts = 0;
+  while (vocab.size() < size) {
+    std::string word = std::string(kPrefixes[rng.NextBelow(std::size(kPrefixes))]) +
+                       kSuffixes[rng.NextBelow(std::size(kSuffixes))];
+    if (++attempts > 4 * size && seen.count(word) > 0) {
+      // Morpheme space nearly exhausted; disambiguate numerically.
+      word += std::to_string(vocab.size());
+    }
+    if (seen.insert(word).second) vocab.push_back(std::move(word));
+  }
+  return vocab;
+}
+
+std::string MakeConceptName(const std::vector<std::string>& vocab, Rng& rng,
+                            double zipf_exponent,
+                            std::unordered_set<std::string>& used_names) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    size_t num_words = 1 + rng.NextBelow(3);
+    std::string name;
+    for (size_t w = 0; w < num_words; ++w) {
+      if (w > 0) name.push_back(' ');
+      name += vocab[rng.NextZipf(vocab.size(), zipf_exponent)];
+    }
+    if (used_names.insert(name).second) return name;
+    // Collision: qualify with a variant number, which both disambiguates
+    // and mimics SNOMED's "type II" style concept families.
+    std::string variant = name + " type " + std::to_string(attempt + 2);
+    if (used_names.insert(variant).second) return variant;
+  }
+  // Guaranteed-unique fallback.
+  std::string fallback = "concept " + std::to_string(used_names.size());
+  used_names.insert(fallback);
+  return fallback;
+}
+
+/// Core growth loop shared by GenerateOntology and ExtendOntology:
+/// `attach_points` holds ids eligible as parents (with multiplicity for
+/// preferential attachment).
+void Grow(Ontology& onto, const OntologyGeneratorOptions& options,
+          std::vector<ConceptId> attach_points, uint32_t code_offset) {
+  Rng rng(options.seed);
+  std::vector<std::string> vocab = BuildVocabulary(options.vocabulary_size, rng);
+  std::unordered_set<std::string> used_names;
+  for (ConceptId c = 0; c < onto.concept_count(); ++c) {
+    used_names.insert(onto.GetConcept(c).preferred_term);
+  }
+
+  std::vector<ConceptId> created;
+  created.reserve(options.num_concepts);
+  for (size_t i = 0; i < options.num_concepts; ++i) {
+    std::string name =
+        MakeConceptName(vocab, rng, options.zipf_exponent, used_names);
+    std::string code = StringPrintf("7%08u", code_offset + static_cast<uint32_t>(i));
+    ConceptId id = onto.AddConcept(std::move(code), std::move(name));
+    created.push_back(id);
+
+    if (!attach_points.empty()) {
+      ConceptId parent = rng.Choose(attach_points);
+      if (parent != id) {
+        Status st = onto.AddIsA(id, parent);
+        assert(st.ok());
+        (void)st;
+      }
+      if (rng.NextBool(options.extra_parent_prob)) {
+        ConceptId extra = rng.Choose(attach_points);
+        if (extra != id && extra != parent) {
+          // New nodes attach only to pre-existing ones, so is-a stays acyclic.
+          Status st = onto.AddIsA(id, extra);
+          assert(st.ok());
+          (void)st;
+        }
+      }
+    }
+    // Preferential attachment: parents gain multiplicity as they gain
+    // children; every new node is itself eligible once.
+    attach_points.push_back(id);
+    if (!attach_points.empty() && rng.NextBool(0.5)) {
+      attach_points.push_back(attach_points[rng.NextBelow(attach_points.size())]);
+    }
+  }
+
+  // Attribute relationships between random created/existing pairs.
+  if (!options.relation_types.empty() && onto.concept_count() >= 2) {
+    size_t num_rels = static_cast<size_t>(
+        options.relationships_per_concept * static_cast<double>(created.size()));
+    for (size_t i = 0; i < num_rels; ++i) {
+      ConceptId source = rng.Choose(created);
+      ConceptId target =
+          static_cast<ConceptId>(rng.NextBelow(onto.concept_count()));
+      if (source == target) continue;
+      const std::string& type = rng.Choose(options.relation_types);
+      Status st = onto.AddRelationship(source, type, target);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+}
+
+}  // namespace
+
+Ontology GenerateOntology(const OntologyGeneratorOptions& options) {
+  Ontology onto("9.9.9.synthetic", "Synthetic ontology");
+  ConceptId root = onto.AddConcept("700000000", "synthetic root concept");
+  Grow(onto, options, {root}, /*code_offset=*/1);
+  Status valid = onto.Validate();
+  assert(valid.ok());
+  (void)valid;
+  return onto;
+}
+
+void ExtendOntology(Ontology& base, const OntologyGeneratorOptions& options) {
+  uint32_t code_offset = static_cast<uint32_t>(base.concept_count()) + 1;
+  Grow(base, options, base.AllConcepts(), code_offset);
+  Status valid = base.Validate();
+  assert(valid.ok());
+  (void)valid;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,57 @@
+#ifndef XONTORANK_ONTO_ONTOLOGY_GENERATOR_H_
+#define XONTORANK_ONTO_ONTOLOGY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// Parameters of the synthetic ontology generator.
+struct OntologyGeneratorOptions {
+  /// Number of synthetic concepts to create.
+  size_t num_concepts = 2000;
+
+  /// Probability that a concept gets one additional is-a parent beyond the
+  /// first (SNOMED is a multi-parent DAG, not a tree).
+  double extra_parent_prob = 0.08;
+
+  /// Expected number of outgoing attribute relationships per concept.
+  double relationships_per_concept = 1.2;
+
+  /// Attribute relationship types to draw from. Defaults to the SNOMED-style
+  /// set used by the curated fragment.
+  std::vector<std::string> relation_types = {
+      "finding_site_of", "causative_agent", "due_to", "may_treat",
+      "has_associated_finding"};
+
+  /// Size of the synthetic term vocabulary. Smaller values create more
+  /// token sharing between concept names (higher df); SNOMED-like corpora
+  /// sit around a few hundred distinct stems per specialty.
+  size_t vocabulary_size = 600;
+
+  /// Zipf exponent of term popularity (> 1).
+  double zipf_exponent = 1.2;
+
+  /// PRNG seed; every structure is a pure function of the options.
+  uint64_t seed = 42;
+};
+
+/// Generates a standalone synthetic ontology with SNOMED-like shape: a
+/// rooted multi-parent is-a DAG grown by preferential attachment (realistic
+/// fan-out skew: a few concepts with dozens of children, a long tail of
+/// leaves), concept names of 1–3 Zipf-distributed pseudo-medical terms, and
+/// typed attribute relationships between random concept pairs.
+Ontology GenerateOntology(const OntologyGeneratorOptions& options);
+
+/// Grows `base` (typically the curated cardiology fragment) by the given
+/// number of synthetic concepts, attaching new subtrees beneath existing
+/// concepts. Used by the scaling benchmarks so that the Table I terms stay
+/// resolvable while the graph approaches SNOMED scale.
+void ExtendOntology(Ontology& base, const OntologyGeneratorOptions& options);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_ONTO_ONTOLOGY_GENERATOR_H_

@@ -1,0 +1,30 @@
+#include "onto/ontology_index.h"
+
+namespace xontorank {
+
+OntologyIndex::OntologyIndex(const Ontology& ontology, Bm25Params params)
+    : ontology_(&ontology), index_(params) {
+  for (ConceptId id = 0; id < ontology.concept_count(); ++id) {
+    index_.AddUnit(id, ontology.GetConcept(id).FullText());
+  }
+  index_.Finalize();
+}
+
+std::vector<ScoredConcept> OntologyIndex::Match(const Keyword& keyword) const {
+  std::vector<ScoredUnit> units = index_.Lookup(keyword);
+  std::vector<ScoredConcept> out;
+  out.reserve(units.size());
+  for (const ScoredUnit& unit : units) {
+    out.push_back({unit.unit_id, unit.score});
+  }
+  return out;
+}
+
+double OntologyIndex::Irs(ConceptId concept_id, const Keyword& keyword) const {
+  for (const ScoredConcept& sc : Match(keyword)) {
+    if (sc.concept_id == concept_id) return sc.irs;
+  }
+  return 0.0;
+}
+
+}  // namespace xontorank

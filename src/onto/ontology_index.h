@@ -1,0 +1,54 @@
+#ifndef XONTORANK_ONTO_ONTOLOGY_INDEX_H_
+#define XONTORANK_ONTO_ONTOLOGY_INDEX_H_
+
+#include <vector>
+
+#include "ir/query.h"
+#include "ir/text_index.h"
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// A keyword-matching concept with its normalized IR score — the seed set of
+/// every OntoScore BFS ("find all concept nodes in O that contain w",
+/// Algorithm 1 line 2).
+struct ScoredConcept {
+  ConceptId concept_id;
+  double irs;  ///< normalized IRS(x, w) in (0, 1]
+};
+
+/// Full-text index over the terms of an ontology's concepts.
+///
+/// Replaces the paper's UMLS flat-file API with the in-memory term index it
+/// proposes as future work. Each concept is one IR unit; its text is the
+/// concatenation of all its terms (preferred + synonyms).
+class OntologyIndex {
+ public:
+  /// Builds the index; `ontology` must outlive this object.
+  explicit OntologyIndex(const Ontology& ontology, Bm25Params params = {});
+
+  const Ontology& ontology() const { return *ontology_; }
+
+  /// All concepts whose terms contain `keyword` (phrase-aware), with
+  /// normalized IRS scores; the seeds of OntoScore propagation.
+  std::vector<ScoredConcept> Match(const Keyword& keyword) const;
+
+  /// Normalized IRS of one concept for `keyword`; 0 if no match.
+  double Irs(ConceptId concept_id, const Keyword& keyword) const;
+
+  /// Distinct tokens appearing in any concept term — the ontology part of
+  /// the indexing Vocabulary (§V-B).
+  std::vector<std::string> Vocabulary() const { return index_.Vocabulary(); }
+
+  bool ContainsTerm(std::string_view token) const {
+    return index_.ContainsTerm(token);
+  }
+
+ private:
+  const Ontology* ontology_;
+  TextIndex index_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_ONTO_ONTOLOGY_INDEX_H_

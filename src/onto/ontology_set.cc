@@ -1,0 +1,20 @@
+#include "onto/ontology_set.h"
+
+#include <cassert>
+
+namespace xontorank {
+
+void OntologySet::Add(const Ontology& ontology) {
+  assert(FindSystem(ontology.system_id()) == npos &&
+         "duplicate ontological system id");
+  systems_.push_back(&ontology);
+}
+
+size_t OntologySet::FindSystem(std::string_view system_id) const {
+  for (size_t i = 0; i < systems_.size(); ++i) {
+    if (systems_[i]->system_id() == system_id) return i;
+  }
+  return npos;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,44 @@
+#ifndef XONTORANK_ONTO_ONTOLOGY_SET_H_
+#define XONTORANK_ONTO_ONTOLOGY_SET_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// The ontological systems collection O = {O1, …, Om} of §III: the set of
+/// ontologies referenced by code nodes in a document collection. A CDA
+/// corpus typically references at least SNOMED CT (clinical concepts) and
+/// LOINC (section/observation codes).
+///
+/// Non-owning: the ontologies must outlive the set. Lookup is by the
+/// `codeSystem` OID that code nodes carry.
+class OntologySet {
+ public:
+  OntologySet() = default;
+
+  /// Wraps a single system (the common case; implicit for convenience).
+  OntologySet(const Ontology& only) { Add(only); }  // NOLINT
+
+  /// Registers a system. Duplicate system ids are rejected by assert.
+  void Add(const Ontology& ontology);
+
+  size_t size() const { return systems_.size(); }
+  bool empty() const { return systems_.empty(); }
+
+  const Ontology& system(size_t index) const { return *systems_[index]; }
+
+  /// Index of the system with the given id, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t FindSystem(std::string_view system_id) const;
+
+ private:
+  std::vector<const Ontology*> systems_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_ONTO_ONTOLOGY_SET_H_

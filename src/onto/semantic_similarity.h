@@ -1,0 +1,82 @@
+#ifndef XONTORANK_ONTO_SEMANTIC_SIMILARITY_H_
+#define XONTORANK_ONTO_SEMANTIC_SIMILARITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "onto/ontology.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Classic pairwise semantic-similarity measures over the is-a taxonomy —
+/// the related-work family the paper positions OntoScore against (§VIII:
+/// Rada's path metric [39], information-content measures of Resnik [41] and
+/// Lin [40]). Unlike OntoScore these are (a) symmetric, (b) blind to
+/// non-taxonomic relationships, and (c) keyword-free; they are provided for
+/// comparison studies and as building blocks for evaluation oracles.
+///
+/// Construction precomputes taxonomy depths; pairwise queries run BFS over
+/// ancestor sets (fine for ontologies up to ~10^5 concepts at evaluation
+/// workloads). Information-content measures require corpus counts first.
+class SemanticSimilarity {
+ public:
+  /// `ontology` must outlive this object and validate as a DAG.
+  explicit SemanticSimilarity(const Ontology& ontology);
+
+  /// Rada et al.: length of the shortest path between `a` and `b` running
+  /// over is-a edges in either direction; nullopt if no path exists
+  /// (disconnected taxonomy fragments).
+  std::optional<size_t> RadaDistance(ConceptId a, ConceptId b) const;
+
+  /// 1 / (1 + RadaDistance); 0 when disconnected. In (0, 1], 1 iff a == b.
+  double PathSimilarity(ConceptId a, ConceptId b) const;
+
+  /// Depth of a concept: longest is-a chain from any root (roots have 0).
+  size_t Depth(ConceptId c) const { return depths_[c]; }
+
+  /// Deepest common is-a ancestor of `a` and `b` (ties broken by id);
+  /// nullopt if the concepts share no ancestor.
+  std::optional<ConceptId> LowestCommonAncestor(ConceptId a,
+                                                ConceptId b) const;
+
+  /// Wu–Palmer: 2·depth(lca) / (depth(a) + depth(b) + 2·(0) …) using the
+  /// standard form 2·d(lca) / (d(a) + d(b)); 0 when disconnected or both
+  /// concepts are roots. In [0, 1].
+  double WuPalmer(ConceptId a, ConceptId b) const;
+
+  // ---- Information-content measures ----
+
+  /// Installs corpus usage counts: `counts[c]` = number of times concept c
+  /// is referenced. Counts propagate to ancestors (a reference to Asthma is
+  /// also evidence for Disorder of bronchus), then IC(c) = -ln p(c).
+  void SetCorpusCounts(const std::vector<size_t>& counts);
+
+  /// Convenience: counts the ontology's code references in `corpus`.
+  void CountCorpusReferences(const std::vector<XmlDocument>& corpus);
+
+  /// True once counts are installed.
+  bool has_information_content() const { return !ic_.empty(); }
+
+  /// Information content of a concept; 0 for the (virtual) root
+  /// probability 1. Requires counts.
+  double InformationContent(ConceptId c) const { return ic_[c]; }
+
+  /// Resnik: IC(lca(a,b)); 0 when disconnected. Requires counts.
+  double Resnik(ConceptId a, ConceptId b) const;
+
+  /// Lin: 2·IC(lca) / (IC(a) + IC(b)); in [0, 1]. Requires counts.
+  double Lin(ConceptId a, ConceptId b) const;
+
+ private:
+  /// All is-a ancestors of `c`, including itself.
+  std::vector<ConceptId> AncestorsOf(ConceptId c) const;
+
+  const Ontology* ontology_;
+  std::vector<size_t> depths_;
+  std::vector<double> ic_;  ///< empty until SetCorpusCounts
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_ONTO_SEMANTIC_SIMILARITY_H_

@@ -1,0 +1,631 @@
+#include "onto/snomed_fragment.h"
+
+#include <cassert>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace xontorank {
+
+namespace {
+
+/// One row of the concept table. `parents` and `synonyms` are '|'-separated
+/// lists; parents are resolved by preferred term after all concepts exist.
+/// `code` may be empty, in which case a deterministic synthetic code is
+/// assigned from the row index.
+struct ConceptRow {
+  const char* term;
+  const char* parents;
+  const char* synonyms;
+  const char* code;
+};
+
+/// One row of the relationship table; endpoints resolved by preferred term.
+struct RelationshipRow {
+  const char* source;
+  const char* type;
+  const char* target;
+};
+
+// clang-format off
+constexpr ConceptRow kConcepts[] = {
+    // ---- Top level ----
+    {"SNOMED CT Concept", "", "", "138875005"},
+    {"Clinical finding", "SNOMED CT Concept", "Finding", "404684003"},
+    {"Body structure", "SNOMED CT Concept", "Anatomical structure", "123037004"},
+    {"Pharmaceutical / biologic product", "SNOMED CT Concept", "Drug product|Medication", "373873005"},
+    {"Procedure", "SNOMED CT Concept", "Intervention", "71388002"},
+    {"Organism", "SNOMED CT Concept", "", "410607006"},
+    {"Observable entity", "SNOMED CT Concept", "", "363787002"},
+    {"Body height", "Observable entity", "Height", "50373000"},
+    {"Body weight", "Observable entity", "Weight", "27113001"},
+    {"Body temperature", "Observable entity", "Temperature", "386725007"},
+    {"Heart rate", "Observable entity", "Pulse rate", "364075005"},
+
+    // ---- Findings: thorax / respiratory (paper Fig. 2 neighborhood) ----
+    {"Finding of region of thorax", "Clinical finding", "Thoracic finding", "298705000"},
+    {"Disorder of thorax", "Finding of region of thorax", "Thorax disorder", "298706004"},
+    {"Respiratory disorder", "Disorder of thorax", "Disease of respiratory system", "50043002"},
+    {"Disorder of bronchus", "Respiratory disorder", "Bronchus disorder|DOB", "41427001"},
+    {"Asthma", "Disorder of bronchus", "Bronchial asthma", "195967001"},
+    {"Asthma attack", "Asthma", "Acute asthma episode", "708090002"},
+    {"Allergic asthma", "Asthma", "Atopic asthma", "389145006"},
+    {"Exercise-induced asthma", "Asthma", "Exercise induced bronchospasm", "31387002"},
+    {"Status asthmaticus", "Asthma", "Severe refractory asthma", "57546000"},
+    {"Childhood asthma", "Asthma", "Pediatric asthma", ""},
+    {"Occupational asthma", "Asthma", "", ""},
+    {"Nocturnal asthma", "Asthma", "", ""},
+    {"Aspirin-induced asthma", "Asthma", "Analgesic-induced asthma", ""},
+    {"Cough variant asthma", "Asthma", "", ""},
+    {"Late onset asthma", "Asthma", "", ""},
+    {"Bronchitis", "Disorder of bronchus", "", "32398004"},
+    {"Acute bronchitis", "Bronchitis", "", "10509002"},
+    {"Chronic bronchitis", "Bronchitis", "", "63480004"},
+    {"Bronchiectasis", "Disorder of bronchus", "", "12295008"},
+    {"Bronchospasm", "Disorder of bronchus", "Bronchial spasm", "4386001"},
+    {"Bronchiolitis", "Respiratory disorder", "", ""},
+    {"Pneumonia", "Respiratory disorder", "Lung infection", "233604007"},
+    {"Bacterial pneumonia", "Pneumonia", "", "53084003"},
+    {"Viral pneumonia", "Pneumonia", "", "75570004"},
+    {"Aspiration pneumonia", "Pneumonia", "", "422588002"},
+    {"Disorder of pleura", "Disorder of thorax", "Pleural disorder", ""},
+    {"Pleural effusion", "Disorder of pleura", "Fluid in pleural cavity", "60046008"},
+    {"Pneumothorax", "Disorder of pleura", "Collapsed lung", "36118008"},
+    {"Respiratory distress", "Respiratory disorder", "Dyspnea syndrome", ""},
+    {"Apnea", "Respiratory disorder", "", ""},
+    {"Stridor", "Respiratory disorder", "", ""},
+    {"Wheezing", "Finding of region of thorax", "Wheeze", ""},
+
+    // ---- Findings: cardiac ----
+    {"Disease of heart", "Disorder of thorax", "Heart disease|Cardiac disorder", "56265001"},
+    {"Cardiac arrest", "Disease of heart", "Cardiopulmonary arrest", "410429000"},
+    {"Asystole", "Cardiac arrest", "Cardiac standstill", ""},
+    {"Pulseless electrical activity", "Cardiac arrest", "PEA arrest", ""},
+    {"Cardiac arrhythmia", "Disease of heart", "Arrhythmia|Dysrhythmia", "698247007"},
+    {"Supraventricular arrhythmia", "Cardiac arrhythmia", "SVA", "44103008"},
+    {"Supraventricular tachycardia", "Supraventricular arrhythmia", "SVT|Paroxysmal supraventricular tachycardia", "6456007"},
+    {"Atrioventricular nodal reentrant tachycardia", "Supraventricular tachycardia", "AVNRT", ""},
+    {"Wolff-Parkinson-White syndrome", "Supraventricular tachycardia", "WPW syndrome|Preexcitation syndrome", "74390002"},
+    {"Atrial fibrillation", "Supraventricular arrhythmia", "AF|Auricular fibrillation", "49436004"},
+    {"Atrial flutter", "Supraventricular arrhythmia", "", "5370000"},
+    {"Premature atrial contraction", "Supraventricular arrhythmia", "Atrial ectopic beat", ""},
+    {"Junctional ectopic tachycardia", "Supraventricular arrhythmia", "JET", ""},
+    {"Ventricular arrhythmia", "Cardiac arrhythmia", "", ""},
+    {"Ventricular tachycardia", "Ventricular arrhythmia", "VT", "25569003"},
+    {"Ventricular fibrillation", "Ventricular arrhythmia", "VF", "71908006"},
+    {"Premature ventricular contraction", "Ventricular arrhythmia", "Ventricular ectopic beat", ""},
+    {"Bradycardia", "Cardiac arrhythmia", "Slow heart rate", "48867003"},
+    {"Sinus bradycardia", "Bradycardia", "", ""},
+    {"Heart block", "Cardiac arrhythmia", "Atrioventricular block", ""},
+    {"Complete heart block", "Heart block", "Third degree atrioventricular block", ""},
+    {"Long QT syndrome", "Cardiac arrhythmia", "Prolonged QT interval", ""},
+    {"Congenital heart disease", "Disease of heart", "Congenital heart defect|Congenital cardiac malformation", "13213009"},
+    {"Coarctation of aorta", "Congenital heart disease", "Aortic coarctation|Cardiac coarctation", "7305005"},
+    {"Patent ductus arteriosus", "Congenital heart disease", "PDA|Persistent ductus arteriosus", "83330001"},
+    {"Tetralogy of Fallot", "Congenital heart disease", "Fallot tetralogy", "86299006"},
+    {"Ventricular septal defect", "Congenital heart disease", "VSD", "30288003"},
+    {"Atrial septal defect", "Congenital heart disease", "ASD", "70142008"},
+    {"Transposition of great arteries", "Congenital heart disease", "TGA", "204296002"},
+    {"Hypoplastic left heart syndrome", "Congenital heart disease", "HLHS", "62067003"},
+    {"Pulmonary valve stenosis", "Congenital heart disease|Valvular heart disorder", "Pulmonic stenosis", ""},
+    {"Truncus arteriosus", "Congenital heart disease", "Common arterial trunk", ""},
+    {"Ebstein anomaly", "Congenital heart disease", "Ebstein malformation", ""},
+    {"Total anomalous pulmonary venous return", "Congenital heart disease", "TAPVR", ""},
+    {"Tricuspid atresia", "Congenital heart disease", "", ""},
+    {"Double outlet right ventricle", "Congenital heart disease", "DORV", ""},
+    {"Valvular heart disorder", "Disease of heart", "Heart valve disorder", "368009"},
+    {"Valvular regurgitation", "Valvular heart disorder", "Regurgitant flow|Valvular insufficiency", ""},
+    {"Mitral regurgitation", "Valvular regurgitation", "Mitral insufficiency", "48724000"},
+    {"Aortic regurgitation", "Valvular regurgitation", "Aortic insufficiency", "60234000"},
+    {"Tricuspid regurgitation", "Valvular regurgitation", "Tricuspid insufficiency", ""},
+    {"Pulmonary regurgitation", "Valvular regurgitation", "Pulmonic insufficiency", ""},
+    {"Mitral stenosis", "Valvular heart disorder", "", "79619009"},
+    {"Aortic stenosis", "Valvular heart disorder", "", "60573004"},
+    {"Mitral valve prolapse", "Valvular heart disorder", "", ""},
+    {"Pericardial disorder", "Disease of heart", "Disorder of pericardium", ""},
+    {"Pericardial effusion", "Pericardial disorder", "Fluid in pericardial sac", "373945007"},
+    {"Pericarditis", "Pericardial disorder", "Inflammation of pericardium", "3238004"},
+    {"Cardiac tamponade", "Pericardial disorder", "Pericardial tamponade", "35304003"},
+    {"Endocarditis", "Disease of heart", "Inflammation of endocardium", "56819008"},
+    {"Infective endocarditis", "Endocarditis", "", "301183007"},
+    {"Bacterial endocarditis", "Infective endocarditis", "", "62067000"},
+    {"Heart failure", "Disease of heart", "Cardiac failure|Cardiac insufficiency", "84114007"},
+    {"Congestive heart failure", "Heart failure", "CHF", "42343007"},
+    {"Left heart failure", "Heart failure", "Left ventricular failure", ""},
+    {"Right heart failure", "Heart failure", "Right ventricular failure", ""},
+    {"Myocardial disorder", "Disease of heart", "Disorder of myocardium", ""},
+    {"Myocarditis", "Myocardial disorder", "Inflammation of myocardium", "50920009"},
+    {"Cardiomyopathy", "Myocardial disorder", "", "85898001"},
+    {"Dilated cardiomyopathy", "Cardiomyopathy", "Congestive cardiomyopathy", ""},
+    {"Hypertrophic cardiomyopathy", "Cardiomyopathy", "", ""},
+    {"Restrictive cardiomyopathy", "Cardiomyopathy", "", ""},
+    {"Myocardial infarction", "Disease of heart", "Heart attack|MI", "22298006"},
+    {"Kawasaki disease", "Disease of heart", "Mucocutaneous lymph node syndrome", ""},
+    {"Rheumatic heart disease", "Disease of heart", "", ""},
+
+    // ---- Findings: general / hemodynamic ----
+    {"Hemodynamic finding", "Clinical finding", "Circulatory finding", ""},
+    {"Regurgitant blood flow", "Hemodynamic finding", "Regurgitant flow|Backward flow", ""},
+    {"Reduced ejection fraction", "Hemodynamic finding", "Low ejection fraction", ""},
+    {"Cyanosis", "Clinical finding", "Bluish discoloration", "3415004"},
+    {"Neonatal cyanosis", "Cyanosis", "Cyanosis of newborn", "95477006"},
+    {"Central cyanosis", "Cyanosis", "", ""},
+    {"Peripheral cyanosis", "Cyanosis", "Acrocyanosis", ""},
+    {"Pain", "Clinical finding", "Ache", "22253000"},
+    {"Chest pain", "Pain|Finding of region of thorax", "Thoracic pain", "29857009"},
+    {"Angina pectoris", "Chest pain", "Angina", "194828000"},
+    {"Headache", "Pain", "Cephalgia", ""},
+    {"Abdominal pain", "Pain", "", ""},
+    {"Fever", "Clinical finding", "Pyrexia|Elevated body temperature", "386661006"},
+    {"Hypertension", "Clinical finding", "High blood pressure", "38341003"},
+    {"Pulmonary hypertension", "Hypertension", "Elevated pulmonary artery pressure", "70995007"},
+    {"Systemic hypertension", "Hypertension", "", ""},
+    {"Hypotension", "Clinical finding", "Low blood pressure", "45007003"},
+    {"Shock", "Clinical finding", "Circulatory collapse", "27942005"},
+    {"Cardiogenic shock", "Shock", "", "89138009"},
+    {"Septic shock", "Shock", "", "76571007"},
+    {"Hypovolemic shock", "Shock", "", ""},
+    {"Edema", "Clinical finding", "Swelling|Fluid retention", "267038008"},
+    {"Pulmonary edema", "Edema|Respiratory disorder", "Fluid in lungs", "19242006"},
+    {"Peripheral edema", "Edema", "", ""},
+    {"Heart murmur", "Clinical finding", "Cardiac murmur", "88610006"},
+    {"Systolic murmur", "Heart murmur", "", ""},
+    {"Diastolic murmur", "Heart murmur", "", ""},
+    {"Sepsis", "Clinical finding", "Systemic infection", "91302008"},
+    {"Thrombosis", "Clinical finding", "Blood clot formation", "118927008"},
+    {"Syncope", "Clinical finding", "Fainting", ""},
+    {"Palpitations", "Clinical finding", "Awareness of heart beat", ""},
+    {"Failure to thrive", "Clinical finding", "Poor weight gain", ""},
+    {"Feeding difficulty", "Clinical finding", "", ""},
+    {"Tachypnea", "Clinical finding", "Rapid breathing", ""},
+    {"Hypoxemia", "Clinical finding", "Low blood oxygen", ""},
+
+    // ---- Body structures ----
+    {"Thoracic structure", "Body structure", "Region of thorax|Structure of thorax", "51185008"},
+    {"Lung structure", "Thoracic structure", "Pulmonary structure", "39607008"},
+    {"Upper lobe of lung", "Lung structure", "", ""},
+    {"Lower lobe of lung", "Lung structure", "", ""},
+    {"Pleural structure", "Thoracic structure", "Pleura", ""},
+    {"Bronchial structure", "Thoracic structure", "Bronchus|Bronchial tree structure", "955009"},
+    {"Main bronchus structure", "Bronchial structure", "", ""},
+    {"Tracheal structure", "Thoracic structure", "Trachea", ""},
+    {"Heart structure", "Thoracic structure", "Cardiac structure", "80891009"},
+    {"Cardiac valve structure", "Heart structure", "Heart valve structure", ""},
+    {"Mitral valve structure", "Cardiac valve structure", "Bicuspid valve structure", "91134007"},
+    {"Aortic valve structure", "Cardiac valve structure", "", "34202007"},
+    {"Tricuspid valve structure", "Cardiac valve structure", "", ""},
+    {"Pulmonary valve structure", "Cardiac valve structure", "Pulmonic valve structure", ""},
+    {"Cardiac chamber structure", "Heart structure", "", ""},
+    {"Atrial structure", "Cardiac chamber structure", "Atrium", ""},
+    {"Left atrial structure", "Atrial structure", "Left atrium", ""},
+    {"Right atrial structure", "Atrial structure", "Right atrium", ""},
+    {"Ventricular structure", "Cardiac chamber structure", "Ventricle of heart", ""},
+    {"Left ventricular structure", "Ventricular structure", "Left ventricle", ""},
+    {"Right ventricular structure", "Ventricular structure", "Right ventricle", ""},
+    {"Pericardium structure", "Heart structure", "Pericardial sac", ""},
+    {"Myocardium structure", "Heart structure", "Cardiac muscle", ""},
+    {"Endocardium structure", "Heart structure", "", ""},
+    {"Cardiac conduction system structure", "Heart structure", "", ""},
+    {"Atrioventricular node structure", "Cardiac conduction system structure", "AV node", ""},
+    {"Sinoatrial node structure", "Cardiac conduction system structure", "SA node|Sinus node", ""},
+    {"Ductus arteriosus structure", "Heart structure", "", ""},
+    {"Interventricular septum structure", "Heart structure", "Ventricular septum", ""},
+    {"Interatrial septum structure", "Heart structure", "Atrial septum", ""},
+    {"Aortic structure", "Body structure", "Aorta", "15825003"},
+    {"Thoracic aorta structure", "Aortic structure|Thoracic structure", "", ""},
+    {"Aortic arch structure", "Aortic structure", "Arch of aorta", ""},
+    {"Pulmonary artery structure", "Thoracic structure", "", ""},
+    {"Coronary artery structure", "Heart structure", "", ""},
+
+    // ---- Products ----
+    {"Bronchodilator agent", "Pharmaceutical / biologic product", "Bronchodilator", ""},
+    {"Theophylline", "Bronchodilator agent", "", "66493003"},
+    {"Albuterol", "Bronchodilator agent", "Salbutamol", "372897005"},
+    {"Ipratropium", "Bronchodilator agent", "Ipratropium bromide", ""},
+    {"Antiarrhythmic agent", "Pharmaceutical / biologic product", "Antiarrhythmic drug", ""},
+    {"Amiodarone", "Antiarrhythmic agent", "Amiodarone hydrochloride", "372821002"},
+    {"Adenosine", "Antiarrhythmic agent", "", "35431001"},
+    {"Procainamide", "Antiarrhythmic agent", "", ""},
+    {"Lidocaine", "Antiarrhythmic agent", "Lignocaine", ""},
+    {"Flecainide", "Antiarrhythmic agent", "", ""},
+    {"Sotalol", "Antiarrhythmic agent|Beta blocker", "", ""},
+    {"Digoxin", "Antiarrhythmic agent", "Cardiac glycoside digoxin", "387461009"},
+    {"Beta blocker", "Pharmaceutical / biologic product", "Beta adrenergic blocking agent", ""},
+    {"Propranolol", "Beta blocker", "Propranolol hydrochloride", "372772003"},
+    {"Esmolol", "Beta blocker", "", ""},
+    {"Metoprolol", "Beta blocker", "", ""},
+    {"Atenolol", "Beta blocker", "", ""},
+    {"Analgesic agent", "Pharmaceutical / biologic product", "Pain relief agent|Analgesic", ""},
+    {"Antipyretic agent", "Pharmaceutical / biologic product", "Fever reducing agent|Antipyretic", ""},
+    {"Acetaminophen", "Analgesic agent|Antipyretic agent", "Paracetamol", "387517004"},
+    {"Opioid analgesic", "Analgesic agent", "Narcotic analgesic", ""},
+    {"Morphine", "Opioid analgesic", "", ""},
+    {"Fentanyl", "Opioid analgesic", "", ""},
+    {"Nonsteroidal anti-inflammatory agent", "Analgesic agent|Antipyretic agent", "NSAID", ""},
+    {"Ibuprofen", "Nonsteroidal anti-inflammatory agent", "", "387207008"},
+    {"Aspirin", "Nonsteroidal anti-inflammatory agent", "Acetylsalicylic acid", "387458008"},
+    {"Indomethacin", "Nonsteroidal anti-inflammatory agent", "", ""},
+    {"Ketorolac", "Nonsteroidal anti-inflammatory agent", "", ""},
+    {"Antibiotic agent", "Pharmaceutical / biologic product", "Antibacterial agent|Antibiotic", ""},
+    {"Beta-lactam antibiotic", "Antibiotic agent", "", ""},
+    {"Carbapenem", "Beta-lactam antibiotic", "Carbapenem antibiotic", "96066005"},
+    {"Meropenem", "Carbapenem", "", ""},
+    {"Imipenem", "Carbapenem", "", ""},
+    {"Penicillin", "Beta-lactam antibiotic", "", ""},
+    {"Ampicillin", "Penicillin", "", ""},
+    {"Amoxicillin", "Penicillin", "", ""},
+    {"Cephalosporin", "Beta-lactam antibiotic", "", ""},
+    {"Ceftriaxone", "Cephalosporin", "", ""},
+    {"Cefazolin", "Cephalosporin", "", ""},
+    {"Vancomycin", "Antibiotic agent", "", ""},
+    {"Gentamicin", "Antibiotic agent", "Aminoglycoside gentamicin", ""},
+    {"Diuretic agent", "Pharmaceutical / biologic product", "Diuretic", ""},
+    {"Furosemide", "Diuretic agent", "Frusemide", "387475002"},
+    {"Spironolactone", "Diuretic agent", "", ""},
+    {"Chlorothiazide", "Diuretic agent", "", ""},
+    {"Inotropic agent", "Pharmaceutical / biologic product", "Inotrope", ""},
+    {"Epinephrine", "Inotropic agent", "Adrenaline", "387362001"},
+    {"Dopamine", "Inotropic agent", "", ""},
+    {"Dobutamine", "Inotropic agent", "", ""},
+    {"Milrinone", "Inotropic agent", "", ""},
+    {"Anticoagulant agent", "Pharmaceutical / biologic product", "Anticoagulant|Blood thinner", ""},
+    {"Heparin", "Anticoagulant agent", "", ""},
+    {"Warfarin", "Anticoagulant agent", "", ""},
+    {"Prostaglandin agent", "Pharmaceutical / biologic product", "", ""},
+    {"Prostaglandin E1", "Prostaglandin agent", "Alprostadil", "312153008"},
+    {"Corticosteroid agent", "Pharmaceutical / biologic product", "Steroid", ""},
+    {"Prednisone", "Corticosteroid agent", "", ""},
+    {"Methylprednisolone", "Corticosteroid agent", "", ""},
+    {"Dexamethasone", "Corticosteroid agent", "", ""},
+    {"Sedative agent", "Pharmaceutical / biologic product", "Sedative", ""},
+    {"Midazolam", "Sedative agent", "", ""},
+    {"Angiotensin-converting enzyme inhibitor", "Pharmaceutical / biologic product", "ACE inhibitor", ""},
+    {"Captopril", "Angiotensin-converting enzyme inhibitor", "", ""},
+    {"Enalapril", "Angiotensin-converting enzyme inhibitor", "", ""},
+
+    // ---- Procedures ----
+    {"Cardiac procedure", "Procedure", "Cardiovascular procedure", ""},
+    {"Cardiopulmonary resuscitation", "Cardiac procedure", "CPR", "89666000"},
+    {"Defibrillation", "Cardiac procedure", "Electrical defibrillation", ""},
+    {"Cardioversion", "Cardiac procedure", "Electrical cardioversion", ""},
+    {"Cardiac catheterization", "Cardiac procedure", "Heart catheterization", "41976001"},
+    {"Echocardiography", "Cardiac procedure", "Echocardiogram|Cardiac ultrasound", "40701008"},
+    {"Electrocardiogram", "Cardiac procedure", "ECG|EKG", "29303009"},
+    {"Coarctation repair", "Cardiac procedure", "Repair of coarctation of aorta", ""},
+    {"Patent ductus arteriosus ligation", "Cardiac procedure", "PDA ligation", ""},
+    {"Balloon atrial septostomy", "Cardiac procedure", "Rashkind procedure", ""},
+    {"Pacemaker implantation", "Cardiac procedure", "Insertion of pacemaker", ""},
+    {"Heart transplant", "Cardiac procedure", "Cardiac transplantation", ""},
+    {"Fontan procedure", "Cardiac procedure", "Fontan operation", ""},
+    {"Norwood procedure", "Cardiac procedure", "Norwood operation", ""},
+    {"Arterial switch operation", "Cardiac procedure", "Jatene procedure", ""},
+    {"Ventricular septal defect repair", "Cardiac procedure", "VSD closure", ""},
+    {"Extracorporeal membrane oxygenation", "Procedure", "ECMO", ""},
+    {"Mechanical ventilation", "Procedure", "Ventilator support", ""},
+    {"Chest radiograph", "Procedure", "Chest x-ray", ""},
+
+    // ---- Organisms ----
+    {"Bacteria", "Organism", "Bacterial organism", ""},
+    {"Streptococcus", "Bacteria", "Streptococcus species", ""},
+    {"Staphylococcus aureus", "Bacteria", "", ""},
+    {"Pseudomonas aeruginosa", "Bacteria", "", ""},
+    {"Haemophilus influenzae", "Bacteria", "", ""},
+    {"Enterococcus", "Bacteria", "Enterococcus species", ""},
+    {"Virus", "Organism", "Viral organism", ""},
+    {"Respiratory syncytial virus", "Virus", "RSV", ""},
+    {"Influenza virus", "Virus", "", ""},
+
+    // ---- Findings: infectious / renal / neuro / hematology (context
+    //      specialties a cardiac division consults with) ----
+    {"Infectious disease", "Clinical finding", "Infection", "40733004"},
+    {"Respiratory tract infection", "Infectious disease|Respiratory disorder", "RTI", ""},
+    {"Upper respiratory infection", "Respiratory tract infection", "URI|Common cold syndrome", ""},
+    {"Bronchiolitis due to respiratory syncytial virus", "Bronchiolitis|Infectious disease", "RSV bronchiolitis", ""},
+    {"Influenza", "Respiratory tract infection", "Flu illness", "6142004"},
+    {"Urinary tract infection", "Infectious disease", "UTI", ""},
+    {"Cellulitis", "Infectious disease", "", ""},
+    {"Meningitis", "Infectious disease", "", ""},
+    {"Renal disorder", "Clinical finding", "Kidney disorder", ""},
+    {"Acute kidney injury", "Renal disorder", "Acute renal failure", "14669001"},
+    {"Chronic kidney disease", "Renal disorder", "CKD", ""},
+    {"Nephrotic syndrome", "Renal disorder", "", ""},
+    {"Hydronephrosis", "Renal disorder", "", ""},
+    {"Neurological disorder", "Clinical finding", "Nervous system disorder", ""},
+    {"Seizure", "Neurological disorder", "Convulsion", "91175000"},
+    {"Febrile seizure", "Seizure", "Febrile convulsion", ""},
+    {"Stroke", "Neurological disorder", "Cerebrovascular accident|CVA", "230690007"},
+    {"Developmental delay", "Neurological disorder", "", ""},
+    {"Hematologic disorder", "Clinical finding", "Blood disorder", ""},
+    {"Anemia", "Hematologic disorder", "Low hemoglobin", "271737000"},
+    {"Iron deficiency anemia", "Anemia", "", ""},
+    {"Thrombocytopenia", "Hematologic disorder", "Low platelet count", ""},
+    {"Neutropenia", "Hematologic disorder", "Low neutrophil count", ""},
+    {"Polycythemia", "Hematologic disorder", "Elevated hemoglobin", ""},
+    {"Coagulopathy", "Hematologic disorder", "Bleeding disorder", ""},
+    {"Electrolyte imbalance", "Clinical finding", "Electrolyte disturbance", ""},
+    {"Hypokalemia", "Electrolyte imbalance", "Low potassium", ""},
+    {"Hyperkalemia", "Electrolyte imbalance", "High potassium", ""},
+    {"Hyponatremia", "Electrolyte imbalance", "Low sodium", ""},
+    {"Dehydration", "Clinical finding", "Volume depletion", ""},
+    {"Malnutrition", "Clinical finding", "Nutritional deficiency", ""},
+    {"Obesity", "Clinical finding", "", ""},
+    {"Gastroesophageal reflux", "Clinical finding", "GERD|Acid reflux", ""},
+    {"Vomiting", "Clinical finding", "Emesis", ""},
+    {"Diarrhea", "Clinical finding", "", ""},
+
+    // ---- Body structures: renal / neuro ----
+    {"Kidney structure", "Body structure", "Renal structure", "64033007"},
+    {"Brain structure", "Body structure", "Cerebral structure", "12738006"},
+    {"Urinary bladder structure", "Body structure", "Bladder", ""},
+
+    // ---- Products: additional classes ----
+    {"Antiviral agent", "Pharmaceutical / biologic product", "Antiviral", ""},
+    {"Oseltamivir", "Antiviral agent", "", ""},
+    {"Anticonvulsant agent", "Pharmaceutical / biologic product", "Antiepileptic", ""},
+    {"Phenobarbital", "Anticonvulsant agent", "", ""},
+    {"Levetiracetam", "Anticonvulsant agent", "", ""},
+    {"Iron supplement", "Pharmaceutical / biologic product", "Ferrous sulfate product", ""},
+    {"Potassium chloride", "Pharmaceutical / biologic product", "Potassium supplement", ""},
+    {"Ondansetron", "Pharmaceutical / biologic product", "Antiemetic ondansetron", ""},
+    {"Ranitidine", "Pharmaceutical / biologic product", "H2 blocker ranitidine", ""},
+    {"Amoxicillin-clavulanate", "Penicillin", "Co-amoxiclav", ""},
+    {"Azithromycin", "Antibiotic agent", "Macrolide azithromycin", ""},
+    {"Nitrofurantoin", "Antibiotic agent", "", ""},
+};
+
+constexpr RelationshipRow kRelationships[] = {
+    // finding_site_of: disorder -> body structure (paper Fig. 2).
+    {"Asthma", "finding_site_of", "Bronchial structure"},
+    {"Asthma attack", "finding_site_of", "Bronchial structure"},
+    {"Bronchitis", "finding_site_of", "Bronchial structure"},
+    {"Bronchospasm", "finding_site_of", "Bronchial structure"},
+    {"Bronchiectasis", "finding_site_of", "Bronchial structure"},
+    {"Pneumonia", "finding_site_of", "Lung structure"},
+    {"Pulmonary edema", "finding_site_of", "Lung structure"},
+    {"Pleural effusion", "finding_site_of", "Pleural structure"},
+    {"Pneumothorax", "finding_site_of", "Pleural structure"},
+    {"Disease of heart", "finding_site_of", "Heart structure"},
+    {"Cardiac arrest", "finding_site_of", "Heart structure"},
+    {"Cardiac arrhythmia", "finding_site_of", "Cardiac conduction system structure"},
+    {"Supraventricular arrhythmia", "finding_site_of", "Atrial structure"},
+    {"Supraventricular tachycardia", "finding_site_of", "Atrioventricular node structure"},
+    {"Atrial fibrillation", "finding_site_of", "Atrial structure"},
+    {"Atrial flutter", "finding_site_of", "Atrial structure"},
+    {"Ventricular arrhythmia", "finding_site_of", "Ventricular structure"},
+    {"Ventricular tachycardia", "finding_site_of", "Ventricular structure"},
+    {"Ventricular fibrillation", "finding_site_of", "Ventricular structure"},
+    {"Heart block", "finding_site_of", "Atrioventricular node structure"},
+    {"Sinus bradycardia", "finding_site_of", "Sinoatrial node structure"},
+    {"Coarctation of aorta", "finding_site_of", "Aortic structure"},
+    {"Patent ductus arteriosus", "finding_site_of", "Ductus arteriosus structure"},
+    {"Ventricular septal defect", "finding_site_of", "Interventricular septum structure"},
+    {"Atrial septal defect", "finding_site_of", "Interatrial septum structure"},
+    {"Mitral regurgitation", "finding_site_of", "Mitral valve structure"},
+    {"Mitral stenosis", "finding_site_of", "Mitral valve structure"},
+    {"Mitral valve prolapse", "finding_site_of", "Mitral valve structure"},
+    {"Aortic regurgitation", "finding_site_of", "Aortic valve structure"},
+    {"Aortic stenosis", "finding_site_of", "Aortic valve structure"},
+    {"Tricuspid regurgitation", "finding_site_of", "Tricuspid valve structure"},
+    {"Pulmonary regurgitation", "finding_site_of", "Pulmonary valve structure"},
+    {"Pulmonary valve stenosis", "finding_site_of", "Pulmonary valve structure"},
+    {"Pericardial effusion", "finding_site_of", "Pericardium structure"},
+    {"Pericarditis", "finding_site_of", "Pericardium structure"},
+    {"Cardiac tamponade", "finding_site_of", "Pericardium structure"},
+    {"Endocarditis", "finding_site_of", "Endocardium structure"},
+    {"Myocarditis", "finding_site_of", "Myocardium structure"},
+    {"Cardiomyopathy", "finding_site_of", "Myocardium structure"},
+    {"Myocardial infarction", "finding_site_of", "Coronary artery structure"},
+    {"Pulmonary hypertension", "finding_site_of", "Pulmonary artery structure"},
+    {"Chest pain", "finding_site_of", "Thoracic structure"},
+
+    // Hemodynamic associations.
+    {"Valvular regurgitation", "has_associated_finding", "Regurgitant blood flow"},
+    {"Mitral regurgitation", "has_associated_finding", "Regurgitant blood flow"},
+    {"Aortic regurgitation", "has_associated_finding", "Regurgitant blood flow"},
+    {"Tricuspid regurgitation", "has_associated_finding", "Regurgitant blood flow"},
+    {"Heart failure", "has_associated_finding", "Reduced ejection fraction"},
+    {"Dilated cardiomyopathy", "has_associated_finding", "Reduced ejection fraction"},
+    {"Heart murmur", "has_associated_finding", "Regurgitant blood flow"},
+
+    // Etiology.
+    {"Neonatal cyanosis", "due_to", "Congenital heart disease"},
+    {"Central cyanosis", "due_to", "Hypoxemia"},
+    {"Cardiogenic shock", "due_to", "Heart failure"},
+    {"Pulmonary edema", "due_to", "Heart failure"},
+    {"Septic shock", "due_to", "Sepsis"},
+    {"Cardiac tamponade", "due_to", "Pericardial effusion"},
+    {"Syncope", "due_to", "Cardiac arrhythmia"},
+    {"Aspirin-induced asthma", "causative_agent", "Aspirin"},
+    {"Bacterial endocarditis", "causative_agent", "Streptococcus"},
+    {"Bacterial endocarditis", "causative_agent", "Staphylococcus aureus"},
+    {"Bacterial pneumonia", "causative_agent", "Streptococcus"},
+    {"Bacterial pneumonia", "causative_agent", "Pseudomonas aeruginosa"},
+    {"Sepsis", "causative_agent", "Bacteria"},
+
+    // Therapy: product -> finding.
+    {"Theophylline", "may_treat", "Asthma"},
+    {"Albuterol", "may_treat", "Asthma"},
+    {"Albuterol", "may_treat", "Bronchospasm"},
+    {"Ipratropium", "may_treat", "Bronchospasm"},
+    {"Methylprednisolone", "may_treat", "Status asthmaticus"},
+    {"Amiodarone", "may_treat", "Supraventricular arrhythmia"},
+    {"Amiodarone", "may_treat", "Ventricular tachycardia"},
+    {"Amiodarone", "may_treat", "Atrial fibrillation"},
+    {"Amiodarone", "may_treat", "Junctional ectopic tachycardia"},
+    {"Adenosine", "may_treat", "Supraventricular tachycardia"},
+    {"Procainamide", "may_treat", "Supraventricular arrhythmia"},
+    {"Procainamide", "may_treat", "Ventricular arrhythmia"},
+    {"Lidocaine", "may_treat", "Ventricular arrhythmia"},
+    {"Flecainide", "may_treat", "Supraventricular tachycardia"},
+    {"Sotalol", "may_treat", "Supraventricular arrhythmia"},
+    {"Digoxin", "may_treat", "Heart failure"},
+    {"Digoxin", "may_treat", "Atrial fibrillation"},
+    {"Digoxin", "may_treat", "Supraventricular tachycardia"},
+    {"Propranolol", "may_treat", "Supraventricular arrhythmia"},
+    {"Propranolol", "may_treat", "Systemic hypertension"},
+    {"Propranolol", "may_treat", "Tetralogy of Fallot"},
+    {"Esmolol", "may_treat", "Supraventricular tachycardia"},
+    {"Metoprolol", "may_treat", "Systemic hypertension"},
+    {"Acetaminophen", "may_treat", "Pain"},
+    {"Acetaminophen", "may_treat", "Fever"},
+    {"Aspirin", "may_treat", "Pain"},
+    {"Aspirin", "may_treat", "Fever"},
+    {"Aspirin", "may_treat", "Kawasaki disease"},
+    {"Aspirin", "may_treat", "Thrombosis"},
+    {"Morphine", "may_treat", "Pain"},
+    {"Morphine", "may_treat", "Chest pain"},
+    {"Fentanyl", "may_treat", "Pain"},
+    {"Ibuprofen", "may_treat", "Patent ductus arteriosus"},
+    {"Ibuprofen", "may_treat", "Pain"},
+    {"Ibuprofen", "may_treat", "Fever"},
+    {"Ibuprofen", "may_treat", "Pericarditis"},
+    {"Indomethacin", "may_treat", "Patent ductus arteriosus"},
+    {"Ketorolac", "may_treat", "Pain"},
+    {"Carbapenem", "may_treat", "Bacterial endocarditis"},
+    {"Carbapenem", "may_treat", "Bacterial pneumonia"},
+    {"Carbapenem", "may_treat", "Sepsis"},
+    {"Meropenem", "may_treat", "Sepsis"},
+    {"Imipenem", "may_treat", "Bacterial pneumonia"},
+    {"Ampicillin", "may_treat", "Bacterial endocarditis"},
+    {"Ceftriaxone", "may_treat", "Bacterial endocarditis"},
+    {"Ceftriaxone", "may_treat", "Bacterial pneumonia"},
+    {"Vancomycin", "may_treat", "Bacterial endocarditis"},
+    {"Gentamicin", "may_treat", "Bacterial endocarditis"},
+    {"Furosemide", "may_treat", "Heart failure"},
+    {"Furosemide", "may_treat", "Pulmonary edema"},
+    {"Furosemide", "may_treat", "Pericardial effusion"},
+    {"Furosemide", "may_treat", "Edema"},
+    {"Spironolactone", "may_treat", "Heart failure"},
+    {"Chlorothiazide", "may_treat", "Systemic hypertension"},
+    {"Epinephrine", "may_treat", "Cardiac arrest"},
+    {"Epinephrine", "may_treat", "Bradycardia"},
+    {"Dopamine", "may_treat", "Cardiogenic shock"},
+    {"Dopamine", "may_treat", "Hypotension"},
+    {"Dobutamine", "may_treat", "Cardiogenic shock"},
+    {"Dobutamine", "may_treat", "Heart failure"},
+    {"Milrinone", "may_treat", "Heart failure"},
+    {"Heparin", "may_treat", "Thrombosis"},
+    {"Warfarin", "may_treat", "Atrial fibrillation"},
+    {"Warfarin", "may_treat", "Thrombosis"},
+    {"Prostaglandin E1", "may_treat", "Neonatal cyanosis"},
+    {"Prostaglandin E1", "may_treat", "Hypoplastic left heart syndrome"},
+    {"Prostaglandin E1", "may_treat", "Transposition of great arteries"},
+    {"Captopril", "may_treat", "Heart failure"},
+    {"Enalapril", "may_treat", "Systemic hypertension"},
+    {"Prednisone", "may_treat", "Pericarditis"},
+
+    // Therapy: procedure -> finding.
+    {"Cardiopulmonary resuscitation", "may_treat", "Cardiac arrest"},
+    {"Defibrillation", "may_treat", "Ventricular fibrillation"},
+    {"Defibrillation", "may_treat", "Cardiac arrest"},
+    {"Cardioversion", "may_treat", "Atrial fibrillation"},
+    {"Cardioversion", "may_treat", "Supraventricular tachycardia"},
+    {"Coarctation repair", "may_treat", "Coarctation of aorta"},
+    {"Patent ductus arteriosus ligation", "may_treat", "Patent ductus arteriosus"},
+    {"Balloon atrial septostomy", "may_treat", "Transposition of great arteries"},
+    {"Pacemaker implantation", "may_treat", "Complete heart block"},
+    {"Heart transplant", "may_treat", "Dilated cardiomyopathy"},
+    {"Fontan procedure", "may_treat", "Tricuspid atresia"},
+    {"Norwood procedure", "may_treat", "Hypoplastic left heart syndrome"},
+    {"Arterial switch operation", "may_treat", "Transposition of great arteries"},
+    {"Ventricular septal defect repair", "may_treat", "Ventricular septal defect"},
+    {"Extracorporeal membrane oxygenation", "may_treat", "Cardiogenic shock"},
+    {"Mechanical ventilation", "may_treat", "Respiratory distress"},
+
+    // Infectious / renal / neuro / hematology relationships.
+    {"Respiratory tract infection", "finding_site_of", "Tracheal structure"},
+    {"Bronchiolitis due to respiratory syncytial virus", "causative_agent", "Respiratory syncytial virus"},
+    {"Influenza", "causative_agent", "Influenza virus"},
+    {"Urinary tract infection", "finding_site_of", "Urinary bladder structure"},
+    {"Meningitis", "finding_site_of", "Brain structure"},
+    {"Acute kidney injury", "finding_site_of", "Kidney structure"},
+    {"Chronic kidney disease", "finding_site_of", "Kidney structure"},
+    {"Nephrotic syndrome", "finding_site_of", "Kidney structure"},
+    {"Hydronephrosis", "finding_site_of", "Kidney structure"},
+    {"Seizure", "finding_site_of", "Brain structure"},
+    {"Stroke", "finding_site_of", "Brain structure"},
+    {"Febrile seizure", "due_to", "Fever"},
+    {"Hyperkalemia", "due_to", "Acute kidney injury"},
+    {"Dehydration", "due_to", "Diarrhea"},
+    {"Iron deficiency anemia", "due_to", "Malnutrition"},
+    {"Polycythemia", "due_to", "Hypoxemia"},
+    {"Oseltamivir", "may_treat", "Influenza"},
+    {"Phenobarbital", "may_treat", "Seizure"},
+    {"Levetiracetam", "may_treat", "Seizure"},
+    {"Iron supplement", "may_treat", "Iron deficiency anemia"},
+    {"Potassium chloride", "may_treat", "Hypokalemia"},
+    {"Ondansetron", "may_treat", "Vomiting"},
+    {"Ranitidine", "may_treat", "Gastroesophageal reflux"},
+    {"Amoxicillin-clavulanate", "may_treat", "Upper respiratory infection"},
+    {"Azithromycin", "may_treat", "Respiratory tract infection"},
+    {"Nitrofurantoin", "may_treat", "Urinary tract infection"},
+    {"Amoxicillin", "may_treat", "Upper respiratory infection"},
+    {"Ceftriaxone", "may_treat", "Meningitis"},
+
+    // Procedure sites.
+    {"Echocardiography", "procedure_site", "Heart structure"},
+    {"Electrocardiogram", "procedure_site", "Heart structure"},
+    {"Cardiac catheterization", "procedure_site", "Heart structure"},
+    {"Coarctation repair", "procedure_site", "Aortic structure"},
+    {"Patent ductus arteriosus ligation", "procedure_site", "Ductus arteriosus structure"},
+    {"Chest radiograph", "procedure_site", "Thoracic structure"},
+};
+// clang-format on
+
+}  // namespace
+
+Ontology BuildSnomedCardiologyFragment(bool include_therapy_relations) {
+  Ontology onto(kSnomedSystemId, "SNOMED CT (cardiology fragment)");
+
+  // Pass 1: concepts. Synthetic codes are deterministic in table order.
+  int synthetic_code = 0;
+  for (const ConceptRow& row : kConcepts) {
+    std::string code = row.code;
+    if (code.empty()) {
+      code = StringPrintf("900%06d", ++synthetic_code);
+    }
+    std::vector<std::string> synonyms;
+    if (row.synonyms[0] != '\0') {
+      for (std::string_view syn : SplitString(row.synonyms, '|')) {
+        synonyms.emplace_back(syn);
+      }
+    }
+    onto.AddConcept(std::move(code), row.term, std::move(synonyms));
+  }
+
+  // Pass 2: is-a edges (parents resolved by preferred term).
+  for (const ConceptRow& row : kConcepts) {
+    if (row.parents[0] == '\0') continue;
+    ConceptId child = onto.FindByPreferredTerm(row.term);
+    assert(child != kInvalidConcept);
+    for (std::string_view parent_term : SplitString(row.parents, '|')) {
+      ConceptId parent = onto.FindByPreferredTerm(parent_term);
+      assert(parent != kInvalidConcept && "unknown parent term in table");
+      Status st = onto.AddIsA(child, parent);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+
+  // Pass 3: attribute relationships.
+  for (const RelationshipRow& row : kRelationships) {
+    if (!include_therapy_relations &&
+        std::string_view(row.type) == kRelMayTreat) {
+      continue;
+    }
+    ConceptId source = onto.FindByPreferredTerm(row.source);
+    ConceptId target = onto.FindByPreferredTerm(row.target);
+    assert(source != kInvalidConcept && "unknown relationship source");
+    assert(target != kInvalidConcept && "unknown relationship target");
+    Status st = onto.AddRelationship(source, row.type, target);
+    assert(st.ok());
+    (void)st;
+  }
+
+  Status valid = onto.Validate();
+  assert(valid.ok() && "curated fragment must be a DAG");
+  (void)valid;
+  return onto;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,50 @@
+#ifndef XONTORANK_ONTO_SNOMED_FRAGMENT_H_
+#define XONTORANK_ONTO_SNOMED_FRAGMENT_H_
+
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// The codeSystem OID under which SNOMED CT is referenced in CDA documents.
+inline constexpr char kSnomedSystemId[] = "2.16.840.1.113883.6.96";
+
+/// The LOINC codeSystem OID (used by CDA section codes).
+inline constexpr char kLoincSystemId[] = "2.16.840.1.113883.6.1";
+
+/// Relationship type names used by the fragment (SNOMED attribute style).
+inline constexpr char kRelFindingSite[] = "finding_site_of";
+inline constexpr char kRelCausativeAgent[] = "causative_agent";
+inline constexpr char kRelDueTo[] = "due_to";
+inline constexpr char kRelMayTreat[] = "may_treat";
+inline constexpr char kRelAssociatedFinding[] = "has_associated_finding";
+inline constexpr char kRelProcedureSite[] = "procedure_site";
+
+/// Builds the hand-curated cardiology/respiratory SNOMED CT fragment.
+///
+/// This substitutes for the proprietary SNOMED CT distribution (see
+/// DESIGN.md §1). It contains every concept the paper names — Asthma,
+/// Bronchial structure, the finding-site-of link between them (Fig. 2),
+/// Disorder of bronchus, Theophylline — plus the full term set needed by
+/// the Table I query workload (cardiac arrest, coarctation, neonatal
+/// cyanosis, carbapenem, ibuprofen, supraventricular arrhythmia,
+/// pericardial effusion, regurgitant flow, amiodarone, acetaminophen,
+/// aspirin, ...), organized as an is-a DAG with SNOMED-style attribute
+/// relationships. Roughly 230 concepts; fully deterministic.
+///
+/// Concepts named in the paper carry their real SNOMED CT codes; the rest
+/// carry synthetic codes assigned deterministically from table order.
+///
+/// \param include_therapy_relations if true (default), the fragment carries
+///        `may_treat` edges from drugs/procedures to the disorders they
+///        treat. Real SNOMED CT defines *no* medication-indication
+///        relationships (that knowledge lives in RxNorm/NDF-RT); the edges
+///        here stand in for the clinical knowledge the paper's domain
+///        expert applied and drive the corpus generator's coherent
+///        medication lists. Pass false for a SNOMED-faithful graph, which
+///        reproduces the paper's Table II algorithm orderings (see
+///        EXPERIMENTS.md).
+Ontology BuildSnomedCardiologyFragment(bool include_therapy_relations = true);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_ONTO_SNOMED_FRAGMENT_H_

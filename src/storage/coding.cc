@@ -1,0 +1,108 @@
+#include "storage/coding.h"
+
+#include <array>
+
+namespace xontorank {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  dst->push_back(static_cast<char>(value & 0xff));
+  dst->push_back(static_cast<char>((value >> 8) & 0xff));
+  dst->push_back(static_cast<char>((value >> 16) & 0xff));
+  dst->push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+bool Decoder::GetVarint32(uint32_t* value) {
+  uint64_t v64;
+  size_t saved = pos_;
+  if (!GetVarint64(&v64) || v64 > UINT32_MAX) {
+    pos_ = saved;
+    return false;
+  }
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool Decoder::GetVarint64(uint64_t* value) {
+  uint64_t result = 0;
+  size_t saved = pos_;
+  for (int shift = 0; shift <= 63 && pos_ < data_.size(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  pos_ = saved;
+  return false;
+}
+
+bool Decoder::GetFixed32(uint32_t* value) {
+  if (remaining() < 4) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(data_.data() + pos_);
+  *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  pos_ += 4;
+  return true;
+}
+
+bool Decoder::GetLengthPrefixed(std::string_view* value) {
+  size_t saved = pos_;
+  uint64_t len;
+  if (!GetVarint64(&len) || len > remaining()) {
+    pos_ = saved;
+    return false;
+  }
+  *value = data_.substr(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ c) & 0xff];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,50 @@
+#ifndef XONTORANK_STORAGE_CODING_H_
+#define XONTORANK_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xontorank {
+
+/// Little-endian / varint primitives for the on-disk index format
+/// (LevelDB-style).
+
+/// Appends a 32-bit value in LEB128 varint encoding (1–5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Appends a 64-bit value in LEB128 varint encoding (1–10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a fixed 4-byte little-endian value.
+void PutFixed32(std::string* dst, uint32_t value);
+
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Cursor over encoded bytes. All Get* methods advance the cursor and
+/// return false on truncation/overflow without advancing past the end.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetVarint32(uint32_t* value);
+  bool GetVarint64(uint64_t* value);
+  bool GetFixed32(uint32_t* value);
+  bool GetLengthPrefixed(std::string_view* value);
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE polynomial) over `data`, used to detect index corruption.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_STORAGE_CODING_H_

@@ -1,0 +1,183 @@
+#include "storage/engine_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "onto/ontology_io.h"
+#include "storage/index_store.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace xontorank {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path + " for reading");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string_view VocabularyModeName(IndexBuildOptions::VocabularyMode mode) {
+  switch (mode) {
+    case IndexBuildOptions::VocabularyMode::kCorpusOnly:
+      return "corpus";
+    case IndexBuildOptions::VocabularyMode::kCorpusAndOntology:
+      return "corpus+ontology";
+    case IndexBuildOptions::VocabularyMode::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+}  // namespace
+
+Status SaveEngineDir(const XOntoRank& engine, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/corpus", ec);
+  if (ec) return Status::IoError("cannot create " + dir);
+
+  const CorpusIndex& index = engine.index();
+  const IndexBuildOptions& options = index.options();
+
+  std::string manifest;
+  manifest += "format\txontorank-engine\t1\n";
+  manifest += StringPrintf("strategy\t%s\n",
+                           std::string(StrategyName(options.strategy)).c_str());
+  manifest += StringPrintf("decay\t%.17g\n", options.score.decay);
+  manifest += StringPrintf("threshold\t%.17g\n", options.score.threshold);
+  manifest += StringPrintf("omega\t%.17g\n", options.score.ontology_weight);
+  manifest += StringPrintf("bm25_k1\t%.17g\n", options.score.bm25.k1);
+  manifest += StringPrintf("bm25_b\t%.17g\n", options.score.bm25.b);
+  manifest += StringPrintf("vocabulary\t%s\n",
+                           std::string(VocabularyModeName(
+                               options.vocabulary_mode)).c_str());
+  manifest += StringPrintf("elem_rank\t%d\t%.17g\n",
+                           options.use_elem_rank ? 1 : 0,
+                           options.elem_rank_blend);
+
+  // Ontological systems.
+  for (size_t s = 0; s < index.systems().size(); ++s) {
+    std::string name = StringPrintf("ontology_%zu.tsv", s);
+    XONTO_RETURN_IF_ERROR(
+        SaveOntology(index.systems().system(s), dir + "/" + name));
+    manifest += "ontology\t" + name + "\n";
+  }
+
+  // Corpus.
+  for (size_t d = 0; d < engine.corpus_size(); ++d) {
+    std::string name = StringPrintf("corpus/doc_%05zu.xml", d);
+    XONTO_RETURN_IF_ERROR(WriteFile(
+        dir + "/" + name,
+        WriteXml(engine.document(static_cast<uint32_t>(d)))));
+    manifest += "document\t" + name + "\n";
+  }
+
+  // Materialized inverted lists.
+  XONTO_RETURN_IF_ERROR(SaveIndex(index.materialized(), dir + "/index.xodl"));
+  manifest += "index\tindex.xodl\n";
+
+  return WriteFile(dir + "/manifest.tsv", manifest);
+}
+
+Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
+  XONTO_ASSIGN_OR_RETURN(std::string manifest, ReadFile(dir + "/manifest.tsv"));
+
+  auto loaded = std::make_unique<LoadedEngine>();
+  IndexBuildOptions options;
+  options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
+  std::vector<std::string> document_files;
+  std::string index_file;
+
+  for (std::string_view line : SplitString(manifest, '\n')) {
+    if (TrimWhitespace(line).empty()) continue;
+    std::vector<std::string_view> fields = SplitString(line, '\t');
+    std::string_view key = fields[0];
+    if (key == "format") {
+      if (fields.size() < 3 || fields[1] != "xontorank-engine") {
+        return Status::Corruption("unrecognized engine manifest format");
+      }
+    } else if (key == "strategy" && fields.size() >= 2) {
+      bool found = false;
+      for (Strategy s : kAllStrategies) {
+        if (fields[1] == StrategyName(s)) {
+          options.strategy = s;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Status::Corruption("unknown strategy in manifest: " +
+                                  std::string(fields[1]));
+      }
+    } else if (key == "decay" && fields.size() >= 2) {
+      options.score.decay = std::stod(std::string(fields[1]));
+    } else if (key == "threshold" && fields.size() >= 2) {
+      options.score.threshold = std::stod(std::string(fields[1]));
+    } else if (key == "omega" && fields.size() >= 2) {
+      options.score.ontology_weight = std::stod(std::string(fields[1]));
+    } else if (key == "bm25_k1" && fields.size() >= 2) {
+      options.score.bm25.k1 = std::stod(std::string(fields[1]));
+    } else if (key == "bm25_b" && fields.size() >= 2) {
+      options.score.bm25.b = std::stod(std::string(fields[1]));
+    } else if (key == "elem_rank" && fields.size() >= 3) {
+      options.use_elem_rank = fields[1] == "1";
+      options.elem_rank_blend = std::stod(std::string(fields[2]));
+    } else if (key == "ontology" && fields.size() >= 2) {
+      XONTO_ASSIGN_OR_RETURN(Ontology onto,
+                             LoadOntology(dir + "/" + std::string(fields[1])));
+      loaded->ontologies_.push_back(
+          std::make_unique<Ontology>(std::move(onto)));
+    } else if (key == "document" && fields.size() >= 2) {
+      document_files.emplace_back(fields[1]);
+    } else if (key == "index" && fields.size() >= 2) {
+      index_file = std::string(fields[1]);
+    }
+    // Unknown keys are ignored for forward compatibility.
+  }
+
+  if (loaded->ontologies_.empty()) {
+    return Status::Corruption("manifest lists no ontologies");
+  }
+  if (document_files.empty()) {
+    return Status::Corruption("manifest lists no documents");
+  }
+
+  std::vector<XmlDocument> corpus;
+  corpus.reserve(document_files.size());
+  for (const std::string& name : document_files) {
+    XONTO_ASSIGN_OR_RETURN(std::string xml, ReadFile(dir + "/" + name));
+    auto parsed = ParseXml(xml);
+    if (!parsed.ok()) {
+      return Status::Corruption(name + ": " + parsed.status().message());
+    }
+    XmlDocument doc = std::move(parsed).value();
+    doc.set_doc_id(static_cast<uint32_t>(corpus.size()));
+    corpus.push_back(std::move(doc));
+  }
+
+  OntologySet systems;
+  for (const auto& onto : loaded->ontologies_) systems.Add(*onto);
+  loaded->engine_ =
+      std::make_unique<XOntoRank>(std::move(corpus), systems, options);
+
+  if (!index_file.empty()) {
+    XONTO_ASSIGN_OR_RETURN(XOntoDil dil, LoadIndex(dir + "/" + index_file));
+    loaded->engine_->mutable_index().AdoptPrecomputed(std::move(dil));
+  }
+  return loaded;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,57 @@
+#ifndef XONTORANK_STORAGE_ENGINE_STORE_H_
+#define XONTORANK_STORAGE_ENGINE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/xontorank.h"
+#include "onto/ontology.h"
+
+namespace xontorank {
+
+/// Whole-engine persistence: a self-contained directory holding everything
+/// needed to answer queries (the paper's preprocessing/query phase split
+/// made durable). Layout:
+///
+/// ```
+///   <dir>/manifest.tsv        # options + file inventory
+///   <dir>/ontology_<i>.tsv    # one per ontological system
+///   <dir>/corpus/doc_<i>.xml  # the document collection
+///   <dir>/index.xodl          # materialized XOnto-DILs
+/// ```
+///
+/// Loading reconstructs a fully owned engine: the corpus and ontologies are
+/// parsed back, the index structure is rebuilt (stage 1 is cheap and
+/// in-memory) and the persisted DIL entries are adopted so stage 2+3 — the
+/// expensive OntoScore work — is never repeated for persisted keywords.
+
+/// A loaded engine owning all of its parts.
+class LoadedEngine {
+ public:
+  XOntoRank& engine() { return *engine_; }
+  const XOntoRank& engine() const { return *engine_; }
+
+  const std::vector<std::unique_ptr<Ontology>>& ontologies() const {
+    return ontologies_;
+  }
+
+ private:
+  friend Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(
+      const std::string& dir);
+
+  std::vector<std::unique_ptr<Ontology>> ontologies_;
+  std::unique_ptr<XOntoRank> engine_;
+};
+
+/// Persists `engine` (its corpus, its systems, its currently materialized
+/// DIL entries and its options) into `dir`, creating it if needed.
+Status SaveEngineDir(const XOntoRank& engine, const std::string& dir);
+
+/// Restores an engine saved with SaveEngineDir.
+Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_STORAGE_ENGINE_STORE_H_

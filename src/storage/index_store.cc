@@ -1,0 +1,164 @@
+#include "storage/index_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "storage/coding.h"
+
+namespace xontorank {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'O', 'D', 'L'};
+constexpr uint32_t kVersion = 1;
+
+uint32_t FloatBits(double score) {
+  float f = static_cast<float>(score);
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+double BitsToScore(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return static_cast<double>(f);
+}
+
+}  // namespace
+
+std::string EncodeIndex(const XOntoDil& dil) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(&out, kVersion);
+  PutVarint64(&out, dil.entries().size());
+  for (const auto& [keyword, entry] : dil.entries()) {
+    PutLengthPrefixed(&out, keyword);
+    PutVarint64(&out, entry.postings.size());
+    const DilPosting* prev = nullptr;
+    for (const DilPosting& posting : entry.postings) {
+      size_t shared = 0;
+      if (prev != nullptr) {
+        shared = prev->dewey.CommonPrefixLength(posting.dewey);
+      }
+      PutVarint64(&out, shared);
+      PutVarint64(&out, posting.dewey.size() - shared);
+      for (size_t i = shared; i < posting.dewey.size(); ++i) {
+        PutVarint32(&out, posting.dewey[i]);
+      }
+      PutFixed32(&out, FloatBits(posting.score));
+      prev = &posting;
+    }
+  }
+  PutFixed32(&out, Crc32(out));
+  return out;
+}
+
+Result<XOntoDil> DecodeIndex(std::string_view data) {
+  if (data.size() < sizeof(kMagic) + 8) {
+    return Status::Corruption("index blob too small");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad index magic");
+  }
+  // Verify trailing CRC over everything before it.
+  Decoder crc_decoder(data.substr(data.size() - 4));
+  uint32_t stored_crc = 0;
+  crc_decoder.GetFixed32(&stored_crc);
+  uint32_t actual_crc = Crc32(data.substr(0, data.size() - 4));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("index CRC mismatch");
+  }
+
+  Decoder dec(data.substr(sizeof(kMagic), data.size() - sizeof(kMagic) - 4));
+  uint32_t version = 0;
+  if (!dec.GetFixed32(&version)) return Status::Corruption("missing version");
+  if (version != kVersion) {
+    return Status::Corruption("unsupported index version " +
+                              std::to_string(version));
+  }
+  uint64_t num_entries = 0;
+  if (!dec.GetVarint64(&num_entries)) {
+    return Status::Corruption("missing entry count");
+  }
+  XOntoDil dil;
+  for (uint64_t e = 0; e < num_entries; ++e) {
+    std::string_view keyword;
+    if (!dec.GetLengthPrefixed(&keyword)) {
+      return Status::Corruption("truncated keyword");
+    }
+    uint64_t num_postings = 0;
+    if (!dec.GetVarint64(&num_postings)) {
+      return Status::Corruption("truncated posting count");
+    }
+    std::vector<DilPosting> postings;
+    postings.reserve(num_postings);
+    std::vector<uint32_t> prev_components;
+    for (uint64_t p = 0; p < num_postings; ++p) {
+      uint64_t shared = 0, fresh = 0;
+      if (!dec.GetVarint64(&shared) || !dec.GetVarint64(&fresh)) {
+        return Status::Corruption("truncated posting header");
+      }
+      if (shared > prev_components.size()) {
+        return Status::Corruption("posting prefix exceeds previous id");
+      }
+      std::vector<uint32_t> components(prev_components.begin(),
+                                       prev_components.begin() + shared);
+      for (uint64_t i = 0; i < fresh; ++i) {
+        uint32_t comp = 0;
+        if (!dec.GetVarint32(&comp)) {
+          return Status::Corruption("truncated dewey component");
+        }
+        components.push_back(comp);
+      }
+      uint32_t score_bits = 0;
+      if (!dec.GetFixed32(&score_bits)) {
+        return Status::Corruption("truncated posting score");
+      }
+      prev_components = components;
+      postings.push_back({DeweyId(std::move(components)),
+                          BitsToScore(score_bits)});
+    }
+    dil.Put(std::string(keyword), std::move(postings));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("trailing bytes in index");
+  return dil;
+}
+
+Status SaveIndex(const XOntoDil& dil, const std::string& path) {
+  std::string encoded = EncodeIndex(dil);
+  std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + tmp_path + " for writing");
+  }
+  size_t written = std::fwrite(encoded.data(), 1, encoded.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != encoded.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<XOntoDil> LoadIndex(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    data.append(buffer, n);
+  }
+  std::fclose(f);
+  return DecodeIndex(data);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,50 @@
+#ifndef XONTORANK_STORAGE_INDEX_STORE_H_
+#define XONTORANK_STORAGE_INDEX_STORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/xonto_dil.h"
+
+namespace xontorank {
+
+/// Durable storage for XOnto-DIL indexes.
+///
+/// The paper persists its inverted lists in Microsoft SQL Server 2000 as a
+/// plain keyed blob store; this module replaces that dependency with an
+/// embedded single-file format (see DESIGN.md §1):
+///
+/// ```
+///   [magic "XODL"] [version u32]
+///   [entry count varint]
+///   per entry:
+///     [keyword, length-prefixed]
+///     [posting count varint]
+///     per posting (sorted by Dewey id):
+///       [shared prefix length with previous posting, varint]
+///       [number of fresh components, varint] [components, varint each]
+///       [score bits, fixed32]
+///   [CRC-32 of everything above, fixed32]
+/// ```
+///
+/// Because postings are sorted in document order, consecutive Dewey ids
+/// share long prefixes; prefix elision plus varint components compresses the
+/// lists well below their in-memory footprint. The trailing CRC turns any
+/// torn write or bit rot into Status::Corruption at load time rather than
+/// silent wrong results.
+
+/// Serializes an index to its binary representation.
+std::string EncodeIndex(const XOntoDil& dil);
+
+/// Parses a binary representation; rejects bad magic/version/CRC/structure.
+Result<XOntoDil> DecodeIndex(std::string_view data);
+
+/// Writes the encoded index to `path` (atomically: temp file + rename).
+Status SaveIndex(const XOntoDil& dil, const std::string& path);
+
+/// Reads an index previously written by SaveIndex.
+Result<XOntoDil> LoadIndex(const std::string& path);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_STORAGE_INDEX_STORE_H_

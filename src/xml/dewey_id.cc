@@ -1,0 +1,59 @@
+#include "xml/dewey_id.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xontorank {
+
+DeweyId DeweyId::Child(uint32_t ordinal) const {
+  std::vector<uint32_t> comps = components_;
+  comps.push_back(ordinal);
+  return DeweyId(std::move(comps));
+}
+
+DeweyId DeweyId::Parent() const {
+  assert(components_.size() > 1 && "document root has no parent");
+  std::vector<uint32_t> comps(components_.begin(), components_.end() - 1);
+  return DeweyId(std::move(comps));
+}
+
+bool DeweyId::IsAncestorOrSelfOf(const DeweyId& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+bool DeweyId::IsStrictAncestorOf(const DeweyId& other) const {
+  return components_.size() < other.components_.size() &&
+         IsAncestorOrSelfOf(other);
+}
+
+size_t DeweyId::CommonPrefixLength(const DeweyId& other) const {
+  size_t limit = std::min(components_.size(), other.components_.size());
+  size_t i = 0;
+  while (i < limit && components_[i] == other.components_[i]) ++i;
+  return i;
+}
+
+DeweyId DeweyId::LongestCommonAncestor(const DeweyId& other) const {
+  size_t n = CommonPrefixLength(other);
+  if (n == 0) return DeweyId();
+  return DeweyId(
+      std::vector<uint32_t>(components_.begin(), components_.begin() + n));
+}
+
+size_t DeweyId::DistanceTo(const DeweyId& descendant) const {
+  assert(IsAncestorOrSelfOf(descendant));
+  return descendant.components_.size() - components_.size();
+}
+
+std::string DeweyId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace xontorank

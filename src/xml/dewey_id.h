@@ -1,0 +1,81 @@
+#ifndef XONTORANK_XML_DEWEY_ID_H_
+#define XONTORANK_XML_DEWEY_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xontorank {
+
+/// Dewey identifier of an XML node (XRANK §V / Fig. 9).
+///
+/// The first component is the document id; subsequent components are
+/// 0-based child ordinals along the path from the document root to the node.
+/// The document root element therefore has the Dewey id `[doc]`, its second
+/// child `[doc, 1]`, and so on. Dewey ids order postings in document order,
+/// decide ancestor/descendant containment in O(depth), and give containment
+/// distance for the decayed score propagation of Eq. 2.
+class DeweyId {
+ public:
+  DeweyId() = default;
+
+  /// Constructs from explicit components; `components[0]` is the doc id.
+  explicit DeweyId(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// Convenience: document root id for document `doc_id`.
+  static DeweyId Root(uint32_t doc_id) { return DeweyId({doc_id}); }
+
+  /// The id of this node's `ordinal`-th child.
+  DeweyId Child(uint32_t ordinal) const;
+
+  /// The id of this node's parent. Must not be a bare document id.
+  DeweyId Parent() const;
+
+  bool empty() const { return components_.empty(); }
+  size_t size() const { return components_.size(); }
+  uint32_t operator[](size_t i) const { return components_[i]; }
+  const std::vector<uint32_t>& components() const { return components_; }
+
+  /// Document id (first component). Requires non-empty.
+  uint32_t doc_id() const { return components_.front(); }
+
+  /// Depth below the document root (root element itself has depth 0).
+  size_t depth() const { return components_.empty() ? 0 : components_.size() - 1; }
+
+  /// True if `this` is `other` or an ancestor of `other` (prefix test).
+  bool IsAncestorOrSelfOf(const DeweyId& other) const;
+
+  /// True if `this` is a strict ancestor of `other`.
+  bool IsStrictAncestorOf(const DeweyId& other) const;
+
+  /// Number of shared leading components with `other` (0 if different docs).
+  size_t CommonPrefixLength(const DeweyId& other) const;
+
+  /// Longest common ancestor of two ids in the same document. If the ids
+  /// belong to different documents the result is empty.
+  DeweyId LongestCommonAncestor(const DeweyId& other) const;
+
+  /// Number of containment edges between `this` (an ancestor-or-self) and
+  /// `descendant`. Requires IsAncestorOrSelfOf(descendant).
+  size_t DistanceTo(const DeweyId& descendant) const;
+
+  /// Document-order comparison; ancestors sort before descendants.
+  bool operator<(const DeweyId& other) const {
+    return components_ < other.components_;
+  }
+  bool operator==(const DeweyId& other) const {
+    return components_ == other.components_;
+  }
+  bool operator!=(const DeweyId& other) const { return !(*this == other); }
+
+  /// "1.0.2.4" rendering (Fig. 9 style).
+  std::string ToString() const;
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_XML_DEWEY_ID_H_

@@ -1,0 +1,110 @@
+#include "xml/xml_node.h"
+
+#include <algorithm>
+
+namespace xontorank {
+
+std::unique_ptr<XmlNode> XmlNode::MakeElement(std::string tag) {
+  auto node = std::unique_ptr<XmlNode>(new XmlNode(Kind::kElement));
+  node->tag_ = std::move(tag);
+  return node;
+}
+
+std::unique_ptr<XmlNode> XmlNode::MakeText(std::string text) {
+  auto node = std::unique_ptr<XmlNode>(new XmlNode(Kind::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+void XmlNode::AddAttribute(std::string name, std::string value) {
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+std::optional<std::string_view> XmlNode::GetAttribute(
+    std::string_view name) const {
+  for (const XmlAttribute& attr : attributes_) {
+    if (attr.name == name) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
+  child->parent_ = this;
+  child->ordinal_ = static_cast<uint32_t>(children_.size());
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddElementChild(std::string tag) {
+  return AddChild(MakeElement(std::move(tag)));
+}
+
+XmlNode* XmlNode::AddTextChild(std::string text) {
+  return AddChild(MakeText(std::move(text)));
+}
+
+XmlNode* XmlNode::FindChildElement(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->tag() == tag) return child.get();
+  }
+  return nullptr;
+}
+
+XmlNode* XmlNode::FindDescendantElement(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->tag() == tag) return child.get();
+    if (XmlNode* found = child->FindDescendantElement(tag)) return found;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::InnerText() const {
+  std::string out;
+  Visit([&out](const XmlNode& node) {
+    if (node.is_text()) out += node.text();
+  });
+  return out;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t count = 1;
+  for (const auto& child : children_) count += child->SubtreeSize();
+  return count;
+}
+
+void XmlNode::Visit(const std::function<void(const XmlNode&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children_) child->Visit(fn);
+}
+
+void XmlNode::VisitMutable(const std::function<void(XmlNode&)>& fn) {
+  fn(*this);
+  for (const auto& child : children_) child->VisitMutable(fn);
+}
+
+DeweyId XmlDocument::DeweyIdOf(const XmlNode& node) const {
+  std::vector<uint32_t> reversed;
+  const XmlNode* cur = &node;
+  while (cur->parent() != nullptr) {
+    reversed.push_back(cur->ordinal());
+    cur = cur->parent();
+  }
+  std::vector<uint32_t> comps;
+  comps.reserve(reversed.size() + 1);
+  comps.push_back(doc_id_);
+  comps.insert(comps.end(), reversed.rbegin(), reversed.rend());
+  return DeweyId(std::move(comps));
+}
+
+const XmlNode* XmlDocument::Resolve(const DeweyId& id) const {
+  if (id.empty() || id.doc_id() != doc_id_ || root_ == nullptr) return nullptr;
+  const XmlNode* cur = root_.get();
+  for (size_t i = 1; i < id.size(); ++i) {
+    uint32_t ordinal = id[i];
+    if (ordinal >= cur->children().size()) return nullptr;
+    cur = cur->children()[ordinal].get();
+  }
+  return cur;
+}
+
+}  // namespace xontorank

@@ -1,0 +1,159 @@
+#ifndef XONTORANK_XML_XML_NODE_H_
+#define XONTORANK_XML_XML_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dewey_id.h"
+
+namespace xontorank {
+
+/// A single XML attribute; order within the owning element is preserved.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// Ontological reference carried by a *code node* (§III): the id of the
+/// referenced ontological system (e.g. SNOMED's OID) and the concept code
+/// within that system.
+struct OntoRef {
+  std::string system;  ///< codeSystem attribute value, e.g. "2.16.840.1.113883.6.96"
+  std::string code;    ///< concept code within the system, e.g. "195967001"
+
+  bool operator==(const OntoRef& other) const {
+    return system == other.system && code == other.code;
+  }
+};
+
+/// Node of the XML document tree. Two kinds exist: elements (tag, attributes,
+/// children) and text nodes (character data only). The tree is an ownership
+/// tree: each node owns its children via unique_ptr; parent pointers are
+/// non-owning back-references.
+class XmlNode {
+ public:
+  enum class Kind { kElement, kText };
+
+  /// Creates an element node with the given tag.
+  static std::unique_ptr<XmlNode> MakeElement(std::string tag);
+
+  /// Creates a text node with the given character data.
+  static std::unique_ptr<XmlNode> MakeText(std::string text);
+
+  XmlNode(const XmlNode&) = delete;
+  XmlNode& operator=(const XmlNode&) = delete;
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  /// Element tag name; empty for text nodes.
+  const std::string& tag() const { return tag_; }
+
+  /// Character data; empty for element nodes.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+
+  /// Appends an attribute (duplicate names are not rejected here; the parser
+  /// rejects them with a ParseError).
+  void AddAttribute(std::string name, std::string value);
+
+  /// Value of attribute `name`, or nullopt if absent.
+  std::optional<std::string_view> GetAttribute(std::string_view name) const;
+
+  /// Appends `child`, fixing up its parent pointer; returns the raw pointer.
+  XmlNode* AddChild(std::unique_ptr<XmlNode> child);
+
+  /// Convenience: appends a new element child with the given tag.
+  XmlNode* AddElementChild(std::string tag);
+
+  /// Convenience: appends a text node child.
+  XmlNode* AddTextChild(std::string text);
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  XmlNode* parent() const { return parent_; }
+
+  /// Index of this node among its parent's children (0 for a root).
+  uint32_t ordinal() const { return ordinal_; }
+
+  /// First element child with tag `tag`, or nullptr.
+  XmlNode* FindChildElement(std::string_view tag) const;
+
+  /// Depth-first search for the first descendant element with tag `tag`
+  /// (excluding `this`), or nullptr.
+  XmlNode* FindDescendantElement(std::string_view tag) const;
+
+  /// Concatenation of all text-node data in this subtree, in document order.
+  std::string InnerText() const;
+
+  /// Number of nodes (elements + text) in this subtree including `this`.
+  size_t SubtreeSize() const;
+
+  /// Visits every node in this subtree (preorder), including `this`.
+  void Visit(const std::function<void(const XmlNode&)>& fn) const;
+  void VisitMutable(const std::function<void(XmlNode&)>& fn);
+
+  /// The node's ontological reference if it is a code node (see
+  /// `ExtractOntoRef` in xml_parser.h for the CDA convention), else nullopt.
+  const std::optional<OntoRef>& onto_ref() const { return onto_ref_; }
+  void set_onto_ref(OntoRef ref) { onto_ref_ = std::move(ref); }
+
+ private:
+  explicit XmlNode(Kind kind) : kind_(kind) {}
+
+  friend class XmlDocument;
+
+  Kind kind_;
+  std::string tag_;
+  std::string text_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+  XmlNode* parent_ = nullptr;
+  uint32_t ordinal_ = 0;
+  std::optional<OntoRef> onto_ref_;
+};
+
+/// A parsed XML document: owns the root element and assigns Dewey ids.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  explicit XmlDocument(std::unique_ptr<XmlNode> root, uint32_t doc_id = 0)
+      : root_(std::move(root)), doc_id_(doc_id) {}
+
+  XmlDocument(XmlDocument&&) noexcept = default;
+  XmlDocument& operator=(XmlDocument&&) noexcept = default;
+
+  const XmlNode* root() const { return root_.get(); }
+  XmlNode* mutable_root() { return root_.get(); }
+
+  uint32_t doc_id() const { return doc_id_; }
+  void set_doc_id(uint32_t id) { doc_id_ = id; }
+
+  /// Total node count (elements + text nodes).
+  size_t NodeCount() const { return root_ ? root_->SubtreeSize() : 0; }
+
+  /// Dewey id of `node`, which must belong to this document. The id is
+  /// computed by walking parent pointers; O(depth).
+  DeweyId DeweyIdOf(const XmlNode& node) const;
+
+  /// Resolves a Dewey id back to the node it denotes, or nullptr if the id
+  /// does not address a node of this document.
+  const XmlNode* Resolve(const DeweyId& id) const;
+
+ private:
+  std::unique_ptr<XmlNode> root_;
+  uint32_t doc_id_ = 0;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_XML_XML_NODE_H_

@@ -1,0 +1,355 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace xontorank {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Recursive-descent XML parser with line/column tracking.
+class Parser {
+ public:
+  Parser(std::string_view input, const XmlParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<XmlDocument> Parse() {
+    SkipProlog();
+    if (AtEnd()) return Error("document contains no root element");
+    if (Peek() != '<') return Error("expected '<' before root element");
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (!AtEnd()) return Error("content after the root element");
+    XmlDocument doc(std::move(root).value());
+    if (options_.detect_onto_refs) {
+      doc.mutable_root()->VisitMutable([](XmlNode& node) {
+        if (!node.is_element()) return;
+        if (auto ref = ExtractOntoRef(node)) node.set_onto_ref(*ref);
+      });
+    }
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t i = pos_ + offset;
+    return i < input_.size() ? input_[i] : '\0';
+  }
+  bool LookingAt(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  Status Error(std::string_view what) const {
+    return Status::ParseError(StringPrintf("%zu:%zu: %.*s", line_, column_,
+                                           static_cast<int>(what.size()),
+                                           what.data()));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && IsXmlWhitespace(Peek())) Advance();
+  }
+
+  /// Skips the XML declaration, PIs, comments, DOCTYPE and whitespace that
+  /// may precede the root element.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else if (LookingAt("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Skips comments/PIs/whitespace after the root element.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    while (!AtEnd() && !LookingAt(terminator)) Advance();
+    AdvanceBy(terminator.size());
+  }
+
+  void SkipDoctype() {
+    // <!DOCTYPE name ... [internal subset]? >
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      Advance();
+      if (c == '>' && bracket_depth <= 0) return;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Decodes one entity or character reference starting at '&'.
+  Result<std::string> ParseReference() {
+    Advance();  // consume '&'
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ';') {
+      if (pos_ - start > 10) return Error("unterminated entity reference");
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated entity reference");
+    std::string_view name = input_.substr(start, pos_ - start);
+    Advance();  // consume ';'
+    if (name == "lt") return std::string("<");
+    if (name == "gt") return std::string(">");
+    if (name == "amp") return std::string("&");
+    if (name == "quot") return std::string("\"");
+    if (name == "apos") return std::string("'");
+    if (!name.empty() && name[0] == '#') {
+      uint32_t code = 0;
+      bool ok = false;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (size_t i = 2; i < name.size(); ++i) {
+          char c = name[i];
+          uint32_t digit;
+          if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+          else if (c >= 'a' && c <= 'f') digit = static_cast<uint32_t>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F') digit = static_cast<uint32_t>(c - 'A' + 10);
+          else return Error("bad hexadecimal character reference");
+          code = code * 16 + digit;
+          ok = true;
+        }
+      } else {
+        for (size_t i = 1; i < name.size(); ++i) {
+          char c = name[i];
+          if (c < '0' || c > '9') return Error("bad character reference");
+          code = code * 10 + static_cast<uint32_t>(c - '0');
+          ok = true;
+        }
+      }
+      if (!ok || code == 0 || code > 0x10FFFF) {
+        return Error("character reference out of range");
+      }
+      return EncodeUtf8(code);
+    }
+    return Error("unknown entity reference");
+  }
+
+  static std::string EncodeUtf8(uint32_t code) {
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      char c = Peek();
+      if (c == '<') return Error("'<' not allowed inside attribute value");
+      if (c == '&') {
+        auto ref = ParseReference();
+        if (!ref.ok()) return ref.status();
+        value += *ref;
+      } else {
+        value.push_back(c);
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // consume closing quote
+    return value;
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    Advance();  // consume '<'
+    auto tag = ParseName();
+    if (!tag.ok()) return tag.status();
+    auto element = XmlNode::MakeElement(std::move(tag).value());
+
+    // Attributes.
+    while (true) {
+      bool saw_space = false;
+      while (!AtEnd() && IsXmlWhitespace(Peek())) {
+        saw_space = true;
+        Advance();
+      }
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      if (!saw_space) return Error("expected whitespace before attribute");
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
+      Advance();
+      SkipWhitespace();
+      auto value = ParseAttributeValue();
+      if (!value.ok()) return value.status();
+      if (element->GetAttribute(*name).has_value()) {
+        return Error("duplicate attribute '" + *name + "'");
+      }
+      element->AddAttribute(std::move(name).value(), std::move(value).value());
+    }
+
+    if (LookingAt("/>")) {
+      AdvanceBy(2);
+      return element;
+    }
+    Advance();  // consume '>'
+
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      if (options_.skip_ignorable_whitespace &&
+          TrimWhitespace(pending_text).empty()) {
+        pending_text.clear();
+        return;
+      }
+      element->AddTextChild(std::move(pending_text));
+      pending_text.clear();
+    };
+
+    while (true) {
+      if (AtEnd()) return Error("unexpected end of input inside element '" +
+                                element->tag() + "'");
+      char c = Peek();
+      if (c == '<') {
+        if (LookingAt("</")) {
+          flush_text();
+          AdvanceBy(2);
+          auto close = ParseName();
+          if (!close.ok()) return close.status();
+          if (*close != element->tag()) {
+            return Error("mismatched end tag: expected </" + element->tag() +
+                         "> but found </" + *close + ">");
+          }
+          SkipWhitespace();
+          if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+          Advance();
+          return element;
+        }
+        if (LookingAt("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (LookingAt("<![CDATA[")) {
+          AdvanceBy(9);
+          size_t start = pos_;
+          while (!AtEnd() && !LookingAt("]]>")) Advance();
+          if (AtEnd()) return Error("unterminated CDATA section");
+          pending_text += input_.substr(start, pos_ - start);
+          AdvanceBy(3);
+          continue;
+        }
+        if (LookingAt("<?")) {
+          SkipUntil("?>");
+          continue;
+        }
+        flush_text();
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        element->AddChild(std::move(child).value());
+      } else if (c == '&') {
+        auto ref = ParseReference();
+        if (!ref.ok()) return ref.status();
+        pending_text += *ref;
+      } else {
+        pending_text.push_back(c);
+        Advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  XmlParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view input,
+                             const XmlParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+std::optional<OntoRef> ExtractOntoRef(const XmlNode& element) {
+  if (!element.is_element()) return std::nullopt;
+  auto code = element.GetAttribute("code");
+  auto system = element.GetAttribute("codeSystem");
+  if (!code.has_value() || !system.has_value()) return std::nullopt;
+  if (code->empty() || system->empty()) return std::nullopt;
+  return OntoRef{std::string(*system), std::string(*code)};
+}
+
+}  // namespace xontorank

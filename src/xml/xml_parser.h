@@ -1,0 +1,46 @@
+#ifndef XONTORANK_XML_XML_PARSER_H_
+#define XONTORANK_XML_XML_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Options controlling XML parsing.
+struct XmlParseOptions {
+  /// If true, text nodes consisting solely of whitespace between elements
+  /// are dropped (CDA documents are indented for readability; the
+  /// inter-element whitespace carries no content).
+  bool skip_ignorable_whitespace = true;
+
+  /// If true, code nodes are detected during parsing: any element carrying
+  /// both a `code` and a `codeSystem` attribute, or whose `value` carries
+  /// them, gets its OntoRef populated (HL7 CDA convention, §II/§III).
+  bool detect_onto_refs = true;
+};
+
+/// Parses `input` into a document tree.
+///
+/// Supported grammar: one root element; nested elements with attributes
+/// (single- or double-quoted); character data; the five predefined entities
+/// plus decimal/hex character references; comments; CDATA sections;
+/// `<?...?>` processing instructions and XML declarations (skipped);
+/// `<!DOCTYPE ...>` (skipped, including bracketed internal subsets).
+/// Namespace prefixes are kept as part of tag/attribute names (CDA uses a
+/// default namespace throughout, so no prefix resolution is required).
+///
+/// Errors carry 1-based line:column positions of the offending byte.
+Result<XmlDocument> ParseXml(std::string_view input,
+                             const XmlParseOptions& options = {});
+
+/// Extracts the ontological reference of a CDA element per the convention of
+/// §III: an element with both `code` and `codeSystem` attributes references
+/// concept `code` in system `codeSystem`. Returns nullopt otherwise.
+std::optional<OntoRef> ExtractOntoRef(const XmlNode& element);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_XML_XML_PARSER_H_

@@ -1,0 +1,98 @@
+#include "xml/xml_writer.h"
+
+namespace xontorank {
+
+namespace {
+
+void AppendIndent(std::string& out, int depth, int width) {
+  out.append(static_cast<size_t>(depth) * static_cast<size_t>(width), ' ');
+}
+
+void WriteNode(const XmlNode& node, const XmlWriteOptions& options, int depth,
+               std::string& out) {
+  if (node.is_text()) {
+    out += EscapeXmlText(node.text());
+    return;
+  }
+  if (options.pretty && depth > 0) {
+    out.push_back('\n');
+    AppendIndent(out, depth, options.indent_width);
+  }
+  out.push_back('<');
+  out += node.tag();
+  for (const XmlAttribute& attr : node.attributes()) {
+    out.push_back(' ');
+    out += attr.name;
+    out += "=\"";
+    out += EscapeXmlAttribute(attr.value);
+    out.push_back('"');
+  }
+  if (node.children().empty()) {
+    out += "/>";
+    return;
+  }
+  out.push_back('>');
+  bool has_element_child = false;
+  for (const auto& child : node.children()) {
+    if (child->is_element()) has_element_child = true;
+    WriteNode(*child, options, depth + 1, out);
+  }
+  if (options.pretty && has_element_child) {
+    out.push_back('\n');
+    AppendIndent(out, depth, options.indent_width);
+  }
+  out += "</";
+  out += node.tag();
+  out.push_back('>');
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options) {
+  std::string out;
+  WriteNode(node, options, 0, out);
+  return out;
+}
+
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.emit_declaration) {
+    out = "<?xml version=\"1.0\"?>";
+    if (options.pretty) out.push_back('\n');
+  }
+  if (doc.root() != nullptr) {
+    WriteNode(*doc.root(), options, 0, out);
+  }
+  return out;
+}
+
+std::string EscapeXmlText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeXmlAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace xontorank

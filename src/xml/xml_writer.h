@@ -1,0 +1,36 @@
+#ifndef XONTORANK_XML_XML_WRITER_H_
+#define XONTORANK_XML_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// Options controlling XML serialization.
+struct XmlWriteOptions {
+  /// If true, child elements are placed on their own indented lines.
+  bool pretty = false;
+  /// Indentation unit when `pretty` is set.
+  int indent_width = 2;
+  /// If true, an `<?xml version="1.0"?>` declaration is emitted first.
+  bool emit_declaration = true;
+};
+
+/// Serializes a subtree rooted at `node` to XML text. Attribute values and
+/// character data are entity-escaped so that ParseXml(WriteXml(t)) == t.
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options = {});
+
+/// Serializes a whole document (root element + declaration).
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options = {});
+
+/// Escapes `text` for use as XML character data (&, <, >).
+std::string EscapeXmlText(std::string_view text);
+
+/// Escapes `value` for use inside a double-quoted attribute (&, <, >, ").
+std::string EscapeXmlAttribute(std::string_view value);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_XML_XML_WRITER_H_

@@ -1,0 +1,63 @@
+#include "ir/bm25.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(Bm25Test, ZeroWhenNoOccurrence) {
+  EXPECT_EQ(Bm25TermScore(0, 5, 100, 10, 10.0), 0.0);
+  EXPECT_EQ(Bm25TermScore(3, 0, 100, 10, 10.0), 0.0);
+  EXPECT_EQ(Bm25TermScore(3, 5, 0, 10, 10.0), 0.0);
+}
+
+TEST(Bm25Test, AlwaysNonNegative) {
+  // df == N (term everywhere) still non-negative with the log(1+x) idf.
+  EXPECT_GE(Bm25TermScore(3, 100, 100, 10, 10.0), 0.0);
+}
+
+TEST(Bm25Test, IncreasesWithTf) {
+  double s1 = Bm25TermScore(1, 5, 100, 10, 10.0);
+  double s2 = Bm25TermScore(2, 5, 100, 10, 10.0);
+  double s5 = Bm25TermScore(5, 5, 100, 10, 10.0);
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s5);
+}
+
+TEST(Bm25Test, SaturatesInTf) {
+  // Marginal gain shrinks: s(2)-s(1) > s(10)-s(9).
+  double gain_low = Bm25TermScore(2, 5, 100, 10, 10.0) -
+                    Bm25TermScore(1, 5, 100, 10, 10.0);
+  double gain_high = Bm25TermScore(10, 5, 100, 10, 10.0) -
+                     Bm25TermScore(9, 5, 100, 10, 10.0);
+  EXPECT_GT(gain_low, gain_high);
+}
+
+TEST(Bm25Test, RareTermsScoreHigher) {
+  double rare = Bm25TermScore(1, 1, 100, 10, 10.0);
+  double common = Bm25TermScore(1, 50, 100, 10, 10.0);
+  EXPECT_GT(rare, common);
+}
+
+TEST(Bm25Test, LongUnitsPenalized) {
+  double short_unit = Bm25TermScore(1, 5, 100, 5, 10.0);
+  double long_unit = Bm25TermScore(1, 5, 100, 50, 10.0);
+  EXPECT_GT(short_unit, long_unit);
+}
+
+TEST(Bm25Test, BZeroDisablesLengthNormalization) {
+  Bm25Params params;
+  params.b = 0.0;
+  double a = Bm25TermScore(1, 5, 100, 5, 10.0, params);
+  double b = Bm25TermScore(1, 5, 100, 50, 10.0, params);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Bm25Test, ZeroAvgLengthHandled) {
+  // Degenerate collection: must not divide by zero.
+  double s = Bm25TermScore(1, 1, 1, 0, 0.0);
+  EXPECT_GE(s, 0.0);
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,114 @@
+#include "xml/dewey_id.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(DeweyIdTest, RootAndChildren) {
+  DeweyId root = DeweyId::Root(3);
+  EXPECT_EQ(root.ToString(), "3");
+  EXPECT_EQ(root.doc_id(), 3u);
+  EXPECT_EQ(root.depth(), 0u);
+  DeweyId child = root.Child(0).Child(2);
+  EXPECT_EQ(child.ToString(), "3.0.2");
+  EXPECT_EQ(child.depth(), 2u);
+}
+
+TEST(DeweyIdTest, ParentInvertsChild) {
+  DeweyId id = DeweyId::Root(1).Child(4).Child(7);
+  EXPECT_EQ(id.Parent().ToString(), "1.4");
+  EXPECT_EQ(id.Parent().Parent().ToString(), "1");
+}
+
+TEST(DeweyIdTest, AncestorChecks) {
+  DeweyId a = DeweyId::Root(0).Child(1);
+  DeweyId b = a.Child(2).Child(3);
+  EXPECT_TRUE(a.IsAncestorOrSelfOf(b));
+  EXPECT_TRUE(a.IsAncestorOrSelfOf(a));
+  EXPECT_TRUE(a.IsStrictAncestorOf(b));
+  EXPECT_FALSE(a.IsStrictAncestorOf(a));
+  EXPECT_FALSE(b.IsAncestorOrSelfOf(a));
+}
+
+TEST(DeweyIdTest, DifferentDocumentsNeverRelated) {
+  DeweyId a = DeweyId::Root(0).Child(1);
+  DeweyId b = DeweyId::Root(1).Child(1);
+  EXPECT_FALSE(a.IsAncestorOrSelfOf(b));
+  EXPECT_EQ(a.CommonPrefixLength(b), 0u);
+  EXPECT_TRUE(a.LongestCommonAncestor(b).empty());
+}
+
+TEST(DeweyIdTest, SiblingDivergence) {
+  DeweyId parent = DeweyId::Root(0).Child(5);
+  DeweyId left = parent.Child(0);
+  DeweyId right = parent.Child(1);
+  EXPECT_FALSE(left.IsAncestorOrSelfOf(right));
+  EXPECT_EQ(left.LongestCommonAncestor(right), parent);
+}
+
+TEST(DeweyIdTest, DistanceCountsContainmentEdges) {
+  DeweyId a = DeweyId::Root(0);
+  DeweyId b = a.Child(1).Child(2).Child(3);
+  EXPECT_EQ(a.DistanceTo(b), 3u);
+  EXPECT_EQ(a.DistanceTo(a), 0u);
+}
+
+TEST(DeweyIdTest, DocumentOrderIsLexicographic) {
+  std::vector<DeweyId> ids = {
+      DeweyId({0, 2}), DeweyId({0}), DeweyId({1}), DeweyId({0, 1, 5}),
+      DeweyId({0, 1}),
+  };
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids[0].ToString(), "0");
+  EXPECT_EQ(ids[1].ToString(), "0.1");
+  EXPECT_EQ(ids[2].ToString(), "0.1.5");
+  EXPECT_EQ(ids[3].ToString(), "0.2");
+  EXPECT_EQ(ids[4].ToString(), "1");
+}
+
+TEST(DeweyIdTest, AncestorsSortBeforeDescendants) {
+  DeweyId a = DeweyId::Root(0).Child(1);
+  DeweyId b = a.Child(0);
+  EXPECT_LT(a, b);
+}
+
+class DeweyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeweyPropertyTest, LcaIsAncestorOfBothAndMaximal) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    // Two random ids in the same document.
+    auto random_id = [&rng]() {
+      std::vector<uint32_t> comps{0};
+      size_t depth = rng.NextBelow(6);
+      for (size_t i = 0; i < depth; ++i) {
+        comps.push_back(static_cast<uint32_t>(rng.NextBelow(3)));
+      }
+      return DeweyId(comps);
+    };
+    DeweyId a = random_id();
+    DeweyId b = random_id();
+    DeweyId lca = a.LongestCommonAncestor(b);
+    ASSERT_FALSE(lca.empty());
+    EXPECT_TRUE(lca.IsAncestorOrSelfOf(a));
+    EXPECT_TRUE(lca.IsAncestorOrSelfOf(b));
+    // Maximality: one level deeper (toward a) is no longer an ancestor of
+    // both unless a == lca.
+    if (lca.size() < a.size()) {
+      DeweyId deeper = lca.Child(a[lca.size()]);
+      EXPECT_FALSE(deeper.IsAncestorOrSelfOf(a) &&
+                   deeper.IsAncestorOrSelfOf(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeweyPropertyTest,
+                         ::testing::Values(1, 7, 42, 4242));
+
+}  // namespace
+}  // namespace xontorank

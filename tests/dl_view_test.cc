@@ -1,0 +1,108 @@
+#include "onto/dl_view.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+
+TEST(DlViewTest, AtomicNodesMirrorConcepts) {
+  Ontology onto = BuildTinyOntology();
+  DlView view(onto);
+  for (ConceptId c = 0; c < onto.concept_count(); ++c) {
+    DlNodeId node = view.AtomicNode(c);
+    EXPECT_TRUE(view.IsAtomic(node));
+    EXPECT_EQ(view.ConceptOf(node), c);
+    EXPECT_EQ(view.NodeName(node), onto.GetConcept(c).preferred_term);
+  }
+}
+
+TEST(DlViewTest, RestrictionsDedupedBySignature) {
+  // finding_site_of(Asthma, Bronchus) and finding_site_of(AsthmaAttack,
+  // Bronchus) share one ∃finding_site_of.Bronchus node; treats(Drug, Asthma)
+  // adds another. Total = 2 restrictions.
+  Ontology onto = BuildTinyOntology();
+  DlView view(onto);
+  EXPECT_EQ(view.restriction_count(), 2u);
+  EXPECT_EQ(view.node_count(), onto.concept_count() + 2);
+}
+
+TEST(DlViewTest, RestrictionShape) {
+  Ontology onto = BuildTinyOntology();
+  DlView view(onto);
+  ConceptId bronchus = onto.FindByPreferredTerm("Bronchus");
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ConceptId attack = onto.FindByPreferredTerm("AsthmaAttack");
+  auto fso = onto.FindRelationType("finding_site_of");
+  ASSERT_TRUE(fso.has_value());
+  auto restriction = view.RestrictionNode(*fso, bronchus);
+  ASSERT_TRUE(restriction.has_value());
+  EXPECT_FALSE(view.IsAtomic(*restriction));
+  EXPECT_EQ(view.RoleOf(*restriction), *fso);
+  EXPECT_EQ(view.FillerOf(*restriction), bronchus);
+
+  // Is-a children of ∃fso.Bronchus are exactly the relationship sources.
+  const auto& sources = view.IsAChildren(*restriction);
+  EXPECT_EQ(sources.size(), 2u);
+  EXPECT_NE(std::find(sources.begin(), sources.end(), view.AtomicNode(asthma)),
+            sources.end());
+  EXPECT_NE(std::find(sources.begin(), sources.end(), view.AtomicNode(attack)),
+            sources.end());
+
+  // Dotted link connects the restriction and its filler, both directions.
+  const auto& dotted = view.DottedNeighbors(*restriction);
+  ASSERT_EQ(dotted.size(), 1u);
+  EXPECT_EQ(dotted[0], view.AtomicNode(bronchus));
+  const auto& back = view.DottedNeighbors(view.AtomicNode(bronchus));
+  EXPECT_NE(std::find(back.begin(), back.end(), *restriction), back.end());
+}
+
+TEST(DlViewTest, SourceGainsIsAParentRestriction) {
+  // Asthma ⊑ ∃finding_site_of.Bronchus (the paper's example statement).
+  Ontology onto = BuildTinyOntology();
+  DlView view(onto);
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ConceptId bronchus = onto.FindByPreferredTerm("Bronchus");
+  auto fso = onto.FindRelationType("finding_site_of");
+  auto restriction = view.RestrictionNode(*fso, bronchus);
+  const auto& parents = view.IsAParents(view.AtomicNode(asthma));
+  EXPECT_NE(std::find(parents.begin(), parents.end(), *restriction),
+            parents.end());
+  // The original taxonomic parent (Disease) is still there too.
+  ConceptId disease = onto.FindByPreferredTerm("Disease");
+  EXPECT_NE(std::find(parents.begin(), parents.end(),
+                      view.AtomicNode(disease)),
+            parents.end());
+}
+
+TEST(DlViewTest, RestrictionNames) {
+  Ontology onto = BuildTinyOntology();
+  DlView view(onto);
+  ConceptId bronchus = onto.FindByPreferredTerm("Bronchus");
+  auto fso = onto.FindRelationType("finding_site_of");
+  auto restriction = view.RestrictionNode(*fso, bronchus);
+  EXPECT_EQ(view.NodeName(*restriction), "Exists finding_site_of Bronchus");
+}
+
+TEST(DlViewTest, MissingRestrictionIsNullopt) {
+  Ontology onto = BuildTinyOntology();
+  DlView view(onto);
+  ConceptId flu = onto.FindByPreferredTerm("Flu");
+  auto fso = onto.FindRelationType("finding_site_of");
+  EXPECT_FALSE(view.RestrictionNode(*fso, flu).has_value());
+}
+
+TEST(DlViewTest, FragmentScale) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  DlView view(onto);
+  EXPECT_GT(view.restriction_count(), 40u);
+  EXPECT_EQ(view.node_count(), onto.concept_count() + view.restriction_count());
+}
+
+}  // namespace
+}  // namespace xontorank

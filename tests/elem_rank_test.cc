@@ -1,0 +1,121 @@
+#include "core/elem_rank.h"
+
+#include "core/index_builder.h"
+#include "core/xontorank.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+using testing_util::MustParse;
+
+std::vector<XmlDocument> Corpus(std::initializer_list<const char*> xmls) {
+  std::vector<XmlDocument> corpus;
+  uint32_t id = 0;
+  for (const char* xml : xmls) corpus.push_back(MustParse(xml, id++));
+  return corpus;
+}
+
+TEST(ElemRankTest, RanksNormalizedToUnitMax) {
+  auto corpus = Corpus({"<a><b/><c><d/></c></a>"});
+  ElemRank rank(corpus);
+  ASSERT_EQ(rank.size(), 4u);
+  double max_rank = 0.0;
+  for (size_t i = 0; i < rank.size(); ++i) {
+    EXPECT_GT(rank.rank(static_cast<uint32_t>(i)), 0.0);
+    EXPECT_LE(rank.rank(static_cast<uint32_t>(i)), 1.0);
+    max_rank = std::max(max_rank, rank.rank(static_cast<uint32_t>(i)));
+  }
+  EXPECT_DOUBLE_EQ(max_rank, 1.0);
+}
+
+TEST(ElemRankTest, ParentAccruesFromChildren) {
+  // Root with many children must out-rank a leaf (reverse containment
+  // aggregates undivided).
+  auto corpus = Corpus({"<root><a/><b/><c/><d/><e/></root>"});
+  ElemRank rank(corpus);
+  // Unit 0 is the root, 1..5 its children.
+  EXPECT_GT(rank.rank(0), rank.rank(1));
+}
+
+TEST(ElemRankTest, HyperlinkTargetGainsAuthority) {
+  // Two otherwise identical leaves; one is the target of two references.
+  auto corpus = Corpus(
+      {"<root>"
+       "<content ID=\"m1\"/>"
+       "<plain/>"
+       "<reference value=\"m1\"/>"
+       "<reference value=\"m1\"/>"
+       "</root>"});
+  ElemRank rank(corpus);
+  EXPECT_EQ(rank.hyperlink_edge_count(), 2u);
+  // Unit numbering: 0 root, 1 content, 2 plain, 3,4 references.
+  EXPECT_GT(rank.rank(1), rank.rank(2));
+}
+
+TEST(ElemRankTest, ValueAttributeOnlyCountsOnReferenceElements) {
+  auto corpus = Corpus(
+      {"<root><content ID=\"m1\"/><birthTime value=\"m1\"/></root>"});
+  ElemRank rank(corpus);
+  EXPECT_EQ(rank.hyperlink_edge_count(), 0u);
+}
+
+TEST(ElemRankTest, DanglingAndSelfReferencesIgnored) {
+  auto corpus = Corpus(
+      {"<root><reference value=\"missing\"/>"
+       "<reference ID=\"self\" value=\"self\"/></root>"});
+  ElemRank rank(corpus);
+  EXPECT_EQ(rank.hyperlink_edge_count(), 0u);
+}
+
+TEST(ElemRankTest, ReferencesDoNotCrossDocuments) {
+  auto corpus = Corpus({"<r><content ID=\"m1\"/></r>",
+                        "<r><reference value=\"m1\"/></r>"});
+  ElemRank rank(corpus);
+  EXPECT_EQ(rank.hyperlink_edge_count(), 0u);
+}
+
+TEST(ElemRankTest, ConvergesWithinIterationBudget) {
+  auto corpus = Corpus({"<a><b><c><d><e/></d></c></b></a>"});
+  ElemRankOptions options;
+  options.tolerance = 1e-12;
+  ElemRank rank(corpus, options);
+  EXPECT_LT(rank.iterations_run(), options.max_iterations);
+}
+
+TEST(ElemRankTest, EmptyCorpus) {
+  std::vector<XmlDocument> corpus;
+  ElemRank rank(corpus);
+  EXPECT_EQ(rank.size(), 0u);
+}
+
+TEST(ElemRankIntegrationTest, BlendChangesScoresButNotCoverage) {
+  Ontology onto = BuildTinyOntology();
+  auto make_engine = [&](bool use_elem_rank) {
+    std::vector<XmlDocument> corpus;
+    corpus.push_back(MustParse(testing_util::TinyCdaXml(), 0));
+    IndexBuildOptions options;
+    options.strategy = Strategy::kRelationships;
+    options.use_elem_rank = use_elem_rank;
+    return std::make_unique<XOntoRank>(std::move(corpus), onto, options);
+  };
+  auto plain = make_engine(false);
+  auto ranked = make_engine(true);
+  auto plain_results = plain->Search("asthma", 0);
+  auto ranked_results = ranked->Search("asthma", 0);
+  // Same result elements (coverage identical), different scores possible.
+  ASSERT_EQ(plain_results.size(), ranked_results.size());
+  for (const QueryResult& r : ranked_results) {
+    EXPECT_GT(r.score, 0.0);
+  }
+  // ElemRank can only shrink scores (factor ≤ 1): the ranked top score is
+  // no larger than the plain one.
+  if (!plain_results.empty()) {
+    EXPECT_LE(ranked_results[0].score, plain_results[0].score + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,155 @@
+#include "emr/emr_database.h"
+#include "emr/emr_generator.h"
+#include "emr/emr_to_cda.h"
+
+#include "cda/cda_validator.h"
+#include "core/xontorank.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "xml/xml_writer.h"
+
+namespace xontorank {
+namespace {
+
+EmrDatabase TinyDatabase() {
+  EmrDatabase db;
+  db.AddPatient({1, "Ana", "Alvarez", "F", "19910101", "MRN000001"});
+  db.AddEncounter({10, 1, "20050301", "Woodblack", "Admitted for asthma."});
+  db.AddEncounter({11, 1, "20040101", "Chen", "Earlier visit."});
+  db.AddDiagnosis({10, "195967001", "Asthma"});
+  db.AddMedication({10, "66493003", "Theophylline", 20, 12});
+  db.AddVital({10, "Pulse", "86 / minute"});
+  return db;
+}
+
+TEST(EmrDatabaseTest, AccessPaths) {
+  EmrDatabase db = TinyDatabase();
+  EXPECT_TRUE(db.Validate().ok());
+  auto encounters = db.EncountersOf(1);
+  ASSERT_EQ(encounters.size(), 2u);
+  // Ordered by admit date: the 2004 visit first.
+  EXPECT_EQ(encounters[0]->encounter_id, 11u);
+  EXPECT_EQ(encounters[1]->encounter_id, 10u);
+  EXPECT_EQ(db.DiagnosesOf(10).size(), 1u);
+  EXPECT_EQ(db.MedicationsOf(10).size(), 1u);
+  EXPECT_EQ(db.VitalsOf(10).size(), 1u);
+  EXPECT_TRUE(db.DiagnosesOf(11).empty());
+  EXPECT_TRUE(db.EncountersOf(99).empty());
+}
+
+TEST(EmrDatabaseTest, ValidateCatchesDuplicatePatient) {
+  EmrDatabase db = TinyDatabase();
+  db.AddPatient({1, "Dup", "Licate", "M", "19800101", "MRN000002"});
+  EXPECT_EQ(db.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EmrDatabaseTest, ValidateCatchesOrphanEncounter) {
+  EmrDatabase db = TinyDatabase();
+  db.AddEncounter({12, 99, "20050101", "Nobody", ""});
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(EmrDatabaseTest, ValidateCatchesOrphanDetailRows) {
+  EmrDatabase db = TinyDatabase();
+  db.AddDiagnosis({99, "195967001", "Asthma"});
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(EmrToCdaTest, OneDocumentPerPatientWithEncounterSections) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  auto docs = ConvertEmrToCda(TinyDatabase(), onto);
+  ASSERT_TRUE(docs.ok()) << docs.status().ToString();
+  ASSERT_EQ(docs->size(), 1u);
+  const CdaDocument& doc = (*docs)[0];
+  EXPECT_EQ(doc.patient.family_name, "Alvarez");
+  ASSERT_EQ(doc.sections.size(), 2u);  // two hospitalizations
+  // First section = earliest encounter, with no diagnoses.
+  EXPECT_NE(doc.sections[0].title.find("20040101"), std::string::npos);
+  EXPECT_TRUE(doc.sections[0].subsections.empty());
+  // Second section has Problems + Medications + Vital Signs.
+  ASSERT_EQ(doc.sections[1].subsections.size(), 3u);
+  EXPECT_EQ(doc.sections[1].subsections[0].title, "Problems");
+  EXPECT_EQ(doc.sections[1].subsections[1].title, "Medications");
+  EXPECT_EQ(doc.sections[1].subsections[2].title, "Vital Signs");
+}
+
+TEST(EmrToCdaTest, CodesResolvedToDisplayNames) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  auto docs = ConvertEmrToCda(TinyDatabase(), onto);
+  ASSERT_TRUE(docs.ok());
+  const CdaSection& problems = (*docs)[0].sections[1].subsections[0];
+  ASSERT_EQ(problems.entries.size(), 1u);
+  EXPECT_EQ(problems.entries[0].observation.values[0].display_name, "Asthma");
+  EXPECT_EQ(problems.entries[0].observation.values[0].code, "195967001");
+}
+
+TEST(EmrToCdaTest, UnresolvedCodesPolicyEnforced) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  EmrDatabase db = TinyDatabase();
+  db.AddDiagnosis({10, "000INVALID", "Mystery condition"});
+  auto lenient = ConvertEmrToCda(db, onto);
+  ASSERT_TRUE(lenient.ok());
+  EmrToCdaOptions strict;
+  strict.allow_unresolved_codes = false;
+  auto rejected = ConvertEmrToCda(db, onto, strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EmrToCdaTest, InvalidDatabaseRejected) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  EmrDatabase db = TinyDatabase();
+  db.AddEncounter({12, 99, "20050101", "Nobody", ""});
+  EXPECT_FALSE(ConvertEmrToCda(db, onto).ok());
+}
+
+TEST(EmrGeneratorTest, GeneratesValidDatabase) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  EmrGeneratorOptions options;
+  options.num_patients = 10;
+  EmrDatabase db = GenerateEmrDatabase(onto, options);
+  EXPECT_EQ(db.patient_count(), 10u);
+  EXPECT_GT(db.encounter_count(), 0u);
+  EXPECT_GT(db.diagnosis_count(), 0u);
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(EmrGeneratorTest, Deterministic) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  EmrGeneratorOptions options;
+  options.num_patients = 5;
+  options.seed = 123;
+  EmrDatabase a = GenerateEmrDatabase(onto, options);
+  EmrDatabase b = GenerateEmrDatabase(onto, options);
+  EXPECT_EQ(a.encounter_count(), b.encounter_count());
+  EXPECT_EQ(a.diagnosis_count(), b.diagnosis_count());
+  EXPECT_EQ(a.medication_count(), b.medication_count());
+}
+
+TEST(EmrPipelineTest, FullPaperPipelineProducesSearchableCorpus) {
+  // relational DB → CDA documents → validation → XOntoRank index → query.
+  Ontology onto = BuildSnomedCardiologyFragment();
+  EmrGeneratorOptions options;
+  options.num_patients = 12;
+  EmrDatabase db = GenerateEmrDatabase(onto, options);
+  auto cda_docs = ConvertEmrToCda(db, onto);
+  ASSERT_TRUE(cda_docs.ok());
+
+  std::vector<XmlDocument> corpus;
+  for (size_t i = 0; i < cda_docs->size(); ++i) {
+    XmlDocument doc = CdaToXml((*cda_docs)[i], static_cast<uint32_t>(i));
+    EXPECT_TRUE(CheckCda(doc).ok());
+    corpus.push_back(std::move(doc));
+  }
+
+  IndexBuildOptions build;
+  build.strategy = Strategy::kRelationships;
+  build.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
+  XOntoRank engine(std::move(corpus), onto, build);
+  EXPECT_GT(engine.build_stats().code_nodes, 0u);
+  // A common cardiology keyword must find something in 12 patients.
+  EXPECT_FALSE(engine.Search("cardiac", 5).empty());
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,139 @@
+#include "storage/engine_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "cda/cda_generator.h"
+#include "gtest/gtest.h"
+#include "onto/loinc_fragment.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+class EngineStoreFixture : public ::testing::Test {
+ protected:
+  EngineStoreFixture()
+      : snomed_(BuildSnomedCardiologyFragment()),
+        loinc_(BuildLoincDocumentFragment()),
+        dir_((std::filesystem::temp_directory_path() /
+              ("xontorank_engine_test_" + std::to_string(::getpid())))
+                 .string()) {}
+
+  ~EngineStoreFixture() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::unique_ptr<XOntoRank> BuildEngine() {
+    CdaGeneratorOptions gen_options;
+    gen_options.num_documents = 6;
+    gen_options.seed = 55;
+    CdaGenerator generator(snomed_, gen_options);
+    OntologySet systems;
+    systems.Add(snomed_);
+    systems.Add(loinc_);
+    IndexBuildOptions options;
+    options.strategy = Strategy::kRelationships;
+    options.score.decay = 0.4;           // non-default, must round-trip
+    options.score.ontology_weight = 0.6;
+    options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
+    return std::make_unique<XOntoRank>(generator.GenerateCorpus(), systems,
+                                       options);
+  }
+
+  Ontology snomed_;
+  Ontology loinc_;
+  std::string dir_;
+};
+
+TEST_F(EngineStoreFixture, SaveLoadPreservesQueryResults) {
+  auto engine = BuildEngine();
+  // Materialize a few entries so the persisted index is non-trivial.
+  std::vector<std::string> queries = {"\"cardiac arrest\" epinephrine",
+                                      "asthma", "\"bronchial structure\""};
+  std::vector<std::vector<QueryResult>> before;
+  for (const std::string& q : queries) before.push_back(engine->Search(q, 10));
+
+  ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto after = (*loaded)->engine().Search(queries[i], 10);
+    ASSERT_EQ(after.size(), before[i].size()) << queries[i];
+    for (size_t r = 0; r < after.size(); ++r) {
+      EXPECT_EQ(after[r].element, before[i][r].element) << queries[i];
+      EXPECT_NEAR(after[r].score, before[i][r].score, 1e-5) << queries[i];
+    }
+  }
+}
+
+TEST_F(EngineStoreFixture, OptionsRoundTrip) {
+  auto engine = BuildEngine();
+  ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_TRUE(loaded.ok());
+  const IndexBuildOptions& options = (*loaded)->engine().index().options();
+  EXPECT_EQ(options.strategy, Strategy::kRelationships);
+  EXPECT_DOUBLE_EQ(options.score.decay, 0.4);
+  EXPECT_DOUBLE_EQ(options.score.ontology_weight, 0.6);
+}
+
+TEST_F(EngineStoreFixture, SystemsRoundTrip) {
+  auto engine = BuildEngine();
+  ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_TRUE(loaded.ok());
+  const OntologySet& systems = (*loaded)->engine().index().systems();
+  ASSERT_EQ(systems.size(), 2u);
+  EXPECT_NE(systems.FindSystem(kSnomedSystemId), OntologySet::npos);
+  EXPECT_NE(systems.FindSystem(kLoincSystemId), OntologySet::npos);
+}
+
+TEST_F(EngineStoreFixture, AdoptedEntriesServeWithoutRecomputation) {
+  auto engine = BuildEngine();
+  engine->Search("asthma", 5);  // materialize
+  size_t postings = engine->index().TotalPostings();
+  ASSERT_GT(postings, 0u);
+  ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->engine().index().TotalPostings(), postings);
+}
+
+TEST_F(EngineStoreFixture, LoadMissingDirectoryFails) {
+  auto loaded = LoadEngineDir("/no/such/engine/dir");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(EngineStoreFixture, CorruptManifestFails) {
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(dir_ + "/manifest.tsv");
+    out << "format\tsomething-else\t1\n";
+  }
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(EngineStoreFixture, ManifestWithoutDocumentsFails) {
+  std::filesystem::create_directories(dir_);
+  auto engine = BuildEngine();
+  ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());
+  // Rewrite the manifest without document lines.
+  {
+    std::ofstream out(dir_ + "/manifest.tsv");
+    out << "format\txontorank-engine\t1\nontology\tontology_0.tsv\n";
+  }
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("documents"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xontorank

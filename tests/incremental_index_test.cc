@@ -1,0 +1,119 @@
+// Dynamic corpus: AddDocument must behave exactly like a fresh build over
+// the extended corpus (df/avg-length statistics included).
+
+#include "cda/cda_generator.h"
+#include "core/xontorank.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+#include "xml/xml_writer.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::MustParse;
+
+class IncrementalFixture : public ::testing::Test {
+ protected:
+  IncrementalFixture() : onto_(BuildSnomedCardiologyFragment()) {
+    CdaGeneratorOptions options;
+    options.num_documents = 6;
+    options.seed = 99;
+    generator_ = std::make_unique<CdaGenerator>(onto_, options);
+  }
+
+  IndexBuildOptions BuildOptions(
+      IndexBuildOptions::VocabularyMode mode =
+          IndexBuildOptions::VocabularyMode::kNone) {
+    IndexBuildOptions options;
+    options.strategy = Strategy::kRelationships;
+    options.vocabulary_mode = mode;
+    return options;
+  }
+
+  Ontology onto_;
+  std::unique_ptr<CdaGenerator> generator_;
+};
+
+TEST_F(IncrementalFixture, AddDocumentMatchesFreshBuild) {
+  // Incremental: build over 4 docs, add 2 more.
+  std::vector<XmlDocument> first_four;
+  for (uint32_t i = 0; i < 4; ++i) {
+    first_four.push_back(CdaToXml(generator_->GenerateDocument(i), i));
+  }
+  XOntoRank incremental(std::move(first_four), onto_, BuildOptions());
+  for (uint32_t i = 4; i < 6; ++i) {
+    uint32_t id = incremental.AddDocument(
+        CdaToXml(generator_->GenerateDocument(i), 0 /*reassigned*/));
+    EXPECT_EQ(id, i);
+  }
+
+  // Fresh: all 6 at once.
+  XOntoRank fresh(generator_->GenerateCorpus(), onto_, BuildOptions());
+
+  for (const char* text :
+       {"asthma", "cardiac arrest", "\"bronchial structure\" theophylline",
+        "furosemide"}) {
+    auto a = incremental.Search(text, 0);
+    auto b = fresh.Search(text, 0);
+    ASSERT_EQ(a.size(), b.size()) << text;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].element, b[i].element) << text;
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-9) << text;
+    }
+  }
+  EXPECT_EQ(incremental.corpus_size(), 6u);
+  EXPECT_EQ(incremental.build_stats().documents, 6u);
+}
+
+TEST_F(IncrementalFixture, NewDocumentIsImmediatelySearchable) {
+  std::vector<XmlDocument> corpus;
+  corpus.push_back(MustParse("<r><s>plain note</s></r>", 0));
+  XOntoRank engine(std::move(corpus), onto_, BuildOptions());
+  EXPECT_TRUE(engine.Search("zebrafish", 5).empty());
+  engine.AddDocument(MustParse("<r><s>zebrafish study enrolled</s></r>", 0));
+  auto results = engine.Search("zebrafish", 5);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].element.doc_id(), 1u);
+}
+
+TEST_F(IncrementalFixture, CachedEntriesInvalidated) {
+  std::vector<XmlDocument> corpus;
+  corpus.push_back(MustParse("<r><s>asthma follow up</s></r>", 0));
+  XOntoRank engine(std::move(corpus), onto_, BuildOptions());
+  auto before = engine.Search("asthma", 0);
+  ASSERT_EQ(before.size(), 1u);
+  engine.AddDocument(MustParse("<r><s>asthma admission</s></r>", 0));
+  auto after = engine.Search("asthma", 0);
+  // Both documents now match; scores reflect the new collection stats.
+  EXPECT_EQ(after.size(), 2u);
+}
+
+TEST_F(IncrementalFixture, EagerVocabularyRebuilt) {
+  std::vector<XmlDocument> corpus;
+  corpus.push_back(MustParse("<r><s>alpha</s></r>", 0));
+  XOntoRank engine(
+      std::move(corpus), onto_,
+      BuildOptions(IndexBuildOptions::VocabularyMode::kCorpusAndOntology));
+  size_t before = engine.build_stats().precomputed_keywords;
+  engine.AddDocument(MustParse("<r><s>betawave gamma</s></r>", 0));
+  size_t after = engine.build_stats().precomputed_keywords;
+  EXPECT_GT(after, before);  // new tokens entered the vocabulary
+  EXPECT_FALSE(engine.Search("betawave", 5).empty());
+}
+
+TEST_F(IncrementalFixture, CodeNodesInNewDocumentsResolve) {
+  std::vector<XmlDocument> corpus;
+  corpus.push_back(MustParse("<r><s>nothing coded</s></r>", 0));
+  XOntoRank engine(std::move(corpus), onto_, BuildOptions());
+  EXPECT_EQ(engine.build_stats().code_nodes, 0u);
+  std::string coded = std::string(R"(<r><v code="195967001" codeSystem=")") +
+                      kSnomedSystemId + R"("/></r>)";
+  engine.AddDocument(MustParse(coded, 0));
+  EXPECT_EQ(engine.build_stats().code_nodes, 1u);
+  // The ontological route works for the new code node.
+  EXPECT_FALSE(engine.Search("\"bronchial structure\"", 5).empty());
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,193 @@
+#include "core/index_builder.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+using testing_util::MustParse;
+using testing_util::TinyCdaXml;
+
+class IndexBuilderFixture : public ::testing::Test {
+ protected:
+  IndexBuilderFixture() : onto_(BuildTinyOntology()) {
+    corpus_.push_back(MustParse(TinyCdaXml(), 0));
+  }
+
+  CorpusIndex Build(Strategy strategy,
+                    IndexBuildOptions::VocabularyMode mode =
+                        IndexBuildOptions::VocabularyMode::kCorpusAndOntology) {
+    IndexBuildOptions options;
+    options.strategy = strategy;
+    options.vocabulary_mode = mode;
+    return CorpusIndex(corpus_, onto_, options);
+  }
+
+  Ontology onto_;
+  std::vector<XmlDocument> corpus_;
+};
+
+TEST_F(IndexBuilderFixture, CountsNodesAndCodeNodes) {
+  CorpusIndex index = Build(Strategy::kRelationships);
+  EXPECT_EQ(index.stats().documents, 1u);
+  EXPECT_GT(index.stats().indexed_nodes, 10u);
+  // Two code nodes: Asthma value and Drug code.
+  EXPECT_EQ(index.stats().code_nodes, 2u);
+}
+
+TEST_F(IndexBuilderFixture, UnresolvableRefsIgnored) {
+  // A code node referencing an unknown system or code is not an entry point.
+  corpus_.clear();
+  corpus_.push_back(MustParse(
+      R"(<r><a code="4" codeSystem="other.sys"/><b code="999" codeSystem="test.sys"/></r>)",
+      0));
+  CorpusIndex index = Build(Strategy::kRelationships);
+  EXPECT_EQ(index.stats().code_nodes, 0u);
+}
+
+TEST_F(IndexBuilderFixture, TextualPostingForLiteralOccurrence) {
+  CorpusIndex index = Build(Strategy::kXRank);
+  std::vector<DilPosting> postings =
+      index.BuildPostings(MakeKeyword("theophylline"));
+  ASSERT_FALSE(postings.empty());
+  for (const DilPosting& p : postings) {
+    EXPECT_GT(p.score, 0.0);
+    EXPECT_LE(p.score, 1.0);
+  }
+}
+
+TEST_F(IndexBuilderFixture, XRankHasNoOntologicalPostings) {
+  // "bronchus" never occurs textually; under XRANK its list is empty.
+  CorpusIndex index = Build(Strategy::kXRank);
+  EXPECT_TRUE(index.BuildPostings(MakeKeyword("bronchus")).empty());
+  EXPECT_TRUE(index.ComputeOntoScoreRow(MakeKeyword("bronchus")).empty());
+}
+
+TEST_F(IndexBuilderFixture, OntologicalPostingThroughCodeNode) {
+  // Under Relationships, "bronchus" reaches the Asthma code node through
+  // finding_site_of (OS(Asthma) = 0.5 → NS = ω·0.5 = 0.25). The Drug code
+  // node's best route is taxonomic: up to Structure (sole child → 1/1),
+  // up to Root (3 children → 1/3), down to Drug (×1): OS = 1/3 → NS = 1/6.
+  CorpusIndex index = Build(Strategy::kRelationships);
+  std::vector<DilPosting> postings =
+      index.BuildPostings(MakeKeyword("bronchus"));
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_NEAR(postings[0].score, 0.25, 1e-9);       // Asthma value node
+  EXPECT_NEAR(postings[1].score, 1.0 / 6.0, 1e-9);  // Drug code node
+}
+
+TEST_F(IndexBuilderFixture, NsIsMaxOfTextualAndOntological) {
+  // "asthma" occurs textually on the Asthma code node (displayName) AND
+  // ontologically (OS = 1 on the Asthma concept → ω·1 = 0.5). Eq. 5 takes
+  // the max, which is the textual 1.0 (it is the best textual match).
+  CorpusIndex index = Build(Strategy::kRelationships);
+  std::vector<DilPosting> postings = index.BuildPostings(MakeKeyword("asthma"));
+  double best = 0.0;
+  for (const DilPosting& p : postings) best = std::max(best, p.score);
+  EXPECT_NEAR(best, 1.0, 1e-9);
+  // The Drug code node gets an ontological-only posting: Drug treats
+  // Asthma → OS(Drug) = 0.5 under Relationships → NS = 0.25.
+  bool found_quarter = false;
+  for (const DilPosting& p : postings) {
+    if (std::abs(p.score - 0.25) < 1e-9) found_quarter = true;
+  }
+  EXPECT_TRUE(found_quarter);
+}
+
+TEST_F(IndexBuilderFixture, VocabularyModesAgreeOnPostings) {
+  CorpusIndex eager = Build(Strategy::kRelationships,
+                            IndexBuildOptions::VocabularyMode::kCorpusAndOntology);
+  CorpusIndex lazy =
+      Build(Strategy::kRelationships, IndexBuildOptions::VocabularyMode::kNone);
+  EXPECT_EQ(lazy.stats().precomputed_keywords, 0u);
+  for (const char* word : {"asthma", "theophylline", "bronchus", "drug"}) {
+    Keyword kw = MakeKeyword(word);
+    EXPECT_EQ(eager.BuildPostings(kw), lazy.BuildPostings(kw)) << word;
+  }
+}
+
+TEST_F(IndexBuilderFixture, CorpusAndOntologyModeCoversOntologyOnlyTerms) {
+  CorpusIndex eager = Build(Strategy::kRelationships);
+  // "bronchus" appears only in the ontology, yet is precomputed.
+  EXPECT_NE(eager.GetEntry(MakeKeyword("bronchus")), nullptr);
+  std::vector<std::string> vocab = eager.PrecomputedVocabulary();
+  EXPECT_NE(std::find(vocab.begin(), vocab.end(), "bronchus"), vocab.end());
+
+  CorpusIndex corpus_only =
+      Build(Strategy::kRelationships, IndexBuildOptions::VocabularyMode::kCorpusOnly);
+  std::vector<std::string> corpus_vocab = corpus_only.PrecomputedVocabulary();
+  EXPECT_EQ(std::find(corpus_vocab.begin(), corpus_vocab.end(), "bronchus"),
+            corpus_vocab.end());
+}
+
+TEST_F(IndexBuilderFixture, GetEntryCachesAndIsStable) {
+  CorpusIndex index =
+      Build(Strategy::kRelationships, IndexBuildOptions::VocabularyMode::kNone);
+  Keyword phrase = MakeKeyword("theophylline");
+  const DilEntry* first = index.GetEntry(phrase);
+  const DilEntry* second = index.GetEntry(phrase);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first->postings.empty());
+}
+
+TEST_F(IndexBuilderFixture, UnknownKeywordYieldsEmptyEntryNotNull) {
+  CorpusIndex index = Build(Strategy::kRelationships);
+  const DilEntry* entry = index.GetEntry(MakeKeyword("zebra"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->postings.empty());
+}
+
+TEST_F(IndexBuilderFixture, PostingsSortedByDewey) {
+  CorpusIndex index = Build(Strategy::kRelationships);
+  for (const char* word : {"asthma", "mg", "theophylline"}) {
+    std::vector<DilPosting> postings = index.BuildPostings(MakeKeyword(word));
+    for (size_t i = 1; i < postings.size(); ++i) {
+      EXPECT_TRUE(postings[i - 1].dewey < postings[i].dewey) << word;
+    }
+  }
+}
+
+TEST_F(IndexBuilderFixture, MultiDocumentDeweysCarryDocIds) {
+  corpus_.push_back(MustParse(TinyCdaXml(), 1));
+  CorpusIndex index = Build(Strategy::kXRank);
+  std::vector<DilPosting> postings =
+      index.BuildPostings(MakeKeyword("theophylline"));
+  std::set<uint32_t> docs;
+  for (const DilPosting& p : postings) docs.insert(p.dewey.doc_id());
+  EXPECT_EQ(docs, (std::set<uint32_t>{0, 1}));
+}
+
+
+TEST_F(IndexBuilderFixture, ComputeNodeSupportSeparatesSources) {
+  CorpusIndex index = Build(Strategy::kRelationships);
+  // The Asthma value node: textual hit (displayName) AND a code node.
+  std::vector<DilPosting> postings = index.BuildPostings(MakeKeyword("asthma"));
+  ASSERT_FALSE(postings.empty());
+  const DeweyId& asthma_node = postings.front().dewey;
+  CorpusIndex::NodeSupport support =
+      index.ComputeNodeSupport(asthma_node, MakeKeyword("asthma"));
+  EXPECT_GT(support.textual_irs, 0.0);
+  EXPECT_TRUE(support.is_code_node);
+  EXPECT_EQ(support.concept_id, onto_.FindByPreferredTerm("Asthma"));
+  EXPECT_GT(support.onto_score, 0.0);
+
+  // For "bronchus" the same node has no textual hit, only ontological.
+  CorpusIndex::NodeSupport onto_only =
+      index.ComputeNodeSupport(asthma_node, MakeKeyword("bronchus"));
+  EXPECT_DOUBLE_EQ(onto_only.textual_irs, 0.0);
+  EXPECT_GT(onto_only.onto_score, 0.0);
+}
+
+TEST_F(IndexBuilderFixture, ComputeNodeSupportUnknownAddress) {
+  CorpusIndex index = Build(Strategy::kRelationships);
+  CorpusIndex::NodeSupport support =
+      index.ComputeNodeSupport(DeweyId({9, 9, 9}), MakeKeyword("asthma"));
+  EXPECT_DOUBLE_EQ(support.textual_irs, 0.0);
+  EXPECT_FALSE(support.is_code_node);
+  EXPECT_EQ(support.concept_id, kInvalidConcept);
+}
+
+}  // namespace
+}  // namespace xontorank

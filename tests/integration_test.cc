@@ -1,0 +1,175 @@
+// Cross-module integration tests: generator → engine → query → storage,
+// over the curated fragment, for every strategy.
+
+#include <memory>
+
+#include "cda/cda_generator.h"
+#include "core/xontorank.h"
+#include "eval/relevance_oracle.h"
+#include "eval/workload.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "storage/index_store.h"
+
+namespace xontorank {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  IntegrationFixture() : onto_(BuildSnomedCardiologyFragment()) {
+    CdaGeneratorOptions gen_options;
+    gen_options.num_documents = 12;
+    gen_options.seed = 321;
+    generator_ = std::make_unique<CdaGenerator>(onto_, gen_options);
+  }
+
+  XOntoRank MakeEngine(Strategy strategy) {
+    IndexBuildOptions options;
+    options.strategy = strategy;
+    return XOntoRank(generator_->GenerateCorpus(), onto_, options);
+  }
+
+  Ontology onto_;
+  std::unique_ptr<CdaGenerator> generator_;
+};
+
+TEST_F(IntegrationFixture, ResultsAreAntichainsUnderEveryStrategy) {
+  for (Strategy strategy : kAllStrategies) {
+    XOntoRank engine = MakeEngine(strategy);
+    for (const WorkloadQuery& wq : TableOneQueries()) {
+      auto results = engine.Search(wq.text, 0);
+      for (size_t i = 0; i < results.size(); ++i) {
+        for (size_t j = 0; j < results.size(); ++j) {
+          if (i == j) continue;
+          EXPECT_FALSE(
+              results[i].element.IsStrictAncestorOf(results[j].element))
+              << StrategyName(strategy) << " " << wq.id;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, EveryResultResolvesToARealElement) {
+  XOntoRank engine = MakeEngine(Strategy::kRelationships);
+  for (const WorkloadQuery& wq : TableOneQueries()) {
+    for (const QueryResult& r : engine.Search(wq.text, 10)) {
+      const XmlNode* node = engine.ResolveResult(r);
+      ASSERT_NE(node, nullptr) << wq.id;
+      EXPECT_TRUE(node->is_element());
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, KeywordScoresPositiveAndSumToTotal) {
+  XOntoRank engine = MakeEngine(Strategy::kGraph);
+  for (const WorkloadQuery& wq : TableOneQueries()) {
+    KeywordQuery query = ParseQuery(wq.text);
+    for (const QueryResult& r : engine.Search(query, 10)) {
+      ASSERT_EQ(r.keyword_scores.size(), query.size());
+      double sum = 0.0;
+      for (double s : r.keyword_scores) {
+        EXPECT_GT(s, 0.0);
+        sum += s;
+      }
+      EXPECT_NEAR(sum, r.score, 1e-9);
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, OntologyStrategiesFindAtLeastXRankQueries) {
+  // Any query answerable by XRANK (pure text) is answerable by every
+  // ontology-aware strategy: NS only grows (Eq. 5 max).
+  XOntoRank baseline = MakeEngine(Strategy::kXRank);
+  XOntoRank graph = MakeEngine(Strategy::kGraph);
+  XOntoRank relationships = MakeEngine(Strategy::kRelationships);
+  for (const WorkloadQuery& wq : TableOneQueries()) {
+    size_t base_count = baseline.Search(wq.text, 0).size();
+    if (base_count > 0) {
+      EXPECT_FALSE(graph.Search(wq.text, 0).empty()) << wq.id;
+      EXPECT_FALSE(relationships.Search(wq.text, 0).empty()) << wq.id;
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, MotivatingQueriesAnsweredOnlyWithOntology) {
+  // At least one Table I query must separate XRANK (no results) from the
+  // Relationships strategy (results found) on this corpus — the paper's
+  // central claim.
+  XOntoRank baseline = MakeEngine(Strategy::kXRank);
+  XOntoRank relationships = MakeEngine(Strategy::kRelationships);
+  size_t separations = 0;
+  for (const WorkloadQuery& wq : TableOneQueries()) {
+    if (baseline.Search(wq.text, 5).empty() &&
+        !relationships.Search(wq.text, 5).empty()) {
+      ++separations;
+    }
+  }
+  EXPECT_GE(separations, 1u);
+}
+
+TEST_F(IntegrationFixture, IndexSurvivesStorageRoundTrip) {
+  XOntoRank engine = MakeEngine(Strategy::kRelationships);
+  // Materialize the workload keywords into the DIL, then snapshot it.
+  std::vector<KeywordQuery> queries;
+  for (const WorkloadQuery& wq : TableOneQueries()) {
+    queries.push_back(ParseQuery(wq.text));
+    engine.Search(queries.back(), 5);
+  }
+  XOntoDil snapshot;
+  for (const KeywordQuery& q : queries) {
+    for (const Keyword& kw : q.keywords) {
+      const DilEntry* entry = engine.mutable_index().GetEntry(kw);
+      snapshot.Put(kw.Canonical(), entry->postings);
+    }
+  }
+  auto decoded = DecodeIndex(EncodeIndex(snapshot));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  // Queries over the loaded lists give the same result elements.
+  QueryProcessor processor((ScoreOptions()));
+  for (const KeywordQuery& q : queries) {
+    std::vector<const DilEntry*> live, loaded;
+    for (const Keyword& kw : q.keywords) {
+      live.push_back(engine.mutable_index().GetEntry(kw));
+      loaded.push_back(decoded->Find(kw.Canonical()));
+    }
+    auto live_results = processor.Execute(live, 10);
+    auto loaded_results = processor.Execute(loaded, 10);
+    ASSERT_EQ(live_results.size(), loaded_results.size()) << q.ToString();
+    for (size_t i = 0; i < live_results.size(); ++i) {
+      EXPECT_EQ(live_results[i].element, loaded_results[i].element);
+      EXPECT_NEAR(live_results[i].score, loaded_results[i].score, 1e-5);
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, OracleJudgesTextualResultsRelevant) {
+  // XRANK results match keywords textually, so the oracle's textual rule
+  // must accept them.
+  XOntoRank baseline = MakeEngine(Strategy::kXRank);
+  RelevanceOracle oracle(onto_);
+  const std::vector<XmlDocument>& corpus = baseline.index().corpus();
+  for (const WorkloadQuery& wq : TableOneQueries()) {
+    KeywordQuery query = ParseQuery(wq.text);
+    auto results = baseline.Search(query, 5);
+    if (results.empty()) continue;
+    EXPECT_EQ(oracle.CountRelevant(query, corpus, results), results.size())
+        << wq.id;
+  }
+}
+
+TEST_F(IntegrationFixture, GeneratedQueriesAreWellFormed) {
+  for (const WorkloadQuery& wq : GeneratedQueries(onto_, 10, 5)) {
+    KeywordQuery q = ParseQuery(wq.text);
+    EXPECT_EQ(q.size(), 2u) << wq.text;
+  }
+  for (size_t k = 1; k <= 4; ++k) {
+    for (const WorkloadQuery& wq : FixedLengthQueries(onto_, k, 5, 7)) {
+      EXPECT_EQ(ParseQuery(wq.text).size(), k) << wq.text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xontorank

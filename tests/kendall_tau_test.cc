@@ -1,0 +1,94 @@
+#include "eval/kendall_tau.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+TEST(KendallTauTest, IdenticalListsZero) {
+  std::vector<std::string> list{"a", "b", "c", "d"};
+  EXPECT_NEAR(TopKKendallTau(list, list, 0.5), 0.0, kEps);
+}
+
+TEST(KendallTauTest, DisjointListsOne) {
+  EXPECT_NEAR(TopKKendallTau({"a", "b", "c"}, {"x", "y", "z"}, 0.5), 1.0,
+              kEps);
+  EXPECT_NEAR(TopKKendallTau({"a"}, {"x"}, 0.0), 1.0, kEps);
+}
+
+TEST(KendallTauTest, FullReversalOfSharedLists) {
+  // All pairs in both lists disagree: distance = C(3,2) = 3 of max
+  // 9 + 0.5*6 = 12 → 0.25.
+  double tau = TopKKendallTau({"a", "b", "c"}, {"c", "b", "a"}, 0.5);
+  EXPECT_NEAR(tau, 3.0 / 12.0, kEps);
+}
+
+TEST(KendallTauTest, AdjacentSwapSmall) {
+  double swap = TopKKendallTau({"a", "b", "c"}, {"a", "c", "b"}, 0.5);
+  double reversal = TopKKendallTau({"a", "b", "c"}, {"c", "b", "a"}, 0.5);
+  EXPECT_GT(swap, 0.0);
+  EXPECT_LT(swap, reversal);
+}
+
+TEST(KendallTauTest, SymmetricInArguments) {
+  std::vector<std::string> a{"a", "b", "c", "d"};
+  std::vector<std::string> b{"b", "e", "a", "f"};
+  EXPECT_NEAR(TopKKendallTau(a, b, 0.5), TopKKendallTau(b, a, 0.5), kEps);
+}
+
+TEST(KendallTauTest, InRangeZeroOne) {
+  std::vector<std::string> a{"a", "b", "c"};
+  std::vector<std::string> b{"c", "x", "a"};
+  for (double p : {0.0, 0.25, 0.5, 1.0}) {
+    double tau = TopKKendallTau(a, b, p);
+    EXPECT_GE(tau, 0.0);
+    EXPECT_LE(tau, 1.0);
+  }
+}
+
+TEST(KendallTauTest, PenaltyTermHandComputed) {
+  // One shared element s ranked first in both. Distance: 4 cross-exclusive
+  // pairs (1 each) + the (a1,a2) and (b1,b2) same-list pairs (p each);
+  // the (s, ·) pairs agree. Normalizer: 9 + 6p (disjoint 3-lists).
+  std::vector<std::string> a{"s", "a1", "a2"};
+  std::vector<std::string> b{"s", "b1", "b2"};
+  for (double p : {0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(TopKKendallTau(a, b, p), (4.0 + 2.0 * p) / (9.0 + 6.0 * p),
+                kEps)
+        << p;
+  }
+}
+
+TEST(KendallTauTest, Case2MissingItemRankedAhead) {
+  // "b" absent from list 2 but ranked ahead of present "a" in list 1:
+  // counted as a disagreement.
+  double tau_ahead = TopKKendallTau({"b", "a"}, {"a", "x"}, 0.0);
+  // "b" absent and ranked behind "a": no disagreement for that pair.
+  double tau_behind = TopKKendallTau({"a", "b"}, {"a", "x"}, 0.0);
+  EXPECT_GT(tau_ahead, tau_behind);
+}
+
+TEST(KendallTauTest, EmptyListsZero) {
+  EXPECT_NEAR(TopKKendallTau({}, {}, 0.5), 0.0, kEps);
+}
+
+TEST(KendallTauTest, EmptyVsNonEmpty) {
+  // Max distance normalization handles asymmetric lengths; a list against
+  // nothing has only same-list-exclusive pairs.
+  double tau = TopKKendallTau({"a", "b"}, {}, 0.5);
+  EXPECT_GE(tau, 0.0);
+  EXPECT_LE(tau, 1.0);
+}
+
+TEST(KendallTauTest, DifferentLengthLists) {
+  double tau = TopKKendallTau({"a", "b", "c", "d", "e"}, {"a", "b"}, 0.5);
+  EXPECT_GE(tau, 0.0);
+  EXPECT_LE(tau, 1.0);
+  // Shared prefix in same order: small distance.
+  EXPECT_LT(tau, 0.5);
+}
+
+}  // namespace
+}  // namespace xontorank

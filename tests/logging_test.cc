@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+class LoggingFixture : public ::testing::Test {
+ protected:
+  LoggingFixture() : saved_(GetLogLevel()) {}
+  ~LoggingFixture() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingFixture, ThresholdRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingFixture, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARNING");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingFixture, SuppressedLevelsSkipSideEffects) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  XONTO_LOG(kDebug) << "never " << count();
+  XONTO_LOG(kInfo) << "never " << count();
+  EXPECT_EQ(evaluations, 0);
+  XONTO_LOG(kError) << "emitted " << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingFixture, OffSuppressesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 0;
+  };
+  XONTO_LOG(kError) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingFixture, MacroComposesWithIfElse) {
+  // The dangling-else shape must not change control flow.
+  SetLogLevel(LogLevel::kOff);
+  bool reached_else = false;
+  if (false)
+    XONTO_LOG(kError) << "then-branch";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,76 @@
+#include "eval/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+TEST(PrecisionAtKTest, Basics) {
+  std::vector<bool> rel{true, false, true, true, false};
+  EXPECT_NEAR(PrecisionAtK(rel, 1), 1.0, kEps);
+  EXPECT_NEAR(PrecisionAtK(rel, 2), 0.5, kEps);
+  EXPECT_NEAR(PrecisionAtK(rel, 5), 0.6, kEps);
+}
+
+TEST(PrecisionAtKTest, ShortListsPaddedWithMisses) {
+  std::vector<bool> rel{true};
+  EXPECT_NEAR(PrecisionAtK(rel, 5), 0.2, kEps);
+}
+
+TEST(PrecisionAtKTest, Degenerate) {
+  EXPECT_NEAR(PrecisionAtK({}, 5), 0.0, kEps);
+  EXPECT_NEAR(PrecisionAtK({true}, 0), 0.0, kEps);
+}
+
+TEST(RecallAtKTest, Basics) {
+  std::vector<bool> rel{true, false, true};
+  EXPECT_NEAR(RecallAtK(rel, 3, 4), 0.5, kEps);
+  EXPECT_NEAR(RecallAtK(rel, 1, 4), 0.25, kEps);
+  EXPECT_NEAR(RecallAtK(rel, 3, 2), 1.0, kEps);
+}
+
+TEST(RecallAtKTest, ZeroRelevantIsZero) {
+  EXPECT_NEAR(RecallAtK({true}, 1, 0), 0.0, kEps);
+}
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  EXPECT_NEAR(AveragePrecision({true, true}, 2), 1.0, kEps);
+}
+
+TEST(AveragePrecisionTest, HandComputed) {
+  // Relevant at ranks 1 and 3 of 2 total: (1/1 + 2/3)/2.
+  EXPECT_NEAR(AveragePrecision({true, false, true}, 2),
+              (1.0 + 2.0 / 3.0) / 2.0, kEps);
+}
+
+TEST(AveragePrecisionTest, MissedRelevantLowersScore) {
+  double partial = AveragePrecision({true}, 2);
+  double full = AveragePrecision({true, true}, 2);
+  EXPECT_LT(partial, full);
+}
+
+TEST(ReciprocalRankTest, Basics) {
+  EXPECT_NEAR(ReciprocalRank({false, false, true}), 1.0 / 3.0, kEps);
+  EXPECT_NEAR(ReciprocalRank({true}), 1.0, kEps);
+  EXPECT_NEAR(ReciprocalRank({false, false}), 0.0, kEps);
+  EXPECT_NEAR(ReciprocalRank({}), 0.0, kEps);
+}
+
+TEST(FScoreTest, HarmonicMean) {
+  EXPECT_NEAR(FScore(0.5, 0.5), 0.5, kEps);
+  EXPECT_NEAR(FScore(1.0, 0.5), 2.0 / 3.0, kEps);
+  EXPECT_NEAR(FScore(0.0, 0.0), 0.0, kEps);
+  EXPECT_NEAR(FScore(1.0, 0.0), 0.0, kEps);
+}
+
+TEST(FScoreTest, BetaWeightsRecall) {
+  // beta > 1 weighs recall more: with recall > precision, F2 > F1.
+  double f1 = FScore(0.2, 0.8, 1.0);
+  double f2 = FScore(0.2, 0.8, 2.0);
+  EXPECT_GT(f2, f1);
+}
+
+}  // namespace
+}  // namespace xontorank

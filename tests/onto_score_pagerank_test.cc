@@ -1,0 +1,112 @@
+#include "core/onto_score_pagerank.h"
+
+#include "common/timer.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+
+class PageRankFixture : public ::testing::Test {
+ protected:
+  PageRankFixture() : onto_(BuildTinyOntology()), index_(onto_) {}
+  Ontology onto_;
+  OntologyIndex index_;
+};
+
+TEST_F(PageRankFixture, SeedDominates) {
+  OntoScoreMap map =
+      ComputeOntoScoresPageRank(index_, MakeKeyword("asthma"), {});
+  ConceptId asthma = onto_.FindByPreferredTerm("Asthma");
+  ASSERT_NE(map.find(asthma), map.end());
+  EXPECT_NEAR(map.at(asthma), 1.0, 1e-9);  // normalized max
+  for (const auto& [c, score] : map) {
+    EXPECT_LE(score, 1.0 + 1e-9);
+    EXPECT_GT(score, 0.0);
+  }
+}
+
+TEST_F(PageRankFixture, NeighborsOutscoreDistantConcepts) {
+  OntoScoreMap map =
+      ComputeOntoScoresPageRank(index_, MakeKeyword("asthma"), {});
+  double neighbor = map.count(onto_.FindByPreferredTerm("AsthmaAttack"))
+                        ? map.at(onto_.FindByPreferredTerm("AsthmaAttack"))
+                        : 0.0;
+  double distant = map.count(onto_.FindByPreferredTerm("Flu"))
+                       ? map.at(onto_.FindByPreferredTerm("Flu"))
+                       : 0.0;
+  EXPECT_GT(neighbor, distant);
+}
+
+TEST_F(PageRankFixture, UnmatchedKeywordEmpty) {
+  EXPECT_TRUE(
+      ComputeOntoScoresPageRank(index_, MakeKeyword("zebra"), {}).empty());
+}
+
+TEST_F(PageRankFixture, CutoffFiltersTail) {
+  PageRankOntoScoreOptions loose;
+  loose.cutoff = 0.0;
+  PageRankOntoScoreOptions tight;
+  tight.cutoff = 0.5;
+  OntoScoreMap all =
+      ComputeOntoScoresPageRank(index_, MakeKeyword("asthma"), loose);
+  OntoScoreMap top =
+      ComputeOntoScoresPageRank(index_, MakeKeyword("asthma"), tight);
+  EXPECT_LT(top.size(), all.size());
+  for (const auto& [c, score] : top) EXPECT_GE(score, 0.5);
+}
+
+TEST_F(PageRankFixture, DampingZeroIsPureRestart) {
+  PageRankOntoScoreOptions options;
+  options.damping = 0.0;
+  options.cutoff = 0.0;
+  OntoScoreMap map =
+      ComputeOntoScoresPageRank(index_, MakeKeyword("asthma"), options);
+  // Only the seed keeps mass: everything else sits at exactly 0.
+  size_t positive = 0;
+  for (const auto& [c, score] : map) {
+    if (score > 1e-12) ++positive;
+  }
+  EXPECT_EQ(positive, 1u);
+}
+
+TEST_F(PageRankFixture, MultiSeedKeywordsBlendAuthority) {
+  // "asthma" and "disease" both resolve; "disease" seeds the Disease
+  // concept, which should then rank highly for that keyword.
+  OntoScoreMap map =
+      ComputeOntoScoresPageRank(index_, MakeKeyword("disease"), {});
+  ConceptId disease = onto_.FindByPreferredTerm("Disease");
+  ASSERT_NE(map.find(disease), map.end());
+  EXPECT_NEAR(map.at(disease), 1.0, 1e-9);
+}
+
+TEST(PageRankFragmentTest, ReachesRelationshipNeighborsLikeGraphStrategy) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  OntologyIndex index(onto);
+  OntoScoreMap map =
+      ComputeOntoScoresPageRank(index, MakeKeyword("bronchial structure"), {});
+  // Asthma must receive meaningful circulating authority through
+  // finding_site_of, like the one-pass strategies.
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ASSERT_NE(map.find(asthma), map.end());
+  EXPECT_GT(map.at(asthma), 0.01);
+}
+
+TEST(PageRankFragmentTest, ConvergesDeterministically) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  OntologyIndex index(onto);
+  OntoScoreMap a =
+      ComputeOntoScoresPageRank(index, MakeKeyword("cardiac"), {});
+  OntoScoreMap b =
+      ComputeOntoScoresPageRank(index, MakeKeyword("cardiac"), {});
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [c, score] : a) {
+    EXPECT_DOUBLE_EQ(b.at(c), score);
+  }
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,121 @@
+#include "onto/ontology_generator.h"
+
+#include <deque>
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+
+namespace xontorank {
+namespace {
+
+TEST(OntologyGeneratorTest, ProducesRequestedSize) {
+  OntologyGeneratorOptions options;
+  options.num_concepts = 500;
+  Ontology onto = GenerateOntology(options);
+  EXPECT_EQ(onto.concept_count(), 501u);  // + synthetic root
+  EXPECT_TRUE(onto.Validate().ok());
+}
+
+TEST(OntologyGeneratorTest, DeterministicForSeed) {
+  OntologyGeneratorOptions options;
+  options.num_concepts = 200;
+  options.seed = 77;
+  Ontology a = GenerateOntology(options);
+  Ontology b = GenerateOntology(options);
+  ASSERT_EQ(a.concept_count(), b.concept_count());
+  ASSERT_EQ(a.isa_edge_count(), b.isa_edge_count());
+  ASSERT_EQ(a.relationship_count(), b.relationship_count());
+  for (ConceptId c = 0; c < a.concept_count(); ++c) {
+    EXPECT_EQ(a.GetConcept(c).preferred_term, b.GetConcept(c).preferred_term);
+    EXPECT_EQ(a.Parents(c), b.Parents(c));
+  }
+}
+
+TEST(OntologyGeneratorTest, DifferentSeedsDiffer) {
+  OntologyGeneratorOptions a_options, b_options;
+  a_options.num_concepts = b_options.num_concepts = 200;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  Ontology a = GenerateOntology(a_options);
+  Ontology b = GenerateOntology(b_options);
+  bool any_diff = false;
+  for (ConceptId c = 0; c < a.concept_count() && c < b.concept_count(); ++c) {
+    if (a.GetConcept(c).preferred_term != b.GetConcept(c).preferred_term) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(OntologyGeneratorTest, EverythingReachableFromRoot) {
+  OntologyGeneratorOptions options;
+  options.num_concepts = 300;
+  Ontology onto = GenerateOntology(options);
+  // BFS down from concept 0 (the synthetic root) must reach every concept.
+  std::vector<bool> seen(onto.concept_count(), false);
+  std::deque<ConceptId> frontier{0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!frontier.empty()) {
+    ConceptId cur = frontier.front();
+    frontier.pop_front();
+    for (ConceptId child : onto.Children(cur)) {
+      if (!seen[child]) {
+        seen[child] = true;
+        ++count;
+        frontier.push_back(child);
+      }
+    }
+  }
+  EXPECT_EQ(count, onto.concept_count());
+}
+
+TEST(OntologyGeneratorTest, RelationshipDensityNearTarget) {
+  OntologyGeneratorOptions options;
+  options.num_concepts = 1000;
+  options.relationships_per_concept = 1.5;
+  Ontology onto = GenerateOntology(options);
+  double density = static_cast<double>(onto.relationship_count()) /
+                   static_cast<double>(options.num_concepts);
+  // Duplicates and self-loops are dropped, so observed density is slightly
+  // below the target.
+  EXPECT_GT(density, 1.0);
+  EXPECT_LE(density, 1.5);
+}
+
+TEST(OntologyGeneratorTest, UniqueNamesAndCodes) {
+  OntologyGeneratorOptions options;
+  options.num_concepts = 400;
+  Ontology onto = GenerateOntology(options);
+  std::unordered_set<std::string> names, codes;
+  for (ConceptId c = 0; c < onto.concept_count(); ++c) {
+    EXPECT_TRUE(names.insert(onto.GetConcept(c).preferred_term).second);
+    EXPECT_TRUE(codes.insert(onto.GetConcept(c).code).second);
+  }
+}
+
+TEST(ExtendOntologyTest, GrowsFragmentPreservingCuratedContent) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  size_t base_count = onto.concept_count();
+  OntologyGeneratorOptions options;
+  options.num_concepts = 500;
+  ExtendOntology(onto, options);
+  EXPECT_EQ(onto.concept_count(), base_count + 500);
+  EXPECT_TRUE(onto.Validate().ok());
+  // Curated content intact.
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ASSERT_NE(asthma, kInvalidConcept);
+  EXPECT_EQ(onto.GetConcept(asthma).code, "195967001");
+  // New concepts attach beneath existing ones: every new concept has a
+  // parent.
+  for (ConceptId c = static_cast<ConceptId>(base_count);
+       c < onto.concept_count(); ++c) {
+    EXPECT_FALSE(onto.Parents(c).empty()) << c;
+  }
+}
+
+}  // namespace
+}  // namespace xontorank

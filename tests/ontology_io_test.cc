@@ -1,0 +1,146 @@
+#include "onto/ontology_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+
+void ExpectOntologiesEqual(const Ontology& a, const Ontology& b) {
+  ASSERT_EQ(a.concept_count(), b.concept_count());
+  EXPECT_EQ(a.system_id(), b.system_id());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.isa_edge_count(), b.isa_edge_count());
+  EXPECT_EQ(a.relationship_count(), b.relationship_count());
+  for (ConceptId c = 0; c < a.concept_count(); ++c) {
+    EXPECT_EQ(a.GetConcept(c).code, b.GetConcept(c).code);
+    EXPECT_EQ(a.GetConcept(c).preferred_term, b.GetConcept(c).preferred_term);
+    EXPECT_EQ(a.GetConcept(c).synonyms, b.GetConcept(c).synonyms);
+    EXPECT_EQ(a.Parents(c), b.Parents(c));
+    ASSERT_EQ(a.OutRelationships(c).size(), b.OutRelationships(c).size());
+    for (size_t i = 0; i < a.OutRelationships(c).size(); ++i) {
+      const auto& ra = a.OutRelationships(c)[i];
+      const auto& rb = b.OutRelationships(c)[i];
+      EXPECT_EQ(ra.target, rb.target);
+      EXPECT_EQ(a.RelationTypeName(ra.type), b.RelationTypeName(rb.type));
+    }
+  }
+}
+
+TEST(OntologyIoTest, TinyRoundTrip) {
+  Ontology onto = BuildTinyOntology();
+  std::string text = WriteOntologyText(onto);
+  auto parsed = ParseOntologyText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectOntologiesEqual(onto, *parsed);
+}
+
+TEST(OntologyIoTest, FragmentRoundTrip) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  auto parsed = ParseOntologyText(WriteOntologyText(onto));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectOntologiesEqual(onto, *parsed);
+}
+
+TEST(OntologyIoTest, HandWrittenFormat) {
+  const char* text =
+      "#ontology\tmy.sys\tMy Ontology\n"
+      "# a comment\n"
+      "C\t1\tHeart disease\tCardiac disorder\tHD\n"
+      "C\t2\tCardiac arrest\n"
+      "\n"
+      "I\t2\t1\n"
+      "R\t2\tfinding_site_of\t1\n";
+  auto parsed = ParseOntologyText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->system_id(), "my.sys");
+  EXPECT_EQ(parsed->name(), "My Ontology");
+  EXPECT_EQ(parsed->concept_count(), 2u);
+  ConceptId hd = parsed->FindByCode("1");
+  ASSERT_NE(hd, kInvalidConcept);
+  EXPECT_EQ(parsed->GetConcept(hd).synonyms,
+            (std::vector<std::string>{"Cardiac disorder", "HD"}));
+  EXPECT_EQ(parsed->Children(hd).size(), 1u);
+  EXPECT_EQ(parsed->relationship_count(), 1u);
+}
+
+TEST(OntologyIoTest, TermsMayContainSpaces) {
+  const char* text =
+      "#ontology\ts\tn\n"
+      "C\t10\tDisorder of bronchus\tBronchus disorder\n";
+  auto parsed = ParseOntologyText(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed->FindByPreferredTerm("Disorder of bronchus"),
+            kInvalidConcept);
+}
+
+TEST(OntologyIoErrorTest, UnknownRecordKind) {
+  auto parsed = ParseOntologyText("#ontology\ts\tn\nX\t1\tfoo\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(OntologyIoErrorTest, DuplicateConceptCode) {
+  auto parsed = ParseOntologyText(
+      "#ontology\ts\tn\nC\t1\tA\nC\t1\tB\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(OntologyIoErrorTest, IsAUnknownConcept) {
+  auto parsed = ParseOntologyText("#ontology\ts\tn\nC\t1\tA\nI\t1\t99\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unknown"), std::string::npos);
+}
+
+TEST(OntologyIoErrorTest, RelationshipUnknownConcept) {
+  auto parsed =
+      ParseOntologyText("#ontology\ts\tn\nC\t1\tA\nR\t1\tr\t99\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(OntologyIoErrorTest, MissingFields) {
+  EXPECT_FALSE(ParseOntologyText("#ontology\ts\tn\nC\t1\n").ok());
+  EXPECT_FALSE(ParseOntologyText("#ontology\ts\tn\nC\t1\tA\nI\t1\n").ok());
+  EXPECT_FALSE(
+      ParseOntologyText("#ontology\ts\tn\nC\t1\tA\nR\t1\tr\n").ok());
+}
+
+TEST(OntologyIoErrorTest, EmptyOntologyRejected) {
+  EXPECT_FALSE(ParseOntologyText("#ontology\ts\tn\n").ok());
+  EXPECT_FALSE(ParseOntologyText("").ok());
+}
+
+TEST(OntologyIoErrorTest, CycleRejectedAtLoad) {
+  auto parsed = ParseOntologyText(
+      "#ontology\ts\tn\nC\t1\tA\nC\t2\tB\nI\t1\t2\nI\t2\t1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OntologyIoTest, SaveLoadFile) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "xontorank_onto_test.tsv")
+          .string();
+  Ontology onto = BuildTinyOntology();
+  ASSERT_TRUE(SaveOntology(onto, path).ok());
+  auto loaded = LoadOntology(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectOntologiesEqual(onto, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(OntologyIoTest, LoadMissingFileIsIoError) {
+  auto loaded = LoadOntology("/no/such/ontology.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,240 @@
+#include "onto/ontology.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+
+TEST(OntologyTest, AddAndLookupConcepts) {
+  Ontology onto("sys");
+  ConceptId a = onto.AddConcept("100", "Alpha", {"First"});
+  EXPECT_EQ(onto.concept_count(), 1u);
+  EXPECT_EQ(onto.FindByCode("100"), a);
+  EXPECT_EQ(onto.FindByPreferredTerm("Alpha"), a);
+  EXPECT_EQ(onto.FindByCode("999"), kInvalidConcept);
+  EXPECT_EQ(onto.FindByPreferredTerm("Beta"), kInvalidConcept);
+  EXPECT_EQ(onto.GetConcept(a).preferred_term, "Alpha");
+  EXPECT_EQ(onto.GetConcept(a).synonyms.size(), 1u);
+}
+
+TEST(OntologyTest, DuplicateCodeReturnsExistingId) {
+  Ontology onto("sys");
+  ConceptId a = onto.AddConcept("100", "Alpha");
+  ConceptId b = onto.AddConcept("100", "Different");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(onto.concept_count(), 1u);
+  EXPECT_EQ(onto.GetConcept(a).preferred_term, "Alpha");
+}
+
+TEST(OntologyTest, ConceptFullTextIncludesSynonyms) {
+  Concept c{"1", "Coarctation of aorta", {"Cardiac coarctation"}};
+  EXPECT_EQ(c.FullText(), "Coarctation of aorta Cardiac coarctation");
+}
+
+TEST(OntologyTest, IsAEdgesNavigable) {
+  Ontology onto = BuildTinyOntology();
+  ConceptId disease = onto.FindByPreferredTerm("Disease");
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ConceptId flu = onto.FindByPreferredTerm("Flu");
+  ASSERT_EQ(onto.Parents(asthma).size(), 1u);
+  EXPECT_EQ(onto.Parents(asthma)[0], disease);
+  EXPECT_EQ(onto.Children(disease).size(), 2u);
+  EXPECT_NE(std::find(onto.Children(disease).begin(),
+                      onto.Children(disease).end(), flu),
+            onto.Children(disease).end());
+}
+
+TEST(OntologyTest, IsARejectsSelfLoopAndUnknown) {
+  Ontology onto("sys");
+  ConceptId a = onto.AddConcept("1", "A");
+  EXPECT_EQ(onto.AddIsA(a, a).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(onto.AddIsA(a, 42).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(onto.AddIsA(42, a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OntologyTest, DuplicateIsAIdempotent) {
+  Ontology onto("sys");
+  ConceptId a = onto.AddConcept("1", "A");
+  ConceptId b = onto.AddConcept("2", "B");
+  EXPECT_TRUE(onto.AddIsA(a, b).ok());
+  EXPECT_TRUE(onto.AddIsA(a, b).ok());
+  EXPECT_EQ(onto.isa_edge_count(), 1u);
+  EXPECT_EQ(onto.Children(b).size(), 1u);
+}
+
+TEST(OntologyTest, ValidateDetectsCycle) {
+  Ontology onto("sys");
+  ConceptId a = onto.AddConcept("1", "A");
+  ConceptId b = onto.AddConcept("2", "B");
+  ConceptId c = onto.AddConcept("3", "C");
+  ASSERT_TRUE(onto.AddIsA(a, b).ok());
+  ASSERT_TRUE(onto.AddIsA(b, c).ok());
+  EXPECT_TRUE(onto.Validate().ok());
+  ASSERT_TRUE(onto.AddIsA(c, a).ok());  // closes the cycle
+  EXPECT_EQ(onto.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OntologyTest, DiamondIsNotACycle) {
+  Ontology onto("sys");
+  ConceptId top = onto.AddConcept("1", "Top");
+  ConceptId l = onto.AddConcept("2", "L");
+  ConceptId r = onto.AddConcept("3", "R");
+  ConceptId bottom = onto.AddConcept("4", "Bottom");
+  ASSERT_TRUE(onto.AddIsA(l, top).ok());
+  ASSERT_TRUE(onto.AddIsA(r, top).ok());
+  ASSERT_TRUE(onto.AddIsA(bottom, l).ok());
+  ASSERT_TRUE(onto.AddIsA(bottom, r).ok());
+  EXPECT_TRUE(onto.Validate().ok());
+}
+
+TEST(OntologyTest, RelationshipsNavigableBothDirections) {
+  Ontology onto = BuildTinyOntology();
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ConceptId bronchus = onto.FindByPreferredTerm("Bronchus");
+  auto type = onto.FindRelationType("finding_site_of");
+  ASSERT_TRUE(type.has_value());
+  bool found = false;
+  for (const ConceptRelationship& rel : onto.OutRelationships(asthma)) {
+    if (rel.target == bronchus && rel.type == *type) found = true;
+  }
+  EXPECT_TRUE(found);
+  found = false;
+  for (const ConceptRelationship& rel : onto.InRelationships(bronchus)) {
+    if (rel.source == asthma && rel.type == *type) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OntologyTest, DuplicateRelationshipIdempotent) {
+  Ontology onto("sys");
+  ConceptId a = onto.AddConcept("1", "A");
+  ConceptId b = onto.AddConcept("2", "B");
+  EXPECT_TRUE(onto.AddRelationship(a, "r", b).ok());
+  EXPECT_TRUE(onto.AddRelationship(a, "r", b).ok());
+  EXPECT_EQ(onto.relationship_count(), 1u);
+}
+
+TEST(OntologyTest, RelationInDegreeCountsByType) {
+  Ontology onto = BuildTinyOntology();
+  ConceptId bronchus = onto.FindByPreferredTerm("Bronchus");
+  auto fso = onto.FindRelationType("finding_site_of");
+  ASSERT_TRUE(fso.has_value());
+  // Asthma and AsthmaAttack both point at Bronchus.
+  EXPECT_EQ(onto.RelationInDegree(bronchus, *fso), 2u);
+  auto treats = onto.FindRelationType("treats");
+  ASSERT_TRUE(treats.has_value());
+  EXPECT_EQ(onto.RelationInDegree(bronchus, *treats), 0u);
+}
+
+TEST(OntologyTest, IsAncestorOfIsReflexiveTransitive) {
+  Ontology onto = BuildTinyOntology();
+  ConceptId root = onto.FindByPreferredTerm("Root concept");
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ConceptId attack = onto.FindByPreferredTerm("AsthmaAttack");
+  ConceptId bronchus = onto.FindByPreferredTerm("Bronchus");
+  EXPECT_TRUE(onto.IsAncestorOf(asthma, asthma));
+  EXPECT_TRUE(onto.IsAncestorOf(asthma, attack));
+  EXPECT_TRUE(onto.IsAncestorOf(root, attack));
+  EXPECT_FALSE(onto.IsAncestorOf(attack, asthma));
+  EXPECT_FALSE(onto.IsAncestorOf(bronchus, asthma));
+}
+
+TEST(OntologyTest, RelationTypeInterning) {
+  Ontology onto("sys");
+  RelationTypeId r1 = onto.InternRelationType("finding_site_of");
+  RelationTypeId r2 = onto.InternRelationType("finding_site_of");
+  RelationTypeId r3 = onto.InternRelationType("due_to");
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, r3);
+  EXPECT_EQ(onto.RelationTypeName(r3), "due_to");
+  EXPECT_EQ(onto.relation_type_count(), 2u);
+}
+
+// ---- Curated fragment invariants ----
+
+TEST(SnomedFragmentTest, BuildsValidDag) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  EXPECT_GT(onto.concept_count(), 200u);
+  EXPECT_GT(onto.relationship_count(), 100u);
+  EXPECT_TRUE(onto.Validate().ok());
+  EXPECT_EQ(onto.system_id(), kSnomedSystemId);
+}
+
+TEST(SnomedFragmentTest, PaperConceptsPresentWithRealCodes) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ASSERT_NE(asthma, kInvalidConcept);
+  EXPECT_EQ(onto.GetConcept(asthma).code, "195967001");
+  ConceptId bronchial = onto.FindByPreferredTerm("Bronchial structure");
+  ASSERT_NE(bronchial, kInvalidConcept);
+  EXPECT_EQ(onto.GetConcept(bronchial).code, "955009");
+  ConceptId theo = onto.FindByPreferredTerm("Theophylline");
+  ASSERT_NE(theo, kInvalidConcept);
+  EXPECT_EQ(onto.GetConcept(theo).code, "66493003");
+}
+
+TEST(SnomedFragmentTest, AsthmaFindingSiteIsBronchialStructure) {
+  // The paper's Fig. 2 edge, used by the §I motivating example.
+  Ontology onto = BuildSnomedCardiologyFragment();
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  ConceptId bronchial = onto.FindByPreferredTerm("Bronchial structure");
+  auto fso = onto.FindRelationType(kRelFindingSite);
+  ASSERT_TRUE(fso.has_value());
+  bool found = false;
+  for (const ConceptRelationship& rel : onto.OutRelationships(asthma)) {
+    if (rel.target == bronchial && rel.type == *fso) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SnomedFragmentTest, AsthmaHasManySubclasses) {
+  // §IV-B's worked example relies on Asthma having many direct subclasses
+  // (26 in full SNOMED; the fragment carries a meaningful subset).
+  Ontology onto = BuildSnomedCardiologyFragment();
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  EXPECT_GE(onto.Children(asthma).size(), 8u);
+}
+
+TEST(SnomedFragmentTest, TableOneQueryTermsResolvable) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  for (const char* term :
+       {"Cardiac arrest", "Coarctation of aorta", "Neonatal cyanosis",
+        "Carbapenem", "Ibuprofen", "Supraventricular arrhythmia",
+        "Pericardial effusion", "Amiodarone", "Acetaminophen", "Aspirin",
+        "Adenosine", "Epinephrine", "Furosemide", "Prostaglandin E1",
+        "Mitral valve structure", "Patent ductus arteriosus"}) {
+    EXPECT_NE(onto.FindByPreferredTerm(term), kInvalidConcept) << term;
+  }
+}
+
+TEST(SnomedFragmentTest, CodesAreUnique) {
+  // AddConcept dedups by code, so count only matches if all codes differ.
+  Ontology onto = BuildSnomedCardiologyFragment();
+  std::unordered_set<std::string> codes;
+  for (ConceptId c = 0; c < onto.concept_count(); ++c) {
+    EXPECT_TRUE(codes.insert(onto.GetConcept(c).code).second)
+        << onto.GetConcept(c).preferred_term;
+  }
+}
+
+TEST(SnomedFragmentTest, Deterministic) {
+  Ontology a = BuildSnomedCardiologyFragment();
+  Ontology b = BuildSnomedCardiologyFragment();
+  ASSERT_EQ(a.concept_count(), b.concept_count());
+  for (ConceptId c = 0; c < a.concept_count(); ++c) {
+    EXPECT_EQ(a.GetConcept(c).code, b.GetConcept(c).code);
+    EXPECT_EQ(a.GetConcept(c).preferred_term, b.GetConcept(c).preferred_term);
+  }
+  EXPECT_EQ(a.isa_edge_count(), b.isa_edge_count());
+  EXPECT_EQ(a.relationship_count(), b.relationship_count());
+}
+
+}  // namespace
+}  // namespace xontorank

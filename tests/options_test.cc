@@ -1,0 +1,63 @@
+#include "core/options.h"
+
+#include "common/timer.h"
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(StrategyNameTest, AllStrategiesNamed) {
+  EXPECT_EQ(StrategyName(Strategy::kXRank), "XRANK");
+  EXPECT_EQ(StrategyName(Strategy::kGraph), "Graph");
+  EXPECT_EQ(StrategyName(Strategy::kTaxonomy), "Taxonomy");
+  EXPECT_EQ(StrategyName(Strategy::kRelationships), "Relationships");
+}
+
+TEST(AllStrategiesTest, TableOrderAndCount) {
+  ASSERT_EQ(std::size(kAllStrategies), 4u);
+  EXPECT_EQ(kAllStrategies[0], Strategy::kXRank);
+  EXPECT_EQ(kAllStrategies[3], Strategy::kRelationships);
+}
+
+TEST(ScoreOptionsTest, PaperDefaults) {
+  ScoreOptions options;
+  EXPECT_DOUBLE_EQ(options.decay, 0.5);
+  EXPECT_DOUBLE_EQ(options.threshold, 0.1);
+  EXPECT_DOUBLE_EQ(options.ontology_weight, 0.5);
+  EXPECT_DOUBLE_EQ(options.bm25.k1, 1.2);
+  EXPECT_DOUBLE_EQ(options.bm25.b, 0.75);
+}
+
+TEST(DefaultExcludedAttributesTest, CoversCdaCodeAttributes) {
+  const auto& excluded = DefaultExcludedAttributes();
+  for (const char* name :
+       {"code", "codeSystem", "root", "extension", "templateId", "xsi:type"}) {
+    EXPECT_TRUE(excluded.count(name)) << name;
+  }
+  // displayName must NOT be excluded — it is the textual hook of code nodes.
+  EXPECT_FALSE(excluded.count("displayName"));
+  EXPECT_FALSE(excluded.count("title"));
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  // Busy-wait a tiny amount of real work.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 200000; ++i) sink = sink + static_cast<uint64_t>(i);
+  double ms = timer.ElapsedMillis();
+  double us = timer.ElapsedMicros();
+  EXPECT_GE(ms, 0.0);
+  EXPECT_GE(us, ms * 1000.0 * 0.5);  // consistent units (loose bound)
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), ms + 1000.0);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  Timer timer;
+  double a = timer.ElapsedMicros();
+  double b = timer.ElapsedMicros();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,113 @@
+#include "core/query_expansion.h"
+
+#include "core/xontorank.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+using testing_util::MustParse;
+using testing_util::TinyCdaXml;
+
+class QueryExpansionFixture : public ::testing::Test {
+ protected:
+  QueryExpansionFixture() : onto_(BuildTinyOntology()) {
+    corpus_.push_back(MustParse(TinyCdaXml(), 0));
+  }
+
+  Ontology onto_;
+  std::vector<XmlDocument> corpus_;
+};
+
+TEST_F(QueryExpansionFixture, ExpandIncludesKeywordFirst) {
+  QueryExpansionEngine engine(corpus_, onto_, {});
+  auto expansions = engine.Expand(MakeKeyword("asthma"));
+  ASSERT_FALSE(expansions.empty());
+  EXPECT_EQ(expansions[0].first.Canonical(), "asthma");
+  EXPECT_DOUBLE_EQ(expansions[0].second, 1.0);
+}
+
+TEST_F(QueryExpansionFixture, ExpansionsAreRelatedConceptTerms) {
+  QueryExpansionEngine engine(corpus_, onto_, {});
+  auto expansions = engine.Expand(MakeKeyword("asthma"));
+  // Related concepts: AsthmaAttack (1.0 as subclass), Disease/Flu (0.5),
+  // Drug (0.5), Bronchus (0.25)... capped by options.
+  ASSERT_GT(expansions.size(), 1u);
+  bool found_related = false;
+  for (size_t i = 1; i < expansions.size(); ++i) {
+    EXPECT_LT(expansions[i].second, 1.0 + 1e-9);
+    EXPECT_GE(expansions[i].second, 0.2);
+    if (expansions[i].first.Canonical() == "asthmaattack") found_related = true;
+  }
+  EXPECT_TRUE(found_related);
+}
+
+TEST_F(QueryExpansionFixture, BudgetCapsExpansions) {
+  QueryExpansionOptions options;
+  options.max_expansions_per_keyword = 1;
+  QueryExpansionEngine engine(corpus_, onto_, options);
+  auto expansions = engine.Expand(MakeKeyword("asthma"));
+  EXPECT_LE(expansions.size(), 2u);  // keyword + 1
+}
+
+TEST_F(QueryExpansionFixture, MinAssociationFiltersWeakTerms) {
+  QueryExpansionOptions strict;
+  strict.min_association = 0.9;
+  QueryExpansionEngine engine(corpus_, onto_, strict);
+  auto expansions = engine.Expand(MakeKeyword("asthma"));
+  for (size_t i = 1; i < expansions.size(); ++i) {
+    EXPECT_GE(expansions[i].second, 0.9);
+  }
+}
+
+TEST_F(QueryExpansionFixture, FindsResultsForExpandableKeywords) {
+  // "disease" never occurs textually, but its expansion includes "asthma"
+  // (subclass, association 1.0), which does.
+  QueryExpansionEngine engine(corpus_, onto_, {});
+  auto results = engine.Search("disease", 5);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST_F(QueryExpansionFixture, CannotSeeCodeOnlyConcepts) {
+  // The defining weakness vs XOntoRank: expansion still needs *textual*
+  // occurrences. "structure" expands (at association ≥ 0.6) only into
+  // "Bronchus" — and neither term occurs in the document text, so the
+  // expansion baseline finds nothing. XOntoRank reaches the Asthma code
+  // node through finding_site_of and answers the query.
+  QueryExpansionOptions options;
+  options.min_association = 0.6;
+  QueryExpansionEngine engine(corpus_, onto_, options);
+  auto expansions = engine.Expand(MakeKeyword("structure"));
+  for (const auto& [kw, weight] : expansions) {
+    EXPECT_GE(weight, 0.6);
+  }
+  auto results = engine.Search("structure", 5);
+  EXPECT_TRUE(results.empty());
+
+  IndexBuildOptions xo;
+  xo.strategy = Strategy::kRelationships;
+  XOntoRank xontorank(std::move(corpus_), onto_, xo);
+  EXPECT_FALSE(xontorank.Search("structure", 5).empty());
+}
+
+TEST_F(QueryExpansionFixture, ScoresScaledByAssociation) {
+  // A node matched only through an expansion term scores at most the
+  // association degree (IRS ≤ 1 times weight < 1).
+  QueryExpansionEngine engine(corpus_, onto_, {});
+  auto direct = engine.Search("asthma", 1);
+  auto expanded_only = engine.Search("disease", 1);
+  ASSERT_FALSE(direct.empty());
+  ASSERT_FALSE(expanded_only.empty());
+  EXPECT_GE(direct[0].score + 1e-9, expanded_only[0].score);
+}
+
+TEST_F(QueryExpansionFixture, EmptyQuery) {
+  QueryExpansionEngine engine(corpus_, onto_, {});
+  EXPECT_TRUE(engine.Search("", 5).empty());
+}
+
+}  // namespace
+}  // namespace xontorank

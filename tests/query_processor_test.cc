@@ -1,0 +1,283 @@
+#include "core/query_processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+DilPosting P(std::vector<uint32_t> comps, double score) {
+  return {DeweyId(std::move(comps)), score};
+}
+
+DilEntry Entry(std::vector<DilPosting> postings) {
+  DilEntry entry;
+  std::sort(postings.begin(), postings.end(),
+            [](const DilPosting& a, const DilPosting& b) {
+              return a.dewey < b.dewey;
+            });
+  entry.postings = std::move(postings);
+  return entry;
+}
+
+std::vector<QueryResult> RunQuery(const std::vector<DilEntry>& entries,
+                             size_t top_k = 0, double decay = 0.5) {
+  ScoreOptions options;
+  options.decay = decay;
+  QueryProcessor processor(options);
+  std::vector<const DilEntry*> lists;
+  for (const DilEntry& e : entries) lists.push_back(&e);
+  return processor.Execute(lists, top_k);
+}
+
+TEST(QueryProcessorTest, SingleKeywordReturnsPostingNodes) {
+  DilEntry a = Entry({P({0, 1}, 0.8), P({0, 2}, 0.4)});
+  auto results = RunQuery({a});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].element.ToString(), "0.1");
+  EXPECT_NEAR(results[0].score, 0.8, kEps);
+  EXPECT_EQ(results[1].element.ToString(), "0.2");
+}
+
+TEST(QueryProcessorTest, ConjunctionRequiresAllKeywords) {
+  // Keyword A in doc 0 only, keyword B in doc 1 only: no common subtree.
+  DilEntry a = Entry({P({0, 1}, 1.0)});
+  DilEntry b = Entry({P({1, 1}, 1.0)});
+  EXPECT_TRUE(RunQuery({a, b}).empty());
+}
+
+TEST(QueryProcessorTest, LcaBecomesResultWithDecayedScores) {
+  // A at 0.0.0, B at 0.0.1 → result is 0.0 with each score decayed once.
+  DilEntry a = Entry({P({0, 0, 0}, 1.0)});
+  DilEntry b = Entry({P({0, 0, 1}, 0.6)});
+  auto results = RunQuery({a, b});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].element.ToString(), "0.0");
+  ASSERT_EQ(results[0].keyword_scores.size(), 2u);
+  EXPECT_NEAR(results[0].keyword_scores[0], 0.5, kEps);
+  EXPECT_NEAR(results[0].keyword_scores[1], 0.3, kEps);
+  EXPECT_NEAR(results[0].score, 0.8, kEps);
+}
+
+TEST(QueryProcessorTest, MinimalityExcludesAncestors) {
+  // Both keywords inside 0.0.1 AND spread across 0.0: only the deep node
+  // (which already has all keywords) is returned; 0.0 is not (Eq. 1).
+  DilEntry a = Entry({P({0, 0, 1}, 1.0), P({0, 0, 0}, 0.2)});
+  DilEntry b = Entry({P({0, 0, 1}, 0.9)});
+  auto results = RunQuery({a, b});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].element.ToString(), "0.0.1");
+  EXPECT_NEAR(results[0].score, 1.9, kEps);
+}
+
+TEST(QueryProcessorTest, SameNodeCarriesBothKeywords) {
+  DilEntry a = Entry({P({0, 3}, 0.7)});
+  DilEntry b = Entry({P({0, 3}, 0.2)});
+  auto results = RunQuery({a, b});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].element.ToString(), "0.3");
+  EXPECT_NEAR(results[0].score, 0.9, kEps);
+}
+
+TEST(QueryProcessorTest, MultipleResultsAcrossDocuments) {
+  DilEntry a = Entry({P({0, 0}, 1.0), P({2, 0}, 0.5)});
+  DilEntry b = Entry({P({0, 1}, 1.0), P({2, 1}, 1.0)});
+  auto results = RunQuery({a, b});
+  ASSERT_EQ(results.size(), 2u);
+  // Doc 0 root scores 0.5+0.5=1.0; doc 2 root scores 0.25+0.5=0.75.
+  EXPECT_EQ(results[0].element.ToString(), "0");
+  EXPECT_NEAR(results[0].score, 1.0, kEps);
+  EXPECT_EQ(results[1].element.ToString(), "2");
+  EXPECT_NEAR(results[1].score, 0.75, kEps);
+}
+
+TEST(QueryProcessorTest, SiblingSubtreesProduceSeparateResults) {
+  // Two independent sections of one document each contain both keywords.
+  DilEntry a = Entry({P({0, 0, 0}, 1.0), P({0, 1, 0}, 0.8)});
+  DilEntry b = Entry({P({0, 0, 1}, 1.0), P({0, 1, 1}, 0.8)});
+  auto results = RunQuery({a, b});
+  ASSERT_EQ(results.size(), 2u);
+  std::set<std::string> elems{results[0].element.ToString(),
+                              results[1].element.ToString()};
+  EXPECT_TRUE(elems.count("0.0"));
+  EXPECT_TRUE(elems.count("0.1"));
+}
+
+TEST(QueryProcessorTest, DeepPropagationUsesDecayPower) {
+  DilEntry a = Entry({P({0, 0, 0, 0, 0}, 1.0)});
+  DilEntry b = Entry({P({0, 1}, 1.0)});
+  auto results = RunQuery({a, b});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].element.ToString(), "0");
+  // Keyword a travels 4 containment edges: 0.5^4; b travels 1: 0.5.
+  EXPECT_NEAR(results[0].keyword_scores[0], std::pow(0.5, 4), kEps);
+  EXPECT_NEAR(results[0].keyword_scores[1], 0.5, kEps);
+}
+
+TEST(QueryProcessorTest, MaxCombinesMultipleWitnesses) {
+  // Keyword a occurs twice below the LCA; Eq. 3 takes the max decayed one.
+  DilEntry a = Entry({P({0, 0, 0}, 1.0), P({0, 0, 1, 0}, 1.0)});
+  DilEntry b = Entry({P({0, 1}, 1.0)});
+  auto results = RunQuery({a, b});
+  ASSERT_EQ(results.size(), 1u);
+  // From 0.0.0: 0.5^2 = 0.25; from 0.0.1.0: 0.5^3 = 0.125 → max 0.25.
+  EXPECT_NEAR(results[0].keyword_scores[0], 0.25, kEps);
+}
+
+TEST(QueryProcessorTest, TopKOrdersByScoreDescending) {
+  DilEntry a = Entry({P({0, 0}, 0.3), P({1, 0}, 0.9), P({2, 0}, 0.6)});
+  auto results = RunQuery({a}, 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].element.ToString(), "1.0");
+  EXPECT_EQ(results[1].element.ToString(), "2.0");
+}
+
+TEST(QueryProcessorTest, TiesBrokenByDeweyOrder) {
+  DilEntry a = Entry({P({3, 0}, 0.5), P({1, 0}, 0.5), P({2, 0}, 0.5)});
+  auto results = RunQuery({a});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].element.ToString(), "1.0");
+  EXPECT_EQ(results[1].element.ToString(), "2.0");
+  EXPECT_EQ(results[2].element.ToString(), "3.0");
+}
+
+TEST(QueryProcessorTest, EmptyOrNullListsShortCircuit) {
+  DilEntry a = Entry({P({0, 0}, 1.0)});
+  DilEntry empty = Entry({});
+  EXPECT_TRUE(RunQuery({a, empty}).empty());
+  QueryProcessor processor((ScoreOptions()));
+  EXPECT_TRUE(processor.Execute({&a, nullptr}, 0).empty());
+  EXPECT_TRUE(
+      processor.Execute(std::vector<const DilEntry*>{}, 0).empty());
+}
+
+TEST(QueryProcessorTest, ResultsFormAntichain) {
+  DilEntry a = Entry({P({0, 0, 0}, 1.0), P({0, 0}, 0.1), P({0}, 0.1)});
+  DilEntry b = Entry({P({0, 0, 0}, 1.0), P({0, 1}, 1.0)});
+  auto results = RunQuery({a, b});
+  for (size_t i = 0; i < results.size(); ++i) {
+    for (size_t j = 0; j < results.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(results[i].element.IsStrictAncestorOf(results[j].element));
+    }
+  }
+}
+
+// ---- Brute-force reference comparison (randomized property) ----
+
+/// Computes the Eq. 1–4 semantics directly from their definitions.
+std::vector<QueryResult> BruteForce(const std::vector<DilEntry>& entries,
+                                    double decay) {
+  // Candidate elements: every prefix (length >= 1) of every posting Dewey.
+  std::set<std::vector<uint32_t>> candidates;
+  for (const DilEntry& entry : entries) {
+    for (const DilPosting& p : entry.postings) {
+      for (size_t len = 1; len <= p.dewey.size(); ++len) {
+        candidates.insert(std::vector<uint32_t>(
+            p.dewey.components().begin(), p.dewey.components().begin() + len));
+      }
+    }
+  }
+  // Per-candidate per-keyword subtree scores (Eq. 2/3).
+  struct Scored {
+    DeweyId element;
+    std::vector<double> scores;
+  };
+  std::vector<Scored> all;
+  for (const auto& comps : candidates) {
+    DeweyId element(comps);
+    Scored scored{element, std::vector<double>(entries.size(), 0.0)};
+    for (size_t w = 0; w < entries.size(); ++w) {
+      for (const DilPosting& p : entries[w].postings) {
+        if (element.IsAncestorOrSelfOf(p.dewey)) {
+          double value =
+              p.score * std::pow(decay, static_cast<double>(
+                                            element.DistanceTo(p.dewey)));
+          scored.scores[w] = std::max(scored.scores[w], value);
+        }
+      }
+    }
+    all.push_back(std::move(scored));
+  }
+  // E(q): all keywords positive. Results: minimal elements of E(q).
+  std::vector<Scored> eq;
+  for (const Scored& s : all) {
+    bool has_all = true;
+    for (double v : s.scores) has_all &= (v > 0.0);
+    if (has_all) eq.push_back(s);
+  }
+  std::vector<QueryResult> results;
+  for (const Scored& s : eq) {
+    bool minimal = true;
+    for (const Scored& other : eq) {
+      if (s.element.IsStrictAncestorOf(other.element)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+    QueryResult r;
+    r.element = s.element;
+    r.keyword_scores = s.scores;
+    for (double v : s.scores) r.score += v;
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const QueryResult& a, const QueryResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.element < b.element;
+            });
+  return results;
+}
+
+class QueryProcessorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryProcessorPropertyTest, MatchesBruteForceOnRandomInputs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t num_keywords = 1 + rng.NextBelow(3);
+    std::vector<DilEntry> entries;
+    for (size_t w = 0; w < num_keywords; ++w) {
+      std::vector<DilPosting> postings;
+      size_t n = 1 + rng.NextBelow(12);
+      std::set<std::vector<uint32_t>> used;
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<uint32_t> comps{static_cast<uint32_t>(rng.NextBelow(3))};
+        size_t depth = rng.NextBelow(5);
+        for (size_t d = 0; d < depth; ++d) {
+          comps.push_back(static_cast<uint32_t>(rng.NextBelow(3)));
+        }
+        if (!used.insert(comps).second) continue;  // unique deweys per list
+        postings.push_back(P(comps, 0.1 + 0.9 * rng.NextDouble()));
+      }
+      if (postings.empty()) postings.push_back(P({0}, 0.5));
+      entries.push_back(Entry(std::move(postings)));
+    }
+    double decay = 0.25 + 0.5 * rng.NextDouble();
+    auto fast = RunQuery(entries, 0, decay);
+    auto brute = BruteForce(entries, decay);
+    ASSERT_EQ(fast.size(), brute.size()) << "trial " << trial;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].element, brute[i].element) << "trial " << trial;
+      EXPECT_NEAR(fast[i].score, brute[i].score, 1e-9) << "trial " << trial;
+      ASSERT_EQ(fast[i].keyword_scores.size(), brute[i].keyword_scores.size());
+      for (size_t w = 0; w < fast[i].keyword_scores.size(); ++w) {
+        EXPECT_NEAR(fast[i].keyword_scores[w], brute[i].keyword_scores[w],
+                    1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryProcessorPropertyTest,
+                         ::testing::Values(11, 29, 101, 4321, 87654));
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,72 @@
+#include "ir/query.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(ParseQueryTest, PlainKeywords) {
+  KeywordQuery q = ParseQuery("asthma theophylline");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.keywords[0].tokens, (std::vector<std::string>{"asthma"}));
+  EXPECT_EQ(q.keywords[1].tokens, (std::vector<std::string>{"theophylline"}));
+  EXPECT_FALSE(q.keywords[0].is_phrase());
+}
+
+TEST(ParseQueryTest, QuotedPhrase) {
+  KeywordQuery q = ParseQuery("\"cardiac arrest\" epinephrine");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.keywords[0].is_phrase());
+  EXPECT_EQ(q.keywords[0].tokens,
+            (std::vector<std::string>{"cardiac", "arrest"}));
+  EXPECT_EQ(q.keywords[0].Canonical(), "cardiac arrest");
+}
+
+TEST(ParseQueryTest, AdjacentPhrases) {
+  KeywordQuery q = ParseQuery("\"regurgitant flow\" \"mitral valve\"");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.keywords[0].is_phrase());
+  EXPECT_TRUE(q.keywords[1].is_phrase());
+}
+
+TEST(ParseQueryTest, UnterminatedQuoteConsumesRest) {
+  KeywordQuery q = ParseQuery("asthma \"cardiac arrest");
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.keywords[1].Canonical(), "cardiac arrest");
+}
+
+TEST(ParseQueryTest, NormalizesCase) {
+  KeywordQuery q = ParseQuery("AsThMa");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.keywords[0].Canonical(), "asthma");
+}
+
+TEST(ParseQueryTest, DropsEmptyKeywords) {
+  KeywordQuery q = ParseQuery("  \"\"  ... asthma  ");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.keywords[0].Canonical(), "asthma");
+}
+
+TEST(ParseQueryTest, EmptyQuery) {
+  EXPECT_TRUE(ParseQuery("").empty());
+  EXPECT_TRUE(ParseQuery("   ").empty());
+}
+
+TEST(ParseQueryTest, ToStringRoundTrips) {
+  KeywordQuery q = ParseQuery("\"cardiac arrest\" epinephrine");
+  EXPECT_EQ(q.ToString(), "\"cardiac arrest\" epinephrine");
+  KeywordQuery q2 = ParseQuery(q.ToString());
+  ASSERT_EQ(q2.size(), q.size());
+  EXPECT_EQ(q2.keywords[0], q.keywords[0]);
+  EXPECT_EQ(q2.keywords[1], q.keywords[1]);
+}
+
+TEST(MakeKeywordTest, MultiTokenBecomesPhrase) {
+  Keyword kw = MakeKeyword("Patent ductus arteriosus");
+  EXPECT_TRUE(kw.is_phrase());
+  EXPECT_EQ(kw.tokens.size(), 3u);
+  EXPECT_EQ(kw.display, "Patent ductus arteriosus");
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,142 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.05);  // mean sanity
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequencyTracksP) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkews) {
+  Rng rng(19);
+  const size_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) {
+    size_t v = rng.NextZipf(n, 1.2);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // Rank 0 should dominate the tail rank.
+  EXPECT_GT(counts[0], counts[n - 1] * 5);
+  // Monotone-ish head.
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextZipf(1, 1.5), 0u);
+}
+
+class ShuffleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShuffleTest, ShuffleIsPermutation) {
+  Rng rng(GetParam());
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShuffleTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+TEST(RngTest, ChoosePicksMembers) {
+  Rng rng(23);
+  std::vector<int> items{5, 6, 7};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Choose(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace xontorank

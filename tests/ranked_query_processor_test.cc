@@ -1,0 +1,134 @@
+#include "core/ranked_query_processor.h"
+
+#include <set>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+DilPosting P(std::vector<uint32_t> comps, double score) {
+  return {DeweyId(std::move(comps)), score};
+}
+
+DilEntry Entry(std::vector<DilPosting> postings) {
+  DilEntry entry;
+  std::sort(postings.begin(), postings.end(),
+            [](const DilPosting& a, const DilPosting& b) {
+              return a.dewey < b.dewey;
+            });
+  entry.postings = std::move(postings);
+  return entry;
+}
+
+std::vector<QueryResult> RunRanked(const std::vector<DilEntry>& entries,
+                                   size_t top_k,
+                                   RankedQueryStats* stats = nullptr) {
+  RankedQueryProcessor processor((ScoreOptions()));
+  std::vector<const DilEntry*> lists;
+  for (const DilEntry& e : entries) lists.push_back(&e);
+  return processor.Execute(lists, top_k, stats);
+}
+
+std::vector<QueryResult> RunExhaustive(const std::vector<DilEntry>& entries,
+                                       size_t top_k) {
+  QueryProcessor processor((ScoreOptions()));
+  std::vector<const DilEntry*> lists;
+  for (const DilEntry& e : entries) lists.push_back(&e);
+  return processor.Execute(lists, top_k);
+}
+
+TEST(RankedQueryProcessorTest, SimpleTopOne) {
+  DilEntry a = Entry({P({0, 0}, 0.2), P({1, 0}, 0.9), P({2, 0}, 0.4)});
+  auto results = RunRanked({a}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].element.ToString(), "1.0");
+  EXPECT_NEAR(results[0].score, 0.9, 1e-9);
+}
+
+TEST(RankedQueryProcessorTest, EarlyTerminationSkipsWeakDocuments) {
+  // 50 documents with one low-score posting, one with a perfect pair.
+  std::vector<DilPosting> a_postings, b_postings;
+  for (uint32_t d = 0; d < 50; ++d) {
+    a_postings.push_back(P({d, 0}, 0.05));
+    b_postings.push_back(P({d, 1}, 0.05));
+  }
+  a_postings.push_back(P({99, 0}, 1.0));
+  b_postings.push_back(P({99, 0}, 1.0));
+  DilEntry a = Entry(std::move(a_postings));
+  DilEntry b = Entry(std::move(b_postings));
+  RankedQueryStats stats;
+  auto results = RunRanked({a, b}, 1, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].element.doc_id(), 99u);
+  EXPECT_TRUE(stats.terminated_early);
+  EXPECT_LT(stats.documents_processed, stats.documents_total);
+}
+
+TEST(RankedQueryProcessorTest, StatsCountWork) {
+  DilEntry a = Entry({P({0, 0}, 0.5), P({1, 0}, 0.6)});
+  RankedQueryStats stats;
+  RunRanked({a}, 2, &stats);
+  EXPECT_EQ(stats.documents_total, 2u);
+  EXPECT_EQ(stats.documents_processed, 2u);
+  EXPECT_GE(stats.postings_consumed, 1u);
+}
+
+TEST(RankedQueryProcessorTest, EmptyAndNullLists) {
+  DilEntry a = Entry({P({0, 0}, 1.0)});
+  DilEntry empty = Entry({});
+  EXPECT_TRUE(RunRanked({a, empty}, 5).empty());
+  RankedQueryProcessor processor((ScoreOptions()));
+  EXPECT_TRUE(processor.Execute({&a, nullptr}, 5).empty());
+  EXPECT_TRUE(processor.Execute({}, 5).empty());
+}
+
+TEST(RankedQueryProcessorTest, ConjunctionAcrossDocumentsEmpty) {
+  DilEntry a = Entry({P({0, 0}, 1.0)});
+  DilEntry b = Entry({P({1, 0}, 1.0)});
+  EXPECT_TRUE(RunRanked({a, b}, 5).empty());
+}
+
+class RankedEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankedEquivalenceTest, MatchesExhaustiveTopK) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t num_keywords = 1 + rng.NextBelow(3);
+    std::vector<DilEntry> entries;
+    for (size_t w = 0; w < num_keywords; ++w) {
+      std::vector<DilPosting> postings;
+      std::set<std::vector<uint32_t>> used;
+      size_t n = 1 + rng.NextBelow(25);
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<uint32_t> comps{static_cast<uint32_t>(rng.NextBelow(6))};
+        size_t depth = rng.NextBelow(4);
+        for (size_t d = 0; d < depth; ++d) {
+          comps.push_back(static_cast<uint32_t>(rng.NextBelow(3)));
+        }
+        if (!used.insert(comps).second) continue;
+        postings.push_back(P(comps, 0.05 + 0.95 * rng.NextDouble()));
+      }
+      if (postings.empty()) postings.push_back(P({0}, 0.5));
+      entries.push_back(Entry(std::move(postings)));
+    }
+    for (size_t k : {size_t{1}, size_t{3}, size_t{10}}) {
+      auto ranked = RunRanked(entries, k);
+      auto exhaustive = RunExhaustive(entries, k);
+      ASSERT_EQ(ranked.size(), exhaustive.size())
+          << "trial " << trial << " k " << k;
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        EXPECT_EQ(ranked[i].element, exhaustive[i].element)
+            << "trial " << trial << " k " << k << " i " << i;
+        EXPECT_NEAR(ranked[i].score, exhaustive[i].score, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankedEquivalenceTest,
+                         ::testing::Values(5, 23, 71, 999, 31337));
+
+}  // namespace
+}  // namespace xontorank

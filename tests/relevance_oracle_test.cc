@@ -1,0 +1,170 @@
+#include "eval/relevance_oracle.h"
+
+#include "core/xontorank.h"
+#include "eval/workload.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+using testing_util::MustParse;
+
+class OracleFixture : public ::testing::Test {
+ protected:
+  OracleFixture() : onto_(BuildTinyOntology()), oracle_(onto_) {}
+
+  QueryResult ResultAt(std::vector<uint32_t> comps) {
+    QueryResult r;
+    r.element = DeweyId(std::move(comps));
+    return r;
+  }
+
+  Ontology onto_;
+  RelevanceOracle oracle_;
+};
+
+TEST_F(OracleFixture, TextualSupportSuffices) {
+  XmlDocument doc = MustParse("<r><s>theophylline dose</s></r>", 0);
+  KeywordQuery query = ParseQuery("theophylline");
+  EXPECT_TRUE(oracle_.IsRelevant(query, doc, ResultAt({0, 0})));
+}
+
+TEST_F(OracleFixture, PhraseTextualSupportRequiresAdjacency) {
+  XmlDocument doc = MustParse("<r><s>cardiac arrest noted</s><t>cardiac but no match arrest</t></r>", 0);
+  KeywordQuery query = ParseQuery("\"cardiac arrest\"");
+  EXPECT_TRUE(oracle_.IsRelevant(query, doc, ResultAt({0, 0})));
+  EXPECT_FALSE(oracle_.IsRelevant(query, doc, ResultAt({0, 1})));
+}
+
+TEST_F(OracleFixture, OntologicalSupportThroughCodeNode) {
+  // Document references Asthma (code 4); keyword "bronchus" is 1 hop away
+  // via finding_site_of.
+  XmlDocument doc =
+      MustParse(R"(<r><v code="4" codeSystem="test.sys"/></r>)", 0);
+  KeywordQuery query = ParseQuery("bronchus");
+  EXPECT_TRUE(oracle_.IsRelevant(query, doc, ResultAt({0})));
+}
+
+TEST_F(OracleFixture, AllKeywordsMustBeSupported) {
+  XmlDocument doc =
+      MustParse(R"(<r><v code="4" codeSystem="test.sys"/></r>)", 0);
+  EXPECT_FALSE(
+      oracle_.IsRelevant(ParseQuery("bronchus zebra"), doc, ResultAt({0})));
+}
+
+TEST_F(OracleFixture, MaxHopsBoundsSupport) {
+  // "structure" (concept Structure) to Asthma: Structure-Bronchus-Asthma
+  // = 2 hops; with max_hops = 1 the support disappears.
+  XmlDocument doc =
+      MustParse(R"(<r><v code="4" codeSystem="test.sys"/></r>)", 0);
+  OracleOptions tight;
+  tight.max_hops = 1;
+  RelevanceOracle strict(onto_, tight);
+  KeywordQuery query = ParseQuery("structure");
+  EXPECT_TRUE(oracle_.IsRelevant(query, doc, ResultAt({0})));
+  EXPECT_FALSE(strict.IsRelevant(query, doc, ResultAt({0})));
+}
+
+TEST_F(OracleFixture, BlockedPairVetoesSupport) {
+  // Drug --treats--> Asthma: keyword "drug" supported by Asthma code node,
+  // unless the expert blocks the (Drug, Asthma) pair.
+  XmlDocument doc =
+      MustParse(R"(<r><v code="4" codeSystem="test.sys"/></r>)", 0);
+  KeywordQuery query = ParseQuery("drug");
+  EXPECT_TRUE(oracle_.IsRelevant(query, doc, ResultAt({0})));
+  oracle_.BlockPair("Drug", "Asthma");
+  EXPECT_FALSE(oracle_.IsRelevant(query, doc, ResultAt({0})));
+}
+
+TEST_F(OracleFixture, BlockPairUnknownTermsIgnored) {
+  oracle_.BlockPair("Nonexistent", "Asthma");  // no crash, no effect
+  XmlDocument doc =
+      MustParse(R"(<r><v code="4" codeSystem="test.sys"/></r>)", 0);
+  EXPECT_TRUE(oracle_.IsRelevant(ParseQuery("asthma"), doc, ResultAt({0})));
+}
+
+TEST_F(OracleFixture, SupportScopedToResultSubtree) {
+  // The code node sits in the second section; a result rooted at the first
+  // section must not see it.
+  XmlDocument doc = MustParse(
+      R"(<r><s1>no codes here</s1><s2><v code="4" codeSystem="test.sys"/></s2></r>)",
+      0);
+  KeywordQuery query = ParseQuery("bronchus");
+  EXPECT_FALSE(oracle_.IsRelevant(query, doc, ResultAt({0, 0})));
+  EXPECT_TRUE(oracle_.IsRelevant(query, doc, ResultAt({0, 1})));
+}
+
+TEST_F(OracleFixture, UnresolvableResultIrrelevant) {
+  XmlDocument doc = MustParse("<r/>", 0);
+  EXPECT_FALSE(
+      oracle_.IsRelevant(ParseQuery("asthma"), doc, ResultAt({0, 5, 5})));
+}
+
+TEST_F(OracleFixture, CountRelevantSkipsForeignDocs) {
+  std::vector<XmlDocument> corpus;
+  corpus.push_back(
+      MustParse(R"(<r><v code="4" codeSystem="test.sys"/></r>)", 0));
+  KeywordQuery query = ParseQuery("asthma");
+  std::vector<QueryResult> results{ResultAt({0}), ResultAt({9, 1})};
+  EXPECT_EQ(oracle_.CountRelevant(query, corpus, results), 1u);
+}
+
+TEST(OracleFragmentTest, ContextualMismatchReproducesQ10) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  auto doc_with = [&](const char* term) {
+    ConceptId c = onto.FindByPreferredTerm(term);
+    EXPECT_NE(c, kInvalidConcept) << term;
+    std::string xml = R"(<r><v code=")" + onto.GetConcept(c).code +
+                      R"(" codeSystem=")" + std::string(kSnomedSystemId) +
+                      R"("/></r>)";
+    return MustParse(xml, 0);
+  };
+  QueryResult result;
+  result.element = DeweyId({0});
+  KeywordQuery query = ParseQuery("acetaminophen");
+
+  // The acetaminophen→aspirin mapping reverses direction at the shared
+  // pain-relief context (acetaminophen→Pain←aspirin), so the monotone-chain
+  // rule rejects it even without any blocklist — the structural core of the
+  // paper's q10 judgment.
+  RelevanceOracle permissive(onto);
+  XmlDocument aspirin_doc = doc_with("Aspirin");
+  EXPECT_FALSE(permissive.IsRelevant(query, aspirin_doc, result));
+
+  // A monotone route (acetaminophen may_treat Fever) IS support until the
+  // expert's contextual mismatch list vetoes it: a record that merely
+  // mentions fever is not about acetaminophen.
+  XmlDocument fever_doc = doc_with("Fever");
+  EXPECT_TRUE(permissive.IsRelevant(query, fever_doc, result));
+  RelevanceOracle expert(onto);
+  InstallContextualMismatches(expert);
+  EXPECT_FALSE(expert.IsRelevant(query, fever_doc, result));
+}
+
+TEST(OracleFragmentTest, MonotoneChainsAreSupport) {
+  // Specialization (ancestor keyword, descendant doc) and consistent
+  // relationship chains are accepted.
+  Ontology onto = BuildSnomedCardiologyFragment();
+  RelevanceOracle oracle(onto);
+  ConceptId asthma = onto.FindByPreferredTerm("Asthma");
+  std::string xml = R"(<r><v code=")" + onto.GetConcept(asthma).code +
+                    R"(" codeSystem=")" + std::string(kSnomedSystemId) +
+                    R"("/></r>)";
+  XmlDocument doc = MustParse(xml, 0);
+  QueryResult result;
+  result.element = DeweyId({0});
+  // Ancestor term → descendant doc concept.
+  EXPECT_TRUE(oracle.IsRelevant(ParseQuery("\"disorder of bronchus\""), doc,
+                                result));
+  // Reverse relationship chain: finding site ← disorder.
+  EXPECT_TRUE(oracle.IsRelevant(ParseQuery("\"bronchial structure\""), doc,
+                                result));
+  // Forward therapy chain: drug → disorder.
+  EXPECT_TRUE(oracle.IsRelevant(ParseQuery("theophylline"), doc, result));
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,147 @@
+#include "onto/semantic_similarity.h"
+
+#include "cda/cda_generator.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+
+class SimilarityFixture : public ::testing::Test {
+ protected:
+  SimilarityFixture() : onto_(BuildTinyOntology()), sim_(onto_) {}
+
+  ConceptId Id(const char* term) {
+    ConceptId c = onto_.FindByPreferredTerm(term);
+    EXPECT_NE(c, kInvalidConcept) << term;
+    return c;
+  }
+
+  Ontology onto_;
+  SemanticSimilarity sim_;
+};
+
+TEST_F(SimilarityFixture, DepthsFollowTaxonomy) {
+  EXPECT_EQ(sim_.Depth(Id("Root concept")), 0u);
+  EXPECT_EQ(sim_.Depth(Id("Disease")), 1u);
+  EXPECT_EQ(sim_.Depth(Id("Asthma")), 2u);
+  EXPECT_EQ(sim_.Depth(Id("AsthmaAttack")), 3u);
+  EXPECT_EQ(sim_.Depth(Id("Bronchus")), 2u);
+}
+
+TEST_F(SimilarityFixture, RadaDistanceCountsIsAEdges) {
+  EXPECT_EQ(sim_.RadaDistance(Id("Asthma"), Id("Asthma")), 0u);
+  EXPECT_EQ(sim_.RadaDistance(Id("Asthma"), Id("Flu")), 2u);       // via Disease
+  EXPECT_EQ(sim_.RadaDistance(Id("Asthma"), Id("Bronchus")), 4u);  // via Root
+  EXPECT_EQ(sim_.RadaDistance(Id("AsthmaAttack"), Id("Disease")), 2u);
+  // Symmetric.
+  EXPECT_EQ(sim_.RadaDistance(Id("Flu"), Id("Asthma")),
+            sim_.RadaDistance(Id("Asthma"), Id("Flu")));
+}
+
+TEST_F(SimilarityFixture, RadaIgnoresNonTaxonomicEdges) {
+  // Asthma—Bronchus are 1 relationship hop apart but 4 is-a hops: the path
+  // metric must use the taxonomic distance.
+  EXPECT_EQ(sim_.RadaDistance(Id("Asthma"), Id("Bronchus")), 4u);
+}
+
+TEST_F(SimilarityFixture, PathSimilarityInverse) {
+  EXPECT_DOUBLE_EQ(sim_.PathSimilarity(Id("Asthma"), Id("Asthma")), 1.0);
+  EXPECT_DOUBLE_EQ(sim_.PathSimilarity(Id("Asthma"), Id("Flu")), 1.0 / 3.0);
+}
+
+TEST_F(SimilarityFixture, LowestCommonAncestor) {
+  EXPECT_EQ(sim_.LowestCommonAncestor(Id("Asthma"), Id("Flu")),
+            Id("Disease"));
+  EXPECT_EQ(sim_.LowestCommonAncestor(Id("AsthmaAttack"), Id("Flu")),
+            Id("Disease"));
+  EXPECT_EQ(sim_.LowestCommonAncestor(Id("Asthma"), Id("Bronchus")),
+            Id("Root concept"));
+  // LCA with itself is itself.
+  EXPECT_EQ(sim_.LowestCommonAncestor(Id("Asthma"), Id("Asthma")),
+            Id("Asthma"));
+  // LCA with an ancestor is the ancestor.
+  EXPECT_EQ(sim_.LowestCommonAncestor(Id("AsthmaAttack"), Id("Disease")),
+            Id("Disease"));
+}
+
+TEST_F(SimilarityFixture, WuPalmerPrefersDeepSharedAncestry) {
+  double siblings = sim_.WuPalmer(Id("Asthma"), Id("Flu"));       // lca depth 1
+  double cross = sim_.WuPalmer(Id("Asthma"), Id("Bronchus"));     // lca depth 0
+  double parentchild = sim_.WuPalmer(Id("Asthma"), Id("AsthmaAttack"));
+  EXPECT_GT(siblings, cross);
+  EXPECT_GT(parentchild, siblings);
+  EXPECT_DOUBLE_EQ(sim_.WuPalmer(Id("Asthma"), Id("Asthma")), 1.0);
+  EXPECT_DOUBLE_EQ(cross, 0.0);  // root has depth 0
+}
+
+TEST_F(SimilarityFixture, InformationContentFromCounts) {
+  std::vector<size_t> counts(onto_.concept_count(), 0);
+  counts[Id("Asthma")] = 8;
+  counts[Id("Flu")] = 2;
+  sim_.SetCorpusCounts(counts);
+  ASSERT_TRUE(sim_.has_information_content());
+  // Rarer concepts carry more information.
+  EXPECT_GT(sim_.InformationContent(Id("Flu")),
+            sim_.InformationContent(Id("Asthma")));
+  // Ancestors accumulate descendant mass → lower IC.
+  EXPECT_LT(sim_.InformationContent(Id("Disease")),
+            sim_.InformationContent(Id("Asthma")));
+  EXPECT_NEAR(sim_.InformationContent(Id("Root concept")), 0.0, 0.05);
+}
+
+TEST_F(SimilarityFixture, ResnikAndLin) {
+  std::vector<size_t> counts(onto_.concept_count(), 1);
+  counts[Id("Asthma")] = 10;
+  sim_.SetCorpusCounts(counts);
+  // Resnik = IC of the LCA: sibling pair shares Disease.
+  EXPECT_NEAR(sim_.Resnik(Id("Asthma"), Id("Flu")),
+              sim_.InformationContent(Id("Disease")), 1e-12);
+  // Lin is normalized and maximal for identical concepts.
+  EXPECT_NEAR(sim_.Lin(Id("Flu"), Id("Flu")), 1.0, 1e-12);
+  double lin_siblings = sim_.Lin(Id("Asthma"), Id("Flu"));
+  double lin_cross = sim_.Lin(Id("Asthma"), Id("Bronchus"));
+  EXPECT_GE(lin_siblings, 0.0);
+  EXPECT_LE(lin_siblings, 1.0);
+  EXPECT_GT(lin_siblings, lin_cross);
+}
+
+TEST(SimilarityFragmentTest, CorpusCountsPipeline) {
+  Ontology onto = BuildSnomedCardiologyFragment();
+  SemanticSimilarity sim(onto);
+  CdaGeneratorOptions options;
+  options.num_documents = 8;
+  CdaGenerator generator(onto, options);
+  sim.CountCorpusReferences(generator.GenerateCorpus());
+  ASSERT_TRUE(sim.has_information_content());
+
+  ConceptId mitral = onto.FindByPreferredTerm("Mitral regurgitation");
+  ConceptId aortic = onto.FindByPreferredTerm("Aortic regurgitation");
+  ConceptId theo = onto.FindByPreferredTerm("Theophylline");
+  // Two regurgitation disorders are more Lin-similar than a disorder and a
+  // drug.
+  EXPECT_GT(sim.Lin(mitral, aortic), sim.Lin(mitral, theo));
+  // And their LCA is the valvular regurgitation family.
+  auto lca = sim.LowestCommonAncestor(mitral, aortic);
+  ASSERT_TRUE(lca.has_value());
+  EXPECT_EQ(onto.GetConcept(*lca).preferred_term, "Valvular regurgitation");
+}
+
+TEST(SimilarityFragmentTest, DisconnectedConceptsHandled) {
+  // Two fresh ontologies' concepts are never compared; within one ontology
+  // create an isolated concept to exercise the disconnected paths.
+  Ontology onto("sys");
+  ConceptId a = onto.AddConcept("1", "A");
+  ConceptId island = onto.AddConcept("2", "Island");
+  SemanticSimilarity sim(onto);
+  EXPECT_FALSE(sim.RadaDistance(a, island).has_value());
+  EXPECT_DOUBLE_EQ(sim.PathSimilarity(a, island), 0.0);
+  EXPECT_FALSE(sim.LowestCommonAncestor(a, island).has_value());
+  EXPECT_DOUBLE_EQ(sim.WuPalmer(a, island), 0.0);
+}
+
+}  // namespace
+}  // namespace xontorank

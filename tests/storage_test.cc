@@ -1,0 +1,216 @@
+#include "storage/coding.h"
+#include "storage/index_store.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+// ---- Coding primitives ----
+
+class VarintTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintTest, RoundTrips64) {
+  std::string buffer;
+  PutVarint64(&buffer, GetParam());
+  Decoder dec(buffer);
+  uint64_t value = 0;
+  ASSERT_TRUE(dec.GetVarint64(&value));
+  EXPECT_EQ(value, GetParam());
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintTest,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, UINT64_MAX));
+
+TEST(VarintTest, RoundTrips32) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 1u << 20, UINT32_MAX}) {
+    std::string buffer;
+    PutVarint32(&buffer, v);
+    Decoder dec(buffer);
+    uint32_t out = 0;
+    ASSERT_TRUE(dec.GetVarint32(&out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(VarintTest, Get32RejectsOversizedValue) {
+  std::string buffer;
+  PutVarint64(&buffer, static_cast<uint64_t>(UINT32_MAX) + 1);
+  Decoder dec(buffer);
+  uint32_t out = 0;
+  EXPECT_FALSE(dec.GetVarint32(&out));
+  EXPECT_EQ(dec.position(), 0u);  // cursor restored
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buffer;
+  PutVarint64(&buffer, 1ULL << 40);
+  buffer.resize(buffer.size() - 1);
+  Decoder dec(buffer);
+  uint64_t out = 0;
+  EXPECT_FALSE(dec.GetVarint64(&out));
+}
+
+TEST(FixedTest, RoundTrips) {
+  std::string buffer;
+  PutFixed32(&buffer, 0xdeadbeef);
+  ASSERT_EQ(buffer.size(), 4u);
+  Decoder dec(buffer);
+  uint32_t out = 0;
+  ASSERT_TRUE(dec.GetFixed32(&out));
+  EXPECT_EQ(out, 0xdeadbeef);
+}
+
+TEST(LengthPrefixedTest, RoundTrips) {
+  std::string buffer;
+  PutLengthPrefixed(&buffer, "hello world");
+  PutLengthPrefixed(&buffer, "");
+  Decoder dec(buffer);
+  std::string_view a, b;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b));
+  EXPECT_EQ(a, "hello world");
+  EXPECT_EQ(b, "");
+}
+
+TEST(LengthPrefixedTest, LengthBeyondBufferFails) {
+  std::string buffer;
+  PutVarint64(&buffer, 100);  // claims 100 bytes
+  buffer += "short";
+  Decoder dec(buffer);
+  std::string_view out;
+  EXPECT_FALSE(dec.GetLengthPrefixed(&out));
+}
+
+TEST(Crc32Test, KnownVectorAndSensitivity) {
+  // Standard check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+}
+
+// ---- Index store ----
+
+XOntoDil SampleDil() {
+  XOntoDil dil;
+  dil.Put("asthma", {{DeweyId({0, 3, 0, 1}), 0.5},
+                     {DeweyId({0, 3, 0, 2}), 1.0},
+                     {DeweyId({2, 0}), 0.125}});
+  dil.Put("theophylline", {{DeweyId({0, 3, 1}), 0.75}});
+  dil.Put("empty", {});
+  return dil;
+}
+
+void ExpectDilEqual(const XOntoDil& a, const XOntoDil& b) {
+  ASSERT_EQ(a.keyword_count(), b.keyword_count());
+  auto ai = a.entries().begin();
+  auto bi = b.entries().begin();
+  for (; ai != a.entries().end(); ++ai, ++bi) {
+    EXPECT_EQ(ai->first, bi->first);
+    ASSERT_EQ(ai->second.postings.size(), bi->second.postings.size());
+    for (size_t i = 0; i < ai->second.postings.size(); ++i) {
+      EXPECT_EQ(ai->second.postings[i].dewey, bi->second.postings[i].dewey);
+      EXPECT_FLOAT_EQ(
+          static_cast<float>(ai->second.postings[i].score),
+          static_cast<float>(bi->second.postings[i].score));
+    }
+  }
+}
+
+TEST(IndexStoreTest, EncodeDecodeRoundTrip) {
+  XOntoDil dil = SampleDil();
+  std::string blob = EncodeIndex(dil);
+  auto decoded = DecodeIndex(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectDilEqual(dil, *decoded);
+}
+
+TEST(IndexStoreTest, EmptyIndexRoundTrips) {
+  XOntoDil dil;
+  auto decoded = DecodeIndex(EncodeIndex(dil));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->keyword_count(), 0u);
+}
+
+TEST(IndexStoreTest, RejectsBadMagic) {
+  std::string blob = EncodeIndex(SampleDil());
+  blob[0] = 'Z';
+  auto decoded = DecodeIndex(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(IndexStoreTest, RejectsTooSmall) {
+  EXPECT_FALSE(DecodeIndex("").ok());
+  EXPECT_FALSE(DecodeIndex("XODL").ok());
+}
+
+TEST(IndexStoreTest, CrcCatchesBitFlips) {
+  std::string blob = EncodeIndex(SampleDil());
+  Rng rng(5);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string corrupted = blob;
+    size_t pos = 4 + rng.NextBelow(corrupted.size() - 4);
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x20);
+    auto decoded = DecodeIndex(corrupted);
+    EXPECT_FALSE(decoded.ok()) << "flip at " << pos;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(IndexStoreTest, TruncationDetected) {
+  std::string blob = EncodeIndex(SampleDil());
+  for (size_t keep : {blob.size() - 1, blob.size() / 2, size_t{10}}) {
+    EXPECT_FALSE(DecodeIndex(blob.substr(0, keep)).ok()) << keep;
+  }
+}
+
+TEST(IndexStoreTest, PrefixCompressionShrinksSortedLists) {
+  // Deep sibling postings share long prefixes; the encoded form must be far
+  // smaller than the flat representation.
+  XOntoDil dil;
+  std::vector<DilPosting> postings;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    postings.push_back({DeweyId({0, 3, 0, 2, 0, 5, 1, i}), 0.5});
+  }
+  dil.Put("deep", std::move(postings));
+  size_t flat_bytes = dil.Find("deep")->ApproxSizeBytes();
+  std::string blob = EncodeIndex(dil);
+  EXPECT_LT(blob.size(), flat_bytes / 3);
+  auto decoded = DecodeIndex(blob);
+  ASSERT_TRUE(decoded.ok());
+  ExpectDilEqual(dil, *decoded);
+}
+
+TEST(IndexStoreTest, SaveAndLoadFile) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "xontorank_index_test.xodl")
+          .string();
+  XOntoDil dil = SampleDil();
+  ASSERT_TRUE(SaveIndex(dil, path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDilEqual(dil, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(IndexStoreTest, LoadMissingFileIsIoError) {
+  auto loaded = LoadIndex("/nonexistent/path/index.xodl");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexStoreTest, SaveToUnwritablePathIsIoError) {
+  EXPECT_EQ(SaveIndex(SampleDil(), "/nonexistent/dir/index.xodl").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,78 @@
+#include "common/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(AsciiToLowerTest, LowersOnlyAsciiLetters) {
+  EXPECT_EQ(AsciiToLower("AsThMa 42!"), "asthma 42!");
+  EXPECT_EQ(AsciiToLower(""), "");
+  EXPECT_EQ(AsciiToLower("already lower"), "already lower");
+}
+
+TEST(TrimWhitespaceTest, TrimsAllAsciiWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\r\n a b \f\v"), "a b");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(SplitStringTest, PreservesEmptyPieces) {
+  auto pieces = SplitString("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+}
+
+TEST(SplitStringTest, NoSeparatorYieldsWhole) {
+  auto pieces = SplitString("abc", '|');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(SplitStringTest, LeadingAndTrailingSeparators) {
+  auto pieces = SplitString("|x|", '|');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "");
+  EXPECT_EQ(pieces[1], "x");
+  EXPECT_EQ(pieces[2], "");
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("asthma", "as"));
+  EXPECT_FALSE(StartsWith("as", "asthma"));
+  EXPECT_TRUE(EndsWith("asthma", "ma"));
+  EXPECT_FALSE(EndsWith("ma", "asthma"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(IsAllDigitsTest, Basics) {
+  EXPECT_TRUE(IsAllDigits("195967001"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("1.2"));
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%05u", 42u), "00042");
+  EXPECT_EQ(StringPrintf("%.2f", 1.005), "1.00");
+}
+
+TEST(Fnv1aHashTest, StableAndDistinguishes) {
+  EXPECT_EQ(Fnv1aHash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1aHash("asthma"), Fnv1aHash("asthma"));
+  EXPECT_NE(Fnv1aHash("asthma"), Fnv1aHash("asthmb"));
+}
+
+}  // namespace
+}  // namespace xontorank

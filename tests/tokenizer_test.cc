@@ -1,0 +1,111 @@
+#include "ir/tokenizer.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Cardiac Arrest, Stat!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cardiac", "arrest", "stat"}));
+}
+
+TEST(TokenizerTest, DropsPureNumbersByDefault) {
+  auto tokens = Tokenize("took 20 mg 195967001 daily");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"took", "mg", "daily"}));
+}
+
+TEST(TokenizerTest, KeepsAlphanumericMixes) {
+  auto tokens = Tokenize("10x stronger b12 level");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"10x", "stronger", "b12", "level"}));
+}
+
+TEST(TokenizerTest, NumericTokensKeptWhenConfigured) {
+  TokenizerOptions options;
+  options.drop_numeric_tokens = false;
+  auto tokens = Tokenize("code 42", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"code", "42"}));
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  auto tokens = Tokenize("an ace of hearts", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ace", "hearts"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- ,. !").empty());
+}
+
+TEST(TokenizerTest, PositionsAreOrdinalsOverRawTokens) {
+  auto tokens = TokenizeWithPositions("alpha 42 beta");
+  // "42" is dropped but still consumes position 1, so phrase adjacency is
+  // not faked across dropped tokens.
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].token, "alpha");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].token, "beta");
+  EXPECT_EQ(tokens[1].position, 2u);
+}
+
+TEST(NormalizeTokenTest, TrimsAndLowers) {
+  EXPECT_EQ(NormalizeToken("  AsThMa  "), "asthma");
+}
+
+
+TEST(FoldPluralTest, Rules) {
+  EXPECT_EQ(FoldPlural("arrhythmias"), "arrhythmia");
+  EXPECT_EQ(FoldPlural("studies"), "study");
+  EXPECT_EQ(FoldPlural("branches"), "branch");
+  EXPECT_EQ(FoldPlural("rashes"), "rash");
+  EXPECT_EQ(FoldPlural("boxes"), "box");
+  EXPECT_EQ(FoldPlural("classes"), "class");
+  // Protected suffixes stay intact.
+  EXPECT_EQ(FoldPlural("stenosis"), "stenosis");
+  EXPECT_EQ(FoldPlural("ductus"), "ductus");
+  EXPECT_EQ(FoldPlural("access"), "access");
+  // Short tokens never folded.
+  EXPECT_EQ(FoldPlural("gas"), "gas");
+  EXPECT_EQ(FoldPlural("its"), "its");
+}
+
+TEST(TokenizerTest, PluralFoldingUnifiesForms) {
+  TokenizerOptions options;
+  options.fold_plurals = true;
+  EXPECT_EQ(Tokenize("arrhythmias and arrhythmia", options),
+            (std::vector<std::string>{"arrhythmia", "and", "arrhythmia"}));
+}
+
+TEST(TokenizerTest, StopwordsDroppedButConsumePositions) {
+  TokenizerOptions options;
+  options.stopwords = &DefaultClinicalStopwords();
+  EXPECT_EQ(Tokenize("history of asthma", options),
+            (std::vector<std::string>{"history", "asthma"}));
+  auto positioned = TokenizeWithPositions("history of asthma", options);
+  ASSERT_EQ(positioned.size(), 2u);
+  EXPECT_EQ(positioned[0].position, 0u);
+  EXPECT_EQ(positioned[1].position, 2u);  // "of" consumed position 1
+}
+
+TEST(TokenizerTest, StopwordsAppliedAfterFolding) {
+  TokenizerOptions options;
+  options.fold_plurals = true;
+  static const std::unordered_set<std::string> kStops{"finding"};
+  options.stopwords = &kStops;
+  // "findings" folds to "finding", which is then stopped.
+  EXPECT_TRUE(Tokenize("findings", options).empty());
+}
+
+TEST(DefaultClinicalStopwordsTest, ContainsFunctionWordsOnly) {
+  const auto& stops = DefaultClinicalStopwords();
+  EXPECT_GT(stops.size(), 20u);
+  EXPECT_TRUE(stops.count("the"));
+  EXPECT_TRUE(stops.count("with"));
+  EXPECT_FALSE(stops.count("asthma"));
+  EXPECT_FALSE(stops.count("cardiac"));
+}
+
+}  // namespace
+}  // namespace xontorank

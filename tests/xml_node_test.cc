@@ -1,0 +1,78 @@
+#include "xml/xml_node.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(XmlNodeTest, SubtreeSizeCountsAllNodes) {
+  XmlDocument doc = MustParse("<a><b>t</b><c/></a>");
+  // a, b, text, c
+  EXPECT_EQ(doc.NodeCount(), 4u);
+  EXPECT_EQ(doc.root()->children()[0]->SubtreeSize(), 2u);
+}
+
+TEST(XmlNodeTest, FindChildAndDescendant) {
+  XmlDocument doc = MustParse("<a><b><c/></b><c/></a>");
+  const XmlNode* root = doc.root();
+  ASSERT_NE(root->FindChildElement("b"), nullptr);
+  EXPECT_EQ(root->FindChildElement("missing"), nullptr);
+  // FindChildElement only looks at direct children.
+  XmlNode* direct_c = root->FindChildElement("c");
+  ASSERT_NE(direct_c, nullptr);
+  EXPECT_EQ(direct_c->ordinal(), 1u);
+  // FindDescendantElement finds the depth-first-first one (inside b).
+  XmlNode* desc_c = root->FindDescendantElement("c");
+  ASSERT_NE(desc_c, nullptr);
+  EXPECT_EQ(desc_c->parent()->tag(), "b");
+}
+
+TEST(XmlNodeTest, VisitIsPreorder) {
+  XmlDocument doc = MustParse("<a><b><c/></b><d/></a>");
+  std::vector<std::string> tags;
+  doc.root()->Visit([&tags](const XmlNode& node) {
+    if (node.is_element()) tags.push_back(node.tag());
+  });
+  EXPECT_EQ(tags, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(XmlDocumentTest, DeweyIdOfMatchesStructure) {
+  XmlDocument doc = MustParse("<a><b/><c><d/></c></a>", /*doc_id=*/7);
+  const XmlNode* root = doc.root();
+  EXPECT_EQ(doc.DeweyIdOf(*root).ToString(), "7");
+  EXPECT_EQ(doc.DeweyIdOf(*root->children()[0]).ToString(), "7.0");
+  EXPECT_EQ(doc.DeweyIdOf(*root->children()[1]).ToString(), "7.1");
+  EXPECT_EQ(doc.DeweyIdOf(*root->children()[1]->children()[0]).ToString(),
+            "7.1.0");
+}
+
+TEST(XmlDocumentTest, ResolveInvertsDeweyIdOf) {
+  XmlDocument doc = MustParse("<a><b>x</b><c><d/><e/></c></a>", 3);
+  doc.root()->Visit([&doc](const XmlNode& node) {
+    DeweyId id = doc.DeweyIdOf(node);
+    EXPECT_EQ(doc.Resolve(id), &node) << id.ToString();
+  });
+}
+
+TEST(XmlDocumentTest, ResolveRejectsForeignIds) {
+  XmlDocument doc = MustParse("<a><b/></a>", 3);
+  EXPECT_EQ(doc.Resolve(DeweyId({4})), nullptr);        // wrong doc
+  EXPECT_EQ(doc.Resolve(DeweyId({3, 9})), nullptr);     // no such child
+  EXPECT_EQ(doc.Resolve(DeweyId({3, 0, 0})), nullptr);  // too deep
+  EXPECT_EQ(doc.Resolve(DeweyId()), nullptr);           // empty
+}
+
+TEST(XmlNodeTest, OntoRefStorage) {
+  auto node = XmlNode::MakeElement("code");
+  EXPECT_FALSE(node->onto_ref().has_value());
+  node->set_onto_ref({"sys", "42"});
+  ASSERT_TRUE(node->onto_ref().has_value());
+  EXPECT_EQ(node->onto_ref()->system, "sys");
+  EXPECT_EQ(node->onto_ref()->code, "42");
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,284 @@
+#include "xml/xml_parser.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "xml/xml_writer.h"
+
+namespace xontorank {
+namespace {
+
+Result<XmlDocument> Parse(std::string_view xml) { return ParseXml(xml); }
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = Parse("<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->tag(), "a");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParserTest, NestedElementsAndOrdinals) {
+  auto doc = Parse("<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* root = doc->root();
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->tag(), "b");
+  EXPECT_EQ(root->children()[0]->ordinal(), 0u);
+  EXPECT_EQ(root->children()[1]->tag(), "c");
+  EXPECT_EQ(root->children()[1]->ordinal(), 1u);
+  EXPECT_EQ(root->children()[1]->children()[0]->tag(), "d");
+  EXPECT_EQ(root->children()[1]->children()[0]->parent()->tag(), "c");
+}
+
+TEST(XmlParserTest, AttributesBothQuoteStyles) {
+  auto doc = Parse(R"(<a x="1" y='two'/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->GetAttribute("x").value(), "1");
+  EXPECT_EQ(doc->root()->GetAttribute("y").value(), "two");
+  EXPECT_FALSE(doc->root()->GetAttribute("z").has_value());
+}
+
+TEST(XmlParserTest, AttributeOrderPreserved) {
+  auto doc = Parse(R"(<a z="1" a="2" m="3"/>)");
+  ASSERT_TRUE(doc.ok());
+  const auto& attrs = doc->root()->attributes();
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].name, "z");
+  EXPECT_EQ(attrs[1].name, "a");
+  EXPECT_EQ(attrs[2].name, "m");
+}
+
+TEST(XmlParserTest, TextContent) {
+  auto doc = Parse("<a>hello <b>world</b> again</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "hello world again");
+  ASSERT_EQ(doc->root()->children().size(), 3u);
+  EXPECT_TRUE(doc->root()->children()[0]->is_text());
+  EXPECT_EQ(doc->root()->children()[0]->text(), "hello ");
+}
+
+TEST(XmlParserTest, IgnorableWhitespaceSkippedByDefault) {
+  auto doc = Parse("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->children().size(), 2u);
+}
+
+TEST(XmlParserTest, WhitespaceKeptWhenRequested) {
+  XmlParseOptions options;
+  options.skip_ignorable_whitespace = false;
+  auto doc = ParseXml("<a>\n  <b/>\n</a>", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, PredefinedEntities) {
+  auto doc = Parse("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "<tag> & \"q\" 'a'");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  auto doc = Parse("<a>&#65;&#x42;&#x63;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "ABc");
+}
+
+TEST(XmlParserTest, Utf8CharacterReference) {
+  auto doc = Parse("<a>&#233;</a>");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "\xC3\xA9");
+}
+
+TEST(XmlParserTest, EntitiesInAttributes) {
+  auto doc = Parse(R"(<a v="1 &lt; 2 &amp; 3 &gt; 2"/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->GetAttribute("v").value(), "1 < 2 & 3 > 2");
+}
+
+TEST(XmlParserTest, CommentsSkippedEverywhere) {
+  auto doc = Parse("<!-- head --><a><!-- in -->x<!-- out --></a><!-- tail -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "x");
+}
+
+TEST(XmlParserTest, CdataSection) {
+  auto doc = Parse("<a><![CDATA[<not> & parsed]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "<not> & parsed");
+}
+
+TEST(XmlParserTest, XmlDeclarationAndDoctype) {
+  auto doc = Parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE a [ <!ELEMENT a ANY> ]>\n"
+      "<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->tag(), "a");
+}
+
+TEST(XmlParserTest, ProcessingInstructionInsideContent) {
+  auto doc = Parse("<a><?pi stuff?>text</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->InnerText(), "text");
+}
+
+TEST(XmlParserTest, NamespacePrefixedNamesKept) {
+  auto doc = Parse(R"(<ns:a xmlns:ns="urn:x" ns:attr="v"><ns:b/></ns:a>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->tag(), "ns:a");
+  EXPECT_EQ(doc->root()->children()[0]->tag(), "ns:b");
+  EXPECT_EQ(doc->root()->GetAttribute("ns:attr").value(), "v");
+}
+
+// ---- Error cases ----
+
+TEST(XmlParserErrorTest, MismatchedEndTag) {
+  auto doc = Parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserErrorTest, UnterminatedElement) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+}
+
+TEST(XmlParserErrorTest, ContentAfterRoot) {
+  auto doc = Parse("<a/><b/>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("after the root"), std::string::npos);
+}
+
+TEST(XmlParserErrorTest, EmptyInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   \n ").ok());
+}
+
+TEST(XmlParserErrorTest, DuplicateAttribute) {
+  auto doc = Parse(R"(<a x="1" x="2"/>)");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(XmlParserErrorTest, UnknownEntity) {
+  EXPECT_FALSE(Parse("<a>&unknown;</a>").ok());
+}
+
+TEST(XmlParserErrorTest, UnterminatedEntity) {
+  EXPECT_FALSE(Parse("<a>&amp</a>").ok());
+}
+
+TEST(XmlParserErrorTest, BadCharacterReference) {
+  EXPECT_FALSE(Parse("<a>&#xZZ;</a>").ok());
+  EXPECT_FALSE(Parse("<a>&#;</a>").ok());
+  EXPECT_FALSE(Parse("<a>&#1114112;</a>").ok());  // > U+10FFFF
+}
+
+TEST(XmlParserErrorTest, MissingAttributeValue) {
+  EXPECT_FALSE(Parse("<a x=/>").ok());
+  EXPECT_FALSE(Parse("<a x=1/>").ok());
+}
+
+TEST(XmlParserErrorTest, RawLessThanInAttribute) {
+  EXPECT_FALSE(Parse(R"(<a x="a<b"/>)").ok());
+}
+
+TEST(XmlParserErrorTest, ErrorsCarryPosition) {
+  auto doc = Parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  // The mismatch is on line 3.
+  EXPECT_NE(doc.status().message().find("3:"), std::string::npos);
+}
+
+// ---- Onto ref extraction ----
+
+TEST(OntoRefTest, DetectedDuringParse) {
+  auto doc = Parse(
+      R"(<r><code code="195967001" codeSystem="2.16.840.1.113883.6.96"/></r>)");
+  ASSERT_TRUE(doc.ok());
+  const XmlNode* code = doc->root()->children()[0].get();
+  ASSERT_TRUE(code->onto_ref().has_value());
+  EXPECT_EQ(code->onto_ref()->code, "195967001");
+  EXPECT_EQ(code->onto_ref()->system, "2.16.840.1.113883.6.96");
+}
+
+TEST(OntoRefTest, RequiresBothAttributes) {
+  auto doc = Parse(R"(<r><a code="1"/><b codeSystem="s"/><c code="" codeSystem="s"/></r>)");
+  ASSERT_TRUE(doc.ok());
+  for (const auto& child : doc->root()->children()) {
+    EXPECT_FALSE(child->onto_ref().has_value()) << child->tag();
+  }
+}
+
+TEST(OntoRefTest, DetectionCanBeDisabled) {
+  XmlParseOptions options;
+  options.detect_onto_refs = false;
+  auto doc = ParseXml(R"(<r code="1" codeSystem="s"/>)", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->root()->onto_ref().has_value());
+}
+
+// ---- Round-trip property ----
+
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::unique_ptr<XmlNode> RandomTree(Rng& rng, int depth) {
+  auto node = XmlNode::MakeElement("e" + std::to_string(rng.NextBelow(5)));
+  size_t num_attrs = rng.NextBelow(3);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    node->AddAttribute("a" + std::to_string(i),
+                       "v<&\"'" + std::to_string(rng.NextBelow(100)));
+  }
+  if (depth > 0) {
+    size_t num_children = rng.NextBelow(4);
+    bool prev_was_text = false;
+    for (size_t i = 0; i < num_children; ++i) {
+      // Adjacent text nodes merge on reparse, so never generate two in a
+      // row (the parser cannot distinguish them, by design).
+      if (!prev_was_text && rng.NextBool(0.3)) {
+        node->AddTextChild("text & <stuff> " + std::to_string(i));
+        prev_was_text = true;
+      } else {
+        node->AddChild(RandomTree(rng, depth - 1));
+        prev_was_text = false;
+      }
+    }
+  }
+  return node;
+}
+
+bool TreesEqual(const XmlNode& a, const XmlNode& b) {
+  if (a.kind() != b.kind() || a.tag() != b.tag() || a.text() != b.text()) {
+    return false;
+  }
+  if (a.attributes().size() != b.attributes().size()) return false;
+  for (size_t i = 0; i < a.attributes().size(); ++i) {
+    if (a.attributes()[i].name != b.attributes()[i].name ||
+        a.attributes()[i].value != b.attributes()[i].value) {
+      return false;
+    }
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!TreesEqual(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+TEST_P(XmlRoundTripTest, ParseInvertsWrite) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    auto tree = RandomTree(rng, 3);
+    std::string xml = WriteXml(*tree);
+    auto parsed = ParseXml(xml);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << xml;
+    EXPECT_TRUE(TreesEqual(*tree, *parsed->root())) << xml;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Values(3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace xontorank

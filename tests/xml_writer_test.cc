@@ -1,0 +1,75 @@
+#include "xml/xml_writer.h"
+
+#include "gtest/gtest.h"
+#include "xml/xml_node.h"
+#include "xml/xml_parser.h"
+
+namespace xontorank {
+namespace {
+
+TEST(EscapeTest, TextEscapesMarkupChars) {
+  EXPECT_EQ(EscapeXmlText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeXmlText("plain"), "plain");
+  EXPECT_EQ(EscapeXmlText("\"quotes'ok\""), "\"quotes'ok\"");
+}
+
+TEST(EscapeTest, AttributeAlsoEscapesDoubleQuote) {
+  EXPECT_EQ(EscapeXmlAttribute(R"(say "hi" & <go>)"),
+            "say &quot;hi&quot; &amp; &lt;go&gt;");
+}
+
+TEST(XmlWriterTest, SelfClosingEmptyElement) {
+  auto node = XmlNode::MakeElement("a");
+  node->AddAttribute("x", "1");
+  EXPECT_EQ(WriteXml(*node), R"(<a x="1"/>)");
+}
+
+TEST(XmlWriterTest, NestedCompact) {
+  auto node = XmlNode::MakeElement("a");
+  XmlNode* b = node->AddElementChild("b");
+  b->AddTextChild("hi");
+  node->AddElementChild("c");
+  EXPECT_EQ(WriteXml(*node), "<a><b>hi</b><c/></a>");
+}
+
+TEST(XmlWriterTest, DocumentEmitsDeclaration) {
+  XmlDocument doc(XmlNode::MakeElement("root"));
+  std::string xml = WriteXml(doc);
+  EXPECT_EQ(xml, "<?xml version=\"1.0\"?><root/>");
+}
+
+TEST(XmlWriterTest, DeclarationSuppressed) {
+  XmlDocument doc(XmlNode::MakeElement("root"));
+  XmlWriteOptions options;
+  options.emit_declaration = false;
+  EXPECT_EQ(WriteXml(doc, options), "<root/>");
+}
+
+TEST(XmlWriterTest, PrettyPrintIndents) {
+  auto node = XmlNode::MakeElement("a");
+  node->AddElementChild("b")->AddElementChild("c");
+  XmlWriteOptions options;
+  options.pretty = true;
+  EXPECT_EQ(WriteXml(*node, options), "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+}
+
+TEST(XmlWriterTest, PrettyPreservesTextOnlyElements) {
+  auto node = XmlNode::MakeElement("a");
+  node->AddTextChild("hello");
+  XmlWriteOptions options;
+  options.pretty = true;
+  EXPECT_EQ(WriteXml(*node, options), "<a>hello</a>");
+}
+
+TEST(XmlWriterTest, EscapedContentRoundTrips) {
+  auto node = XmlNode::MakeElement("a");
+  node->AddAttribute("v", "1 < 2 & \"3\"");
+  node->AddTextChild("x < y & z");
+  auto parsed = ParseXml(WriteXml(*node));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->root()->GetAttribute("v").value(), "1 < 2 & \"3\"");
+  EXPECT_EQ(parsed->root()->InnerText(), "x < y & z");
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,64 @@
+#include "core/xonto_dil.h"
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+DilPosting P(std::vector<uint32_t> comps, double score) {
+  return {DeweyId(std::move(comps)), score};
+}
+
+TEST(XOntoDilTest, PutSortsPostingsByDewey) {
+  XOntoDil dil;
+  dil.Put("asthma", {P({1, 2}, 0.5), P({0, 1}, 0.9), P({1}, 0.3)});
+  const DilEntry* entry = dil.Find("asthma");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->postings.size(), 3u);
+  EXPECT_EQ(entry->postings[0].dewey.ToString(), "0.1");
+  EXPECT_EQ(entry->postings[1].dewey.ToString(), "1");
+  EXPECT_EQ(entry->postings[2].dewey.ToString(), "1.2");
+}
+
+TEST(XOntoDilTest, FindMissingReturnsNull) {
+  XOntoDil dil;
+  EXPECT_EQ(dil.Find("nothing"), nullptr);
+  EXPECT_FALSE(dil.Contains("nothing"));
+}
+
+TEST(XOntoDilTest, PutReplacesExisting) {
+  XOntoDil dil;
+  dil.Put("w", {P({0}, 0.1)});
+  dil.Put("w", {P({1}, 0.2), P({2}, 0.3)});
+  EXPECT_EQ(dil.keyword_count(), 1u);
+  EXPECT_EQ(dil.Find("w")->postings.size(), 2u);
+  EXPECT_EQ(dil.TotalPostings(), 2u);
+}
+
+TEST(XOntoDilTest, TotalPostingsSumsAllEntries) {
+  XOntoDil dil;
+  dil.Put("a", {P({0}, 0.1), P({1}, 0.2)});
+  dil.Put("b", {P({0}, 0.3)});
+  EXPECT_EQ(dil.TotalPostings(), 3u);
+  EXPECT_EQ(dil.keyword_count(), 2u);
+}
+
+TEST(XOntoDilTest, ApproxSizeCountsComponentsAndScore) {
+  DilEntry entry;
+  entry.postings = {P({0, 1, 2}, 0.5), P({0}, 0.2)};
+  // (3 + 1) components * 4 bytes + 2 scores * 4 bytes = 24.
+  EXPECT_EQ(entry.ApproxSizeBytes(), 24u);
+}
+
+TEST(XOntoDilTest, EntriesIterationIsSorted) {
+  XOntoDil dil;
+  dil.Put("zeta", {});
+  dil.Put("alpha", {});
+  dil.Put("mid", {});
+  std::vector<std::string> keys;
+  for (const auto& [k, e] : dil.entries()) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+}  // namespace
+}  // namespace xontorank
