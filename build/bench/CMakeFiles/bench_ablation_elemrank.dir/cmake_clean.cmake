@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_elemrank.dir/bench_ablation_elemrank.cc.o"
+  "CMakeFiles/bench_ablation_elemrank.dir/bench_ablation_elemrank.cc.o.d"
+  "bench_ablation_elemrank"
+  "bench_ablation_elemrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_elemrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pagerank.dir/bench_ablation_pagerank.cc.o"
+  "CMakeFiles/bench_ablation_pagerank.dir/bench_ablation_pagerank.cc.o.d"
+  "bench_ablation_pagerank"
+  "bench_ablation_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_params.dir/bench_ablation_params.cc.o"
+  "CMakeFiles/bench_ablation_params.dir/bench_ablation_params.cc.o.d"
+  "bench_ablation_params"
+  "bench_ablation_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_expansion.dir/bench_baseline_expansion.cc.o"
+  "CMakeFiles/bench_baseline_expansion.dir/bench_baseline_expansion.cc.o.d"
+  "bench_baseline_expansion"
+  "bench_baseline_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

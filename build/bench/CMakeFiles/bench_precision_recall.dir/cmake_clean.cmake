@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precision_recall.dir/bench_precision_recall.cc.o"
+  "CMakeFiles/bench_precision_recall.dir/bench_precision_recall.cc.o.d"
+  "bench_precision_recall"
+  "bench_precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

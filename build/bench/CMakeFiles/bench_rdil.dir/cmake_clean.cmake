@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rdil.dir/bench_rdil.cc.o"
+  "CMakeFiles/bench_rdil.dir/bench_rdil.cc.o.d"
+  "bench_rdil"
+  "bench_rdil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rdil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

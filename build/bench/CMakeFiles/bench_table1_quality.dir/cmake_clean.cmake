@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_quality.dir/bench_table1_quality.cc.o"
+  "CMakeFiles/bench_table1_quality.dir/bench_table1_quality.cc.o.d"
+  "bench_table1_quality"
+  "bench_table1_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

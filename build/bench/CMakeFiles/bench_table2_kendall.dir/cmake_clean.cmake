@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_kendall.dir/bench_table2_kendall.cc.o"
+  "CMakeFiles/bench_table2_kendall.dir/bench_table2_kendall.cc.o.d"
+  "bench_table2_kendall"
+  "bench_table2_kendall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_kendall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_index.dir/bench_table3_index.cc.o"
+  "CMakeFiles/bench_table3_index.dir/bench_table3_index.cc.o.d"
+  "bench_table3_index"
+  "bench_table3_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asthma_search.dir/asthma_search.cpp.o"
+  "CMakeFiles/asthma_search.dir/asthma_search.cpp.o.d"
+  "asthma_search"
+  "asthma_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asthma_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

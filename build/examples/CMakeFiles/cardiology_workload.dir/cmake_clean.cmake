@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardiology_workload.dir/cardiology_workload.cpp.o"
+  "CMakeFiles/cardiology_workload.dir/cardiology_workload.cpp.o.d"
+  "cardiology_workload"
+  "cardiology_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardiology_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emr_pipeline.dir/emr_pipeline.cpp.o"
+  "CMakeFiles/emr_pipeline.dir/emr_pipeline.cpp.o.d"
+  "emr_pipeline"
+  "emr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_explorer.dir/ontology_explorer.cpp.o"
+  "CMakeFiles/ontology_explorer.dir/ontology_explorer.cpp.o.d"
+  "ontology_explorer"
+  "ontology_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_cli.dir/xontorank_cli.cpp.o"
+  "CMakeFiles/xontorank_cli.dir/xontorank_cli.cpp.o.d"
+  "xontorank_cli"
+  "xontorank_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_cda.dir/cda_document.cc.o"
+  "CMakeFiles/xontorank_cda.dir/cda_document.cc.o.d"
+  "CMakeFiles/xontorank_cda.dir/cda_generator.cc.o"
+  "CMakeFiles/xontorank_cda.dir/cda_generator.cc.o.d"
+  "CMakeFiles/xontorank_cda.dir/cda_validator.cc.o"
+  "CMakeFiles/xontorank_cda.dir/cda_validator.cc.o.d"
+  "libxontorank_cda.a"
+  "libxontorank_cda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_cda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_common.dir/logging.cc.o"
+  "CMakeFiles/xontorank_common.dir/logging.cc.o.d"
+  "CMakeFiles/xontorank_common.dir/random.cc.o"
+  "CMakeFiles/xontorank_common.dir/random.cc.o.d"
+  "CMakeFiles/xontorank_common.dir/status.cc.o"
+  "CMakeFiles/xontorank_common.dir/status.cc.o.d"
+  "CMakeFiles/xontorank_common.dir/string_util.cc.o"
+  "CMakeFiles/xontorank_common.dir/string_util.cc.o.d"
+  "libxontorank_common.a"
+  "libxontorank_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/elem_rank.cc" "src/core/CMakeFiles/xontorank_core.dir/elem_rank.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/elem_rank.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/xontorank_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/index_builder.cc" "src/core/CMakeFiles/xontorank_core.dir/index_builder.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/index_builder.cc.o.d"
+  "/root/repo/src/core/node_text.cc" "src/core/CMakeFiles/xontorank_core.dir/node_text.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/node_text.cc.o.d"
+  "/root/repo/src/core/onto_score.cc" "src/core/CMakeFiles/xontorank_core.dir/onto_score.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/onto_score.cc.o.d"
+  "/root/repo/src/core/onto_score_pagerank.cc" "src/core/CMakeFiles/xontorank_core.dir/onto_score_pagerank.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/onto_score_pagerank.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/xontorank_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/options.cc.o.d"
+  "/root/repo/src/core/query_expansion.cc" "src/core/CMakeFiles/xontorank_core.dir/query_expansion.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/query_expansion.cc.o.d"
+  "/root/repo/src/core/query_processor.cc" "src/core/CMakeFiles/xontorank_core.dir/query_processor.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/query_processor.cc.o.d"
+  "/root/repo/src/core/ranked_query_processor.cc" "src/core/CMakeFiles/xontorank_core.dir/ranked_query_processor.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/ranked_query_processor.cc.o.d"
+  "/root/repo/src/core/result_grouping.cc" "src/core/CMakeFiles/xontorank_core.dir/result_grouping.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/result_grouping.cc.o.d"
+  "/root/repo/src/core/snippet.cc" "src/core/CMakeFiles/xontorank_core.dir/snippet.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/snippet.cc.o.d"
+  "/root/repo/src/core/xonto_dil.cc" "src/core/CMakeFiles/xontorank_core.dir/xonto_dil.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/xonto_dil.cc.o.d"
+  "/root/repo/src/core/xontorank.cc" "src/core/CMakeFiles/xontorank_core.dir/xontorank.cc.o" "gcc" "src/core/CMakeFiles/xontorank_core.dir/xontorank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xontorank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xontorank_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xontorank_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/onto/CMakeFiles/xontorank_onto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

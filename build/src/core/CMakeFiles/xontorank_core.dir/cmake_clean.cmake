@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_core.dir/elem_rank.cc.o"
+  "CMakeFiles/xontorank_core.dir/elem_rank.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/explain.cc.o"
+  "CMakeFiles/xontorank_core.dir/explain.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/index_builder.cc.o"
+  "CMakeFiles/xontorank_core.dir/index_builder.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/node_text.cc.o"
+  "CMakeFiles/xontorank_core.dir/node_text.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/onto_score.cc.o"
+  "CMakeFiles/xontorank_core.dir/onto_score.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/onto_score_pagerank.cc.o"
+  "CMakeFiles/xontorank_core.dir/onto_score_pagerank.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/options.cc.o"
+  "CMakeFiles/xontorank_core.dir/options.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/query_expansion.cc.o"
+  "CMakeFiles/xontorank_core.dir/query_expansion.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/query_processor.cc.o"
+  "CMakeFiles/xontorank_core.dir/query_processor.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/ranked_query_processor.cc.o"
+  "CMakeFiles/xontorank_core.dir/ranked_query_processor.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/result_grouping.cc.o"
+  "CMakeFiles/xontorank_core.dir/result_grouping.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/snippet.cc.o"
+  "CMakeFiles/xontorank_core.dir/snippet.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/xonto_dil.cc.o"
+  "CMakeFiles/xontorank_core.dir/xonto_dil.cc.o.d"
+  "CMakeFiles/xontorank_core.dir/xontorank.cc.o"
+  "CMakeFiles/xontorank_core.dir/xontorank.cc.o.d"
+  "libxontorank_core.a"
+  "libxontorank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_emr.dir/emr_database.cc.o"
+  "CMakeFiles/xontorank_emr.dir/emr_database.cc.o.d"
+  "CMakeFiles/xontorank_emr.dir/emr_generator.cc.o"
+  "CMakeFiles/xontorank_emr.dir/emr_generator.cc.o.d"
+  "CMakeFiles/xontorank_emr.dir/emr_to_cda.cc.o"
+  "CMakeFiles/xontorank_emr.dir/emr_to_cda.cc.o.d"
+  "libxontorank_emr.a"
+  "libxontorank_emr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_emr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

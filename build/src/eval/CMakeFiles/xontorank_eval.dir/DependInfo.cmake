@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/kendall_tau.cc" "src/eval/CMakeFiles/xontorank_eval.dir/kendall_tau.cc.o" "gcc" "src/eval/CMakeFiles/xontorank_eval.dir/kendall_tau.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/xontorank_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/xontorank_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/relevance_oracle.cc" "src/eval/CMakeFiles/xontorank_eval.dir/relevance_oracle.cc.o" "gcc" "src/eval/CMakeFiles/xontorank_eval.dir/relevance_oracle.cc.o.d"
+  "/root/repo/src/eval/workload.cc" "src/eval/CMakeFiles/xontorank_eval.dir/workload.cc.o" "gcc" "src/eval/CMakeFiles/xontorank_eval.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xontorank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xontorank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/onto/CMakeFiles/xontorank_onto.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xontorank_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xontorank_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_eval.dir/kendall_tau.cc.o"
+  "CMakeFiles/xontorank_eval.dir/kendall_tau.cc.o.d"
+  "CMakeFiles/xontorank_eval.dir/metrics.cc.o"
+  "CMakeFiles/xontorank_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/xontorank_eval.dir/relevance_oracle.cc.o"
+  "CMakeFiles/xontorank_eval.dir/relevance_oracle.cc.o.d"
+  "CMakeFiles/xontorank_eval.dir/workload.cc.o"
+  "CMakeFiles/xontorank_eval.dir/workload.cc.o.d"
+  "libxontorank_eval.a"
+  "libxontorank_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

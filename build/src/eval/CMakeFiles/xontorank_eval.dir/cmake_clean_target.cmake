@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxontorank_eval.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/bm25.cc" "src/ir/CMakeFiles/xontorank_ir.dir/bm25.cc.o" "gcc" "src/ir/CMakeFiles/xontorank_ir.dir/bm25.cc.o.d"
+  "/root/repo/src/ir/query.cc" "src/ir/CMakeFiles/xontorank_ir.dir/query.cc.o" "gcc" "src/ir/CMakeFiles/xontorank_ir.dir/query.cc.o.d"
+  "/root/repo/src/ir/text_index.cc" "src/ir/CMakeFiles/xontorank_ir.dir/text_index.cc.o" "gcc" "src/ir/CMakeFiles/xontorank_ir.dir/text_index.cc.o.d"
+  "/root/repo/src/ir/tokenizer.cc" "src/ir/CMakeFiles/xontorank_ir.dir/tokenizer.cc.o" "gcc" "src/ir/CMakeFiles/xontorank_ir.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xontorank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

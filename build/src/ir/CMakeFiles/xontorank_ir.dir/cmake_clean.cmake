@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_ir.dir/bm25.cc.o"
+  "CMakeFiles/xontorank_ir.dir/bm25.cc.o.d"
+  "CMakeFiles/xontorank_ir.dir/query.cc.o"
+  "CMakeFiles/xontorank_ir.dir/query.cc.o.d"
+  "CMakeFiles/xontorank_ir.dir/text_index.cc.o"
+  "CMakeFiles/xontorank_ir.dir/text_index.cc.o.d"
+  "CMakeFiles/xontorank_ir.dir/tokenizer.cc.o"
+  "CMakeFiles/xontorank_ir.dir/tokenizer.cc.o.d"
+  "libxontorank_ir.a"
+  "libxontorank_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/onto/dl_view.cc" "src/onto/CMakeFiles/xontorank_onto.dir/dl_view.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/dl_view.cc.o.d"
+  "/root/repo/src/onto/loinc_fragment.cc" "src/onto/CMakeFiles/xontorank_onto.dir/loinc_fragment.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/loinc_fragment.cc.o.d"
+  "/root/repo/src/onto/ontology.cc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology.cc.o.d"
+  "/root/repo/src/onto/ontology_generator.cc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_generator.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_generator.cc.o.d"
+  "/root/repo/src/onto/ontology_index.cc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_index.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_index.cc.o.d"
+  "/root/repo/src/onto/ontology_io.cc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_io.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_io.cc.o.d"
+  "/root/repo/src/onto/ontology_set.cc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_set.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/ontology_set.cc.o.d"
+  "/root/repo/src/onto/semantic_similarity.cc" "src/onto/CMakeFiles/xontorank_onto.dir/semantic_similarity.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/semantic_similarity.cc.o.d"
+  "/root/repo/src/onto/snomed_fragment.cc" "src/onto/CMakeFiles/xontorank_onto.dir/snomed_fragment.cc.o" "gcc" "src/onto/CMakeFiles/xontorank_onto.dir/snomed_fragment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xontorank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xontorank_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xontorank_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_onto.dir/dl_view.cc.o"
+  "CMakeFiles/xontorank_onto.dir/dl_view.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/loinc_fragment.cc.o"
+  "CMakeFiles/xontorank_onto.dir/loinc_fragment.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/ontology.cc.o"
+  "CMakeFiles/xontorank_onto.dir/ontology.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/ontology_generator.cc.o"
+  "CMakeFiles/xontorank_onto.dir/ontology_generator.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/ontology_index.cc.o"
+  "CMakeFiles/xontorank_onto.dir/ontology_index.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/ontology_io.cc.o"
+  "CMakeFiles/xontorank_onto.dir/ontology_io.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/ontology_set.cc.o"
+  "CMakeFiles/xontorank_onto.dir/ontology_set.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/semantic_similarity.cc.o"
+  "CMakeFiles/xontorank_onto.dir/semantic_similarity.cc.o.d"
+  "CMakeFiles/xontorank_onto.dir/snomed_fragment.cc.o"
+  "CMakeFiles/xontorank_onto.dir/snomed_fragment.cc.o.d"
+  "libxontorank_onto.a"
+  "libxontorank_onto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_onto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_storage.dir/coding.cc.o"
+  "CMakeFiles/xontorank_storage.dir/coding.cc.o.d"
+  "CMakeFiles/xontorank_storage.dir/engine_store.cc.o"
+  "CMakeFiles/xontorank_storage.dir/engine_store.cc.o.d"
+  "CMakeFiles/xontorank_storage.dir/index_store.cc.o"
+  "CMakeFiles/xontorank_storage.dir/index_store.cc.o.d"
+  "libxontorank_storage.a"
+  "libxontorank_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_xml.dir/dewey_id.cc.o"
+  "CMakeFiles/xontorank_xml.dir/dewey_id.cc.o.d"
+  "CMakeFiles/xontorank_xml.dir/xml_node.cc.o"
+  "CMakeFiles/xontorank_xml.dir/xml_node.cc.o.d"
+  "CMakeFiles/xontorank_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/xontorank_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/xontorank_xml.dir/xml_path.cc.o"
+  "CMakeFiles/xontorank_xml.dir/xml_path.cc.o.d"
+  "CMakeFiles/xontorank_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/xontorank_xml.dir/xml_writer.cc.o.d"
+  "libxontorank_xml.a"
+  "libxontorank_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm25_test.dir/bm25_test.cc.o"
+  "CMakeFiles/bm25_test.dir/bm25_test.cc.o.d"
+  "bm25_test"
+  "bm25_test.pdb"
+  "bm25_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm25_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cda_test.dir/cda_test.cc.o"
+  "CMakeFiles/cda_test.dir/cda_test.cc.o.d"
+  "cda_test"
+  "cda_test.pdb"
+  "cda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

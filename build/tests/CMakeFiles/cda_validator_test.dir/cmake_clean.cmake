@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cda_validator_test.dir/cda_validator_test.cc.o"
+  "CMakeFiles/cda_validator_test.dir/cda_validator_test.cc.o.d"
+  "cda_validator_test"
+  "cda_validator_test.pdb"
+  "cda_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cda_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

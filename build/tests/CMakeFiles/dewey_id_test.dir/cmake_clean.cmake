@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dewey_id_test.dir/dewey_id_test.cc.o"
+  "CMakeFiles/dewey_id_test.dir/dewey_id_test.cc.o.d"
+  "dewey_id_test"
+  "dewey_id_test.pdb"
+  "dewey_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dewey_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

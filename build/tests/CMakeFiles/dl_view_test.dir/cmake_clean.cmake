@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_view_test.dir/dl_view_test.cc.o"
+  "CMakeFiles/dl_view_test.dir/dl_view_test.cc.o.d"
+  "dl_view_test"
+  "dl_view_test.pdb"
+  "dl_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

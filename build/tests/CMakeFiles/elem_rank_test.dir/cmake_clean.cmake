@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elem_rank_test.dir/elem_rank_test.cc.o"
+  "CMakeFiles/elem_rank_test.dir/elem_rank_test.cc.o.d"
+  "elem_rank_test"
+  "elem_rank_test.pdb"
+  "elem_rank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elem_rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

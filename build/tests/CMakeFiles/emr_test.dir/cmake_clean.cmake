@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emr_test.dir/emr_test.cc.o"
+  "CMakeFiles/emr_test.dir/emr_test.cc.o.d"
+  "emr_test"
+  "emr_test.pdb"
+  "emr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kendall_tau_test.dir/kendall_tau_test.cc.o"
+  "CMakeFiles/kendall_tau_test.dir/kendall_tau_test.cc.o.d"
+  "kendall_tau_test"
+  "kendall_tau_test.pdb"
+  "kendall_tau_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kendall_tau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_test.dir/logging_test.cc.o"
+  "CMakeFiles/logging_test.dir/logging_test.cc.o.d"
+  "logging_test"
+  "logging_test.pdb"
+  "logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_ontology_test.dir/multi_ontology_test.cc.o"
+  "CMakeFiles/multi_ontology_test.dir/multi_ontology_test.cc.o.d"
+  "multi_ontology_test"
+  "multi_ontology_test.pdb"
+  "multi_ontology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_ontology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

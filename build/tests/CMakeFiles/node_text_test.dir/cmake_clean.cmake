@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_text_test.dir/node_text_test.cc.o"
+  "CMakeFiles/node_text_test.dir/node_text_test.cc.o.d"
+  "node_text_test"
+  "node_text_test.pdb"
+  "node_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

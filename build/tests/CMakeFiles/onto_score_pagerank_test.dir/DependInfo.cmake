@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/onto_score_pagerank_test.cc" "tests/CMakeFiles/onto_score_pagerank_test.dir/onto_score_pagerank_test.cc.o" "gcc" "tests/CMakeFiles/onto_score_pagerank_test.dir/onto_score_pagerank_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xontorank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cda/CMakeFiles/xontorank_cda.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/xontorank_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xontorank_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/emr/CMakeFiles/xontorank_emr.dir/DependInfo.cmake"
+  "/root/repo/build/src/onto/CMakeFiles/xontorank_onto.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xontorank_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xontorank_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xontorank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for onto_score_pagerank_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onto_score_test.dir/onto_score_test.cc.o"
+  "CMakeFiles/onto_score_test.dir/onto_score_test.cc.o.d"
+  "onto_score_test"
+  "onto_score_test.pdb"
+  "onto_score_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onto_score_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

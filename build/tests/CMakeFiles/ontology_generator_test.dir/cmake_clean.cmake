@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_generator_test.dir/ontology_generator_test.cc.o"
+  "CMakeFiles/ontology_generator_test.dir/ontology_generator_test.cc.o.d"
+  "ontology_generator_test"
+  "ontology_generator_test.pdb"
+  "ontology_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

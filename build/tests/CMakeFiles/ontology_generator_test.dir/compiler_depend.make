@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ontology_generator_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_io_test.dir/ontology_io_test.cc.o"
+  "CMakeFiles/ontology_io_test.dir/ontology_io_test.cc.o.d"
+  "ontology_io_test"
+  "ontology_io_test.pdb"
+  "ontology_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

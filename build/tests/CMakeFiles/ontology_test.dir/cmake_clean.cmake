@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_test.dir/ontology_test.cc.o"
+  "CMakeFiles/ontology_test.dir/ontology_test.cc.o.d"
+  "ontology_test"
+  "ontology_test.pdb"
+  "ontology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

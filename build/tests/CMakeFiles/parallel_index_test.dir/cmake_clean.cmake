@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_index_test.dir/parallel_index_test.cc.o"
+  "CMakeFiles/parallel_index_test.dir/parallel_index_test.cc.o.d"
+  "parallel_index_test"
+  "parallel_index_test.pdb"
+  "parallel_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_expansion_test.dir/query_expansion_test.cc.o"
+  "CMakeFiles/query_expansion_test.dir/query_expansion_test.cc.o.d"
+  "query_expansion_test"
+  "query_expansion_test.pdb"
+  "query_expansion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

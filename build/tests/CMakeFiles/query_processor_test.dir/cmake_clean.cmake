@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_processor_test.dir/query_processor_test.cc.o"
+  "CMakeFiles/query_processor_test.dir/query_processor_test.cc.o.d"
+  "query_processor_test"
+  "query_processor_test.pdb"
+  "query_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranked_query_processor_test.dir/ranked_query_processor_test.cc.o"
+  "CMakeFiles/ranked_query_processor_test.dir/ranked_query_processor_test.cc.o.d"
+  "ranked_query_processor_test"
+  "ranked_query_processor_test.pdb"
+  "ranked_query_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranked_query_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relevance_oracle_test.dir/relevance_oracle_test.cc.o"
+  "CMakeFiles/relevance_oracle_test.dir/relevance_oracle_test.cc.o.d"
+  "relevance_oracle_test"
+  "relevance_oracle_test.pdb"
+  "relevance_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relevance_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_grouping_test.dir/result_grouping_test.cc.o"
+  "CMakeFiles/result_grouping_test.dir/result_grouping_test.cc.o.d"
+  "result_grouping_test"
+  "result_grouping_test.pdb"
+  "result_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

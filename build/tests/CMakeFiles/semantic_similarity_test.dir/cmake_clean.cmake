@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_similarity_test.dir/semantic_similarity_test.cc.o"
+  "CMakeFiles/semantic_similarity_test.dir/semantic_similarity_test.cc.o.d"
+  "semantic_similarity_test"
+  "semantic_similarity_test.pdb"
+  "semantic_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

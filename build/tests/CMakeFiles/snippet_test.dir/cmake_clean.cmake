@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snippet_test.dir/snippet_test.cc.o"
+  "CMakeFiles/snippet_test.dir/snippet_test.cc.o.d"
+  "snippet_test"
+  "snippet_test.pdb"
+  "snippet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snippet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_index_test.dir/text_index_test.cc.o"
+  "CMakeFiles/text_index_test.dir/text_index_test.cc.o.d"
+  "text_index_test"
+  "text_index_test.pdb"
+  "text_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenizer_test.dir/tokenizer_test.cc.o"
+  "CMakeFiles/tokenizer_test.dir/tokenizer_test.cc.o.d"
+  "tokenizer_test"
+  "tokenizer_test.pdb"
+  "tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_node_test.dir/xml_node_test.cc.o"
+  "CMakeFiles/xml_node_test.dir/xml_node_test.cc.o.d"
+  "xml_node_test"
+  "xml_node_test.pdb"
+  "xml_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_parser_test.dir/xml_parser_test.cc.o"
+  "CMakeFiles/xml_parser_test.dir/xml_parser_test.cc.o.d"
+  "xml_parser_test"
+  "xml_parser_test.pdb"
+  "xml_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_path_test.dir/xml_path_test.cc.o"
+  "CMakeFiles/xml_path_test.dir/xml_path_test.cc.o.d"
+  "xml_path_test"
+  "xml_path_test.pdb"
+  "xml_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

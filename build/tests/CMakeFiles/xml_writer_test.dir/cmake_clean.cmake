@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_writer_test.dir/xml_writer_test.cc.o"
+  "CMakeFiles/xml_writer_test.dir/xml_writer_test.cc.o.d"
+  "xml_writer_test"
+  "xml_writer_test.pdb"
+  "xml_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xonto_dil_test.dir/xonto_dil_test.cc.o"
+  "CMakeFiles/xonto_dil_test.dir/xonto_dil_test.cc.o.d"
+  "xonto_dil_test"
+  "xonto_dil_test.pdb"
+  "xonto_dil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xonto_dil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xonto_dil_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xontorank_test.dir/xontorank_test.cc.o"
+  "CMakeFiles/xontorank_test.dir/xontorank_test.cc.o.d"
+  "xontorank_test"
+  "xontorank_test.pdb"
+  "xontorank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xontorank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
