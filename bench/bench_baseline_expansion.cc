@@ -17,7 +17,7 @@ using namespace xontorank;
 
 int main() {
   bench::ExperimentSetup setup(/*num_documents=*/40, /*seed=*/11);
-  std::vector<XmlDocument> corpus = setup.generator->GenerateCorpus();
+  Corpus corpus = setup.generator->GenerateCorpus();
 
   IndexBuildOptions xrank_options;
   xrank_options.strategy = Strategy::kXRank;
@@ -50,7 +50,7 @@ int main() {
     KeywordQuery query = ParseQuery(wq.text);
     std::printf("%-5s %-46s", wq.id.c_str(), wq.text.c_str());
 
-    auto run = [&](auto& engine, const std::vector<XmlDocument>& docs,
+    auto run = [&](auto& engine, const Corpus& docs,
                    size_t slot, int width) {
       engine.Search(query, 5);  // warm
       Timer timer;

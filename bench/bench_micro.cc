@@ -90,7 +90,7 @@ BENCHMARK(BM_OntoScore)
     ->Arg(static_cast<int>(Strategy::kRelationships));
 
 struct IndexedCorpus {
-  std::vector<XmlDocument> corpus;
+  Corpus corpus;
   std::unique_ptr<CorpusIndex> index;
 };
 

@@ -34,7 +34,7 @@ int main() {
       KeywordQuery query = ParseQuery(wq.text);
       std::vector<const DilEntry*> lists;
       for (const Keyword& kw : query.keywords) {
-        lists.push_back(engine.mutable_index().GetEntry(kw));
+        lists.push_back(engine.index().GetEntry(kw));
       }
       query_lists.push_back(std::move(lists));
     }

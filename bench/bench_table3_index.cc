@@ -32,7 +32,7 @@ int main() {
     IndexBuildOptions options;
     options.strategy = strategy;
     options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
-    std::vector<XmlDocument> corpus = setup.generator->GenerateCorpus();
+    Corpus corpus = setup.generator->GenerateCorpus();
     CorpusIndex index(corpus, setup.ontology, options);
 
     // The vocabulary the paper indexes: corpus tokens plus ontology tokens.

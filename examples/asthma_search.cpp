@@ -116,8 +116,8 @@ void RunStrategy(Strategy strategy, const Ontology& ontology) {
 void ShowDeweyAndDil(const Ontology& ontology) {
   auto parsed = ParseXml(kCdaDocument);
   if (!parsed.ok()) return;
-  std::vector<XmlDocument> corpus;
-  corpus.push_back(std::move(parsed).value());
+  Corpus corpus;
+  corpus.Add(std::move(parsed).value());
 
   std::printf("--- Dewey IDs (cf. paper Fig. 9; first component = doc id)\n");
   size_t shown = 0;

@@ -73,7 +73,7 @@ int main() {
 
   // 5. Explain the best result.
   if (!results.empty()) {
-    auto evidence = ExplainResult(engine.mutable_index(), query, results[0]);
+    auto evidence = ExplainResult(engine.index(), query, results[0]);
     if (evidence.ok()) {
       std::printf("\nWhy the top result matches:\n%s",
                   FormatEvidence(engine.index(), *evidence).c_str());

@@ -24,7 +24,7 @@ int main() {
   gen_options.num_documents = 25;
   gen_options.seed = 2026;
   CdaGenerator generator(ontology, gen_options);
-  std::vector<XmlDocument> corpus = generator.GenerateCorpus();
+  Corpus corpus = generator.GenerateCorpus();
   CdaCorpusStats stats = CdaGenerator::ComputeStats(corpus);
   std::printf(
       "Corpus: %zu documents, %.0f elements/doc, %.0f ontology refs/doc, "

@@ -133,7 +133,7 @@ int GenCorpus(const std::vector<std::string>& args) {
   options.num_documents = std::stoul(FlagValue(args, "--docs", "20"));
   options.seed = std::stoull(FlagValue(args, "--seed", "7"));
   CdaGenerator generator(onto, options);
-  std::vector<XmlDocument> corpus = generator.GenerateCorpus();
+  Corpus corpus = generator.GenerateCorpus();
   XmlWriteOptions write_options;
   write_options.pretty = true;
   for (size_t i = 0; i < corpus.size(); ++i) {
@@ -166,10 +166,11 @@ int IndexCommand(const std::vector<std::string>& args) {
   options.vocabulary_mode =
       IndexBuildOptions::VocabularyMode::kCorpusAndOntology;
   options.num_threads = std::stoul(FlagValue(args, "--threads", "1"));
-  CorpusIndex index(*corpus, *onto, options);
+  Corpus documents(std::move(corpus).value());
+  CorpusIndex index(documents, *onto, options);
 
   // The eager build already materialized every vocabulary entry.
-  const XOntoDil& dil = index.materialized();
+  XOntoDil dil = index.MaterializedCopy();
   Status st = SaveIndex(dil, args[2]);
   if (!st.ok()) return Fail(st.ToString());
   std::printf("indexed %zu documents (%zu nodes, %zu code nodes) under %s: "
@@ -219,7 +220,7 @@ void PrintResults(XOntoRank& engine, const KeywordQuery& query,
         MakeSnippet(engine.document(r.element.doc_id()), r.element, query, {});
     if (!snippet.empty()) std::printf("   %s\n", snippet.c_str());
     if (explain) {
-      auto evidence = ExplainResult(engine.mutable_index(), query, r);
+      auto evidence = ExplainResult(engine.index(), query, r);
       if (evidence.ok()) {
         std::printf("   %s\n",
                     FormatEvidence(engine.index(), *evidence).c_str());
@@ -260,7 +261,7 @@ int QueryCommand(const std::vector<std::string>& args) {
   if (!index_path.empty()) {
     auto dil = LoadIndex(index_path);
     if (!dil.ok()) return Fail(dil.status().ToString());
-    engine.mutable_index().AdoptPrecomputed(std::move(dil).value());
+    engine.AdoptPrecomputed(std::move(dil).value());
     XONTO_LOG(kInfo) << "adopted " << index_path;
   }
 
@@ -269,13 +270,8 @@ int QueryCommand(const std::vector<std::string>& args) {
   std::vector<QueryResult> results;
   if (HasFlag(args, "--ranked")) {
     // Ranked top-k evaluation with early termination.
-    RankedQueryProcessor processor(options.score);
-    std::vector<const DilEntry*> lists;
-    for (const Keyword& kw : query.keywords) {
-      lists.push_back(engine.mutable_index().GetEntry(kw));
-    }
     RankedQueryStats stats;
-    results = processor.Execute(lists, top_k == 0 ? 5 : top_k, &stats);
+    results = engine.SearchRanked(query, top_k == 0 ? 5 : top_k, &stats);
     std::printf("(ranked: processed %zu/%zu documents%s)\n",
                 stats.documents_processed, stats.documents_total,
                 stats.terminated_early ? ", early termination" : "");

@@ -323,8 +323,7 @@ std::vector<XmlDocument> CdaGenerator::GenerateCorpus() const {
   return corpus;
 }
 
-CdaCorpusStats CdaGenerator::ComputeStats(
-    const std::vector<XmlDocument>& corpus) {
+CdaCorpusStats CdaGenerator::ComputeStats(const Corpus& corpus) {
   CdaCorpusStats stats;
   stats.documents = corpus.size();
   for (const XmlDocument& doc : corpus) {

@@ -6,6 +6,7 @@
 
 #include "cda/cda_document.h"
 #include "onto/ontology.h"
+#include "xml/corpus.h"
 #include "xml/xml_node.h"
 
 namespace xontorank {
@@ -97,7 +98,7 @@ class CdaGenerator {
   std::vector<XmlDocument> GenerateCorpus() const;
 
   /// Serializes every document and accumulates corpus statistics.
-  static CdaCorpusStats ComputeStats(const std::vector<XmlDocument>& corpus);
+  static CdaCorpusStats ComputeStats(const Corpus& corpus);
 
  private:
   ConceptId PickDisorder(class Rng& rng) const;

@@ -26,8 +26,7 @@ bool IsReferenceAttribute(const std::string& name) {
 
 }  // namespace
 
-ElemRank::ElemRank(const std::vector<XmlDocument>& corpus,
-                   ElemRankOptions options) {
+ElemRank::ElemRank(const Corpus& corpus, ElemRankOptions options) {
   Graph graph;
   // Pass 1: number elements in preorder across the corpus (matching
   // CorpusIndex) and record containment structure + ID anchors + refs.

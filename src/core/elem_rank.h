@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "xml/corpus.h"
 #include "xml/xml_node.h"
 
 namespace xontorank {
@@ -38,8 +39,7 @@ struct ElemRankOptions {
 /// multiplicative factor on NS.
 class ElemRank {
  public:
-  ElemRank(const std::vector<XmlDocument>& corpus,
-           ElemRankOptions options = {});
+  ElemRank(const Corpus& corpus, ElemRankOptions options = {});
 
   /// Rank of element unit `unit` in [0, 1]; max over the corpus is 1.
   double rank(uint32_t unit) const { return ranks_[unit]; }

@@ -219,7 +219,7 @@ std::string FormatExplanation(const Ontology& ontology,
   return out;
 }
 
-Result<std::vector<KeywordEvidence>> ExplainResult(CorpusIndex& index,
+Result<std::vector<KeywordEvidence>> ExplainResult(const CorpusIndex& index,
                                                    const KeywordQuery& query,
                                                    const QueryResult& result) {
   std::vector<KeywordEvidence> evidence;

@@ -66,7 +66,7 @@ struct KeywordEvidence {
 /// Explains every keyword of `query` for `result`. The index must be the
 /// one that produced the result. Fails if the result does not actually
 /// cover some keyword (it then did not come from this index/query).
-Result<std::vector<KeywordEvidence>> ExplainResult(CorpusIndex& index,
+Result<std::vector<KeywordEvidence>> ExplainResult(const CorpusIndex& index,
                                                    const KeywordQuery& query,
                                                    const QueryResult& result);
 

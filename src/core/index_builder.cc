@@ -10,31 +10,40 @@
 
 namespace xontorank {
 
-CorpusIndex::CorpusIndex(const std::vector<XmlDocument>& corpus,
-                         OntologySet systems, IndexBuildOptions options)
+CorpusIndex::CorpusIndex(const Corpus& corpus,
+                         std::shared_ptr<const OntologyContext> context,
+                         IndexBuildOptions options, XOntoDil adopted)
     : corpus_(&corpus),
-      systems_(std::move(systems)),
+      context_(std::move(context)),
       options_(options),
       node_index_(options.score.bm25) {
-  assert(!systems_.empty() && "at least one ontological system is required");
-  for (size_t s = 0; s < systems_.size(); ++s) {
-    onto_indexes_.push_back(std::make_unique<OntologyIndex>(
-        systems_.system(s), options.score.bm25));
-  }
+  assert(context_ != nullptr && "an ontology context is required");
+  assert(context_->strategy() == options_.strategy &&
+         "context was created for a different strategy");
   Timer timer;
   IndexCorpus();
   if (options_.use_elem_rank) {
     elem_rank_ = std::make_unique<ElemRank>(corpus, options_.elem_rank);
   }
-  Precompute();
+  if (adopted.keyword_count() > 0) {
+    base_ = std::move(adopted);
+  } else {
+    Precompute();
+  }
   stats_.build_millis = timer.ElapsedMillis();
   stats_.documents = corpus.size();
-  stats_.precomputed_keywords = dil_.keyword_count();
-  stats_.total_postings = dil_.TotalPostings();
+  stats_.precomputed_keywords = base_.keyword_count();
+  stats_.total_postings = base_.TotalPostings();
 }
+
+CorpusIndex::CorpusIndex(const Corpus& corpus, OntologySet systems,
+                         IndexBuildOptions options)
+    : CorpusIndex(corpus, OntologyContext::Create(std::move(systems), options),
+                  options) {}
 
 void CorpusIndex::IndexCorpus() {
   const auto& excluded = DefaultExcludedAttributes();
+  const OntologySet& systems = context_->systems();
   uint32_t unit = 0;
   for (const XmlDocument& doc : *corpus_) {
     if (doc.root() == nullptr) continue;
@@ -43,10 +52,10 @@ void CorpusIndex::IndexCorpus() {
       node_index_.AddUnit(unit, TextualDescription(node, excluded));
       unit_deweys_.push_back(doc.DeweyIdOf(node));
       if (node.onto_ref().has_value()) {
-        size_t system = systems_.FindSystem(node.onto_ref()->system);
+        size_t system = systems.FindSystem(node.onto_ref()->system);
         if (system != OntologySet::npos) {
           ConceptId c =
-              systems_.system(system).FindByCode(node.onto_ref()->code);
+              systems.system(system).FindByCode(node.onto_ref()->code);
           if (c != kInvalidConcept) {
             code_units_.push_back(
                 {unit, static_cast<uint32_t>(system), c});
@@ -69,8 +78,8 @@ void CorpusIndex::Precompute() {
   std::vector<std::string> vocab = node_index_.Vocabulary();
   if (options_.vocabulary_mode ==
       IndexBuildOptions::VocabularyMode::kCorpusAndOntology) {
-    for (const auto& onto_index : onto_indexes_) {
-      std::vector<std::string> onto_vocab = onto_index->Vocabulary();
+    for (size_t s = 0; s < context_->systems().size(); ++s) {
+      std::vector<std::string> onto_vocab = context_->index(s).Vocabulary();
       vocab.insert(vocab.end(), onto_vocab.begin(), onto_vocab.end());
     }
     std::sort(vocab.begin(), vocab.end());
@@ -85,7 +94,7 @@ void CorpusIndex::Precompute() {
     for (const std::string& token : vocab) {
       Keyword kw = MakeKeyword(token);
       if (kw.tokens.empty()) continue;
-      dil_.Put(kw.Canonical(), BuildPostings(kw));
+      base_.Put(kw.Canonical(), BuildPostingsCached(kw));
     }
     return;
   }
@@ -102,26 +111,27 @@ void CorpusIndex::Precompute() {
       for (size_t i = t; i < vocab.size(); i += num_threads) {
         Keyword kw = MakeKeyword(vocab[i]);
         if (kw.tokens.empty()) continue;
-        buffers[t].emplace_back(kw.Canonical(), BuildPostings(kw));
+        buffers[t].emplace_back(kw.Canonical(), BuildPostingsCached(kw));
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
   for (auto& buffer : buffers) {
     for (auto& [canonical, postings] : buffer) {
-      dil_.Put(std::move(canonical), std::move(postings));
+      base_.Put(std::move(canonical), std::move(postings));
     }
   }
 }
 
 OntoScoreMap CorpusIndex::ComputeOntoScoreRow(const Keyword& keyword,
                                               size_t system) const {
-  return ComputeOntoScores(*onto_indexes_[system], keyword, options_.strategy,
-                           options_.score);
+  return ComputeOntoScores(context_->index(system), keyword,
+                           options_.strategy, options_.score);
 }
 
-std::vector<DilPosting> CorpusIndex::BuildPostings(
-    const Keyword& keyword) const {
+std::vector<DilPosting> CorpusIndex::BuildPostingsFromRows(
+    const Keyword& keyword,
+    const std::vector<OntoScoreRowCache::Row>& rows) const {
   // NS(w, v) = max(IRS(w, v), ω·OS(w, concept(v))), Eq. 5. Both components
   // are normalized to [0, 1] before combination.
   std::unordered_map<uint32_t, double> node_scores;
@@ -132,12 +142,12 @@ std::vector<DilPosting> CorpusIndex::BuildPostings(
   }
 
   // Ontological component, through the corpus's code nodes. Each system's
-  // OntoScore row is computed once and applied to that system's code nodes.
+  // OntoScore row is applied to that system's code nodes.
   if (options_.strategy != Strategy::kXRank) {
     const double w = options_.score.ontology_weight;
-    for (size_t system = 0; system < systems_.size(); ++system) {
-      OntoScoreMap onto_scores = ComputeOntoScoreRow(keyword, system);
-      if (onto_scores.empty()) continue;
+    for (size_t system = 0; system < rows.size(); ++system) {
+      if (rows[system] == nullptr || rows[system]->empty()) continue;
+      const OntoScoreMap& onto_scores = *rows[system];
       for (const CodeUnit& code_unit : code_units_) {
         if (code_unit.system != system) continue;
         auto it = onto_scores.find(code_unit.concept_id);
@@ -167,67 +177,45 @@ std::vector<DilPosting> CorpusIndex::BuildPostings(
   return postings;
 }
 
-void CorpusIndex::AppendDocument(const XmlDocument& doc) {
-  assert(!corpus_->empty() && &corpus_->back() == &doc &&
-         "document must already sit at the end of the corpus vector");
-  const auto& excluded = DefaultExcludedAttributes();
-  node_index_.Reopen();
-  uint32_t unit = static_cast<uint32_t>(unit_deweys_.size());
-  if (doc.root() != nullptr) {
-    doc.root()->Visit([&](const XmlNode& node) {
-      if (!node.is_element()) return;
-      node_index_.AddUnit(unit, TextualDescription(node, excluded));
-      unit_deweys_.push_back(doc.DeweyIdOf(node));
-      if (node.onto_ref().has_value()) {
-        size_t system = systems_.FindSystem(node.onto_ref()->system);
-        if (system != OntologySet::npos) {
-          ConceptId c =
-              systems_.system(system).FindByCode(node.onto_ref()->code);
-          if (c != kInvalidConcept) {
-            code_units_.push_back({unit, static_cast<uint32_t>(system), c});
-            ++stats_.code_nodes;
-          }
-        }
-      }
-      ++unit;
-    });
+std::vector<DilPosting> CorpusIndex::BuildPostings(
+    const Keyword& keyword) const {
+  std::vector<OntoScoreRowCache::Row> rows;
+  if (options_.strategy != Strategy::kXRank) {
+    for (size_t system = 0; system < context_->systems().size(); ++system) {
+      rows.push_back(std::make_shared<const OntoScoreMap>(
+          ComputeOntoScoreRow(keyword, system)));
+    }
   }
-  node_index_.Finalize();
-  stats_.indexed_nodes = unit;
-  stats_.documents = corpus_->size();
-
-  if (options_.use_elem_rank) {
-    elem_rank_ = std::make_unique<ElemRank>(*corpus_, options_.elem_rank);
-  }
-
-  // Collection-wide statistics changed: invalidate everything and rebuild
-  // the precomputed vocabulary (a no-op under VocabularyMode::kNone).
-  dil_ = XOntoDil();
-  Precompute();
-  stats_.precomputed_keywords = dil_.keyword_count();
-  stats_.total_postings = dil_.TotalPostings();
+  return BuildPostingsFromRows(keyword, rows);
 }
 
-void CorpusIndex::AdoptPrecomputed(XOntoDil dil) {
-  dil_ = std::move(dil);
-  stats_.precomputed_keywords = dil_.keyword_count();
-  stats_.total_postings = dil_.TotalPostings();
+std::vector<DilPosting> CorpusIndex::BuildPostingsCached(
+    const Keyword& keyword) const {
+  std::vector<OntoScoreRowCache::Row> rows;
+  if (options_.strategy != Strategy::kXRank) {
+    for (size_t system = 0; system < context_->systems().size(); ++system) {
+      rows.push_back(context_->GetRow(system, keyword));
+    }
+  }
+  return BuildPostingsFromRows(keyword, rows);
 }
 
-const DilEntry* CorpusIndex::GetEntry(const Keyword& keyword) {
+const DilEntry* CorpusIndex::GetEntry(const Keyword& keyword) const {
   std::string canonical = keyword.Canonical();
+  // Precomputed entries are immutable after construction: lock-free.
+  if (const DilEntry* entry = base_.Find(canonical)) return entry;
   {
-    std::lock_guard<std::mutex> lock(dil_mutex_);
-    if (const DilEntry* entry = dil_.Find(canonical)) return entry;
+    std::lock_guard<std::mutex> lock(demand_mutex_);
+    if (const DilEntry* entry = demand_.Find(canonical)) return entry;
   }
   // Build outside the lock (the expensive part is read-only); a racing
   // thread may build the same entry, in which case the first Put wins and
   // the duplicate work is discarded.
-  std::vector<DilPosting> postings = BuildPostings(keyword);
-  std::lock_guard<std::mutex> lock(dil_mutex_);
-  if (const DilEntry* entry = dil_.Find(canonical)) return entry;
-  dil_.Put(canonical, std::move(postings));
-  return dil_.Find(canonical);
+  std::vector<DilPosting> postings = BuildPostingsCached(keyword);
+  std::lock_guard<std::mutex> lock(demand_mutex_);
+  if (const DilEntry* entry = demand_.Find(canonical)) return entry;
+  demand_.Put(canonical, std::move(postings));
+  return demand_.Find(canonical);
 }
 
 CorpusIndex::NodeSupport CorpusIndex::ComputeNodeSupport(
@@ -262,9 +250,27 @@ CorpusIndex::NodeSupport CorpusIndex::ComputeNodeSupport(
 
 std::vector<std::string> CorpusIndex::PrecomputedVocabulary() const {
   std::vector<std::string> out;
-  out.reserve(dil_.entries().size());
-  for (const auto& [kw, entry] : dil_.entries()) out.push_back(kw);
+  out.reserve(base_.entries().size());
+  for (const auto& [kw, entry] : base_.entries()) out.push_back(kw);
   return out;
+}
+
+size_t CorpusIndex::TotalPostings() const {
+  size_t demand_postings;
+  {
+    std::lock_guard<std::mutex> lock(demand_mutex_);
+    demand_postings = demand_.TotalPostings();
+  }
+  return base_.TotalPostings() + demand_postings;
+}
+
+XOntoDil CorpusIndex::MaterializedCopy() const {
+  XOntoDil merged = base_;
+  std::lock_guard<std::mutex> lock(demand_mutex_);
+  for (const auto& [kw, entry] : demand_.entries()) {
+    merged.Put(kw, entry.postings);
+  }
+  return merged;
 }
 
 }  // namespace xontorank

@@ -10,6 +10,7 @@
 
 #include "core/elem_rank.h"
 #include "core/onto_score.h"
+#include "core/ontology_context.h"
 #include "core/options.h"
 #include "core/xonto_dil.h"
 #include "ir/query.h"
@@ -17,51 +18,10 @@
 #include "onto/ontology.h"
 #include "onto/ontology_index.h"
 #include "onto/ontology_set.h"
+#include "xml/corpus.h"
 #include "xml/xml_node.h"
 
 namespace xontorank {
-
-/// Options of the preprocessing phase (§V).
-struct IndexBuildOptions {
-  /// Which OntoScore strategy the XOnto-DILs embed. kXRank disables the
-  /// ontology entirely (the baseline).
-  Strategy strategy = Strategy::kRelationships;
-
-  /// Decay / threshold / ω / BM25 knobs.
-  ScoreOptions score;
-
-  /// Which keywords get precomputed DIL entries (§V-B "Vocabulary").
-  enum class VocabularyMode {
-    /// Tokens occurring in the CDA corpus only.
-    kCorpusOnly,
-    /// Union of corpus tokens and ontology term tokens — the paper's full
-    /// Vocabulary definition. Keywords that appear only in the ontology can
-    /// still match documents through code nodes.
-    kCorpusAndOntology,
-    /// No precomputation; every entry is built on demand (lazy). Queries
-    /// return identical results; only build cost moves to query time.
-    kNone,
-  };
-  VocabularyMode vocabulary_mode = VocabularyMode::kCorpusAndOntology;
-
-  /// If true, posting scores are modulated by ElemRank, XRANK's structural
-  /// PageRank over elements (§V-A: "ElemRank could be incorporated in NS").
-  /// The paper disabled it (its corpus had no ID-IDREF edges); our CDA
-  /// corpus carries reference→content links, so the extension is
-  /// exercisable. Final score: NS · ((1-λ) + λ·ElemRank(v)).
-  bool use_elem_rank = false;
-
-  /// Blend λ between pure NS (0) and fully ElemRank-modulated (1).
-  double elem_rank_blend = 0.5;
-
-  /// ElemRank damping/iteration knobs (used when use_elem_rank is set).
-  ElemRankOptions elem_rank;
-
-  /// Worker threads for vocabulary precomputation (stage 2+3 of §V-B are
-  /// embarrassingly parallel across keywords). 1 = serial; 0 = one thread
-  /// per hardware core. Query-time entry caching remains single-threaded.
-  size_t num_threads = 1;
-};
 
 /// Index-construction statistics (reported by Table III's bench).
 struct IndexBuildStats {
@@ -78,9 +38,13 @@ struct IndexBuildStats {
 /// Construction runs the three §V-B stages:
 ///   1. *Full-text indexing*: every element node of every document becomes
 ///      an IR unit scored by BM25 over its §III textual description; the
-///      ontology's concepts are indexed the same way.
+///      ontology's concepts are indexed the same way (shared through the
+///      OntologyContext, so successive snapshots of a growing corpus never
+///      re-index the ontology).
 ///   2. *OntoScore computation*: per keyword, Algorithm 1 (merged
-///      best-first expansion) produces the OntoScore hash-map row.
+///      best-first expansion) produces the OntoScore hash-map row. Rows are
+///      memoized in the context's row cache: rebuilding the index after a
+///      corpus extension reuses them untouched.
 ///   3. *DIL creation*: per keyword, a Dewey inverted list whose posting
 ///      scores are NS(w,v) = max(IRS(w,v), ω·OS(w, concept(v))) (Eq. 5).
 ///
@@ -88,43 +52,65 @@ struct IndexBuildStats {
 /// phrases) are built on demand and cached; results are identical either
 /// way.
 ///
-/// Thread-safety: after construction, any number of threads may call the
-/// const accessors and GetEntry concurrently (the entry cache is mutex-
-/// guarded and returned pointers are stable). AdoptPrecomputed and
-/// AppendDocument are exclusive operations: no other call may run
-/// concurrently with them.
+/// Thread-safety: a CorpusIndex is immutable after construction. Any number
+/// of threads may call the const accessors concurrently; GetEntry serves
+/// precomputed (and adopted) entries without taking any lock, and
+/// synchronizes only the on-demand side cache. Returned entry pointers are
+/// stable for the life of the index.
 class CorpusIndex {
  public:
-  /// `corpus` and every ontology in `systems` must outlive the index. A
-  /// bare `Ontology&` converts implicitly to a one-system collection.
-  CorpusIndex(const std::vector<XmlDocument>& corpus, OntologySet systems,
+  /// Full constructor: `corpus` must outlive the index (the IndexSnapshot
+  /// layer owns both and guarantees this); `context` carries the ontology
+  /// half and must have been created with the same strategy/score options.
+  /// A non-empty `adopted` dil (typically loaded from an index file)
+  /// replaces stage 2+3 entirely: its entries are served as the precomputed
+  /// set and the vocabulary precomputation is skipped. Entries must have
+  /// been built with the same corpus, systems and options or queries will
+  /// be inconsistent.
+  CorpusIndex(const Corpus& corpus,
+              std::shared_ptr<const OntologyContext> context,
+              IndexBuildOptions options, XOntoDil adopted = {});
+
+  /// Convenience for standalone use (tests, benches, the query-expansion
+  /// baseline): builds a private OntologyContext. The ontologies inside
+  /// `systems` must outlive the index; a bare `Ontology&` converts
+  /// implicitly to a one-system collection.
+  CorpusIndex(const Corpus& corpus, OntologySet systems,
               IndexBuildOptions options);
 
   const IndexBuildStats& stats() const { return stats_; }
   const IndexBuildOptions& options() const { return options_; }
 
+  /// The shared ontology half (systems, stage-1 indexes, row cache).
+  const std::shared_ptr<const OntologyContext>& context() const {
+    return context_;
+  }
+
   /// The registered ontological systems collection (§III).
-  const OntologySet& systems() const { return systems_; }
+  const OntologySet& systems() const { return context_->systems(); }
 
   /// Convenience: the primary (first) system.
-  const Ontology& ontology() const { return systems_.system(0); }
+  const Ontology& ontology() const { return systems().system(0); }
   const OntologyIndex& ontology_index(size_t system = 0) const {
-    return *onto_indexes_[system];
+    return context_->index(system);
   }
-  const std::vector<XmlDocument>& corpus() const { return *corpus_; }
+  const Corpus& corpus() const { return *corpus_; }
 
   /// The inverted list for `keyword` under this index's strategy, building
   /// and caching it if needed. The returned pointer is stable for the life
   /// of the index; nullptr is never returned (an unmatched keyword yields
-  /// an empty list).
-  const DilEntry* GetEntry(const Keyword& keyword);
+  /// an empty list). Precomputed entries are served lock-free; only the
+  /// on-demand cache takes a mutex.
+  const DilEntry* GetEntry(const Keyword& keyword) const;
 
-  /// Builds the inverted list for `keyword` without touching the cache
-  /// (used by the Table III bench to time entry creation).
+  /// Builds the inverted list for `keyword` without touching the entry or
+  /// row caches (used by the Table III bench to time entry creation from
+  /// scratch).
   std::vector<DilPosting> BuildPostings(const Keyword& keyword) const;
 
   /// The OntoScore hash-map row for `keyword` within one ontological
-  /// system (stage 2 output); empty under the XRANK strategy.
+  /// system (stage 2 output), computed fresh; empty under the XRANK
+  /// strategy.
   OntoScoreMap ComputeOntoScoreRow(const Keyword& keyword,
                                    size_t system = 0) const;
 
@@ -147,36 +133,27 @@ class CorpusIndex {
                                  const Keyword& keyword) const;
 
   /// Total postings currently materialized (precomputed + cached).
-  size_t TotalPostings() const { return dil_.TotalPostings(); }
+  size_t TotalPostings() const;
 
-  /// A snapshot of every materialized entry (for persistence).
-  const XOntoDil& materialized() const { return dil_; }
-
-  /// Replaces the materialized entries with `dil` (typically one loaded
-  /// from an index file): subsequent GetEntry calls for its keywords are
-  /// served without recomputation. Entries must have been built with the
-  /// same corpus, systems and options or queries will be inconsistent.
-  void AdoptPrecomputed(XOntoDil dil);
-
-  /// Indexes one more document, appended to the corpus vector this index
-  /// was built over (the caller must have pushed it there already; the
-  /// document's doc id must be its corpus position). Collection statistics
-  /// (df, average length) change globally, so every materialized entry is
-  /// dropped and — under an eager vocabulary mode — recomputed; queries
-  /// afterwards are identical to a fresh build over the extended corpus.
-  void AppendDocument(const XmlDocument& doc);
+  /// A copy of every materialized entry — precomputed and demand-cached —
+  /// for persistence.
+  XOntoDil MaterializedCopy() const;
 
  private:
   void IndexCorpus();
   void Precompute();
+  /// BuildPostings through the context's row cache (exact same output;
+  /// used by Precompute and GetEntry so snapshot rebuilds share rows).
+  std::vector<DilPosting> BuildPostingsCached(const Keyword& keyword) const;
+  std::vector<DilPosting> BuildPostingsFromRows(
+      const Keyword& keyword,
+      const std::vector<OntoScoreRowCache::Row>& rows) const;
 
-  const std::vector<XmlDocument>* corpus_;
-  OntologySet systems_;
+  const Corpus* corpus_;
+  std::shared_ptr<const OntologyContext> context_;
   IndexBuildOptions options_;
 
   TextIndex node_index_;  ///< stage 1 over document nodes
-  /// Stage 1 over each system's concepts (parallel to systems_).
-  std::vector<std::unique_ptr<OntologyIndex>> onto_indexes_;
   std::vector<DeweyId> unit_deweys_;  ///< unit id → node address
   /// A code node resolved against its ontological system.
   struct CodeUnit {
@@ -188,10 +165,14 @@ class CorpusIndex {
 
   std::unique_ptr<ElemRank> elem_rank_;  ///< set when options.use_elem_rank
 
-  /// Guards dil_ for concurrent GetEntry calls. BuildPostings itself is
-  /// const and lock-free; only cache insertion is serialized.
-  mutable std::mutex dil_mutex_;
-  XOntoDil dil_;  ///< precomputed + demand-cached entries
+  /// Precomputed (or adopted) entries; frozen once the constructor returns,
+  /// so lookups need no synchronization.
+  XOntoDil base_;
+  /// On-demand entries (out-of-vocabulary keywords, phrases). The mutex
+  /// guards only this side cache; entry construction itself runs outside
+  /// the lock.
+  mutable std::mutex demand_mutex_;
+  mutable XOntoDil demand_;
   IndexBuildStats stats_;
 };
 

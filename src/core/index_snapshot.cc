@@ -1,0 +1,53 @@
+#include "core/index_snapshot.h"
+
+#include "xml/xml_writer.h"
+
+namespace xontorank {
+
+IndexSnapshot::IndexSnapshot(Corpus corpus,
+                             std::shared_ptr<const OntologyContext> context,
+                             IndexBuildOptions options, XOntoDil adopted)
+    : corpus_(std::move(corpus)),
+      index_(corpus_, std::move(context), options, std::move(adopted)),
+      processor_(options.score),
+      ranked_processor_(options.score) {}
+
+std::vector<QueryResult> IndexSnapshot::Search(const KeywordQuery& query,
+                                               size_t top_k) const {
+  if (query.empty()) return {};
+  std::vector<const DilEntry*> lists;
+  lists.reserve(query.size());
+  for (const Keyword& kw : query.keywords) {
+    lists.push_back(index_.GetEntry(kw));
+  }
+  return processor_.Execute(lists, top_k);
+}
+
+std::vector<QueryResult> IndexSnapshot::SearchRanked(
+    const KeywordQuery& query, size_t top_k, RankedQueryStats* stats) const {
+  if (query.empty()) return {};
+  std::vector<const DilEntry*> lists;
+  lists.reserve(query.size());
+  for (const Keyword& kw : query.keywords) {
+    lists.push_back(index_.GetEntry(kw));
+  }
+  return ranked_processor_.Execute(lists, top_k, stats);
+}
+
+const XmlNode* IndexSnapshot::ResolveResult(const QueryResult& result) const {
+  if (result.element.empty()) return nullptr;
+  uint32_t doc_id = result.element.doc_id();
+  if (doc_id >= corpus_.size()) return nullptr;
+  return corpus_[doc_id].Resolve(result.element);
+}
+
+std::string IndexSnapshot::ResultFragmentXml(const QueryResult& result) const {
+  const XmlNode* node = ResolveResult(result);
+  if (node == nullptr) return "";
+  XmlWriteOptions options;
+  options.pretty = true;
+  options.emit_declaration = false;
+  return WriteXml(*node, options);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,90 @@
+#ifndef XONTORANK_CORE_INDEX_SNAPSHOT_H_
+#define XONTORANK_CORE_INDEX_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index_builder.h"
+#include "core/ontology_context.h"
+#include "core/query_processor.h"
+#include "core/ranked_query_processor.h"
+#include "xml/corpus.h"
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// One immutable, self-consistent serving state of the engine: a corpus
+/// slice, the CorpusIndex built over exactly that slice, and a handle on the
+/// shared ontology context. Snapshots are created by the IndexWriter (or the
+/// engine store's load path), published to readers through one atomic
+/// shared_ptr swap, and never mutated afterwards — a reader holding a
+/// snapshot can answer queries indefinitely without observing any effect of
+/// concurrent writes.
+///
+/// Structural sharing across successive snapshots of one engine:
+///   - documents (shared_ptr inside Corpus — extending the corpus copies
+///     pointers, never documents),
+///   - the ontology systems and their stage-1 BM25 indexes
+///     (OntologyContext),
+///   - the OntoScore rows of stage 2 (the context's row cache).
+/// Only the corpus-dependent parts — the node text index, the unit/Dewey
+/// tables and the posting lists, whose BM25 scores change with the
+/// collection statistics — are derived per snapshot.
+///
+/// Thread-safety: all methods are const and safe to call from any number of
+/// threads concurrently. Query evaluation over precomputed entries is
+/// lock-free; only the on-demand entry cache (out-of-vocabulary keywords,
+/// phrases) synchronizes internally.
+class IndexSnapshot {
+ public:
+  /// Builds a snapshot over `corpus`. A non-empty `adopted` dil replaces
+  /// the vocabulary precomputation (load path).
+  IndexSnapshot(Corpus corpus, std::shared_ptr<const OntologyContext> context,
+                IndexBuildOptions options, XOntoDil adopted = {});
+
+  IndexSnapshot(const IndexSnapshot&) = delete;
+  IndexSnapshot& operator=(const IndexSnapshot&) = delete;
+
+  const Corpus& corpus() const { return corpus_; }
+  size_t corpus_size() const { return corpus_.size(); }
+  const XmlDocument& document(uint32_t doc_id) const {
+    return corpus_[doc_id];
+  }
+  const CorpusIndex& index() const { return index_; }
+  const std::shared_ptr<const OntologyContext>& context() const {
+    return index_.context();
+  }
+  const IndexBuildOptions& options() const { return index_.options(); }
+  const IndexBuildStats& build_stats() const { return index_.stats(); }
+
+  /// Executes a parsed keyword query; returns the top-k results by
+  /// descending score (`top_k == 0` returns all).
+  std::vector<QueryResult> Search(const KeywordQuery& query,
+                                  size_t top_k) const;
+
+  /// Top-k evaluation through the ranked processor (XRANK's RDIL idea);
+  /// identical results, usually less work for selective queries. `top_k`
+  /// must be ≥ 1.
+  std::vector<QueryResult> SearchRanked(const KeywordQuery& query,
+                                        size_t top_k,
+                                        RankedQueryStats* stats =
+                                            nullptr) const;
+
+  /// Resolves a result to its XML element; nullptr if the Dewey id does not
+  /// address a node of this snapshot's corpus.
+  const XmlNode* ResolveResult(const QueryResult& result) const;
+
+  /// Serializes the result's XML fragment (e.g. Fig. 4), pretty-printed.
+  std::string ResultFragmentXml(const QueryResult& result) const;
+
+ private:
+  Corpus corpus_;
+  CorpusIndex index_;  ///< refers to corpus_; declared after it
+  QueryProcessor processor_;
+  RankedQueryProcessor ranked_processor_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_INDEX_SNAPSHOT_H_

@@ -1,0 +1,79 @@
+#include "core/index_writer.h"
+
+#include <cassert>
+#include <utility>
+
+namespace xontorank {
+
+IndexWriter::IndexWriter(Corpus corpus, OntologySet systems,
+                         IndexBuildOptions options)
+    : context_(OntologyContext::Create(std::move(systems), options)),
+      options_(options),
+      corpus_(std::move(corpus)) {
+  published_.store(
+      std::make_shared<const IndexSnapshot>(corpus_, context_, options_),
+      std::memory_order_release);
+}
+
+IndexWriter::IndexWriter(std::shared_ptr<const IndexSnapshot> initial)
+    : context_(initial->context()),
+      options_(initial->options()),
+      corpus_(initial->corpus()) {
+  published_.store(std::move(initial), std::memory_order_release);
+}
+
+uint32_t IndexWriter::StageDocument(XmlDocument doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t doc_id = static_cast<uint32_t>(corpus_.size() + pending_.size());
+  doc.set_doc_id(doc_id);
+  pending_.push_back(std::move(doc));
+  return doc_id;
+}
+
+size_t IndexWriter::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::shared_ptr<const IndexSnapshot> IndexWriter::Publish(Corpus corpus,
+                                                          XOntoDil adopted) {
+  auto snapshot = std::make_shared<const IndexSnapshot>(
+      std::move(corpus), context_, options_, std::move(adopted));
+  corpus_ = snapshot->corpus();
+  published_.store(snapshot, std::memory_order_release);
+  return snapshot;
+}
+
+std::shared_ptr<const IndexSnapshot> IndexWriter::Commit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return published_.load(std::memory_order_acquire);
+  // Structural sharing: the extended corpus copies document *pointers*; the
+  // documents themselves are shared with every snapshot already out there.
+  Corpus extended = corpus_;
+  for (XmlDocument& doc : pending_) extended.Add(std::move(doc));
+  pending_.clear();
+  return Publish(std::move(extended), XOntoDil());
+}
+
+uint32_t IndexWriter::AddDocument(XmlDocument doc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t doc_id = static_cast<uint32_t>(corpus_.size() + pending_.size());
+  doc.set_doc_id(doc_id);
+  // Any previously staged documents commit along with this one; they were
+  // assigned the preceding ids, so they enter the corpus first.
+  Corpus extended = corpus_;
+  for (XmlDocument& staged : pending_) extended.Add(std::move(staged));
+  extended.Add(std::move(doc));
+  pending_.clear();
+  Publish(std::move(extended), XOntoDil());
+  return doc_id;
+}
+
+void IndexWriter::AdoptPrecomputed(XOntoDil dil) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(pending_.empty() &&
+         "commit staged documents before adopting a precomputed index");
+  Publish(corpus_, std::move(dil));
+}
+
+}  // namespace xontorank

@@ -1,0 +1,96 @@
+#ifndef XONTORANK_CORE_INDEX_WRITER_H_
+#define XONTORANK_CORE_INDEX_WRITER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/index_snapshot.h"
+#include "xml/corpus.h"
+
+namespace xontorank {
+
+/// The engine's write/build path: absorbs new documents, batches them, and
+/// publishes a fresh immutable IndexSnapshot per commit. Readers are never
+/// blocked — they keep serving from the previously published snapshot while
+/// a commit builds, and switch over via one atomic shared_ptr store.
+///
+/// Publication protocol:
+///   1. writer (under the writer mutex) extends the corpus value —
+///      structural sharing: only document pointers are copied;
+///   2. writer builds a complete IndexSnapshot off to the side, reusing the
+///      shared OntologyContext (ontology indexes + OntoScore row cache);
+///   3. writer atomically stores the new snapshot into `published_`
+///      (release); readers pick it up with an acquire load.
+/// A reader therefore observes either the entire old snapshot or the entire
+/// new one, never a partially built index.
+///
+/// Scores match a fresh build over the extended corpus exactly: BM25
+/// collection statistics (df, average length) change globally on every
+/// commit, so the corpus-dependent posting lists are re-derived rather than
+/// patched; the expensive ontological rows are reused from the context's
+/// cache (see IndexSnapshot's structural-sharing notes).
+///
+/// Thread-safety: snapshot() is safe from any thread and lock-free on the
+/// reader side. StageDocument/Commit/AddDocument/AdoptPrecomputed serialize
+/// on an internal writer mutex that readers never touch.
+class IndexWriter {
+ public:
+  /// Builds and publishes the initial snapshot over `corpus`. The
+  /// ontologies inside `systems` must outlive the writer.
+  IndexWriter(Corpus corpus, OntologySet systems, IndexBuildOptions options);
+
+  /// Adopts an externally built snapshot (the engine store's load path) as
+  /// the published state; subsequent commits extend it.
+  explicit IndexWriter(std::shared_ptr<const IndexSnapshot> initial);
+
+  IndexWriter(const IndexWriter&) = delete;
+  IndexWriter& operator=(const IndexWriter&) = delete;
+
+  /// The currently published snapshot; never nullptr. One atomic acquire
+  /// load — this is the whole reader hot path.
+  std::shared_ptr<const IndexSnapshot> snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// Stages one document for the next commit and assigns its doc id (its
+  /// final corpus position). The document is NOT searchable until Commit.
+  uint32_t StageDocument(XmlDocument doc);
+
+  /// Documents staged but not yet committed.
+  size_t pending() const;
+
+  /// Builds and publishes a snapshot covering all staged documents; returns
+  /// the published snapshot (the current one if nothing was staged).
+  /// Queries against the result are identical to a fresh engine built over
+  /// the full corpus.
+  std::shared_ptr<const IndexSnapshot> Commit();
+
+  /// Stage + Commit in one step: the document is searchable on return.
+  uint32_t AddDocument(XmlDocument doc);
+
+  /// Republishes the current corpus with `dil` as the precomputed entry
+  /// set (typically one loaded from an index file). Entries must have been
+  /// built with the same corpus, systems and options or queries will be
+  /// inconsistent.
+  void AdoptPrecomputed(XOntoDil dil);
+
+ private:
+  /// Pre: mutex_ held. Builds a snapshot over `corpus` and publishes it.
+  std::shared_ptr<const IndexSnapshot> Publish(Corpus corpus,
+                                               XOntoDil adopted);
+
+  std::shared_ptr<const OntologyContext> context_;
+  IndexBuildOptions options_;
+
+  mutable std::mutex mutex_;  ///< serializes writers; readers never take it
+  Corpus corpus_;             ///< committed corpus value (guarded by mutex_)
+  std::vector<XmlDocument> pending_;  ///< staged batch (guarded by mutex_)
+  std::atomic<std::shared_ptr<const IndexSnapshot>> published_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_INDEX_WRITER_H_

@@ -1,0 +1,61 @@
+#include "core/ontology_context.h"
+
+#include <cassert>
+
+namespace xontorank {
+
+OntoScoreRowCache::Row OntoScoreRowCache::Find(
+    size_t system, const std::string& canonical) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(Key{system, canonical});
+  return it == rows_.end() ? nullptr : it->second;
+}
+
+OntoScoreRowCache::Row OntoScoreRowCache::Insert(size_t system,
+                                                 const std::string& canonical,
+                                                 OntoScoreMap row) {
+  auto shared = std::make_shared<const OntoScoreMap>(std::move(row));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = rows_.emplace(Key{system, canonical}, shared);
+  return it->second;
+}
+
+size_t OntoScoreRowCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+std::shared_ptr<const OntologyContext> OntologyContext::Create(
+    OntologySet systems, const IndexBuildOptions& options) {
+  assert(!systems.empty() && "at least one ontological system is required");
+  auto context = std::shared_ptr<OntologyContext>(new OntologyContext());
+  context->systems_ = std::move(systems);
+  context->strategy_ = options.strategy;
+  context->score_ = options.score;
+  context->cache_rows_ = options.cache_onto_score_rows;
+  for (size_t s = 0; s < context->systems_.size(); ++s) {
+    context->indexes_.push_back(std::make_unique<OntologyIndex>(
+        context->systems_.system(s), options.score.bm25));
+  }
+  return context;
+}
+
+OntoScoreRowCache::Row OntologyContext::GetRow(size_t system,
+                                               const Keyword& keyword) const {
+  std::string canonical = keyword.Canonical();
+  if (cache_rows_) {
+    if (OntoScoreRowCache::Row row = row_cache_.Find(system, canonical)) {
+      return row;
+    }
+  }
+  // Compute outside any lock; a racing thread may duplicate the work, in
+  // which case the first insert wins.
+  OntoScoreMap row =
+      ComputeOntoScores(*indexes_[system], keyword, strategy_, score_);
+  if (!cache_rows_) {
+    return std::make_shared<const OntoScoreMap>(std::move(row));
+  }
+  return row_cache_.Insert(system, canonical, std::move(row));
+}
+
+}  // namespace xontorank

@@ -1,11 +1,13 @@
 #ifndef XONTORANK_CORE_OPTIONS_H_
 #define XONTORANK_CORE_OPTIONS_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "core/elem_rank.h"
 #include "ir/bm25.h"
 
 namespace xontorank {
@@ -59,6 +61,56 @@ struct ScoreOptions {
 
   /// IR scoring knobs (the paper uses BM25).
   Bm25Params bm25;
+};
+
+/// Options of the preprocessing phase (§V).
+struct IndexBuildOptions {
+  /// Which OntoScore strategy the XOnto-DILs embed. kXRank disables the
+  /// ontology entirely (the baseline).
+  Strategy strategy = Strategy::kRelationships;
+
+  /// Decay / threshold / ω / BM25 knobs.
+  ScoreOptions score;
+
+  /// Which keywords get precomputed DIL entries (§V-B "Vocabulary").
+  enum class VocabularyMode {
+    /// Tokens occurring in the CDA corpus only.
+    kCorpusOnly,
+    /// Union of corpus tokens and ontology term tokens — the paper's full
+    /// Vocabulary definition. Keywords that appear only in the ontology can
+    /// still match documents through code nodes.
+    kCorpusAndOntology,
+    /// No precomputation; every entry is built on demand (lazy). Queries
+    /// return identical results; only build cost moves to query time.
+    kNone,
+  };
+  VocabularyMode vocabulary_mode = VocabularyMode::kCorpusAndOntology;
+
+  /// If true, posting scores are modulated by ElemRank, XRANK's structural
+  /// PageRank over elements (§V-A: "ElemRank could be incorporated in NS").
+  /// The paper disabled it (its corpus had no ID-IDREF edges); our CDA
+  /// corpus carries reference→content links, so the extension is
+  /// exercisable. Final score: NS · ((1-λ) + λ·ElemRank(v)).
+  bool use_elem_rank = false;
+
+  /// Blend λ between pure NS (0) and fully ElemRank-modulated (1).
+  double elem_rank_blend = 0.5;
+
+  /// ElemRank damping/iteration knobs (used when use_elem_rank is set).
+  ElemRankOptions elem_rank;
+
+  /// Worker threads for vocabulary precomputation (stage 2+3 of §V-B are
+  /// embarrassingly parallel across keywords). 1 = serial; 0 = one thread
+  /// per hardware core. Query-time entry caching remains single-threaded.
+  size_t num_threads = 1;
+
+  /// If true, OntoScore rows (stage 2 output) are memoized in the engine's
+  /// OntologyContext and reused by every index snapshot the engine
+  /// publishes. Rows depend only on the ontology and the score knobs, so
+  /// the memo is exact; it trades memory (one row per vocabulary keyword
+  /// per system) for much cheaper writer commits. Disable for one-shot
+  /// static indexes where the memory matters more.
+  bool cache_onto_score_rows = true;
 };
 
 /// Attribute names whose values are excluded from a node's textual

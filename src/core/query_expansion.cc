@@ -19,9 +19,9 @@ IndexBuildOptions BaselineOptions(const QueryExpansionOptions& options) {
 
 }  // namespace
 
-QueryExpansionEngine::QueryExpansionEngine(
-    const std::vector<XmlDocument>& corpus, OntologySet systems,
-    QueryExpansionOptions options)
+QueryExpansionEngine::QueryExpansionEngine(const Corpus& corpus,
+                                           OntologySet systems,
+                                           QueryExpansionOptions options)
     : options_(options),
       index_(corpus, std::move(systems), BaselineOptions(options)),
       processor_(options.score) {}

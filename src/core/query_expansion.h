@@ -40,8 +40,8 @@ struct QueryExpansionOptions {
 class QueryExpansionEngine {
  public:
   /// `corpus` and the ontologies must outlive the engine.
-  QueryExpansionEngine(const std::vector<XmlDocument>& corpus,
-                       OntologySet systems, QueryExpansionOptions options = {});
+  QueryExpansionEngine(const Corpus& corpus, OntologySet systems,
+                       QueryExpansionOptions options = {});
 
   /// A weighted expansion: the term to search for and its association
   /// degree with the original keyword (1.0 for the keyword itself).

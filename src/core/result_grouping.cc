@@ -21,8 +21,7 @@ std::string PathSignature(const XmlDocument& doc, const DeweyId& element) {
 }
 
 std::vector<ResultGroup> GroupResultsByPath(
-    const std::vector<QueryResult>& results,
-    const std::vector<XmlDocument>& corpus) {
+    const std::vector<QueryResult>& results, const Corpus& corpus) {
   std::map<std::string, ResultGroup> by_signature;
   for (const QueryResult& result : results) {
     if (result.element.empty()) continue;

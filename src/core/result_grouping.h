@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/query_processor.h"
+#include "xml/corpus.h"
 #include "xml/xml_node.h"
 
 namespace xontorank {
@@ -32,8 +33,7 @@ struct ResultGroup {
 /// signature); results whose Dewey id does not resolve in `corpus` are
 /// dropped.
 std::vector<ResultGroup> GroupResultsByPath(
-    const std::vector<QueryResult>& results,
-    const std::vector<XmlDocument>& corpus);
+    const std::vector<QueryResult>& results, const Corpus& corpus);
 
 /// The tag-path signature of one element.
 std::string PathSignature(const XmlDocument& doc, const DeweyId& element);

@@ -1,53 +1,48 @@
 #include "core/xontorank.h"
 
-#include "xml/xml_writer.h"
-
 namespace xontorank {
 
-XOntoRank::XOntoRank(std::vector<XmlDocument> corpus, OntologySet systems,
+XOntoRank::XOntoRank(Corpus corpus, OntologySet systems,
                      IndexBuildOptions options)
-    : corpus_(std::move(corpus)),
-      index_(corpus_, std::move(systems), options),
-      processor_(options.score) {}
+    : writer_(std::move(corpus), std::move(systems), options) {}
 
 std::vector<QueryResult> XOntoRank::Search(const KeywordQuery& query,
-                                           size_t top_k) {
-  if (query.empty()) return {};
-  std::vector<const DilEntry*> lists;
-  lists.reserve(query.size());
-  for (const Keyword& kw : query.keywords) {
-    lists.push_back(index_.GetEntry(kw));
-  }
-  return processor_.Execute(lists, top_k);
+                                           size_t top_k) const {
+  return snapshot()->Search(query, top_k);
 }
 
 std::vector<QueryResult> XOntoRank::Search(std::string_view query_text,
-                                           size_t top_k) {
+                                           size_t top_k) const {
   return Search(ParseQuery(query_text), top_k);
 }
 
+std::vector<QueryResult> XOntoRank::SearchRanked(const KeywordQuery& query,
+                                                 size_t top_k,
+                                                 RankedQueryStats* stats)
+    const {
+  return snapshot()->SearchRanked(query, top_k, stats);
+}
+
 uint32_t XOntoRank::AddDocument(XmlDocument doc) {
-  uint32_t doc_id = static_cast<uint32_t>(corpus_.size());
-  doc.set_doc_id(doc_id);
-  corpus_.push_back(std::move(doc));
-  index_.AppendDocument(corpus_.back());
-  return doc_id;
+  return writer_.AddDocument(std::move(doc));
+}
+
+uint32_t XOntoRank::StageDocument(XmlDocument doc) {
+  return writer_.StageDocument(std::move(doc));
+}
+
+void XOntoRank::Commit() { writer_.Commit(); }
+
+void XOntoRank::AdoptPrecomputed(XOntoDil dil) {
+  writer_.AdoptPrecomputed(std::move(dil));
 }
 
 const XmlNode* XOntoRank::ResolveResult(const QueryResult& result) const {
-  if (result.element.empty()) return nullptr;
-  uint32_t doc_id = result.element.doc_id();
-  if (doc_id >= corpus_.size()) return nullptr;
-  return corpus_[doc_id].Resolve(result.element);
+  return snapshot()->ResolveResult(result);
 }
 
 std::string XOntoRank::ResultFragmentXml(const QueryResult& result) const {
-  const XmlNode* node = ResolveResult(result);
-  if (node == nullptr) return "";
-  XmlWriteOptions options;
-  options.pretty = true;
-  options.emit_declaration = false;
-  return WriteXml(*node, options);
+  return snapshot()->ResultFragmentXml(result);
 }
 
 }  // namespace xontorank

@@ -7,8 +7,11 @@
 #include <vector>
 
 #include "core/index_builder.h"
+#include "core/index_snapshot.h"
+#include "core/index_writer.h"
 #include "core/query_processor.h"
 #include "onto/ontology.h"
+#include "xml/corpus.h"
 #include "xml/xml_node.h"
 
 namespace xontorank {
@@ -26,39 +29,93 @@ namespace xontorank {
 ///     std::cout << engine.ResultFragmentXml(r) << "\n";
 /// ```
 ///
-/// The engine owns the corpus; the ontologies are borrowed and must outlive
-/// it. Multiple ontological systems (e.g. SNOMED CT + LOINC) can be
-/// registered by passing an OntologySet; a bare Ontology converts
-/// implicitly.
+/// The facade is a thin shell over two layers:
+///   - an immutable IndexSnapshot, the read-optimized serving state,
+///     published to readers through an atomic shared_ptr;
+///   - an IndexWriter, the write/build path that batches new documents and
+///     publishes a fresh snapshot per commit.
 ///
-/// Thread-safety: concurrent Search calls are safe (the on-demand DIL cache
-/// is synchronized); AddDocument is an exclusive operation.
+/// The ontologies are borrowed and must outlive the engine. Multiple
+/// ontological systems (e.g. SNOMED CT + LOINC) can be registered by
+/// passing an OntologySet; a bare Ontology converts implicitly.
+///
+/// Thread-safety: Search (and every other const accessor) is safe from any
+/// number of threads and never blocks on writers — it acquires the current
+/// snapshot with one atomic load and runs entirely against that immutable
+/// state. AddDocument/StageDocument/Commit may run concurrently with
+/// searches; they serialize among themselves on the writer path. A search
+/// overlapping a commit sees either the full pre-commit or the full
+/// post-commit index, never a torn state.
 class XOntoRank {
  public:
-  XOntoRank(std::vector<XmlDocument> corpus, OntologySet systems,
+  XOntoRank(Corpus corpus, OntologySet systems,
             IndexBuildOptions options = {});
+
+  /// Convenience: wraps a freshly built document vector.
+  XOntoRank(std::vector<XmlDocument> corpus, OntologySet systems,
+            IndexBuildOptions options = {})
+      : XOntoRank(Corpus(std::move(corpus)), std::move(systems), options) {}
+
+  /// Adopts an externally built snapshot (the engine store's load path).
+  explicit XOntoRank(std::shared_ptr<const IndexSnapshot> snapshot)
+      : writer_(std::move(snapshot)) {}
 
   XOntoRank(const XOntoRank&) = delete;
   XOntoRank& operator=(const XOntoRank&) = delete;
 
   /// Executes a parsed keyword query; returns the top-k results by
-  /// descending score (`top_k == 0` returns all).
-  std::vector<QueryResult> Search(const KeywordQuery& query, size_t top_k);
+  /// descending score (`top_k == 0` returns all). Lock-free on the hot
+  /// path: one atomic snapshot load, then immutable state only.
+  std::vector<QueryResult> Search(const KeywordQuery& query,
+                                  size_t top_k) const;
 
   /// Convenience: parses `query_text` (quoted phrases supported) first.
-  std::vector<QueryResult> Search(std::string_view query_text, size_t top_k);
+  std::vector<QueryResult> Search(std::string_view query_text,
+                                  size_t top_k) const;
 
-  /// Appends one document to the corpus and re-indexes incrementally; its
+  /// Top-k through the ranked processor (RDIL); identical results, usually
+  /// less work for selective queries. `top_k` must be ≥ 1.
+  std::vector<QueryResult> SearchRanked(const KeywordQuery& query,
+                                        size_t top_k,
+                                        RankedQueryStats* stats =
+                                            nullptr) const;
+
+  /// Appends one document to the corpus and publishes a new snapshot; its
   /// doc id is assigned (its corpus position). Subsequent queries are
   /// identical to those of an engine freshly built over the full corpus.
-  /// Returns the assigned doc id.
+  /// In-flight searches keep serving from the previous snapshot. Returns
+  /// the assigned doc id.
   uint32_t AddDocument(XmlDocument doc);
 
-  /// The document a result belongs to.
-  const XmlDocument& document(uint32_t doc_id) const {
-    return corpus_[doc_id];
+  /// Batch ingestion: stages a document for the next Commit without
+  /// publishing (the document is not yet searchable); returns its assigned
+  /// doc id.
+  uint32_t StageDocument(XmlDocument doc);
+
+  /// Publishes one snapshot covering every staged document (no-op if none
+  /// are staged). One commit per batch amortizes the rebuild.
+  void Commit();
+
+  /// Replaces the precomputed entry set with `dil` (typically one loaded
+  /// from an index file) by publishing a republished snapshot: subsequent
+  /// queries for its keywords are served without recomputation. Entries
+  /// must have been built with the same corpus, systems and options or
+  /// queries will be inconsistent.
+  void AdoptPrecomputed(XOntoDil dil);
+
+  /// The current serving snapshot — the safe way to get a stable view for
+  /// a batch of related calls (resolve + serialize + explain) while
+  /// writers may be publishing.
+  std::shared_ptr<const IndexSnapshot> snapshot() const {
+    return writer_.snapshot();
   }
-  size_t corpus_size() const { return corpus_.size(); }
+
+  /// The document a result belongs to. Documents are shared across
+  /// snapshots, so the reference stays valid for the life of the engine.
+  const XmlDocument& document(uint32_t doc_id) const {
+    return snapshot()->document(doc_id);
+  }
+  size_t corpus_size() const { return snapshot()->corpus_size(); }
 
   /// Resolves a result to its XML element (the Database Access Module of
   /// Fig. 8); nullptr if the Dewey id does not address a node.
@@ -67,14 +124,16 @@ class XOntoRank {
   /// Serializes the result's XML fragment (e.g. Fig. 4), pretty-printed.
   std::string ResultFragmentXml(const QueryResult& result) const;
 
-  const CorpusIndex& index() const { return index_; }
-  CorpusIndex& mutable_index() { return index_; }
-  const IndexBuildStats& build_stats() const { return index_.stats(); }
+  /// The current snapshot's index. NOTE: the reference is only guaranteed
+  /// stable until the next AddDocument/Commit/AdoptPrecomputed; callers
+  /// overlapping with writers should hold snapshot() instead.
+  const CorpusIndex& index() const { return snapshot()->index(); }
+  const IndexBuildStats& build_stats() const {
+    return snapshot()->build_stats();
+  }
 
  private:
-  std::vector<XmlDocument> corpus_;
-  CorpusIndex index_;
-  QueryProcessor processor_;
+  IndexWriter writer_;
 };
 
 }  // namespace xontorank

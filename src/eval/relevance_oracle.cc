@@ -129,7 +129,7 @@ bool RelevanceOracle::IsRelevant(const KeywordQuery& query,
 }
 
 size_t RelevanceOracle::CountRelevant(
-    const KeywordQuery& query, const std::vector<XmlDocument>& corpus,
+    const KeywordQuery& query, const Corpus& corpus,
     const std::vector<QueryResult>& results) const {
   size_t count = 0;
   for (const QueryResult& result : results) {

@@ -9,6 +9,7 @@
 #include "ir/query.h"
 #include "onto/ontology.h"
 #include "onto/ontology_index.h"
+#include "xml/corpus.h"
 #include "xml/xml_node.h"
 
 namespace xontorank {
@@ -59,8 +60,7 @@ class RelevanceOracle {
 
   /// Convenience for Table I: counts how many of `results` (one algorithm's
   /// top-5) are judged relevant.
-  size_t CountRelevant(const KeywordQuery& query,
-                       const std::vector<XmlDocument>& corpus,
+  size_t CountRelevant(const KeywordQuery& query, const Corpus& corpus,
                        const std::vector<QueryResult>& results) const;
 
  private:

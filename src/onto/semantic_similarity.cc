@@ -143,8 +143,7 @@ void SemanticSimilarity::SetCorpusCounts(const std::vector<size_t>& counts) {
   }
 }
 
-void SemanticSimilarity::CountCorpusReferences(
-    const std::vector<XmlDocument>& corpus) {
+void SemanticSimilarity::CountCorpusReferences(const Corpus& corpus) {
   std::vector<size_t> counts(ontology_->concept_count(), 0);
   for (const XmlDocument& doc : corpus) {
     if (doc.root() == nullptr) continue;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "onto/ontology.h"
+#include "xml/corpus.h"
 #include "xml/xml_node.h"
 
 namespace xontorank {
@@ -53,7 +54,7 @@ class SemanticSimilarity {
   void SetCorpusCounts(const std::vector<size_t>& counts);
 
   /// Convenience: counts the ontology's code references in `corpus`.
-  void CountCorpusReferences(const std::vector<XmlDocument>& corpus);
+  void CountCorpusReferences(const Corpus& corpus);
 
   /// True once counts are installed.
   bool has_information_content() const { return !ic_.empty(); }

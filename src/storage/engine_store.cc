@@ -45,12 +45,12 @@ std::string_view VocabularyModeName(IndexBuildOptions::VocabularyMode mode) {
 
 }  // namespace
 
-Status SaveEngineDir(const XOntoRank& engine, const std::string& dir) {
+Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir + "/corpus", ec);
   if (ec) return Status::IoError("cannot create " + dir);
 
-  const CorpusIndex& index = engine.index();
+  const CorpusIndex& index = snapshot.index();
   const IndexBuildOptions& options = index.options();
 
   std::string manifest;
@@ -78,19 +78,24 @@ Status SaveEngineDir(const XOntoRank& engine, const std::string& dir) {
   }
 
   // Corpus.
-  for (size_t d = 0; d < engine.corpus_size(); ++d) {
+  for (size_t d = 0; d < snapshot.corpus_size(); ++d) {
     std::string name = StringPrintf("corpus/doc_%05zu.xml", d);
     XONTO_RETURN_IF_ERROR(WriteFile(
         dir + "/" + name,
-        WriteXml(engine.document(static_cast<uint32_t>(d)))));
+        WriteXml(snapshot.document(static_cast<uint32_t>(d)))));
     manifest += "document\t" + name + "\n";
   }
 
-  // Materialized inverted lists.
-  XONTO_RETURN_IF_ERROR(SaveIndex(index.materialized(), dir + "/index.xodl"));
+  // Materialized inverted lists (precomputed + demand-cached).
+  XONTO_RETURN_IF_ERROR(
+      SaveIndex(index.MaterializedCopy(), dir + "/index.xodl"));
   manifest += "index\tindex.xodl\n";
 
   return WriteFile(dir + "/manifest.tsv", manifest);
+}
+
+Status SaveEngineDir(const XOntoRank& engine, const std::string& dir) {
+  return SaveSnapshot(*engine.snapshot(), dir);
 }
 
 Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
@@ -155,8 +160,7 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
     return Status::Corruption("manifest lists no documents");
   }
 
-  std::vector<XmlDocument> corpus;
-  corpus.reserve(document_files.size());
+  Corpus corpus;
   for (const std::string& name : document_files) {
     XONTO_ASSIGN_OR_RETURN(std::string xml, ReadFile(dir + "/" + name));
     auto parsed = ParseXml(xml);
@@ -165,18 +169,24 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
     }
     XmlDocument doc = std::move(parsed).value();
     doc.set_doc_id(static_cast<uint32_t>(corpus.size()));
-    corpus.push_back(std::move(doc));
+    corpus.Add(std::move(doc));
   }
 
   OntologySet systems;
   for (const auto& onto : loaded->ontologies_) systems.Add(*onto);
-  loaded->engine_ =
-      std::make_unique<XOntoRank>(std::move(corpus), systems, options);
 
+  // Produce the serving snapshot directly: the persisted entries are handed
+  // to the snapshot at construction, so the vocabulary precomputation (a
+  // no-op under the persisted kNone mode anyway) is bypassed and persisted
+  // keywords serve without any stage-2 recomputation.
+  XOntoDil dil;
   if (!index_file.empty()) {
-    XONTO_ASSIGN_OR_RETURN(XOntoDil dil, LoadIndex(dir + "/" + index_file));
-    loaded->engine_->mutable_index().AdoptPrecomputed(std::move(dil));
+    XONTO_ASSIGN_OR_RETURN(dil, LoadIndex(dir + "/" + index_file));
   }
+  auto snapshot = std::make_shared<const IndexSnapshot>(
+      std::move(corpus), OntologyContext::Create(systems, options), options,
+      std::move(dil));
+  loaded->engine_ = std::make_unique<XOntoRank>(std::move(snapshot));
   return loaded;
 }
 

@@ -45,11 +45,21 @@ class LoadedEngine {
   std::unique_ptr<XOntoRank> engine_;
 };
 
-/// Persists `engine` (its corpus, its systems, its currently materialized
-/// DIL entries and its options) into `dir`, creating it if needed.
+/// Persists one immutable serving snapshot (its corpus slice, its systems,
+/// its currently materialized DIL entries and its options) into `dir`,
+/// creating it if needed. Because a snapshot is frozen, the saved state is
+/// consistent even while writers keep committing to the engine it came
+/// from.
+Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir);
+
+/// Convenience: saves `engine`'s currently published snapshot.
 Status SaveEngineDir(const XOntoRank& engine, const std::string& dir);
 
-/// Restores an engine saved with SaveEngineDir.
+/// Restores an engine saved with SaveEngineDir/SaveSnapshot: the corpus and
+/// ontologies are parsed back, a snapshot is constructed directly around the
+/// persisted DIL entries (so stage 2+3 — the expensive OntoScore work — is
+/// never repeated for persisted keywords), and the engine adopts it as its
+/// published serving state.
 Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir);
 
 }  // namespace xontorank

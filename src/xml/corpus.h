@@ -1,0 +1,106 @@
+#ifndef XONTORANK_XML_CORPUS_H_
+#define XONTORANK_XML_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "xml/xml_node.h"
+
+namespace xontorank {
+
+/// An immutable-document collection with structural sharing: documents are
+/// held by `shared_ptr<const XmlDocument>`, so extending a corpus by a batch
+/// of documents copies only the pointer vector — the documents themselves
+/// are shared with every other corpus value (and thus every index snapshot)
+/// that references them. This is what makes snapshot publication cheap: the
+/// writer's new snapshot reuses every already-parsed document.
+///
+/// A `Corpus` value itself is cheap to copy and safe to copy concurrently
+/// with reads; the referenced documents are never mutated.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Wraps a freshly built document vector (the common entry point; CdaGen
+  /// and the XML parser produce plain vectors). Implicit so call sites can
+  /// pass `generator.GenerateCorpus()` directly; lvalue vectors must be
+  /// std::move()d (XmlDocument is move-only).
+  Corpus(std::vector<XmlDocument> docs) {  // NOLINT
+    docs_.reserve(docs.size());
+    for (XmlDocument& doc : docs) {
+      docs_.push_back(std::make_shared<const XmlDocument>(std::move(doc)));
+    }
+  }
+
+  /// Appends a document, wrapping it for sharing.
+  void Add(XmlDocument doc) {
+    docs_.push_back(std::make_shared<const XmlDocument>(std::move(doc)));
+  }
+
+  /// Appends an already-shared document (structural sharing across corpus
+  /// values).
+  void Add(std::shared_ptr<const XmlDocument> doc) {
+    docs_.push_back(std::move(doc));
+  }
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+  void clear() { docs_.clear(); }
+
+  const XmlDocument& operator[](size_t i) const { return *docs_[i]; }
+  const XmlDocument& back() const { return *docs_.back(); }
+
+  /// The shared handle for document `i` (used to extend a corpus without
+  /// copying documents).
+  const std::shared_ptr<const XmlDocument>& handle(size_t i) const {
+    return docs_[i];
+  }
+
+  /// Iteration yields `const XmlDocument&`, so range-for code written
+  /// against `std::vector<XmlDocument>` keeps working unchanged.
+  class const_iterator {
+   public:
+    using inner = std::vector<std::shared_ptr<const XmlDocument>>::
+        const_iterator;
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = XmlDocument;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const XmlDocument*;
+    using reference = const XmlDocument&;
+
+    explicit const_iterator(inner it) : it_(it) {}
+    const XmlDocument& operator*() const { return **it_; }
+    const XmlDocument* operator->() const { return it_->get(); }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++it_;
+      return copy;
+    }
+    bool operator==(const const_iterator& other) const {
+      return it_ == other.it_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return it_ != other.it_;
+    }
+
+   private:
+    inner it_;
+  };
+
+  const_iterator begin() const { return const_iterator(docs_.begin()); }
+  const_iterator end() const { return const_iterator(docs_.end()); }
+
+ private:
+  std::vector<std::shared_ptr<const XmlDocument>> docs_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_XML_CORPUS_H_

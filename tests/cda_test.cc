@@ -137,7 +137,7 @@ TEST_F(CdaGeneratorFixture, CorpusStatsInRealisticRange) {
   CdaGeneratorOptions options;
   options.num_documents = 10;
   CdaGenerator gen(onto_, options);
-  std::vector<XmlDocument> corpus = gen.GenerateCorpus();
+  Corpus corpus = gen.GenerateCorpus();
   CdaCorpusStats stats = CdaGenerator::ComputeStats(corpus);
   EXPECT_EQ(stats.documents, 10u);
   EXPECT_GT(stats.AvgOntoRefs(), 30.0);
@@ -182,7 +182,7 @@ TEST_F(CdaGeneratorFixture, WorksOnSyntheticOntologyWithoutCuratedRoots) {
   CdaGeneratorOptions options;
   options.num_documents = 2;
   CdaGenerator gen(synthetic, options);
-  std::vector<XmlDocument> corpus = gen.GenerateCorpus();
+  Corpus corpus = gen.GenerateCorpus();
   EXPECT_EQ(corpus.size(), 2u);
   CdaCorpusStats stats = CdaGenerator::ComputeStats(corpus);
   EXPECT_GT(stats.total_onto_refs, 0u);

@@ -11,15 +11,15 @@ namespace {
 using testing_util::BuildTinyOntology;
 using testing_util::MustParse;
 
-std::vector<XmlDocument> Corpus(std::initializer_list<const char*> xmls) {
-  std::vector<XmlDocument> corpus;
+Corpus MakeCorpus(std::initializer_list<const char*> xmls) {
+  Corpus corpus;
   uint32_t id = 0;
-  for (const char* xml : xmls) corpus.push_back(MustParse(xml, id++));
+  for (const char* xml : xmls) corpus.Add(MustParse(xml, id++));
   return corpus;
 }
 
 TEST(ElemRankTest, RanksNormalizedToUnitMax) {
-  auto corpus = Corpus({"<a><b/><c><d/></c></a>"});
+  auto corpus = MakeCorpus({"<a><b/><c><d/></c></a>"});
   ElemRank rank(corpus);
   ASSERT_EQ(rank.size(), 4u);
   double max_rank = 0.0;
@@ -34,7 +34,7 @@ TEST(ElemRankTest, RanksNormalizedToUnitMax) {
 TEST(ElemRankTest, ParentAccruesFromChildren) {
   // Root with many children must out-rank a leaf (reverse containment
   // aggregates undivided).
-  auto corpus = Corpus({"<root><a/><b/><c/><d/><e/></root>"});
+  auto corpus = MakeCorpus({"<root><a/><b/><c/><d/><e/></root>"});
   ElemRank rank(corpus);
   // Unit 0 is the root, 1..5 its children.
   EXPECT_GT(rank.rank(0), rank.rank(1));
@@ -42,7 +42,7 @@ TEST(ElemRankTest, ParentAccruesFromChildren) {
 
 TEST(ElemRankTest, HyperlinkTargetGainsAuthority) {
   // Two otherwise identical leaves; one is the target of two references.
-  auto corpus = Corpus(
+  auto corpus = MakeCorpus(
       {"<root>"
        "<content ID=\"m1\"/>"
        "<plain/>"
@@ -56,14 +56,14 @@ TEST(ElemRankTest, HyperlinkTargetGainsAuthority) {
 }
 
 TEST(ElemRankTest, ValueAttributeOnlyCountsOnReferenceElements) {
-  auto corpus = Corpus(
+  auto corpus = MakeCorpus(
       {"<root><content ID=\"m1\"/><birthTime value=\"m1\"/></root>"});
   ElemRank rank(corpus);
   EXPECT_EQ(rank.hyperlink_edge_count(), 0u);
 }
 
 TEST(ElemRankTest, DanglingAndSelfReferencesIgnored) {
-  auto corpus = Corpus(
+  auto corpus = MakeCorpus(
       {"<root><reference value=\"missing\"/>"
        "<reference ID=\"self\" value=\"self\"/></root>"});
   ElemRank rank(corpus);
@@ -71,14 +71,14 @@ TEST(ElemRankTest, DanglingAndSelfReferencesIgnored) {
 }
 
 TEST(ElemRankTest, ReferencesDoNotCrossDocuments) {
-  auto corpus = Corpus({"<r><content ID=\"m1\"/></r>",
+  auto corpus = MakeCorpus({"<r><content ID=\"m1\"/></r>",
                         "<r><reference value=\"m1\"/></r>"});
   ElemRank rank(corpus);
   EXPECT_EQ(rank.hyperlink_edge_count(), 0u);
 }
 
 TEST(ElemRankTest, ConvergesWithinIterationBudget) {
-  auto corpus = Corpus({"<a><b><c><d><e/></d></c></b></a>"});
+  auto corpus = MakeCorpus({"<a><b><c><d><e/></d></c></b></a>"});
   ElemRankOptions options;
   options.tolerance = 1e-12;
   ElemRank rank(corpus, options);
@@ -86,7 +86,7 @@ TEST(ElemRankTest, ConvergesWithinIterationBudget) {
 }
 
 TEST(ElemRankTest, EmptyCorpus) {
-  std::vector<XmlDocument> corpus;
+  Corpus corpus;
   ElemRank rank(corpus);
   EXPECT_EQ(rank.size(), 0u);
 }

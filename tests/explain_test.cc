@@ -174,7 +174,7 @@ TEST_F(ExplainResultFixture, DistinguishesTextualFromOntological) {
   KeywordQuery query = ParseQuery("bronchus theophylline");
   auto results = engine_->Search(query, 1);
   ASSERT_FALSE(results.empty());
-  auto evidence = ExplainResult(engine_->mutable_index(), query, results[0]);
+  auto evidence = ExplainResult(engine_->index(), query, results[0]);
   ASSERT_TRUE(evidence.ok()) << evidence.status().ToString();
   ASSERT_EQ(evidence->size(), 2u);
   // "bronchus" never occurs textually: must be ontological with a path.
@@ -191,7 +191,7 @@ TEST_F(ExplainResultFixture, FailsForUncoveredKeyword) {
   KeywordQuery query = ParseQuery("bronchus zebra");
   QueryResult fake;
   fake.element = DeweyId({0});
-  auto evidence = ExplainResult(engine_->mutable_index(), query, fake);
+  auto evidence = ExplainResult(engine_->index(), query, fake);
   ASSERT_FALSE(evidence.ok());
   EXPECT_EQ(evidence.status().code(), StatusCode::kNotFound);
 }
@@ -200,7 +200,7 @@ TEST_F(ExplainResultFixture, FormatEvidenceMentionsSources) {
   KeywordQuery query = ParseQuery("bronchus theophylline");
   auto results = engine_->Search(query, 1);
   ASSERT_FALSE(results.empty());
-  auto evidence = ExplainResult(engine_->mutable_index(), query, results[0]);
+  auto evidence = ExplainResult(engine_->index(), query, results[0]);
   ASSERT_TRUE(evidence.ok());
   std::string text = FormatEvidence(engine_->index(), *evidence);
   EXPECT_NE(text.find("via ontology"), std::string::npos);

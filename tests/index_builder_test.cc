@@ -13,7 +13,7 @@ using testing_util::TinyCdaXml;
 class IndexBuilderFixture : public ::testing::Test {
  protected:
   IndexBuilderFixture() : onto_(BuildTinyOntology()) {
-    corpus_.push_back(MustParse(TinyCdaXml(), 0));
+    corpus_.Add(MustParse(TinyCdaXml(), 0));
   }
 
   CorpusIndex Build(Strategy strategy,
@@ -26,7 +26,7 @@ class IndexBuilderFixture : public ::testing::Test {
   }
 
   Ontology onto_;
-  std::vector<XmlDocument> corpus_;
+  Corpus corpus_;
 };
 
 TEST_F(IndexBuilderFixture, CountsNodesAndCodeNodes) {
@@ -40,7 +40,7 @@ TEST_F(IndexBuilderFixture, CountsNodesAndCodeNodes) {
 TEST_F(IndexBuilderFixture, UnresolvableRefsIgnored) {
   // A code node referencing an unknown system or code is not an entry point.
   corpus_.clear();
-  corpus_.push_back(MustParse(
+  corpus_.Add(MustParse(
       R"(<r><a code="4" codeSystem="other.sys"/><b code="999" codeSystem="test.sys"/></r>)",
       0));
   CorpusIndex index = Build(Strategy::kRelationships);
@@ -150,7 +150,7 @@ TEST_F(IndexBuilderFixture, PostingsSortedByDewey) {
 }
 
 TEST_F(IndexBuilderFixture, MultiDocumentDeweysCarryDocIds) {
-  corpus_.push_back(MustParse(TinyCdaXml(), 1));
+  corpus_.Add(MustParse(TinyCdaXml(), 1));
   CorpusIndex index = Build(Strategy::kXRank);
   std::vector<DilPosting> postings =
       index.BuildPostings(MakeKeyword("theophylline"));

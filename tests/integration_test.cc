@@ -119,7 +119,7 @@ TEST_F(IntegrationFixture, IndexSurvivesStorageRoundTrip) {
   XOntoDil snapshot;
   for (const KeywordQuery& q : queries) {
     for (const Keyword& kw : q.keywords) {
-      const DilEntry* entry = engine.mutable_index().GetEntry(kw);
+      const DilEntry* entry = engine.index().GetEntry(kw);
       snapshot.Put(kw.Canonical(), entry->postings);
     }
   }
@@ -131,7 +131,7 @@ TEST_F(IntegrationFixture, IndexSurvivesStorageRoundTrip) {
   for (const KeywordQuery& q : queries) {
     std::vector<const DilEntry*> live, loaded;
     for (const Keyword& kw : q.keywords) {
-      live.push_back(engine.mutable_index().GetEntry(kw));
+      live.push_back(engine.index().GetEntry(kw));
       loaded.push_back(decoded->Find(kw.Canonical()));
     }
     auto live_results = processor.Execute(live, 10);
@@ -149,7 +149,7 @@ TEST_F(IntegrationFixture, OracleJudgesTextualResultsRelevant) {
   // must accept them.
   XOntoRank baseline = MakeEngine(Strategy::kXRank);
   RelevanceOracle oracle(onto_);
-  const std::vector<XmlDocument>& corpus = baseline.index().corpus();
+  const Corpus& corpus = baseline.index().corpus();
   for (const WorkloadQuery& wq : TableOneQueries()) {
     KeywordQuery query = ParseQuery(wq.text);
     auto results = baseline.Search(query, 5);

@@ -26,7 +26,7 @@ class ParallelIndexFixture : public ::testing::Test {
   }
 
   Ontology onto_;
-  std::vector<XmlDocument> corpus_;
+  Corpus corpus_;
 };
 
 TEST_F(ParallelIndexFixture, ParallelBuildMatchesSerial) {

@@ -220,7 +220,7 @@ TEST_P(EngineInvariantTest, RankedAgreesWithExhaustiveOnRealCorpus) {
     KeywordQuery query = ParseQuery(text);
     std::vector<const DilEntry*> lists;
     for (const Keyword& kw : query.keywords) {
-      lists.push_back(engine.mutable_index().GetEntry(kw));
+      lists.push_back(engine.index().GetEntry(kw));
     }
     auto a = exhaustive.Execute(lists, 5);
     auto b = ranked.Execute(lists, 5);
@@ -239,7 +239,7 @@ TEST_P(EngineInvariantTest, PostingScoresBounded) {
   gen_options.num_documents = 6;
   gen_options.seed = GetParam();
   CdaGenerator generator(onto, gen_options);
-  std::vector<XmlDocument> corpus = generator.GenerateCorpus();
+  Corpus corpus = generator.GenerateCorpus();
   IndexBuildOptions options;
   options.strategy = Strategy::kRelationships;
   options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;

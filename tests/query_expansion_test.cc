@@ -15,11 +15,11 @@ using testing_util::TinyCdaXml;
 class QueryExpansionFixture : public ::testing::Test {
  protected:
   QueryExpansionFixture() : onto_(BuildTinyOntology()) {
-    corpus_.push_back(MustParse(TinyCdaXml(), 0));
+    corpus_.Add(MustParse(TinyCdaXml(), 0));
   }
 
   Ontology onto_;
-  std::vector<XmlDocument> corpus_;
+  Corpus corpus_;
 };
 
 TEST_F(QueryExpansionFixture, ExpandIncludesKeywordFirst) {

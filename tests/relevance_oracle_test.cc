@@ -104,8 +104,8 @@ TEST_F(OracleFixture, UnresolvableResultIrrelevant) {
 }
 
 TEST_F(OracleFixture, CountRelevantSkipsForeignDocs) {
-  std::vector<XmlDocument> corpus;
-  corpus.push_back(
+  Corpus corpus;
+  corpus.Add(
       MustParse(R"(<r><v code="4" codeSystem="test.sys"/></r>)", 0));
   KeywordQuery query = ParseQuery("asthma");
   std::vector<QueryResult> results{ResultAt({0}), ResultAt({9, 1})};

@@ -19,11 +19,11 @@ QueryResult R(std::vector<uint32_t> comps, double score) {
 class GroupingFixture : public ::testing::Test {
  protected:
   GroupingFixture() {
-    corpus_.push_back(
+    corpus_.Add(
         MustParse("<doc><sec><obs/><obs/></sec><sec><obs/></sec></doc>", 0));
-    corpus_.push_back(MustParse("<doc><sec><note/></sec></doc>", 1));
+    corpus_.Add(MustParse("<doc><sec><note/></sec></doc>", 1));
   }
-  std::vector<XmlDocument> corpus_;
+  Corpus corpus_;
 };
 
 TEST_F(GroupingFixture, PathSignatureWalksToRoot) {
