@@ -17,7 +17,8 @@ namespace {
 
 std::vector<std::string> TopKIds(XOntoRank& engine, const KeywordQuery& query) {
   std::vector<std::string> ids;
-  for (const QueryResult& r : engine.Search(query, 10)) {
+  for (const QueryResult& r :
+       engine.Search(query, SearchOptions{.top_k = 10}).results) {
     ids.push_back(r.element.ToString());
   }
   return ids;
@@ -54,7 +55,7 @@ int main() {
     auto queries = TableOneQueries();
     for (const WorkloadQuery& wq : queries) {
       KeywordQuery query = ParseQuery(wq.text);
-      auto results = engine.Search(query, 5);
+      auto results = engine.Search(query, SearchOptions{.top_k = 5}).results;
       total_results += results.size();
       total_relevant +=
           oracle.CountRelevant(query, engine.index().corpus(), results);

@@ -35,7 +35,7 @@ void RunSweep(const bench::ExperimentSetup& setup, const SweepPoint& point) {
   size_t total_relevant = 0;
   for (const WorkloadQuery& wq : TableOneQueries()) {
     KeywordQuery query = ParseQuery(wq.text);
-    auto results = engine.Search(query, 5);
+    auto results = engine.Search(query, SearchOptions{.top_k = 5}).results;
     total_results += results.size();
     total_relevant +=
         oracle.CountRelevant(query, engine.index().corpus(), results);

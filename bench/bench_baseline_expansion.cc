@@ -52,7 +52,7 @@ int main() {
 
     auto run = [&](auto& engine, const Corpus& docs,
                    size_t slot, int width) {
-      engine.Search(query, 5);  // warm
+      engine.Search(query, 5);  // warm (generic: XOntoRank or expansion)
       Timer timer;
       constexpr int kReps = 10;
       std::vector<QueryResult> results;

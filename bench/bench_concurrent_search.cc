@@ -39,7 +39,7 @@ Throughput Run(XOntoRank& engine, const std::vector<KeywordQuery>& queries,
       size_t local = 0;
       size_t q = static_cast<size_t>(t) % queries.size();
       while (!stop.load(std::memory_order_acquire)) {
-        auto results = engine.Search(queries[q], 10);
+        auto results = engine.Search(queries[q], bench::TimedSearch(10)).results;
         if (++q == queries.size()) q = 0;
         ++local;
       }
@@ -114,12 +114,16 @@ int main() {
     // previous row must not leak into this one.
     XOntoRank cold(setup.generator->GenerateCorpus(), setup.search_ontology,
                    options);
-    for (const KeywordQuery& q : queries) cold.Search(q, 10);  // warm cache
+    for (const KeywordQuery& q : queries) {
+      cold.Search(q, bench::TimedSearch(10));  // warm entry cache
+    }
     Throughput quiet = Run(cold, queries, readers, kSeconds, nullptr, kBatch);
 
     XOntoRank contended(setup.generator->GenerateCorpus(),
                         setup.search_ontology, options);
-    for (const KeywordQuery& q : queries) contended.Search(q, 10);
+    for (const KeywordQuery& q : queries) {
+      contended.Search(q, bench::TimedSearch(10));
+    }
     Throughput busy =
         Run(contended, queries, readers, kSeconds, &refill, kBatch);
 

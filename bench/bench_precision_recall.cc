@@ -37,7 +37,7 @@ int main() {
     std::set<std::string> pool;
     std::map<size_t, std::vector<bool>> per_strategy;
     for (size_t s = 0; s < engines.size(); ++s) {
-      auto results = engines[s]->Search(query, 10);
+      auto results = engines[s]->Search(query, SearchOptions{.top_k = 10}).results;
       std::vector<bool> relevance;
       for (const QueryResult& r : results) {
         bool relevant = oracle.IsRelevant(

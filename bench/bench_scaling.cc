@@ -34,11 +34,13 @@ void RunPoint(const Ontology& ontology, size_t num_documents,
   for (const WorkloadQuery& wq : TableOneQueries()) {
     queries.push_back(ParseQuery(wq.text));
   }
-  for (const KeywordQuery& q : queries) engine.Search(q, 10);  // warm
+  for (const KeywordQuery& q : queries) {
+    engine.Search(q, bench::TimedSearch(10));  // warm
+  }
   Timer query_timer;
   constexpr int kReps = 10;
   for (int rep = 0; rep < kReps; ++rep) {
-    for (const KeywordQuery& q : queries) engine.Search(q, 10);
+    for (const KeywordQuery& q : queries) engine.Search(q, bench::TimedSearch(10));
   }
   double query_ms =
       query_timer.ElapsedMillis() / static_cast<double>(kReps * queries.size());

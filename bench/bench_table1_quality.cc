@@ -37,7 +37,7 @@ int main() {
     KeywordQuery query = ParseQuery(wq.text);
     std::printf("%-5s %-52s", wq.id.c_str(), wq.text.c_str());
     for (size_t s = 0; s < engines.size(); ++s) {
-      auto results = engines[s]->Search(query, 5);
+      auto results = engines[s]->Search(query, SearchOptions{.top_k = 5}).results;
       size_t relevant =
           oracle.CountRelevant(query, engines[s]->index().corpus(), results);
       totals[s] += static_cast<double>(relevant);

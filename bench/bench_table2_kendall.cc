@@ -24,7 +24,8 @@ constexpr double kPenalty = 0.5;
 
 std::vector<std::string> TopKIds(XOntoRank& engine, const KeywordQuery& query) {
   std::vector<std::string> ids;
-  for (const QueryResult& r : engine.Search(query, kTopK)) {
+  for (const QueryResult& r :
+       engine.Search(query, SearchOptions{.top_k = kTopK}).results) {
     ids.push_back(r.element.ToString());
   }
   return ids;

@@ -73,6 +73,16 @@ struct ExperimentSetup {
   }
 };
 
+/// SearchOptions for timing loops: serial and uncached, so the bench
+/// measures the merge itself rather than the snapshot's result cache.
+inline SearchOptions TimedSearch(size_t top_k, size_t parallelism = 1) {
+  SearchOptions options;
+  options.top_k = top_k;
+  options.parallelism = parallelism;
+  options.use_cache = false;
+  return options;
+}
+
 /// Prints a horizontal rule sized to `width`.
 inline void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');

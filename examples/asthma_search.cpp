@@ -96,7 +96,9 @@ void RunStrategy(Strategy strategy, const Ontology& ontology) {
   XOntoRank engine(std::move(corpus), ontology, options);
 
   const char* query = "\"bronchial structure\" theophylline";
-  auto results = engine.Search(query, 3);
+  SearchOptions search;
+  search.top_k = 3;
+  auto results = engine.Search(query, search).results;
   std::printf("--- %s: %zu result(s)\n",
               std::string(StrategyName(strategy)).c_str(), results.size());
   for (const QueryResult& r : results) {

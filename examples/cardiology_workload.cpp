@@ -40,13 +40,18 @@ int main() {
 
   std::printf("%-5s %-55s %8s %8s %10s %14s\n", "id", "query", "XRANK",
               "Graph", "Taxonomy", "Relationships");
+  SearchOptions search;
+  search.top_k = 5;
   for (const WorkloadQuery& wq : TableOneQueries()) {
     KeywordQuery query = ParseQuery(wq.text);
     std::printf("%-5s %-55s", wq.id.c_str(), wq.text.c_str());
     for (size_t s = 0; s < engines.size(); ++s) {
-      auto results = engines[s]->Search(query, 5);
+      // Pin one snapshot per engine call batch: Search + index() accesses
+      // must see the same serving state (see xontorank.h's index() note).
+      auto snap = engines[s]->snapshot();
+      auto results = snap->Search(query, search).results;
       size_t relevant = oracle.CountRelevant(
-          query, engines[s]->index().corpus(), results);
+          query, snap->index().corpus(), results);
       std::printf(" %*zu/%zu", s == 0 ? 6 : (s == 1 ? 6 : (s == 2 ? 8 : 12)),
                   relevant, results.size());
     }

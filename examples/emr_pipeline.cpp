@@ -61,11 +61,16 @@ int main() {
 
   const char* query_text = "\"bronchial structure\" theophylline";
   KeywordQuery query = ParseQuery(query_text);
-  auto results = engine.Search(query, 10);
+  // Pin one snapshot for the whole request (search + grouping + explain),
+  // so a concurrent writer could never swap the index mid-request.
+  auto snap = engine.snapshot();
+  SearchOptions search;
+  search.top_k = 10;
+  auto results = snap->Search(query, search).results;
   std::printf("Query [%s]: %zu results\n", query_text, results.size());
 
   // 4. Group structurally similar results.
-  auto groups = GroupResultsByPath(results, engine.index().corpus());
+  auto groups = GroupResultsByPath(results, snap->index().corpus());
   for (const ResultGroup& group : groups) {
     std::printf("  %zux %s (best %.3f)\n", group.results.size(),
                 group.signature.c_str(), group.best_score());
@@ -73,10 +78,10 @@ int main() {
 
   // 5. Explain the best result.
   if (!results.empty()) {
-    auto evidence = ExplainResult(engine.index(), query, results[0]);
+    auto evidence = ExplainResult(snap->index(), query, results[0]);
     if (evidence.ok()) {
       std::printf("\nWhy the top result matches:\n%s",
-                  FormatEvidence(engine.index(), *evidence).c_str());
+                  FormatEvidence(snap->index(), *evidence).c_str());
     }
   }
   return 0;

@@ -45,11 +45,20 @@ int main() {
               engine.build_stats().total_postings,
               engine.build_stats().build_millis);
 
-  // 4. Query phase.
+  // 4. Query phase: the unified Search API. SearchOptions picks top-k,
+  //    execution strategy (dil/rdil), shard parallelism and caching; the
+  //    response carries the results plus execution stats.
   const char* query = "\"bronchial structure\" theophylline";
   std::printf("Query: %s\n", query);
-  auto results = engine.Search(query, 5);
-  std::printf("Top %zu results:\n", results.size());
+  SearchOptions search;
+  search.top_k = 5;
+  search.parallelism = 0;  // one shard per hardware core
+  SearchResponse response = engine.Search(query, search);
+  const auto& results = response.results;
+  std::printf("Top %zu results (%zu postings, %zu shards, %.0f us%s):\n",
+              results.size(), response.stats.postings_scanned,
+              response.stats.shards, response.stats.wall_micros,
+              response.stats.cache_hit ? ", cached" : "");
   for (size_t i = 0; i < results.size(); ++i) {
     const QueryResult& r = results[i];
     const XmlNode* node = engine.ResolveResult(r);

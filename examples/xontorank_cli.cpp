@@ -9,10 +9,11 @@
 //                 [--strategy XRANK|Graph|Taxonomy|Relationships] [--threads N]
 //   xontorank_cli query <corpus-dir> <ontology.tsv> "<query>"
 //                 [--strategy NAME] [--top K] [--explain] [--ranked] [--group]
-//                 [--index saved.xodl]
+//                 [--parallel N] [--no-cache] [--index saved.xodl]
 //   xontorank_cli save-engine <corpus-dir> <ontology.tsv> <engine-dir>
 //                 [--strategy NAME] [--threads N]
 //   xontorank_cli query-engine <engine-dir> "<query>" [--top K] [--explain]
+//                 [--ranked] [--parallel N] [--no-cache]
 //   xontorank_cli repl <engine-dir>     # interactive: one query per line;
 //                                       # :top N, :explain, :group, :quit
 //
@@ -206,35 +207,59 @@ int ValidateCommand(const std::vector<std::string>& args) {
   return errors == 0 ? 0 : 2;
 }
 
-/// Shared result rendering for query/query-engine.
-void PrintResults(XOntoRank& engine, const KeywordQuery& query,
+/// Shared result rendering for query/query-engine/repl. Takes a pinned
+/// IndexSnapshot — never the engine — so every lookup (resolve, snippet,
+/// explain, group) reads the exact serving state the query ran against,
+/// even if a writer publishes a new snapshot mid-request (see the
+/// `XOntoRank::index()` stability note).
+void PrintResults(const IndexSnapshot& snap, const KeywordQuery& query,
                   const std::vector<QueryResult>& results, bool explain,
                   bool group) {
   for (size_t i = 0; i < results.size(); ++i) {
     const QueryResult& r = results[i];
-    const XmlNode* node = engine.ResolveResult(r);
+    const XmlNode* node = snap.ResolveResult(r);
     std::printf("%zu. doc %u  <%s>  dewey %s  score %.3f\n", i + 1,
                 r.element.doc_id(), node ? node->tag().c_str() : "?",
                 r.element.ToString().c_str(), r.score);
     std::string snippet =
-        MakeSnippet(engine.document(r.element.doc_id()), r.element, query, {});
+        MakeSnippet(snap.document(r.element.doc_id()), r.element, query, {});
     if (!snippet.empty()) std::printf("   %s\n", snippet.c_str());
     if (explain) {
-      auto evidence = ExplainResult(engine.index(), query, r);
+      auto evidence = ExplainResult(snap.index(), query, r);
       if (evidence.ok()) {
         std::printf("   %s\n",
-                    FormatEvidence(engine.index(), *evidence).c_str());
+                    FormatEvidence(snap.index(), *evidence).c_str());
       }
     }
   }
   if (group) {
     std::printf("\nstructural groups:\n");
     for (const ResultGroup& g :
-         GroupResultsByPath(results, engine.index().corpus())) {
+         GroupResultsByPath(results, snap.index().corpus())) {
       std::printf("  %zux %s (best %.3f)\n", g.results.size(),
                   g.signature.c_str(), g.best_score());
     }
   }
+}
+
+/// Parses the shared query-execution flags into SearchOptions.
+SearchOptions ParseSearchFlags(const std::vector<std::string>& args,
+                               size_t default_top_k) {
+  SearchOptions options;
+  options.top_k =
+      std::stoul(FlagValue(args, "--top", std::to_string(default_top_k)));
+  if (HasFlag(args, "--ranked")) options.strategy = QueryExecution::kRdil;
+  options.parallelism = std::stoul(FlagValue(args, "--parallel", "1"));
+  options.use_cache = !HasFlag(args, "--no-cache");
+  return options;
+}
+
+/// One-line execution summary from the response stats.
+void PrintQueryStats(const SearchOptions& options, const QueryStats& stats) {
+  std::printf("(%s: %zu postings, %zu shard(s), %.0f us%s)\n",
+              std::string(QueryExecutionName(options.strategy)).c_str(),
+              stats.postings_scanned, stats.shards, stats.wall_micros,
+              stats.cache_hit ? ", served from cache" : "");
 }
 
 int QueryCommand(const std::vector<std::string>& args) {
@@ -247,7 +272,6 @@ int QueryCommand(const std::vector<std::string>& args) {
   if (!onto.ok()) return Fail(onto.status().ToString());
   auto strategy = ParseStrategy(FlagValue(args, "--strategy", "Relationships"));
   if (!strategy.ok()) return Fail(strategy.status().ToString());
-  size_t top_k = std::stoul(FlagValue(args, "--top", "5"));
   bool explain = HasFlag(args, "--explain");
 
   IndexBuildOptions options;
@@ -266,23 +290,20 @@ int QueryCommand(const std::vector<std::string>& args) {
   }
 
   KeywordQuery query = ParseQuery(args[2]);
+  SearchOptions search = ParseSearchFlags(args, /*default_top_k=*/5);
+  if (Status v = search.Validate(); !v.ok()) return Fail(v.ToString());
 
-  std::vector<QueryResult> results;
-  if (HasFlag(args, "--ranked")) {
-    // Ranked top-k evaluation with early termination.
-    RankedQueryStats stats;
-    results = engine.SearchRanked(query, top_k == 0 ? 5 : top_k, &stats);
-    std::printf("(ranked: processed %zu/%zu documents%s)\n",
-                stats.documents_processed, stats.documents_total,
-                stats.terminated_early ? ", early termination" : "");
-  } else {
-    results = engine.Search(query, top_k);
-  }
+  // Pin one snapshot for the whole request: query + render + explain all
+  // read the same serving state.
+  auto snap = engine.snapshot();
+  SearchResponse response = snap->Search(query, search);
+  PrintQueryStats(search, response.stats);
 
-  std::printf("%zu result(s) for [%s] under %s\n", results.size(),
+  std::printf("%zu result(s) for [%s] under %s\n", response.results.size(),
               query.ToString().c_str(),
               std::string(StrategyName(*strategy)).c_str());
-  PrintResults(engine, query, results, explain, HasFlag(args, "--group"));
+  PrintResults(*snap, query, response.results, explain,
+               HasFlag(args, "--group"));
   return 0;
 }
 
@@ -317,14 +338,15 @@ int QueryEngineCommand(const std::vector<std::string>& args) {
   auto loaded = LoadEngineDir(args[0]);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   XOntoRank& engine = (*loaded)->engine();
-  size_t top_k = std::stoul(FlagValue(args, "--top", "5"));
   KeywordQuery query = ParseQuery(args[1]);
-  auto results = engine.Search(query, top_k);
+  SearchOptions search = ParseSearchFlags(args, /*default_top_k=*/5);
+  if (Status v = search.Validate(); !v.ok()) return Fail(v.ToString());
+  auto snap = engine.snapshot();
+  SearchResponse response = snap->Search(query, search);
   std::printf("%zu result(s) for [%s] (persisted engine, %s)\n",
-              results.size(), query.ToString().c_str(),
-              std::string(StrategyName(engine.index().options().strategy))
-                  .c_str());
-  PrintResults(engine, query, results, HasFlag(args, "--explain"),
+              response.results.size(), query.ToString().c_str(),
+              std::string(StrategyName(snap->options().strategy)).c_str());
+  PrintResults(*snap, query, response.results, HasFlag(args, "--explain"),
                HasFlag(args, "--group"));
   return 0;
 }
@@ -334,12 +356,15 @@ int ReplCommand(const std::vector<std::string>& args) {
   auto loaded = LoadEngineDir(args[0]);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   XOntoRank& engine = (*loaded)->engine();
-  std::printf("loaded %zu documents (%s strategy). Type a query, or :top N, "
-              ":explain, :group, :quit\n",
-              engine.corpus_size(),
-              std::string(StrategyName(engine.index().options().strategy))
-                  .c_str());
-  size_t top_k = 5;
+  {
+    auto snap = engine.snapshot();
+    std::printf("loaded %zu documents (%s strategy). Type a query, or "
+                ":top N, :explain, :group, :quit\n",
+                snap->corpus_size(),
+                std::string(StrategyName(snap->options().strategy)).c_str());
+  }
+  SearchOptions search;
+  search.top_k = 5;
   bool explain = false, group = false;
   std::string line;
   while (std::printf("xontorank> "), std::fflush(stdout),
@@ -358,14 +383,17 @@ int ReplCommand(const std::vector<std::string>& args) {
       continue;
     }
     if (trimmed.rfind(":top ", 0) == 0) {
-      top_k = std::stoul(trimmed.substr(5));
-      std::printf("top %zu\n", top_k);
+      search.top_k = std::stoul(trimmed.substr(5));
+      std::printf("top %zu\n", search.top_k);
       continue;
     }
     KeywordQuery query = ParseQuery(trimmed);
-    auto results = engine.Search(query, top_k);
-    std::printf("%zu result(s)\n", results.size());
-    PrintResults(engine, query, results, explain, group);
+    // Pin a fresh snapshot per request (a writer could publish between
+    // two REPL queries once the engine grows a write path).
+    auto snap = engine.snapshot();
+    SearchResponse response = snap->Search(query, search);
+    std::printf("%zu result(s)\n", response.results.size());
+    PrintResults(*snap, query, response.results, explain, group);
   }
   return 0;
 }

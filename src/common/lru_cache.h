@@ -1,0 +1,99 @@
+#ifndef XONTORANK_COMMON_LRU_CACHE_H_
+#define XONTORANK_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace xontorank {
+
+/// A bounded, thread-safe LRU map. Values are held through
+/// `shared_ptr<const Value>` so a hit can be returned without copying and
+/// stays valid after eviction (readers keep their reference; the cache just
+/// drops its own).
+///
+/// A capacity of 0 disables the cache entirely: Get always misses (and is
+/// not counted), Put is a no-op.
+///
+/// Thread-safety: every method may be called from any number of threads;
+/// one internal mutex guards the map, the recency list and the counters.
+/// The critical section is O(1) — value construction happens outside.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// The cached value for `key` (promoted to most-recently-used), or
+  /// nullptr on a miss.
+  std::shared_ptr<const Value> Get(const Key& key) {
+    if (capacity_ == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++stats_.hits;
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// when full. A null value is ignored.
+  void Put(const Key& key, std::shared_ptr<const Value> value) {
+    if (capacity_ == 0 || value == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most-recently-used at the front; each element pairs the key with its
+  /// value so eviction can erase the map entry.
+  std::list<std::pair<Key, std::shared_ptr<const Value>>> order_;
+  std::unordered_map<Key,
+                     typename std::list<
+                         std::pair<Key, std::shared_ptr<const Value>>>::iterator>
+      map_;
+  Stats stats_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_COMMON_LRU_CACHE_H_

@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace xontorank {
+
+/// Join state of one ParallelFor call. The counter is guarded by the batch
+/// mutex (not an atomic) so the final notify and the caller's wake-up are
+/// fully ordered — the batch lives on the caller's stack and must not be
+/// touched by a worker after the caller observes remaining == 0.
+struct ThreadPool::Batch {
+  const std::function<void(size_t)>* body = nullptr;
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t remaining = 0;
+
+  /// Marks one iteration finished, waking the join if it was the last.
+  void FinishOne() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--remaining == 0) done.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(
+        lock, [this]() { return shutting_down_ || !queue_.empty(); });
+    if (shutting_down_) return;
+    Task task = queue_.front();
+    queue_.pop_front();
+    lock.unlock();
+    (*task.batch->body)(task.index);
+    task.batch->FinishOne();
+    lock.lock();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+  Batch batch;
+  batch.body = &body;
+  batch.remaining = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 1; i < n; ++i) queue_.push_back(Task{&batch, i});
+  }
+  work_available_.notify_all();
+
+  // The caller participates: iteration 0 inline, then any of its own
+  // iterations still queued (so the batch completes even if every worker is
+  // busy with other batches — or if the pool has fewer workers than shards).
+  body(0);
+  batch.FinishOne();
+  while (true) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&batch](const Task& t) { return t.batch == &batch; });
+    if (it == queue_.end()) break;
+    Task task = *it;
+    queue_.erase(it);
+    lock.unlock();
+    (*task.batch->body)(task.index);
+    task.batch->FinishOne();
+  }
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.done.wait(lock, [&batch]() { return batch.remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: serving threads may still submit during static
+  // destruction, and the OS reclaims the threads at exit anyway.
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+}  // namespace xontorank

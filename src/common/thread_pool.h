@@ -1,0 +1,75 @@
+#ifndef XONTORANK_COMMON_THREAD_POOL_H_
+#define XONTORANK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xontorank {
+
+/// A small fixed-size worker pool for fork/join parallelism (intra-query
+/// shard execution, batch scoring). Tasks are plain closures drained FIFO
+/// from one shared queue.
+///
+/// The pool is deliberately minimal: no futures, no priorities, no task
+/// stealing. The only composition primitive is ParallelFor, a blocking
+/// fork/join over an index range, which is exactly the shape the sharded
+/// query merge needs.
+///
+/// Thread-safety: every method may be called from any thread. Concurrent
+/// ParallelFor calls (e.g. many user threads each running a sharded query)
+/// interleave their tasks on the shared workers; each call returns when its
+/// own batch is done.
+///
+/// Caveat: ParallelFor must not be called from inside a pool task of the
+/// same pool (the worker would block on its own queue). The query path only
+/// ever calls it from user threads.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means one per hardware core.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `body(0) .. body(n-1)`, distributing iterations across the pool,
+  /// and returns when all have finished. The calling thread participates
+  /// (it runs iteration 0 and then helps drain the batch), so progress is
+  /// guaranteed even under a saturated pool. With n <= 1 the body runs
+  /// inline with no synchronization at all.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// A process-wide pool sized to the hardware, created on first use and
+  /// intentionally leaked (serving threads may outlive static destruction
+  /// order). Shared by all query execution; index builds keep their own
+  /// short-lived threads.
+  static ThreadPool& Shared();
+
+ private:
+  struct Batch;
+
+  /// One queued iteration of some ParallelFor batch.
+  struct Task {
+    Batch* batch;
+    size_t index;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Task> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_COMMON_THREAD_POOL_H_

@@ -1,8 +1,28 @@
 #include "core/index_snapshot.h"
 
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "xml/xml_writer.h"
 
 namespace xontorank {
+
+namespace {
+
+/// Cache key: the canonical query rendering plus top_k. Execution strategy
+/// and shard count are deliberately excluded — dil/rdil and every shard
+/// count return identical results by construction (the parity property
+/// tests assert this), so distinguishing them would only lower the hit
+/// rate.
+std::string ResultCacheKey(const KeywordQuery& query, size_t top_k) {
+  std::string key = query.ToString();
+  key.push_back('\x1f');
+  key += std::to_string(top_k);
+  return key;
+}
+
+}  // namespace
 
 IndexSnapshot::IndexSnapshot(Corpus corpus,
                              std::shared_ptr<const OntologyContext> context,
@@ -10,28 +30,92 @@ IndexSnapshot::IndexSnapshot(Corpus corpus,
     : corpus_(std::move(corpus)),
       index_(corpus_, std::move(context), options, std::move(adopted)),
       processor_(options.score),
-      ranked_processor_(options.score) {}
+      ranked_processor_(options.score),
+      result_cache_(options.query_cache_entries) {}
 
-std::vector<QueryResult> IndexSnapshot::Search(const KeywordQuery& query,
-                                               size_t top_k) const {
-  if (query.empty()) return {};
+std::vector<const DilEntry*> IndexSnapshot::CollectLists(
+    const KeywordQuery& query) const {
   std::vector<const DilEntry*> lists;
   lists.reserve(query.size());
   for (const Keyword& kw : query.keywords) {
     lists.push_back(index_.GetEntry(kw));
   }
-  return processor_.Execute(lists, top_k);
+  return lists;
+}
+
+SearchResponse IndexSnapshot::Search(const KeywordQuery& query,
+                                     const SearchOptions& options) const {
+  Timer timer;
+  SearchResponse response;
+  if (query.empty() || !options.Validate().ok()) {
+    response.stats.wall_micros = timer.ElapsedMicros();
+    return response;
+  }
+
+  std::string cache_key;
+  const bool use_cache =
+      options.use_cache && result_cache_.capacity() > 0;
+  if (use_cache) {
+    cache_key = ResultCacheKey(query, options.top_k);
+    if (auto hit = result_cache_.Get(cache_key)) {
+      response.results = *hit;
+      response.stats.cache_hit = true;
+      response.stats.wall_micros = timer.ElapsedMicros();
+      return response;
+    }
+  }
+
+  std::vector<const DilEntry*> lists = CollectLists(query);
+  if (options.strategy == QueryExecution::kRdil) {
+    RankedQueryStats ranked_stats;
+    response.results =
+        ranked_processor_.Execute(lists, options.top_k, &ranked_stats);
+    response.stats.postings_scanned = ranked_stats.postings_consumed;
+    response.stats.shards = 1;
+  } else {
+    std::vector<std::span<const DilPosting>> spans;
+    spans.reserve(lists.size());
+    for (const DilEntry* list : lists) {
+      spans.push_back(list == nullptr
+                          ? std::span<const DilPosting>()
+                          : std::span<const DilPosting>(list->postings));
+    }
+    ExecuteStats exec_stats;
+    ThreadPool* pool =
+        options.parallelism == 1 ? nullptr : &ThreadPool::Shared();
+    size_t shards = options.parallelism == 0
+                        ? ThreadPool::Shared().num_threads()
+                        : options.parallelism;
+    response.results = processor_.ExecuteSharded(spans, options.top_k, shards,
+                                                 pool, &exec_stats);
+    response.stats.postings_scanned = exec_stats.postings_scanned;
+    response.stats.shards = exec_stats.shards;
+  }
+
+  if (use_cache) {
+    result_cache_.Put(
+        cache_key,
+        std::make_shared<const std::vector<QueryResult>>(response.results));
+  }
+  response.stats.wall_micros = timer.ElapsedMicros();
+  return response;
+}
+
+std::vector<QueryResult> IndexSnapshot::Search(const KeywordQuery& query,
+                                               size_t top_k) const {
+  SearchOptions options;
+  options.top_k = top_k;
+  options.strategy = QueryExecution::kDil;
+  options.parallelism = 1;
+  options.use_cache = false;  // the legacy contract: always compute
+  return Search(query, options).results;
 }
 
 std::vector<QueryResult> IndexSnapshot::SearchRanked(
     const KeywordQuery& query, size_t top_k, RankedQueryStats* stats) const {
-  if (query.empty()) return {};
-  std::vector<const DilEntry*> lists;
-  lists.reserve(query.size());
-  for (const Keyword& kw : query.keywords) {
-    lists.push_back(index_.GetEntry(kw));
-  }
-  return ranked_processor_.Execute(lists, top_k, stats);
+  if (stats != nullptr) *stats = RankedQueryStats{};
+  if (query.empty() || top_k == 0) return {};
+  return ranked_processor_.Execute(CollectLists(query), top_k, stats);
 }
 
 const XmlNode* IndexSnapshot::ResolveResult(const QueryResult& result) const {

@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "core/index_builder.h"
 #include "core/ontology_context.h"
 #include "core/query_processor.h"
 #include "core/ranked_query_processor.h"
+#include "core/search_api.h"
 #include "xml/corpus.h"
 #include "xml/xml_node.h"
 
@@ -58,14 +60,26 @@ class IndexSnapshot {
   const IndexBuildOptions& options() const { return index_.options(); }
   const IndexBuildStats& build_stats() const { return index_.stats(); }
 
-  /// Executes a parsed keyword query; returns the top-k results by
-  /// descending score (`top_k == 0` returns all).
+  /// The unified query entry point: executes `query` under `options` —
+  /// exhaustive (optionally sharded-parallel) or ranked, cached or not —
+  /// and returns results plus execution stats. Invalid options (the one
+  /// rule: rdil needs top_k >= 1) yield an empty response, never UB.
+  ///
+  /// The result cache is owned by this snapshot: entries are keyed by the
+  /// normalized query + top_k (execution strategy and shard count are
+  /// hints that provably do not change results) and can never outlive or
+  /// cross snapshots.
+  SearchResponse Search(const KeywordQuery& query,
+                        const SearchOptions& options) const;
+
+  /// DEPRECATED — thin wrapper over the unified Search (serial, uncached;
+  /// `top_k == 0` returns all). Prefer Search(query, SearchOptions).
   std::vector<QueryResult> Search(const KeywordQuery& query,
                                   size_t top_k) const;
 
-  /// Top-k evaluation through the ranked processor (XRANK's RDIL idea);
-  /// identical results, usually less work for selective queries. `top_k`
-  /// must be ≥ 1.
+  /// DEPRECATED — thin wrapper over ranked execution; kept for its
+  /// RankedQueryStats out-param. `top_k == 0` returns an empty vector (the
+  /// SearchOptions validity rule). Prefer Search(query, SearchOptions).
   std::vector<QueryResult> SearchRanked(const KeywordQuery& query,
                                         size_t top_k,
                                         RankedQueryStats* stats =
@@ -78,11 +92,22 @@ class IndexSnapshot {
   /// Serializes the result's XML fragment (e.g. Fig. 4), pretty-printed.
   std::string ResultFragmentXml(const QueryResult& result) const;
 
+  /// Cache observability (hits/misses/evictions of this snapshot's cache).
+  LruCache<std::string, std::vector<QueryResult>>::Stats cache_stats() const {
+    return result_cache_.stats();
+  }
+
  private:
+  /// Collects one inverted list per query keyword.
+  std::vector<const DilEntry*> CollectLists(const KeywordQuery& query) const;
+
   Corpus corpus_;
   CorpusIndex index_;  ///< refers to corpus_; declared after it
   QueryProcessor processor_;
   RankedQueryProcessor ranked_processor_;
+  /// Snapshot-scoped result cache (see Search). Mutable: caching is not
+  /// observable through results, and the cache synchronizes internally.
+  mutable LruCache<std::string, std::vector<QueryResult>> result_cache_;
 };
 
 }  // namespace xontorank

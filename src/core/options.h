@@ -104,6 +104,14 @@ struct IndexBuildOptions {
   /// per hardware core. Query-time entry caching remains single-threaded.
   size_t num_threads = 1;
 
+  /// Capacity (in entries) of the per-snapshot query-result cache consulted
+  /// by the unified Search API when SearchOptions::use_cache is set. Each
+  /// published snapshot owns a fresh cache, so immutability makes
+  /// invalidation free: a commit simply starts empty while pinned old
+  /// snapshots keep serving their own consistent entries. 0 disables
+  /// result caching entirely.
+  size_t query_cache_entries = 256;
+
   /// If true, OntoScore rows (stage 2 output) are memoized in the engine's
   /// OntologyContext and reused by every index snapshot the engine
   /// publishes. Rows depend only on the ontology and the score knobs, so

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace xontorank {
 
 namespace {
@@ -152,6 +154,58 @@ std::vector<QueryResult> QueryProcessor::Execute(
   Merger merger(lists, options_);
   merger.set_top_k(top_k);
   return merger.Run();
+}
+
+std::vector<QueryResult> QueryProcessor::ExecuteSharded(
+    const std::vector<std::span<const DilPosting>>& lists, size_t top_k,
+    size_t num_shards, ThreadPool* pool, ExecuteStats* stats) const {
+  if (stats != nullptr) *stats = ExecuteStats{};
+  if (lists.empty()) return {};
+  size_t total_postings = 0;
+  for (const auto& list : lists) {
+    if (list.empty()) return {};  // conjunctive: no results, nothing scanned
+    total_postings += list.size();
+  }
+  if (stats != nullptr) stats->postings_scanned = total_postings;
+
+  std::vector<DocRange> ranges;
+  if (num_shards > 1 && pool != nullptr) {
+    ranges = PartitionListsByDocument(lists, num_shards);
+  }
+  if (ranges.size() <= 1) {
+    return Execute(lists, top_k);
+  }
+  if (stats != nullptr) stats->shards = ranges.size();
+
+  // Each shard merges its document range into a shard-local top-k. Shards
+  // are independent by construction (the stack empties between documents),
+  // so any element of the global top-k is in its shard's local top-k.
+  std::vector<std::vector<QueryResult>> shard_results(ranges.size());
+  pool->ParallelFor(ranges.size(), [&](size_t s) {
+    std::vector<std::span<const DilPosting>> slices;
+    slices.reserve(lists.size());
+    for (const auto& list : lists) {
+      slices.push_back(SliceDocRange(list, ranges[s]));
+    }
+    shard_results[s] = Execute(slices, top_k);
+  });
+
+  // Final k-way merge: the same (score desc, Dewey) order the serial pass
+  // uses, so the output is bit-identical to it.
+  std::vector<QueryResult> merged;
+  size_t total_results = 0;
+  for (const auto& shard : shard_results) total_results += shard.size();
+  merged.reserve(total_results);
+  for (auto& shard : shard_results) {
+    for (QueryResult& r : shard) merged.push_back(std::move(r));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const QueryResult& a, const QueryResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.element < b.element;
+            });
+  if (top_k > 0 && merged.size() > top_k) merged.resize(top_k);
+  return merged;
 }
 
 }  // namespace xontorank

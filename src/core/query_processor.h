@@ -11,6 +11,8 @@
 
 namespace xontorank {
 
+class ThreadPool;
+
 /// One query result: the most specific element whose subtree is associated
 /// with every query keyword (Eq. 1), with its overall score (Eq. 4) and the
 /// per-keyword subtree scores it aggregates (Eq. 3).
@@ -18,6 +20,12 @@ struct QueryResult {
   DeweyId element;
   double score = 0.0;
   std::vector<double> keyword_scores;
+};
+
+/// Work counters of one (possibly sharded) exhaustive execution.
+struct ExecuteStats {
+  size_t postings_scanned = 0;  ///< postings fed into the merge
+  size_t shards = 1;            ///< shards the merge actually ran with
 };
 
 /// Evaluates keyword queries by a single sort-merge pass over XOnto Dewey
@@ -50,6 +58,18 @@ class QueryProcessor {
   std::vector<QueryResult> Execute(
       const std::vector<std::span<const DilPosting>>& lists,
       size_t top_k) const;
+
+  /// Parallel variant: partitions the postings into up to `num_shards`
+  /// document ranges (PartitionListsByDocument), merges each range
+  /// independently on `pool` into a shard-local top-k, and k-way merges
+  /// the shard results. Bit-identical to the serial Execute for every
+  /// shard count — the merge stack never spans a document boundary, so a
+  /// doc-granular partition changes nothing but the work distribution.
+  /// `num_shards <= 1` (or a null pool, or too little work to split) falls
+  /// back to the serial pass. `stats`, if non-null, receives work counters.
+  std::vector<QueryResult> ExecuteSharded(
+      const std::vector<std::span<const DilPosting>>& lists, size_t top_k,
+      size_t num_shards, ThreadPool* pool, ExecuteStats* stats = nullptr) const;
 
  private:
   ScoreOptions options_;

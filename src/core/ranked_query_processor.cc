@@ -23,7 +23,7 @@ std::vector<uint32_t> RankByScore(const DilEntry& entry) {
 
 /// The contiguous [begin, end) range of a document's postings within a
 /// Dewey-sorted list.
-std::pair<size_t, size_t> DocRange(const DilEntry& entry, uint32_t doc_id) {
+std::pair<size_t, size_t> DocPostingRange(const DilEntry& entry, uint32_t doc_id) {
   auto begin = std::lower_bound(
       entry.postings.begin(), entry.postings.end(), doc_id,
       [](const DilPosting& p, uint32_t doc) { return p.dewey.doc_id() < doc; });
@@ -73,7 +73,7 @@ std::vector<QueryResult> RankedQueryProcessor::Execute(
   auto process_document = [&](uint32_t doc_id) {
     std::vector<std::span<const DilPosting>> slices(lists.size());
     for (size_t w = 0; w < lists.size(); ++w) {
-      auto [begin, end] = DocRange(*lists[w], doc_id);
+      auto [begin, end] = DocPostingRange(*lists[w], doc_id);
       slices[w] = std::span<const DilPosting>(lists[w]->postings.data() + begin,
                                               end - begin);
     }

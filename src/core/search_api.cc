@@ -1,0 +1,24 @@
+#include "core/search_api.h"
+
+namespace xontorank {
+
+std::string_view QueryExecutionName(QueryExecution e) {
+  switch (e) {
+    case QueryExecution::kDil:
+      return "dil";
+    case QueryExecution::kRdil:
+      return "rdil";
+  }
+  return "?";
+}
+
+Status SearchOptions::Validate() const {
+  if (strategy == QueryExecution::kRdil && top_k == 0) {
+    return Status::InvalidArgument(
+        "top_k == 0 (all results) requires the exhaustive dil strategy; "
+        "ranked (rdil) evaluation needs a finite top_k >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace xontorank

@@ -1,0 +1,80 @@
+#ifndef XONTORANK_CORE_SEARCH_API_H_
+#define XONTORANK_CORE_SEARCH_API_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_processor.h"
+
+namespace xontorank {
+
+/// How a query is evaluated. Both strategies return *identical* results
+/// (same elements, same scores, same order) — the choice only moves work
+/// around, so it is an execution hint, not part of the query's meaning.
+enum class QueryExecution {
+  /// Exhaustive Dewey-ordered sort-merge over the XOnto-DILs (XRANK's DIL
+  /// algorithm). Supports `top_k == 0` ("all results") and sharded
+  /// parallel execution.
+  kDil,
+  /// Ranked lists with threshold-algorithm early termination (XRANK's
+  /// RDIL idea). Needs a finite `top_k >= 1`; usually less work for
+  /// selective queries. Always single-shard (the frontier is sequential).
+  kRdil,
+};
+
+/// Human-readable execution-strategy name ("dil" / "rdil").
+std::string_view QueryExecutionName(QueryExecution e);
+
+/// Per-call knobs of the unified Search entry point.
+///
+/// `top_k` has ONE meaning everywhere: 0 returns all results, k >= 1
+/// returns the k best. Because ranked (RDIL) evaluation is meaningless
+/// without a finite k, `{top_k = 0, strategy = kRdil}` is the single
+/// invalid combination; Validate names it and Search answers it with an
+/// empty response instead of asserting.
+struct SearchOptions {
+  /// 0 = all results; k >= 1 = the k best (score desc, ties by Dewey).
+  size_t top_k = 10;
+
+  /// Execution strategy (results are identical either way).
+  QueryExecution strategy = QueryExecution::kDil;
+
+  /// Shard count for the parallel DIL merge: 1 = serial, 0 = one shard per
+  /// hardware core. Ignored under kRdil. Sharding is exact — postings are
+  /// partitioned at document boundaries, which the merge stack never
+  /// crosses, so any shard count returns bit-identical results.
+  size_t parallelism = 1;
+
+  /// Consult (and fill) the snapshot's result cache. Cached entries live
+  /// and die with their snapshot, so a hit can never serve stale data.
+  bool use_cache = true;
+
+  /// The one validity rule above; every Search entry point applies it.
+  Status Validate() const;
+};
+
+/// What one Search call did (returned alongside the results).
+struct QueryStats {
+  /// Postings fed into the merge (kDil) or frontier advances (kRdil).
+  /// 0 when the result came from the cache or a keyword matched nothing.
+  size_t postings_scanned = 0;
+  /// Shards the merge actually ran with (after partitioning; a tiny corpus
+  /// may yield fewer than requested). 0 on a cache hit — nothing ran.
+  size_t shards = 0;
+  /// True when the results were served from the snapshot's result cache.
+  bool cache_hit = false;
+  /// End-to-end wall time of the call, microseconds.
+  double wall_micros = 0.0;
+};
+
+/// The unified Search result: the ranked results plus execution stats.
+struct SearchResponse {
+  std::vector<QueryResult> results;
+  QueryStats stats;
+};
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_SEARCH_API_H_

@@ -6,6 +6,16 @@ XOntoRank::XOntoRank(Corpus corpus, OntologySet systems,
                      IndexBuildOptions options)
     : writer_(std::move(corpus), std::move(systems), options) {}
 
+SearchResponse XOntoRank::Search(const KeywordQuery& query,
+                                 const SearchOptions& options) const {
+  return snapshot()->Search(query, options);
+}
+
+SearchResponse XOntoRank::Search(std::string_view query_text,
+                                 const SearchOptions& options) const {
+  return Search(ParseQuery(query_text), options);
+}
+
 std::vector<QueryResult> XOntoRank::Search(const KeywordQuery& query,
                                            size_t top_k) const {
   return snapshot()->Search(query, top_k);

@@ -10,6 +10,7 @@
 #include "core/index_snapshot.h"
 #include "core/index_writer.h"
 #include "core/query_processor.h"
+#include "core/search_api.h"
 #include "onto/ontology.h"
 #include "xml/corpus.h"
 #include "xml/xml_node.h"
@@ -63,18 +64,31 @@ class XOntoRank {
   XOntoRank(const XOntoRank&) = delete;
   XOntoRank& operator=(const XOntoRank&) = delete;
 
-  /// Executes a parsed keyword query; returns the top-k results by
-  /// descending score (`top_k == 0` returns all). Lock-free on the hot
-  /// path: one atomic snapshot load, then immutable state only.
+  /// The unified query entry point: executes `query` under `options`
+  /// (exhaustive or ranked, serial or sharded-parallel, cached or not)
+  /// against the current snapshot and returns results plus execution
+  /// stats. Lock-free on the hot path: one atomic snapshot load, then
+  /// immutable state only. Invalid options (rdil with top_k == 0) yield an
+  /// empty response. See SearchOptions for the knobs.
+  SearchResponse Search(const KeywordQuery& query,
+                        const SearchOptions& options) const;
+
+  /// Convenience: parses `query_text` (quoted phrases supported) first.
+  SearchResponse Search(std::string_view query_text,
+                        const SearchOptions& options) const;
+
+  /// DEPRECATED — thin wrapper over the unified Search (serial, uncached;
+  /// `top_k == 0` returns all). Prefer Search(query, SearchOptions).
   std::vector<QueryResult> Search(const KeywordQuery& query,
                                   size_t top_k) const;
 
-  /// Convenience: parses `query_text` (quoted phrases supported) first.
+  /// DEPRECATED — string + top_k wrapper; same semantics as above.
   std::vector<QueryResult> Search(std::string_view query_text,
                                   size_t top_k) const;
 
-  /// Top-k through the ranked processor (RDIL); identical results, usually
-  /// less work for selective queries. `top_k` must be ≥ 1.
+  /// DEPRECATED — ranked-execution wrapper kept for its RankedQueryStats
+  /// out-param; `top_k == 0` returns an empty vector. Prefer
+  /// Search(query, SearchOptions{.strategy = QueryExecution::kRdil}).
   std::vector<QueryResult> SearchRanked(const KeywordQuery& query,
                                         size_t top_k,
                                         RankedQueryStats* stats =

@@ -1,0 +1,90 @@
+#include "common/lru_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+using Cache = LruCache<std::string, int>;
+
+std::shared_ptr<const int> V(int v) { return std::make_shared<const int>(v); }
+
+TEST(LruCacheTest, MissThenHit) {
+  Cache cache(2);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", V(1));
+  auto hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  Cache cache(2);
+  cache.Put("a", V(1));
+  cache.Put("b", V(2));
+  ASSERT_NE(cache.Get("a"), nullptr);  // promote a; b is now LRU
+  cache.Put("c", V(3));                // evicts b
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  Cache cache(2);
+  cache.Put("a", V(1));
+  cache.Put("b", V(2));
+  cache.Put("a", V(10));  // refresh value and recency; b becomes LRU
+  cache.Put("c", V(3));
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  auto a = cache.Get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, 10);
+}
+
+TEST(LruCacheTest, EvictedValueSurvivesThroughSharedPtr) {
+  Cache cache(1);
+  cache.Put("a", V(1));
+  auto held = cache.Get("a");
+  cache.Put("b", V(2));  // evicts a
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, 1);  // the reader's reference is unaffected
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  Cache cache(0);
+  cache.Put("a", V(1));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // disabled ≠ missing
+}
+
+TEST(LruCacheTest, ConcurrentGetPutIsSafe) {
+  Cache cache(16);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, t]() {
+      for (int i = 0; i < 2000; ++i) {
+        std::string key = std::to_string((t * 7 + i) % 32);
+        if (i % 3 == 0) {
+          cache.Put(key, V(i));
+        } else if (auto hit = cache.Get(key)) {
+          EXPECT_GE(*hit, 0);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace xontorank

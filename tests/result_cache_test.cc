@@ -1,0 +1,131 @@
+// The snapshot-scoped result cache: hits stay within one snapshot's
+// lifetime and never leak across a Commit, because each published snapshot
+// owns a fresh cache (invalidation is free by construction).
+
+#include <memory>
+#include <string>
+
+#include "core/index_snapshot.h"
+#include "core/search_api.h"
+#include "core/xontorank.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+using testing_util::MustParse;
+using testing_util::TinyCdaXml;
+
+/// A second document matching the same keywords as TinyCdaXml, so a commit
+/// visibly changes the result set of a cached query.
+std::string SecondCdaXml() {
+  return R"(<?xml version="1.0"?>
+<ClinicalDocument>
+  <section>
+    <title>Medications</title>
+    <entry>
+      <SubstanceAdministration>
+        <text>Theophylline taper</text>
+        <code code="8" codeSystem="test.sys" displayName="Drug"/>
+      </SubstanceAdministration>
+    </entry>
+  </section>
+</ClinicalDocument>)";
+}
+
+class ResultCacheFixture : public ::testing::Test {
+ protected:
+  ResultCacheFixture() : onto_(BuildTinyOntology()) {
+    std::vector<XmlDocument> corpus;
+    corpus.push_back(MustParse(TinyCdaXml(), 0));
+    IndexBuildOptions options;
+    options.strategy = Strategy::kRelationships;
+    engine_ = std::make_unique<XOntoRank>(std::move(corpus), onto_, options);
+  }
+
+  Ontology onto_;
+  std::unique_ptr<XOntoRank> engine_;
+};
+
+TEST_F(ResultCacheFixture, HitOnRepeatWithinOneSnapshot) {
+  KeywordQuery query = ParseQuery("theophylline");
+  SearchOptions options;
+  EXPECT_FALSE(engine_->Search(query, options).stats.cache_hit);
+  EXPECT_TRUE(engine_->Search(query, options).stats.cache_hit);
+  auto snap = engine_->snapshot();
+  EXPECT_EQ(snap->cache_stats().hits, 1u);
+  EXPECT_EQ(snap->cache_stats().misses, 1u);
+}
+
+TEST_F(ResultCacheFixture, CommitNeverServesStaleCachedResults) {
+  KeywordQuery query = ParseQuery("theophylline");
+  SearchOptions options;
+  SearchResponse before = engine_->Search(query, options);
+  EXPECT_FALSE(before.stats.cache_hit);
+  EXPECT_TRUE(engine_->Search(query, options).stats.cache_hit);  // warm
+
+  engine_->AddDocument(MustParse(SecondCdaXml(), 0));
+
+  // The commit published a new snapshot with an empty cache: the same
+  // query must recompute and must see the new document.
+  SearchResponse after = engine_->Search(query, options);
+  EXPECT_FALSE(after.stats.cache_hit);
+  EXPECT_GT(after.results.size(), before.results.size());
+  bool hits_new_doc = false;
+  for (const QueryResult& r : after.results) {
+    hits_new_doc |= (r.element.doc_id() == 1u);
+  }
+  EXPECT_TRUE(hits_new_doc);
+}
+
+TEST_F(ResultCacheFixture, PinnedOldSnapshotKeepsServingItsOwnCache) {
+  KeywordQuery query = ParseQuery("theophylline");
+  SearchOptions options;
+  std::shared_ptr<const IndexSnapshot> old_snap = engine_->snapshot();
+  SearchResponse old_first = old_snap->Search(query, options);
+  EXPECT_FALSE(old_first.stats.cache_hit);
+
+  engine_->AddDocument(MustParse(SecondCdaXml(), 0));
+
+  // A reader still holding the pre-commit snapshot keeps its cache: same
+  // results, now served as a hit, unaffected by the concurrent commit.
+  SearchResponse old_second = old_snap->Search(query, options);
+  EXPECT_TRUE(old_second.stats.cache_hit);
+  ASSERT_EQ(old_second.results.size(), old_first.results.size());
+  for (size_t i = 0; i < old_first.results.size(); ++i) {
+    EXPECT_EQ(old_second.results[i].element, old_first.results[i].element);
+    EXPECT_EQ(old_second.results[i].score, old_first.results[i].score);
+  }
+  // And the new snapshot's cache is independent of the old one's.
+  EXPECT_FALSE(engine_->snapshot()->Search(query, options).stats.cache_hit);
+}
+
+TEST_F(ResultCacheFixture, StagedDocumentsInvalidateOnlyAtCommit) {
+  KeywordQuery query = ParseQuery("theophylline");
+  SearchOptions options;
+  engine_->Search(query, options);  // warm
+  engine_->StageDocument(MustParse(SecondCdaXml(), 0));
+  // Staged but uncommitted: still the old snapshot, still a cache hit.
+  EXPECT_TRUE(engine_->Search(query, options).stats.cache_hit);
+  engine_->Commit();
+  EXPECT_FALSE(engine_->Search(query, options).stats.cache_hit);
+}
+
+TEST(ResultCacheDisabledTest, ZeroCapacityNeverCaches) {
+  Ontology onto = BuildTinyOntology();
+  std::vector<XmlDocument> corpus;
+  corpus.push_back(MustParse(TinyCdaXml(), 0));
+  IndexBuildOptions options;
+  options.strategy = Strategy::kRelationships;
+  options.query_cache_entries = 0;
+  XOntoRank engine(std::move(corpus), onto, options);
+  KeywordQuery query = ParseQuery("theophylline");
+  engine.Search(query, SearchOptions{});
+  EXPECT_FALSE(engine.Search(query, SearchOptions{}).stats.cache_hit);
+  EXPECT_EQ(engine.snapshot()->cache_stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,194 @@
+// The unified Search(query, SearchOptions) entry point: option validation,
+// stats reporting, equivalence of execution strategies, and the legacy
+// wrapper contracts.
+
+#include "core/search_api.h"
+
+#include "cda/cda_generator.h"
+#include "core/xontorank.h"
+#include "gtest/gtest.h"
+#include "onto/snomed_fragment.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+using testing_util::BuildTinyOntology;
+using testing_util::MustParse;
+using testing_util::TinyCdaXml;
+
+void ExpectSameResults(const std::vector<QueryResult>& a,
+                       const std::vector<QueryResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].element, b[i].element) << i;
+    EXPECT_EQ(a[i].score, b[i].score) << i;  // bit-identical, not approximate
+    EXPECT_EQ(a[i].keyword_scores, b[i].keyword_scores) << i;
+  }
+}
+
+TEST(SearchOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(SearchOptions{}.Validate().ok());
+}
+
+TEST(SearchOptionsTest, AllResultsIsValidForDilOnly) {
+  SearchOptions all;
+  all.top_k = 0;
+  all.strategy = QueryExecution::kDil;
+  EXPECT_TRUE(all.Validate().ok());
+
+  all.strategy = QueryExecution::kRdil;
+  EXPECT_FALSE(all.Validate().ok());
+}
+
+TEST(SearchOptionsTest, ExecutionNames) {
+  EXPECT_EQ(QueryExecutionName(QueryExecution::kDil), "dil");
+  EXPECT_EQ(QueryExecutionName(QueryExecution::kRdil), "rdil");
+}
+
+class SearchApiFixture : public ::testing::Test {
+ protected:
+  SearchApiFixture() : onto_(BuildTinyOntology()) {
+    std::vector<XmlDocument> corpus;
+    corpus.push_back(MustParse(TinyCdaXml(), 0));
+    IndexBuildOptions options;
+    options.strategy = Strategy::kRelationships;
+    engine_ = std::make_unique<XOntoRank>(std::move(corpus), onto_, options);
+  }
+
+  Ontology onto_;
+  std::unique_ptr<XOntoRank> engine_;
+};
+
+TEST_F(SearchApiFixture, InvalidOptionsReturnEmptyResponseNotUb) {
+  SearchOptions invalid;
+  invalid.top_k = 0;
+  invalid.strategy = QueryExecution::kRdil;
+  SearchResponse response = engine_->Search("theophylline", invalid);
+  EXPECT_TRUE(response.results.empty());
+  EXPECT_FALSE(response.stats.cache_hit);
+  EXPECT_EQ(response.stats.shards, 0u);
+}
+
+TEST_F(SearchApiFixture, LegacyRankedWrapperRejectsZeroTopK) {
+  // Previously asserted; now the one documented meaning applies and the
+  // call answers with an empty vector.
+  RankedQueryStats stats;
+  stats.documents_processed = 99;  // must be reset
+  auto results = engine_->SearchRanked(ParseQuery("theophylline"), 0, &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(stats.documents_processed, 0u);
+}
+
+TEST_F(SearchApiFixture, UnifiedDilMatchesLegacyWrapper) {
+  KeywordQuery query = ParseQuery("bronchus theophylline");
+  SearchOptions options;
+  options.top_k = 10;
+  SearchResponse response = engine_->Search(query, options);
+  EXPECT_FALSE(response.results.empty());
+  ExpectSameResults(response.results, engine_->Search(query, size_t{10}));
+}
+
+TEST_F(SearchApiFixture, RdilReturnsIdenticalResultsToDil) {
+  KeywordQuery query = ParseQuery("bronchus theophylline");
+  SearchOptions dil;
+  dil.top_k = 5;
+  SearchOptions rdil = dil;
+  rdil.strategy = QueryExecution::kRdil;
+  ExpectSameResults(engine_->Search(query, dil).results,
+                    engine_->Search(query, rdil).results);
+}
+
+TEST_F(SearchApiFixture, TopKZeroMeansAllResults) {
+  KeywordQuery query = ParseQuery("theophylline");
+  SearchOptions all;
+  all.top_k = 0;
+  SearchOptions plenty;
+  plenty.top_k = 1000;
+  ExpectSameResults(engine_->Search(query, all).results,
+                    engine_->Search(query, plenty).results);
+}
+
+TEST_F(SearchApiFixture, StatsReportExecutionWork) {
+  SearchOptions options;
+  options.top_k = 10;
+  options.use_cache = false;
+  SearchResponse response = engine_->Search("theophylline", options);
+  EXPECT_FALSE(response.results.empty());
+  EXPECT_GT(response.stats.postings_scanned, 0u);
+  EXPECT_EQ(response.stats.shards, 1u);
+  EXPECT_FALSE(response.stats.cache_hit);
+  EXPECT_GE(response.stats.wall_micros, 0.0);
+}
+
+TEST_F(SearchApiFixture, CacheHitOnRepeatAndStatsSaySo) {
+  KeywordQuery query = ParseQuery("bronchus theophylline");
+  SearchOptions options;
+  options.top_k = 10;
+  SearchResponse first = engine_->Search(query, options);
+  EXPECT_FALSE(first.stats.cache_hit);
+  SearchResponse second = engine_->Search(query, options);
+  EXPECT_TRUE(second.stats.cache_hit);
+  EXPECT_EQ(second.stats.shards, 0u);  // nothing executed
+  EXPECT_EQ(second.stats.postings_scanned, 0u);
+  ExpectSameResults(first.results, second.results);
+}
+
+TEST_F(SearchApiFixture, UseCacheFalseAlwaysExecutes) {
+  KeywordQuery query = ParseQuery("theophylline");
+  SearchOptions options;
+  options.top_k = 10;
+  options.use_cache = false;
+  engine_->Search(query, options);
+  SearchResponse repeat = engine_->Search(query, options);
+  EXPECT_FALSE(repeat.stats.cache_hit);
+  EXPECT_GT(repeat.stats.postings_scanned, 0u);
+}
+
+TEST_F(SearchApiFixture, CacheKeyDistinguishesTopK) {
+  KeywordQuery query = ParseQuery("theophylline");
+  SearchOptions top1;
+  top1.top_k = 1;
+  SearchOptions top2;
+  top2.top_k = 2;
+  auto first = engine_->Search(query, top1);
+  auto second = engine_->Search(query, top2);
+  EXPECT_FALSE(second.stats.cache_hit);  // different k, different entry
+  EXPECT_LE(first.results.size(), second.results.size());
+}
+
+TEST_F(SearchApiFixture, EmptyQueryYieldsEmptyResponse) {
+  SearchResponse response = engine_->Search(KeywordQuery{}, SearchOptions{});
+  EXPECT_TRUE(response.results.empty());
+  EXPECT_FALSE(response.stats.cache_hit);
+}
+
+TEST_F(SearchApiFixture, ParallelismIsAnExecutionHintOnly) {
+  KeywordQuery query = ParseQuery("bronchus theophylline");
+  SearchOptions serial;
+  serial.top_k = 0;
+  serial.use_cache = false;
+  SearchOptions sharded = serial;
+  sharded.parallelism = 4;
+  SearchOptions automatic = serial;
+  automatic.parallelism = 0;  // one shard per hardware core
+  auto expected = engine_->Search(query, serial).results;
+  ExpectSameResults(expected, engine_->Search(query, sharded).results);
+  ExpectSameResults(expected, engine_->Search(query, automatic).results);
+}
+
+TEST(SearchApiCacheDisabledTest, ZeroCapacityNeverHits) {
+  Ontology onto = BuildTinyOntology();
+  std::vector<XmlDocument> corpus;
+  corpus.push_back(MustParse(TinyCdaXml(), 0));
+  IndexBuildOptions options;
+  options.strategy = Strategy::kRelationships;
+  options.query_cache_entries = 0;
+  XOntoRank engine(std::move(corpus), onto, options);
+  KeywordQuery query = ParseQuery("theophylline");
+  engine.Search(query, SearchOptions{});
+  EXPECT_FALSE(engine.Search(query, SearchOptions{}).stats.cache_hit);
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xontorank {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIterationRunInline) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body must not run for n=0"; });
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(1, [caller](size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, MoreIterationsThanWorkersCompletes) {
+  ThreadPool pool(1);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(64, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotInterfere) {
+  ThreadPool pool(3);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kN = 200;
+  std::vector<std::atomic<size_t>> counts(kCallers);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &counts, c]() {
+      pool.ParallelFor(kN, [&counts, c](size_t) { ++counts[c]; });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) EXPECT_EQ(counts[c].load(), kN);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  a.ParallelFor(8, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+}  // namespace
+}  // namespace xontorank
