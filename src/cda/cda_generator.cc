@@ -64,6 +64,9 @@ std::vector<ConceptId> WithoutRoot(std::vector<ConceptId> ids) {
   return ids;
 }
 
+/// Shorthand cast for StringPrintf's %llu arguments.
+unsigned long long Llu(uint64_t v) { return v; }
+
 size_t PoissonLike(Rng& rng, size_t mean) {
   // Mean +- ~sqrt(mean) without the full Knuth loop: sum of two uniforms.
   if (mean == 0) return 0;
@@ -130,7 +133,8 @@ ConceptId CdaGenerator::PickDrugFor(ConceptId disorder, Rng& rng) const {
     ConceptId cursor = disorder;
     for (int hops = 0; hops < 4; ++hops) {
       std::vector<ConceptId> treaters;
-      for (const ConceptRelationship& rel : ontology_->InRelationships(cursor)) {
+      for (const ConceptRelationship& rel :
+           ontology_->InRelationships(cursor)) {
         if (rel.type == may_treat_) treaters.push_back(rel.source);
       }
       if (!treaters.empty()) return rng.Choose(treaters);
@@ -144,7 +148,8 @@ ConceptId CdaGenerator::PickDrugFor(ConceptId disorder, Rng& rng) const {
 
 ConceptId CdaGenerator::PickProcedureFor(ConceptId disorder, Rng& rng) const {
   if (has_may_treat_) {
-    for (const ConceptRelationship& rel : ontology_->InRelationships(disorder)) {
+    for (const ConceptRelationship& rel :
+         ontology_->InRelationships(disorder)) {
       if (rel.type != may_treat_) continue;
       // Procedures also carry may_treat edges; prefer one if present.
       if (std::find(procedures_.begin(), procedures_.end(), rel.source) !=
@@ -167,26 +172,30 @@ CdaDocument CdaGenerator::GenerateDocument(uint32_t index) const {
   CdaDocument doc;
   doc.id_extension = StringPrintf("c%05u", index);
 
-  doc.author.id_extension = StringPrintf("kp%05u", static_cast<uint32_t>(rng.NextBelow(40)));
+  doc.author.id_extension =
+      StringPrintf("kp%05u", static_cast<uint32_t>(rng.NextBelow(40)));
   doc.author.given_name = kGivenNames[rng.NextBelow(std::size(kGivenNames))];
   doc.author.family_name = kFamilyNames[rng.NextBelow(std::size(kFamilyNames))];
   doc.author.suffix = "MD";
   doc.author.time = StringPrintf("200%llu%02llu%02llu",
-                                 (unsigned long long)rng.NextBelow(9),
-                                 (unsigned long long)(1 + rng.NextBelow(12)),
-                                 (unsigned long long)(1 + rng.NextBelow(28)));
+                                 Llu(rng.NextBelow(9)),
+                                 Llu(1 + rng.NextBelow(12)),
+                                 Llu(1 + rng.NextBelow(28)));
 
   doc.patient.id_extension = StringPrintf("%05u", 10000 + index);
   doc.patient.given_name = kGivenNames[rng.NextBelow(std::size(kGivenNames))];
-  doc.patient.family_name = kFamilyNames[rng.NextBelow(std::size(kFamilyNames))];
+  doc.patient.family_name =
+      kFamilyNames[rng.NextBelow(std::size(kFamilyNames))];
   doc.patient.gender_code = rng.NextBool(0.5) ? "M" : "F";
   doc.patient.birth_time = StringPrintf("19%02llu%02llu%02llu",
-                                        (unsigned long long)(85 + rng.NextBelow(15)),
-                                        (unsigned long long)(1 + rng.NextBelow(12)),
-                                        (unsigned long long)(1 + rng.NextBelow(28)));
-  doc.patient.provider_org_id = StringPrintf("M%03u", static_cast<uint32_t>(rng.NextBelow(20)));
+                                        Llu(85 + rng.NextBelow(15)),
+                                        Llu(1 + rng.NextBelow(12)),
+                                        Llu(1 + rng.NextBelow(28)));
+  doc.patient.provider_org_id =
+      StringPrintf("M%03u", static_cast<uint32_t>(rng.NextBelow(20)));
 
-  size_t num_encounters = std::max<size_t>(1, PoissonLike(rng, options_.mean_encounters));
+  size_t num_encounters =
+      std::max<size_t>(1, PoissonLike(rng, options_.mean_encounters));
   for (size_t e = 0; e < num_encounters; ++e) {
     CdaSection encounter;
     encounter.code = CdaCodedValue{"34133-9", kLoincSystemId, "LOINC",
@@ -199,7 +208,8 @@ CdaDocument CdaGenerator::GenerateDocument(uint32_t index) const {
                                   "Problem list"};
     problems.title = "Problems";
     std::vector<ConceptId> encounter_disorders;
-    size_t num_problems = std::max<size_t>(1, PoissonLike(rng, options_.mean_problems));
+    size_t num_problems =
+        std::max<size_t>(1, PoissonLike(rng, options_.mean_problems));
     std::string narrative;
     for (size_t p = 0; p < num_problems; ++p) {
       ConceptId disorder = PickDisorder(rng);
@@ -227,9 +237,11 @@ CdaDocument CdaGenerator::GenerateDocument(uint32_t index) const {
     medications.code = CdaCodedValue{"10160-0", kLoincSystemId, "LOINC",
                                      "History of medication use"};
     medications.title = "Medications";
-    size_t num_meds = std::max<size_t>(1, PoissonLike(rng, options_.mean_medications));
+    size_t num_meds =
+        std::max<size_t>(1, PoissonLike(rng, options_.mean_medications));
     for (size_t m = 0; m < num_meds; ++m) {
-      ConceptId disorder = encounter_disorders[rng.NextBelow(encounter_disorders.size())];
+      ConceptId disorder =
+          encounter_disorders[rng.NextBelow(encounter_disorders.size())];
       ConceptId drug = PickDrugFor(disorder, rng);
       CdaEntry entry;
       entry.kind = CdaEntry::Kind::kSubstanceAdministration;
@@ -239,8 +251,8 @@ CdaDocument CdaGenerator::GenerateDocument(uint32_t index) const {
           ontology_->GetConcept(drug).preferred_term;
       entry.substance_administration.instructions = StringPrintf(
           " %llu mg every %llu hours. %s",
-          (unsigned long long)(5 * (1 + rng.NextBelow(20))),
-          (unsigned long long)(4 * (1 + rng.NextBelow(5))),
+          Llu(5 * (1 + rng.NextBelow(20))),
+          Llu(4 * (1 + rng.NextBelow(5))),
           rng.NextBool(0.3) ? "Hold if systolic pressure is below 90."
                             : "Continue until follow-up.");
       entry.substance_administration.drug_code = CodedValueFor(drug);
@@ -254,7 +266,8 @@ CdaDocument CdaGenerator::GenerateDocument(uint32_t index) const {
     procedures.title = "Procedures";
     size_t num_procs = PoissonLike(rng, options_.mean_procedures);
     for (size_t p = 0; p < num_procs; ++p) {
-      ConceptId disorder = encounter_disorders[rng.NextBelow(encounter_disorders.size())];
+      ConceptId disorder =
+          encounter_disorders[rng.NextBelow(encounter_disorders.size())];
       ConceptId procedure = PickProcedureFor(disorder, rng);
       CdaEntry entry;
       entry.kind = CdaEntry::Kind::kObservation;
@@ -271,12 +284,12 @@ CdaDocument CdaGenerator::GenerateDocument(uint32_t index) const {
     vitals.vitals = {
         {"Temperature", StringPrintf("%.1f C", 36.0 + rng.NextDouble() * 3.0)},
         {"Pulse", StringPrintf("%llu / minute",
-                               (unsigned long long)(60 + rng.NextBelow(90)))},
+                               Llu(60 + rng.NextBelow(90)))},
         {"Respiratory rate",
-         StringPrintf("%llu / minute", (unsigned long long)(12 + rng.NextBelow(28)))},
+         StringPrintf("%llu / minute", Llu(12 + rng.NextBelow(28)))},
         {"Blood pressure",
-         StringPrintf("%llu/%llu mmHg", (unsigned long long)(85 + rng.NextBelow(50)),
-                      (unsigned long long)(45 + rng.NextBelow(40)))},
+         StringPrintf("%llu/%llu mmHg", Llu(85 + rng.NextBelow(50)),
+                      Llu(45 + rng.NextBelow(40)))},
     };
     CdaEntry height;
     height.kind = CdaEntry::Kind::kObservation;

@@ -1,16 +1,33 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+
+#include "common/sync.h"
 
 namespace xontorank {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;  // tools opt into chattier levels
+
+/// Relaxed is enough: the threshold is a filter, not a synchronization
+/// point — a racing SetLogLevel may drop or pass one in-flight message
+/// either way, which is inherent to changing the level while logging.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};  // tools opt in to more
+
+/// Serializes sink writes so concurrent messages emit whole lines.
+/// Leaked (never destroyed): logging may run during static destruction.
+Mutex& SinkMutex() {
+  static Mutex* mutex = new Mutex();
+  return *mutex;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 const char* LogLevelName(LogLevel level) {
   switch (level) {
@@ -36,6 +53,7 @@ LogMessage::~LogMessage() {
   line += "] ";
   line += stream_.str();
   line += "\n";
+  MutexLock lock(SinkMutex());
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

@@ -12,8 +12,11 @@ namespace xontorank {
 /// Usage: `XONTO_LOG(kInfo) << "indexed " << n << " documents";`
 /// Messages below the global threshold are discarded without formatting
 /// cost beyond stream construction. Output goes to stderr as
-/// `[LEVEL] message\n`. Not thread-safe beyond the atomicity of one
-/// fwrite per message.
+/// `[LEVEL] message\n`.
+///
+/// Thread-safety: fully thread-safe. The level is an atomic (Get/Set may
+/// race with logging threads), and the sink serializes whole lines under
+/// an internal mutex so concurrent messages never interleave.
 enum class LogLevel {
   kDebug = 0,
   kInfo = 1,

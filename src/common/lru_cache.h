@@ -4,9 +4,10 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace xontorank {
 
@@ -19,8 +20,9 @@ namespace xontorank {
 /// not counted), Put is a no-op.
 ///
 /// Thread-safety: every method may be called from any number of threads;
-/// one internal mutex guards the map, the recency list and the counters.
-/// The critical section is O(1) — value construction happens outside.
+/// one internal mutex guards the map, the recency list and the counters
+/// (compile-time enforced via the sync.h annotations). The critical
+/// section is O(1) — value construction happens outside.
 template <typename Key, typename Value>
 class LruCache {
  public:
@@ -37,9 +39,9 @@ class LruCache {
 
   /// The cached value for `key` (promoted to most-recently-used), or
   /// nullptr on a miss.
-  std::shared_ptr<const Value> Get(const Key& key) {
+  std::shared_ptr<const Value> Get(const Key& key) XO_EXCLUDES(mutex_) {
     if (capacity_ == 0) return nullptr;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++stats_.misses;
@@ -52,9 +54,10 @@ class LruCache {
 
   /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
   /// when full. A null value is ignored.
-  void Put(const Key& key, std::shared_ptr<const Value> value) {
+  void Put(const Key& key, std::shared_ptr<const Value> value)
+      XO_EXCLUDES(mutex_) {
     if (capacity_ == 0 || value == nullptr) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       it->second->second = std::move(value);
@@ -70,28 +73,28 @@ class LruCache {
     }
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const XO_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return map_.size();
   }
   size_t capacity() const { return capacity_; }
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats() const XO_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
-  const size_t capacity_;
-  mutable std::mutex mutex_;
   /// Most-recently-used at the front; each element pairs the key with its
   /// value so eviction can erase the map entry.
-  std::list<std::pair<Key, std::shared_ptr<const Value>>> order_;
-  std::unordered_map<Key,
-                     typename std::list<
-                         std::pair<Key, std::shared_ptr<const Value>>>::iterator>
-      map_;
-  Stats stats_;
+  using OrderList = std::list<std::pair<Key, std::shared_ptr<const Value>>>;
+
+  const size_t capacity_;
+  mutable Mutex mutex_;
+  OrderList order_ XO_GUARDED_BY(mutex_);
+  std::unordered_map<Key, typename OrderList::iterator> map_
+      XO_GUARDED_BY(mutex_);
+  Stats stats_ XO_GUARDED_BY(mutex_);
 };
 
 }  // namespace xontorank

@@ -10,14 +10,14 @@ namespace xontorank {
 /// touched by a worker after the caller observes remaining == 0.
 struct ThreadPool::Batch {
   const std::function<void(size_t)>* body = nullptr;
-  std::mutex mutex;
-  std::condition_variable done;
-  size_t remaining = 0;
+  Mutex mutex;
+  CondVar done;
+  size_t remaining XO_GUARDED_BY(mutex) = 0;
 
   /// Marks one iteration finished, waking the join if it was the last.
-  void FinishOne() {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (--remaining == 0) done.notify_all();
+  void FinishOne() XO_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    if (--remaining == 0) done.NotifyAll();
   }
 };
 
@@ -33,26 +33,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (true) {
-    work_available_.wait(
-        lock, [this]() { return shutting_down_ || !queue_.empty(); });
-    if (shutting_down_) return;
+    while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
+    if (shutting_down_) break;
     Task task = queue_.front();
     queue_.pop_front();
-    lock.unlock();
+    mutex_.Unlock();
     (*task.batch->body)(task.index);
     task.batch->FinishOne();
-    lock.lock();
+    mutex_.Lock();
   }
+  mutex_.Unlock();
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -64,12 +64,15 @@ void ThreadPool::ParallelFor(size_t n,
   }
   Batch batch;
   batch.body = &body;
-  batch.remaining = n;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(batch.mutex);
+    batch.remaining = n;
+  }
+  {
+    MutexLock lock(mutex_);
     for (size_t i = 1; i < n; ++i) queue_.push_back(Task{&batch, i});
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
 
   // The caller participates: iteration 0 inline, then any of its own
   // iterations still queued (so the batch completes even if every worker is
@@ -77,18 +80,22 @@ void ThreadPool::ParallelFor(size_t n,
   body(0);
   batch.FinishOne();
   while (true) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto it = std::find_if(queue_.begin(), queue_.end(),
-                           [&batch](const Task& t) { return t.batch == &batch; });
-    if (it == queue_.end()) break;
+    mutex_.Lock();
+    auto it =
+        std::find_if(queue_.begin(), queue_.end(),
+                     [&batch](const Task& t) { return t.batch == &batch; });
+    if (it == queue_.end()) {
+      mutex_.Unlock();
+      break;
+    }
     Task task = *it;
     queue_.erase(it);
-    lock.unlock();
+    mutex_.Unlock();
     (*task.batch->body)(task.index);
     task.batch->FinishOne();
   }
-  std::unique_lock<std::mutex> lock(batch.mutex);
-  batch.done.wait(lock, [&batch]() { return batch.remaining == 0; });
+  MutexLock lock(batch.mutex);
+  while (batch.remaining != 0) batch.done.Wait(batch.mutex);
 }
 
 ThreadPool& ThreadPool::Shared() {

@@ -1,13 +1,13 @@
 #ifndef XONTORANK_COMMON_THREAD_POOL_H_
 #define XONTORANK_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace xontorank {
 
@@ -23,7 +23,10 @@ namespace xontorank {
 /// Thread-safety: every method may be called from any thread. Concurrent
 /// ParallelFor calls (e.g. many user threads each running a sharded query)
 /// interleave their tasks on the shared workers; each call returns when its
-/// own batch is done.
+/// own batch is done. The queue and the stop flag are guarded by `mutex_`
+/// (enforced at compile time via the sync.h annotations); the per-call join
+/// state lives in a Batch with its own lock, always acquired after the pool
+/// lock is released — see DESIGN.md §9 for the lock order.
 ///
 /// Caveat: ParallelFor must not be called from inside a pool task of the
 /// same pool (the worker would block on its own queue). The query path only
@@ -44,7 +47,8 @@ class ThreadPool {
   /// (it runs iteration 0 and then helps drain the batch), so progress is
   /// guaranteed even under a saturated pool. With n <= 1 the body runs
   /// inline with no synchronization at all.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body)
+      XO_EXCLUDES(mutex_);
 
   /// A process-wide pool sized to the hardware, created on first use and
   /// intentionally leaked (serving threads may outlive static destruction
@@ -61,12 +65,12 @@ class ThreadPool {
     size_t index;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() XO_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<Task> queue_;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  std::deque<Task> queue_ XO_GUARDED_BY(mutex_);
+  bool shutting_down_ XO_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

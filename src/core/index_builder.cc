@@ -205,14 +205,14 @@ const DilEntry* CorpusIndex::GetEntry(const Keyword& keyword) const {
   // Precomputed entries are immutable after construction: lock-free.
   if (const DilEntry* entry = base_.Find(canonical)) return entry;
   {
-    std::lock_guard<std::mutex> lock(demand_mutex_);
+    MutexLock lock(demand_mutex_);
     if (const DilEntry* entry = demand_.Find(canonical)) return entry;
   }
   // Build outside the lock (the expensive part is read-only); a racing
   // thread may build the same entry, in which case the first Put wins and
   // the duplicate work is discarded.
   std::vector<DilPosting> postings = BuildPostingsCached(keyword);
-  std::lock_guard<std::mutex> lock(demand_mutex_);
+  MutexLock lock(demand_mutex_);
   if (const DilEntry* entry = demand_.Find(canonical)) return entry;
   demand_.Put(canonical, std::move(postings));
   return demand_.Find(canonical);
@@ -258,7 +258,7 @@ std::vector<std::string> CorpusIndex::PrecomputedVocabulary() const {
 size_t CorpusIndex::TotalPostings() const {
   size_t demand_postings;
   {
-    std::lock_guard<std::mutex> lock(demand_mutex_);
+    MutexLock lock(demand_mutex_);
     demand_postings = demand_.TotalPostings();
   }
   return base_.TotalPostings() + demand_postings;
@@ -266,7 +266,7 @@ size_t CorpusIndex::TotalPostings() const {
 
 XOntoDil CorpusIndex::MaterializedCopy() const {
   XOntoDil merged = base_;
-  std::lock_guard<std::mutex> lock(demand_mutex_);
+  MutexLock lock(demand_mutex_);
   for (const auto& [kw, entry] : demand_.entries()) {
     merged.Put(kw, entry.postings);
   }

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/elem_rank.h"
 #include "core/onto_score.h"
 #include "core/ontology_context.h"
@@ -101,7 +101,8 @@ class CorpusIndex {
   /// of the index; nullptr is never returned (an unmatched keyword yields
   /// an empty list). Precomputed entries are served lock-free; only the
   /// on-demand cache takes a mutex.
-  const DilEntry* GetEntry(const Keyword& keyword) const;
+  const DilEntry* GetEntry(const Keyword& keyword) const
+      XO_EXCLUDES(demand_mutex_);
 
   /// Builds the inverted list for `keyword` without touching the entry or
   /// row caches (used by the Table III bench to time entry creation from
@@ -133,11 +134,11 @@ class CorpusIndex {
                                  const Keyword& keyword) const;
 
   /// Total postings currently materialized (precomputed + cached).
-  size_t TotalPostings() const;
+  size_t TotalPostings() const XO_EXCLUDES(demand_mutex_);
 
   /// A copy of every materialized entry — precomputed and demand-cached —
   /// for persistence.
-  XOntoDil MaterializedCopy() const;
+  XOntoDil MaterializedCopy() const XO_EXCLUDES(demand_mutex_);
 
  private:
   void IndexCorpus();
@@ -170,9 +171,12 @@ class CorpusIndex {
   XOntoDil base_;
   /// On-demand entries (out-of-vocabulary keywords, phrases). The mutex
   /// guards only this side cache; entry construction itself runs outside
-  /// the lock.
-  mutable std::mutex demand_mutex_;
-  mutable XOntoDil demand_;
+  /// the lock. Entry pointers handed out remain stable after the lock is
+  /// dropped (XOntoDil never moves or erases entries), which is an
+  /// invariant the annotations cannot express — hence const DilEntry*
+  /// results escape the guarded region by design.
+  mutable Mutex demand_mutex_;
+  mutable XOntoDil demand_ XO_GUARDED_BY(demand_mutex_);
   IndexBuildStats stats_;
 };
 

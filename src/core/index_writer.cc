@@ -23,7 +23,7 @@ IndexWriter::IndexWriter(std::shared_ptr<const IndexSnapshot> initial)
 }
 
 uint32_t IndexWriter::StageDocument(XmlDocument doc) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint32_t doc_id = static_cast<uint32_t>(corpus_.size() + pending_.size());
   doc.set_doc_id(doc_id);
   pending_.push_back(std::move(doc));
@@ -31,7 +31,7 @@ uint32_t IndexWriter::StageDocument(XmlDocument doc) {
 }
 
 size_t IndexWriter::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_.size();
 }
 
@@ -45,7 +45,7 @@ std::shared_ptr<const IndexSnapshot> IndexWriter::Publish(Corpus corpus,
 }
 
 std::shared_ptr<const IndexSnapshot> IndexWriter::Commit() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (pending_.empty()) return published_.load(std::memory_order_acquire);
   // Structural sharing: the extended corpus copies document *pointers*; the
   // documents themselves are shared with every snapshot already out there.
@@ -56,7 +56,7 @@ std::shared_ptr<const IndexSnapshot> IndexWriter::Commit() {
 }
 
 uint32_t IndexWriter::AddDocument(XmlDocument doc) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint32_t doc_id = static_cast<uint32_t>(corpus_.size() + pending_.size());
   doc.set_doc_id(doc_id);
   // Any previously staged documents commit along with this one; they were
@@ -70,7 +70,7 @@ uint32_t IndexWriter::AddDocument(XmlDocument doc) {
 }
 
 void IndexWriter::AdoptPrecomputed(XOntoDil dil) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   assert(pending_.empty() &&
          "commit staged documents before adopting a precomputed index");
   Publish(corpus_, std::move(dil));

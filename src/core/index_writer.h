@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/index_snapshot.h"
 #include "xml/corpus.h"
 
@@ -57,37 +57,43 @@ class IndexWriter {
 
   /// Stages one document for the next commit and assigns its doc id (its
   /// final corpus position). The document is NOT searchable until Commit.
-  uint32_t StageDocument(XmlDocument doc);
+  uint32_t StageDocument(XmlDocument doc) XO_EXCLUDES(mutex_);
 
   /// Documents staged but not yet committed.
-  size_t pending() const;
+  size_t pending() const XO_EXCLUDES(mutex_);
 
   /// Builds and publishes a snapshot covering all staged documents; returns
   /// the published snapshot (the current one if nothing was staged).
   /// Queries against the result are identical to a fresh engine built over
   /// the full corpus.
-  std::shared_ptr<const IndexSnapshot> Commit();
+  std::shared_ptr<const IndexSnapshot> Commit() XO_EXCLUDES(mutex_);
 
   /// Stage + Commit in one step: the document is searchable on return.
-  uint32_t AddDocument(XmlDocument doc);
+  uint32_t AddDocument(XmlDocument doc) XO_EXCLUDES(mutex_);
 
   /// Republishes the current corpus with `dil` as the precomputed entry
   /// set (typically one loaded from an index file). Entries must have been
   /// built with the same corpus, systems and options or queries will be
   /// inconsistent.
-  void AdoptPrecomputed(XOntoDil dil);
+  void AdoptPrecomputed(XOntoDil dil) XO_EXCLUDES(mutex_);
 
  private:
-  /// Pre: mutex_ held. Builds a snapshot over `corpus` and publishes it.
-  std::shared_ptr<const IndexSnapshot> Publish(Corpus corpus,
-                                               XOntoDil adopted);
+  /// Builds a snapshot over `corpus` and publishes it. Holding the writer
+  /// mutex across the (expensive) snapshot build is what serializes
+  /// commits; readers never wait on it.
+  std::shared_ptr<const IndexSnapshot> Publish(Corpus corpus, XOntoDil adopted)
+      XO_REQUIRES(mutex_);
 
   std::shared_ptr<const OntologyContext> context_;
   IndexBuildOptions options_;
 
-  mutable std::mutex mutex_;  ///< serializes writers; readers never take it
-  Corpus corpus_;             ///< committed corpus value (guarded by mutex_)
-  std::vector<XmlDocument> pending_;  ///< staged batch (guarded by mutex_)
+  mutable Mutex mutex_;  ///< serializes writers; readers never take it
+  /// Committed corpus value.
+  Corpus corpus_ XO_GUARDED_BY(mutex_);
+  /// Staged batch for the next Commit.
+  std::vector<XmlDocument> pending_ XO_GUARDED_BY(mutex_);
+  /// The serving snapshot. Not guarded: readers load it lock-free with
+  /// acquire ordering; only Publish (under mutex_) stores it.
   std::atomic<std::shared_ptr<const IndexSnapshot>> published_;
 };
 

@@ -6,7 +6,7 @@ namespace xontorank {
 
 OntoScoreRowCache::Row OntoScoreRowCache::Find(
     size_t system, const std::string& canonical) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = rows_.find(Key{system, canonical});
   return it == rows_.end() ? nullptr : it->second;
 }
@@ -15,13 +15,13 @@ OntoScoreRowCache::Row OntoScoreRowCache::Insert(size_t system,
                                                  const std::string& canonical,
                                                  OntoScoreMap row) {
   auto shared = std::make_shared<const OntoScoreMap>(std::move(row));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = rows_.emplace(Key{system, canonical}, shared);
   return it->second;
 }
 
 size_t OntoScoreRowCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return rows_.size();
 }
 

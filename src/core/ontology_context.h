@@ -2,12 +2,12 @@
 #define XONTORANK_CORE_ONTOLOGY_CONTEXT_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/onto_score.h"
 #include "core/options.h"
 #include "ir/query.h"
@@ -31,13 +31,15 @@ class OntoScoreRowCache {
   using Row = std::shared_ptr<const OntoScoreMap>;
 
   /// The cached row for (system, canonical keyword), or nullptr.
-  Row Find(size_t system, const std::string& canonical) const;
+  Row Find(size_t system, const std::string& canonical) const
+      XO_EXCLUDES(mutex_);
 
   /// Inserts a row; if a racing thread inserted one first, the existing row
   /// wins and is returned (callers discard their duplicate computation).
-  Row Insert(size_t system, const std::string& canonical, OntoScoreMap row);
+  Row Insert(size_t system, const std::string& canonical, OntoScoreMap row)
+      XO_EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const XO_EXCLUDES(mutex_);
 
  private:
   struct Key {
@@ -53,8 +55,8 @@ class OntoScoreRowCache {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, Row, KeyHash> rows_;
+  mutable Mutex mutex_;
+  std::unordered_map<Key, Row, KeyHash> rows_ XO_GUARDED_BY(mutex_);
 };
 
 /// The corpus-independent half of an engine, shared by every index snapshot

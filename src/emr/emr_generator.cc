@@ -27,6 +27,9 @@ constexpr const char* kNotes[] = {
     "Readmission for symptom recurrence; medications adjusted.",
 };
 
+/// Shorthand cast for StringPrintf's %llu arguments.
+unsigned long long Llu(uint64_t v) { return v; }
+
 std::vector<ConceptId> DescendantsOfTerm(const Ontology& onto,
                                          std::string_view term) {
   ConceptId root = onto.FindByPreferredTerm(term);
@@ -76,11 +79,13 @@ EmrDatabase GenerateEmrDatabase(const Ontology& ontology,
     patient.patient_id = p + 1;
     patient.given_name = kGivenNames[rng.NextBelow(std::size(kGivenNames))];
     patient.family_name = kFamilyNames[rng.NextBelow(std::size(kFamilyNames))];
-    patient.gender = rng.NextBool(0.5) ? "M" : "F";
-    patient.birth_date = StringPrintf(
-        "19%02llu%02llu%02llu", (unsigned long long)(80 + rng.NextBelow(20)),
-        (unsigned long long)(1 + rng.NextBelow(12)),
-        (unsigned long long)(1 + rng.NextBelow(28)));
+    // std::string(...) sidesteps GCC 12's -Wrestrict false positive on
+    // assigning short literals (GCC PR105651).
+    patient.gender = std::string(rng.NextBool(0.5) ? "M" : "F");
+    std::string birth_date =
+        StringPrintf("19%02llu%02llu%02llu", Llu(80 + rng.NextBelow(20)),
+                     Llu(1 + rng.NextBelow(12)), Llu(1 + rng.NextBelow(28)));
+    patient.birth_date = std::move(birth_date);
     patient.mrn = StringPrintf("MRN%06u", 100000 + p);
     db.AddPatient(patient);
 
@@ -91,9 +96,9 @@ EmrDatabase GenerateEmrDatabase(const Ontology& ontology,
       encounter.encounter_id = next_encounter++;
       encounter.patient_id = patient.patient_id;
       encounter.admit_date = StringPrintf(
-          "200%llu%02llu%02llu", (unsigned long long)rng.NextBelow(9),
-          (unsigned long long)(1 + rng.NextBelow(12)),
-          (unsigned long long)(1 + rng.NextBelow(28)));
+          "200%llu%02llu%02llu", Llu(rng.NextBelow(9)),
+          Llu(1 + rng.NextBelow(12)),
+          Llu(1 + rng.NextBelow(28)));
       encounter.attending = kAttendings[rng.NextBelow(std::size(kAttendings))];
       encounter.note = kNotes[rng.NextBelow(std::size(kNotes))];
       db.AddEncounter(encounter);
@@ -142,11 +147,11 @@ EmrDatabase GenerateEmrDatabase(const Ontology& ontology,
                    StringPrintf("%.1f C", 36.0 + rng.NextDouble() * 3.0)});
       db.AddVital({encounter.encounter_id, "Pulse",
                    StringPrintf("%llu / minute",
-                                (unsigned long long)(60 + rng.NextBelow(90)))});
+                                Llu(60 + rng.NextBelow(90)))});
       db.AddVital({encounter.encounter_id, "Blood pressure",
                    StringPrintf("%llu/%llu mmHg",
-                                (unsigned long long)(85 + rng.NextBelow(50)),
-                                (unsigned long long)(45 + rng.NextBelow(40)))});
+                                Llu(85 + rng.NextBelow(50)),
+                                Llu(45 + rng.NextBelow(40)))});
     }
   }
   return db;

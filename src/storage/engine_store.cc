@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "common/sync.h"
 #include "onto/ontology_io.h"
 #include "storage/index_store.h"
 #include "xml/xml_parser.h"
@@ -43,9 +44,20 @@ std::string_view VocabularyModeName(IndexBuildOptions::VocabularyMode mode) {
   return "none";
 }
 
+/// Serializes whole-directory saves: SaveSnapshot writes many files plus a
+/// manifest, and two saves racing into the same directory would interleave
+/// their inventories. One process-wide lock (saves are rare, bulk I/O
+/// bound) is simpler than per-directory tracking; it is acquired BEFORE
+/// the index-store file lock taken inside SaveIndex — see DESIGN.md §9.
+Mutex& SaveMutex() {
+  static Mutex* mutex = new Mutex();
+  return *mutex;
+}
+
 }  // namespace
 
 Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir) {
+  MutexLock lock(SaveMutex());
   std::error_code ec;
   std::filesystem::create_directories(dir + "/corpus", ec);
   if (ec) return Status::IoError("cannot create " + dir);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/sync.h"
 #include "storage/coding.h"
 
 namespace xontorank {
@@ -11,6 +12,17 @@ namespace {
 
 constexpr char kMagic[4] = {'X', 'O', 'D', 'L'};
 constexpr uint32_t kVersion = 1;
+
+/// Serializes SaveIndex's temp-file + rename sequence: two concurrent
+/// saves to the same path share one "<path>.tmp" name, and without the
+/// lock each could rename (or clean up) the other's half-written file.
+/// Leaked, like every process-wide lock here, so saves that race static
+/// destruction stay safe. Acquired AFTER the engine-store save lock when
+/// reached through SaveSnapshot — see DESIGN.md §9 for the lock order.
+Mutex& FileMutex() {
+  static Mutex* mutex = new Mutex();
+  return *mutex;
+}
 
 uint32_t FloatBits(double score) {
   float f = static_cast<float>(score);
@@ -126,7 +138,8 @@ Result<XOntoDil> DecodeIndex(std::string_view data) {
 }
 
 Status SaveIndex(const XOntoDil& dil, const std::string& path) {
-  std::string encoded = EncodeIndex(dil);
+  std::string encoded = EncodeIndex(dil);  // the expensive part, unlocked
+  MutexLock lock(FileMutex());
   std::string tmp_path = path + ".tmp";
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) {

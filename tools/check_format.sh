@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Checks clang-format compliance (config: .clang-format) of the C++ files
+# changed since a base revision — the PR diff, not the whole repo.
+#
+# Usage: tools/check_format.sh [base-rev]
+#   base-rev defaults to the merge-base with origin/main (falling back to
+#   HEAD~1 when origin/main is absent, e.g. in a shallow clone).
+# Env:   CLANG_FORMAT=clang-format-18
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-}"
+if [[ -z "${FMT}" ]]; then
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15 clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      FMT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${FMT}" ]]; then
+  echo "check_format.sh: clang-format not found; skipping format check." >&2
+  exit 0
+fi
+
+BASE="${1:-}"
+if [[ -z "${BASE}" ]]; then
+  BASE="$(git merge-base HEAD origin/main 2>/dev/null || true)"
+fi
+if [[ -z "${BASE}" ]]; then
+  BASE="$(git rev-parse HEAD~1 2>/dev/null || true)"
+fi
+if [[ -z "${BASE}" ]]; then
+  echo "check_format.sh: no base revision found; skipping." >&2
+  exit 0
+fi
+
+mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "${BASE}" -- \
+  '*.cc' '*.cpp' '*.h' '*.hpp')
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+  echo "check_format.sh: no C++ files changed since ${BASE}"
+  exit 0
+fi
+
+echo "check_format.sh: ${FMT} --dry-run over ${#FILES[@]} changed files"
+"${FMT}" --dry-run --Werror "${FILES[@]}"
+echo "check_format.sh: clean"

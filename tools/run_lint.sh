@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every first-party translation
+# unit in src/ tests/ bench/ examples/, generating compile_commands.json
+# first. Exits non-zero when any WarningsAsErrors check fires.
+#
+# Usage: tools/run_lint.sh [extra clang-tidy args...]
+# Env:   CLANG_TIDY=clang-tidy-18  LINT_BUILD_DIR=build-lint  LINT_JOBS=8
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "run_lint.sh: clang-tidy not found; skipping lint." >&2
+  echo "run_lint.sh: install clang-tidy (apt-get install clang-tidy) to run the gate locally." >&2
+  exit 0
+fi
+
+BUILD_DIR="${LINT_BUILD_DIR:-build-lint}"
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+# Every first-party TU in the compilation database (third-party code, if it
+# ever appears, lives outside these four roots and is skipped).
+mapfile -t FILES < <(
+  python3 - "${BUILD_DIR}/compile_commands.json" <<'PYEOF'
+import json
+import sys
+
+root_markers = ("/src/", "/tests/", "/bench/", "/examples/")
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    path = entry["file"]
+    if any(marker in path for marker in root_markers) and path not in seen:
+        seen.add(path)
+        print(path)
+PYEOF
+)
+
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+  echo "run_lint.sh: no translation units found in ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+JOBS="${LINT_JOBS:-$(nproc)}"
+echo "run_lint.sh: ${TIDY} over ${#FILES[@]} files (${JOBS} jobs)"
+
+# xargs fans the TUs out; any non-zero clang-tidy exit (a WarningsAsErrors
+# hit) makes xargs — and the script — fail.
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet "$@"
+
+echo "run_lint.sh: clean"
