@@ -39,7 +39,7 @@ std::vector<CdaDiagnostic> ValidateCda(const XmlDocument& doc);
 
 /// OK iff ValidateCda reports no errors; the Status message carries the
 /// first error otherwise.
-Status CheckCda(const XmlDocument& doc);
+[[nodiscard]] Status CheckCda(const XmlDocument& doc);
 
 }  // namespace xontorank
 

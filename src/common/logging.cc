@@ -17,6 +17,7 @@ std::atomic<LogLevel> g_level{LogLevel::kWarning};  // tools opt in to more
 /// Serializes sink writes so concurrent messages emit whole lines.
 /// Leaked (never destroyed): logging may run during static destruction.
 Mutex& SinkMutex() {
+  // xo-lint: allow(new-delete) — leaked singleton, see above.
   static Mutex* mutex = new Mutex();
   return *mutex;
 }

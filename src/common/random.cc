@@ -1,7 +1,8 @@
 #include "common/random.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -39,7 +40,7 @@ uint64_t Rng::NextUint64() {
 }
 
 uint64_t Rng::NextBelow(uint64_t bound) {
-  assert(bound > 0);
+  XO_CHECK_GT(bound, 0u);
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (0 - bound) % bound;
   while (true) {
@@ -49,7 +50,7 @@ uint64_t Rng::NextBelow(uint64_t bound) {
 }
 
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  XO_CHECK_LE(lo, hi);
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
   return lo + static_cast<int64_t>(NextBelow(span));
@@ -78,7 +79,7 @@ double Rng::NextGaussian(double mean, double stddev) {
 }
 
 size_t Rng::NextZipf(size_t n, double s) {
-  assert(n > 0);
+  XO_CHECK_GT(n, 0u);
   if (n == 1) return 0;
   // Inverse-CDF over the (truncated) harmonic weights. O(n) setup would be
   // wasteful per call, so we use the rejection method of Devroye.

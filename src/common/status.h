@@ -1,11 +1,12 @@
 #ifndef XONTORANK_COMMON_STATUS_H_
 #define XONTORANK_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -31,7 +32,13 @@ std::string_view StatusCodeName(StatusCode code);
 /// Lightweight success-or-error value. An OK status carries no message and
 /// no allocation; error statuses carry a code and a message describing what
 /// went wrong (including position information for parse errors).
-class Status {
+///
+/// The class is [[nodiscard]]: any call that returns a Status by value and
+/// ignores it is a compile error under `-Werror=unused-result` (set by the
+/// top-level CMakeLists). A silently dropped parse/IO/commit error is
+/// exactly how DIL/RDIL scores rot without a failing test; callers must
+/// check, propagate (XONTO_RETURN_IF_ERROR), or assert (XO_CHECK_OK).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -91,30 +98,44 @@ class Status {
 };
 
 /// A value-or-error wrapper. Access to `value()` requires `ok()`.
+///
+/// Like Status, the template is [[nodiscard]]: discarding a returned
+/// Result<T> is a build error, because it drops both the value and the
+/// error that explains why there is no value.
+///
+/// Move safety: `std::move(result).value()` transfers the value out and
+/// leaves the Result holding a moved-from T. After that point only
+/// `ok()` / `status()` remain meaningful; calling `value()` again returns
+/// the hollowed-out object. XONTO_ASSIGN_OR_RETURN does exactly one such
+/// move and never touches the temporary again — follow the same
+/// discipline in hand-written call sites.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversions from values and error statuses keep call sites
   /// terse: `return 42;` or `return Status::NotFound(...)`.
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {      // NOLINT
-    assert(!status_.ok() && "Result(Status) requires an error status");
+    XO_CHECK(!status_.ok() && "Result(Status) requires an error status");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  /// The contained value. Must only be called when `ok()`.
+  /// The contained value. Must only be called when `ok()`: misuse aborts
+  /// with file:line in every build type (XO_CHECK, not assert) — reading
+  /// a disengaged optional would otherwise be silent UB in Release, the
+  /// worst possible failure mode for ranking code.
   const T& value() const& {
-    assert(ok());
+    XO_CHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    XO_CHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    XO_CHECK(ok());
     return std::move(*value_);
   }
 

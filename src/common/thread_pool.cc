@@ -101,6 +101,7 @@ void ThreadPool::ParallelFor(size_t n,
 ThreadPool& ThreadPool::Shared() {
   // Leaked on purpose: serving threads may still submit during static
   // destruction, and the OS reclaims the threads at exit anyway.
+  // xo-lint: allow(new-delete) — leaked singleton, see above.
   static ThreadPool* pool = new ThreadPool(0);
   return *pool;
 }

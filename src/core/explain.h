@@ -39,11 +39,9 @@ struct OntoExplanation {
 /// Recomputes OS(w, ·) under `strategy` recording provenance, and returns
 /// the maximal-score path into `target`. NotFound if the target's score
 /// falls below the threshold (i.e., OS(w, target) = 0).
-Result<OntoExplanation> ExplainOntoScore(const OntologyIndex& index,
-                                         const Keyword& keyword,
-                                         Strategy strategy,
-                                         const ScoreOptions& options,
-                                         ConceptId target);
+[[nodiscard]] Result<OntoExplanation> ExplainOntoScore(
+    const OntologyIndex& index, const Keyword& keyword, Strategy strategy,
+    const ScoreOptions& options, ConceptId target);
 
 /// Renders a path as one line, e.g.
 /// `Bronchial structure [irs 1.00] →(∃finding_site_of)→ Asthma [0.50]`.
@@ -66,9 +64,9 @@ struct KeywordEvidence {
 /// Explains every keyword of `query` for `result`. The index must be the
 /// one that produced the result. Fails if the result does not actually
 /// cover some keyword (it then did not come from this index/query).
-Result<std::vector<KeywordEvidence>> ExplainResult(const CorpusIndex& index,
-                                                   const KeywordQuery& query,
-                                                   const QueryResult& result);
+[[nodiscard]] Result<std::vector<KeywordEvidence>> ExplainResult(
+    const CorpusIndex& index, const KeywordQuery& query,
+    const QueryResult& result);
 
 /// Multi-line human-readable rendering of ExplainResult output.
 std::string FormatEvidence(const CorpusIndex& index,

@@ -1,9 +1,9 @@
 #include "core/index_builder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <thread>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "core/node_text.h"
 #include "ir/tokenizer.h"
@@ -17,9 +17,9 @@ CorpusIndex::CorpusIndex(const Corpus& corpus,
       context_(std::move(context)),
       options_(options),
       node_index_(options.score.bm25) {
-  assert(context_ != nullptr && "an ontology context is required");
-  assert(context_->strategy() == options_.strategy &&
-         "context was created for a different strategy");
+  XO_CHECK(context_ != nullptr && "an ontology context is required");
+  XO_CHECK(context_->strategy() == options_.strategy &&
+           "context was created for a different strategy");
   Timer timer;
   IndexCorpus();
   if (options_.use_elem_rank) {

@@ -1,7 +1,8 @@
 #include "core/index_writer.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -71,8 +72,8 @@ uint32_t IndexWriter::AddDocument(XmlDocument doc) {
 
 void IndexWriter::AdoptPrecomputed(XOntoDil dil) {
   MutexLock lock(mutex_);
-  assert(pending_.empty() &&
-         "commit staged documents before adopting a precomputed index");
+  XO_CHECK(pending_.empty() &&
+           "commit staged documents before adopting a precomputed index");
   Publish(corpus_, std::move(dil));
 }
 

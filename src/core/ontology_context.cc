@@ -1,6 +1,6 @@
 #include "core/ontology_context.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -27,7 +27,8 @@ size_t OntoScoreRowCache::size() const {
 
 std::shared_ptr<const OntologyContext> OntologyContext::Create(
     OntologySet systems, const IndexBuildOptions& options) {
-  assert(!systems.empty() && "at least one ontological system is required");
+  XO_CHECK(!systems.empty() && "at least one ontological system is required");
+  // xo-lint: allow(new-delete) — private constructor, make_shared cannot.
   auto context = std::shared_ptr<OntologyContext>(new OntologyContext());
   context->systems_ = std::move(systems);
   context->strategy_ = options.strategy;

@@ -17,6 +17,7 @@ std::string_view StrategyName(Strategy s) {
 }
 
 const std::unordered_set<std::string>& DefaultExcludedAttributes() {
+  // xo-lint: allow(new-delete) — leaked singleton table.
   static const auto* kExcluded = new std::unordered_set<std::string>{
       "code",       "codeSystem", "root",
       "extension",  "templateId", "xmlns",

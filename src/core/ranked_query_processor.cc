@@ -1,8 +1,9 @@
 #include "core/ranked_query_processor.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
+
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -39,7 +40,7 @@ std::pair<size_t, size_t> DocPostingRange(const DilEntry& entry, uint32_t doc_id
 std::vector<QueryResult> RankedQueryProcessor::Execute(
     const std::vector<const DilEntry*>& lists, size_t top_k,
     RankedQueryStats* stats) const {
-  assert(top_k >= 1 && "ranked evaluation needs a finite k");
+  XO_CHECK(top_k >= 1 && "ranked evaluation needs a finite k");
   if (stats != nullptr) *stats = RankedQueryStats();
   if (lists.empty()) return {};
   for (const DilEntry* list : lists) {

@@ -52,7 +52,7 @@ struct SearchOptions {
   bool use_cache = true;
 
   /// The one validity rule above; every Search entry point applies it.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// What one Search call did (returned alongside the results).

@@ -74,7 +74,7 @@ class EmrDatabase {
   /// Verifies referential integrity: every encounter references a known
   /// patient; every diagnosis/medication/vital references a known
   /// encounter; patient and encounter ids are unique.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   // ---- Access paths ----
   size_t patient_count() const { return patients_.size(); }

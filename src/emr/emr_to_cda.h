@@ -35,7 +35,7 @@ struct EmrToCdaOptions {
 ///
 /// `ontology` supplies display names for resolvable codes; it must outlive
 /// the call. Output order follows the patients table.
-Result<std::vector<CdaDocument>> ConvertEmrToCda(
+[[nodiscard]] Result<std::vector<CdaDocument>> ConvertEmrToCda(
     const EmrDatabase& database, const Ontology& ontology,
     const EmrToCdaOptions& options = {});
 

@@ -1,12 +1,13 @@
 #include "ir/text_index.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace xontorank {
 
 void TextIndex::AddUnit(uint32_t unit_id, std::string_view text) {
-  assert(!finalized_ && "AddUnit after Finalize");
+  XO_CHECK(!finalized_ && "AddUnit after Finalize");
   uint32_t& length = unit_lengths_[unit_id];  // creates entry if absent
   uint32_t raw_tokens = 0;
   std::vector<PositionedToken> tokens =
@@ -27,12 +28,12 @@ void TextIndex::AddUnit(uint32_t unit_id, std::string_view text) {
 }
 
 void TextIndex::Reopen() {
-  assert(finalized_ && "Reopen only applies to a finalized index");
+  XO_CHECK(finalized_ && "Reopen only applies to a finalized index");
   finalized_ = false;
 }
 
 void TextIndex::Finalize() {
-  assert(!finalized_);
+  XO_CHECK(!finalized_);
   for (auto& [term, list] : postings_) {
     std::sort(list.begin(), list.end(),
               [](const Posting& a, const Posting& b) {
@@ -68,7 +69,7 @@ const TextIndex::PostingList* TextIndex::FindPostings(
 
 std::vector<std::pair<uint32_t, uint32_t>> TextIndex::MatchCounts(
     const Keyword& keyword) const {
-  assert(finalized_ && "Lookup before Finalize");
+  XO_CHECK(finalized_ && "Lookup before Finalize");
   std::vector<std::pair<uint32_t, uint32_t>> counts;
   if (keyword.tokens.empty()) return counts;
 

@@ -29,6 +29,7 @@ void PostProcess(std::string& token, const TokenizerOptions& options) {
 }  // namespace
 
 const std::unordered_set<std::string>& DefaultClinicalStopwords() {
+  // xo-lint: allow(new-delete) — leaked singleton table.
   static const auto* kStopwords = new std::unordered_set<std::string>{
       "the",  "a",    "an",   "of",   "and",  "or",    "to",    "in",
       "on",   "for",  "with", "was",  "is",   "are",   "were",  "be",

@@ -1,6 +1,6 @@
 #include "onto/dl_view.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -59,17 +59,17 @@ DlView::DlView(const Ontology& ontology) : ontology_(&ontology) {
 }
 
 ConceptId DlView::ConceptOf(DlNodeId id) const {
-  assert(IsAtomic(id));
+  XO_CHECK(IsAtomic(id));
   return payload_[id];
 }
 
 RelationTypeId DlView::RoleOf(DlNodeId id) const {
-  assert(!IsAtomic(id));
+  XO_CHECK(!IsAtomic(id));
   return restriction_info_[payload_[id]].role;
 }
 
 ConceptId DlView::FillerOf(DlNodeId id) const {
-  assert(!IsAtomic(id));
+  XO_CHECK(!IsAtomic(id));
   return restriction_info_[payload_[id]].filler;
 }
 
@@ -81,7 +81,7 @@ std::string DlView::NodeName(DlNodeId id) const {
 }
 
 DlNodeId DlView::AtomicNode(ConceptId concept_id) const {
-  assert(concept_id < ontology_->concept_count());
+  XO_CHECK_LT(concept_id, ontology_->concept_count());
   return concept_id;
 }
 

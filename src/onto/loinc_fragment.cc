@@ -1,7 +1,6 @@
 #include "onto/loinc_fragment.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "common/string_util.h"
 
 #include "onto/snomed_fragment.h"
@@ -65,14 +64,10 @@ Ontology BuildLoincDocumentFragment() {
     if (row.parent[0] == '\0') continue;
     ConceptId child = onto.FindByCode(row.code);
     ConceptId parent = onto.FindByPreferredTerm(row.parent);
-    assert(child != kInvalidConcept && parent != kInvalidConcept);
-    Status st = onto.AddIsA(child, parent);
-    assert(st.ok());
-    (void)st;
+    XO_CHECK(child != kInvalidConcept && parent != kInvalidConcept);
+    XO_CHECK_OK(onto.AddIsA(child, parent));
   }
-  Status valid = onto.Validate();
-  assert(valid.ok());
-  (void)valid;
+  XO_CHECK_OK(onto.Validate());
   return onto;
 }
 

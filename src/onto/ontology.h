@@ -78,17 +78,17 @@ class Ontology {
 
   /// Records `child is-a parent`. Self-loops are rejected; duplicate edges
   /// are ignored. Cycle freedom is checked by Validate().
-  Status AddIsA(ConceptId child, ConceptId parent);
+  [[nodiscard]] Status AddIsA(ConceptId child, ConceptId parent);
 
   /// Records `type(source, target)`. Duplicate edges are ignored.
-  Status AddRelationship(ConceptId source, std::string_view type_name,
-                         ConceptId target);
+  [[nodiscard]] Status AddRelationship(
+      ConceptId source, std::string_view type_name, ConceptId target);
 
   /// Interns a relationship type name, returning its id.
   RelationTypeId InternRelationType(std::string_view name);
 
   /// Checks structural invariants: the is-a graph must be a DAG (§IV-B).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   // ---- Lookup ----
 

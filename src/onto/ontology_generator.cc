@@ -1,8 +1,8 @@
 #include "onto/ontology_generator.h"
 
-#include <cassert>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -87,17 +87,13 @@ void Grow(Ontology& onto, const OntologyGeneratorOptions& options,
     if (!attach_points.empty()) {
       ConceptId parent = rng.Choose(attach_points);
       if (parent != id) {
-        Status st = onto.AddIsA(id, parent);
-        assert(st.ok());
-        (void)st;
+        XO_CHECK_OK(onto.AddIsA(id, parent));
       }
       if (rng.NextBool(options.extra_parent_prob)) {
         ConceptId extra = rng.Choose(attach_points);
         if (extra != id && extra != parent) {
           // New nodes attach only to pre-existing ones, so is-a stays acyclic.
-          Status st = onto.AddIsA(id, extra);
-          assert(st.ok());
-          (void)st;
+          XO_CHECK_OK(onto.AddIsA(id, extra));
         }
       }
     }
@@ -119,9 +115,7 @@ void Grow(Ontology& onto, const OntologyGeneratorOptions& options,
           static_cast<ConceptId>(rng.NextBelow(onto.concept_count()));
       if (source == target) continue;
       const std::string& type = rng.Choose(options.relation_types);
-      Status st = onto.AddRelationship(source, type, target);
-      assert(st.ok());
-      (void)st;
+      XO_CHECK_OK(onto.AddRelationship(source, type, target));
     }
   }
 }
@@ -132,18 +126,14 @@ Ontology GenerateOntology(const OntologyGeneratorOptions& options) {
   Ontology onto("9.9.9.synthetic", "Synthetic ontology");
   ConceptId root = onto.AddConcept("700000000", "synthetic root concept");
   Grow(onto, options, {root}, /*code_offset=*/1);
-  Status valid = onto.Validate();
-  assert(valid.ok());
-  (void)valid;
+  XO_CHECK_OK(onto.Validate());
   return onto;
 }
 
 void ExtendOntology(Ontology& base, const OntologyGeneratorOptions& options) {
   uint32_t code_offset = static_cast<uint32_t>(base.concept_count()) + 1;
   Grow(base, options, base.AllConcepts(), code_offset);
-  Status valid = base.Validate();
-  assert(valid.ok());
-  (void)valid;
+  XO_CHECK_OK(base.Validate());
 }
 
 }  // namespace xontorank

@@ -29,13 +29,14 @@ namespace xontorank {
 std::string WriteOntologyText(const Ontology& ontology);
 
 /// Parses an ontology from the flat format.
-Result<Ontology> ParseOntologyText(std::string_view text);
+[[nodiscard]] Result<Ontology> ParseOntologyText(std::string_view text);
 
 /// Writes the flat form to `path` (atomically).
-Status SaveOntology(const Ontology& ontology, const std::string& path);
+[[nodiscard]] Status SaveOntology(const Ontology& ontology,
+                                  const std::string& path);
 
 /// Loads an ontology previously saved with SaveOntology (or hand-written).
-Result<Ontology> LoadOntology(const std::string& path);
+[[nodiscard]] Result<Ontology> LoadOntology(const std::string& path);
 
 }  // namespace xontorank
 

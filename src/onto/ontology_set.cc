@@ -1,12 +1,12 @@
 #include "onto/ontology_set.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xontorank {
 
 void OntologySet::Add(const Ontology& ontology) {
-  assert(FindSystem(ontology.system_id()) == npos &&
-         "duplicate ontological system id");
+  XO_CHECK(FindSystem(ontology.system_id()) == npos &&
+           "duplicate ontological system id");
   systems_.push_back(&ontology);
 }
 

@@ -1,10 +1,11 @@
 #include "onto/semantic_similarity.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <deque>
 #include <unordered_map>
+
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -30,8 +31,7 @@ SemanticSimilarity::SemanticSimilarity(const Ontology& ontology)
       if (--pending[child] == 0) ready.push_back(child);
     }
   }
-  assert(visited == n && "is-a graph must be a DAG");
-  (void)visited;
+  XO_CHECK(visited == n && "is-a graph must be a DAG");
 }
 
 std::optional<size_t> SemanticSimilarity::RadaDistance(ConceptId a,
@@ -108,7 +108,7 @@ double SemanticSimilarity::WuPalmer(ConceptId a, ConceptId b) const {
 }
 
 void SemanticSimilarity::SetCorpusCounts(const std::vector<size_t>& counts) {
-  assert(counts.size() == ontology_->concept_count());
+  XO_CHECK_EQ(counts.size(), ontology_->concept_count());
   const size_t n = ontology_->concept_count();
   // Propagate counts upward: cumulative[c] = Σ counts over c's descendant
   // closure (including itself). Process children-before-parents.
@@ -158,14 +158,14 @@ void SemanticSimilarity::CountCorpusReferences(const Corpus& corpus) {
 }
 
 double SemanticSimilarity::Resnik(ConceptId a, ConceptId b) const {
-  assert(has_information_content());
+  XO_CHECK(has_information_content());
   auto lca = LowestCommonAncestor(a, b);
   if (!lca.has_value()) return 0.0;
   return ic_[*lca];
 }
 
 double SemanticSimilarity::Lin(ConceptId a, ConceptId b) const {
-  assert(has_information_content());
+  XO_CHECK(has_information_content());
   auto lca = LowestCommonAncestor(a, b);
   if (!lca.has_value()) return 0.0;
   double denom = ic_[a] + ic_[b];

@@ -50,6 +50,7 @@ std::string_view VocabularyModeName(IndexBuildOptions::VocabularyMode mode) {
 /// bound) is simpler than per-directory tracking; it is acquired BEFORE
 /// the index-store file lock taken inside SaveIndex — see DESIGN.md §9.
 Mutex& SaveMutex() {
+  // xo-lint: allow(new-delete) — leaked singleton, see above.
   static Mutex* mutex = new Mutex();
   return *mutex;
 }

@@ -50,17 +50,20 @@ class LoadedEngine {
 /// creating it if needed. Because a snapshot is frozen, the saved state is
 /// consistent even while writers keep committing to the engine it came
 /// from.
-Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir);
+[[nodiscard]] Status SaveSnapshot(const IndexSnapshot& snapshot,
+                                  const std::string& dir);
 
 /// Convenience: saves `engine`'s currently published snapshot.
-Status SaveEngineDir(const XOntoRank& engine, const std::string& dir);
+[[nodiscard]] Status SaveEngineDir(const XOntoRank& engine,
+                                   const std::string& dir);
 
 /// Restores an engine saved with SaveEngineDir/SaveSnapshot: the corpus and
 /// ontologies are parsed back, a snapshot is constructed directly around the
 /// persisted DIL entries (so stage 2+3 — the expensive OntoScore work — is
 /// never repeated for persisted keywords), and the engine adopts it as its
 /// published serving state.
-Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir);
+[[nodiscard]] Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(
+    const std::string& dir);
 
 }  // namespace xontorank
 

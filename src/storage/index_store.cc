@@ -20,6 +20,7 @@ constexpr uint32_t kVersion = 1;
 /// destruction stay safe. Acquired AFTER the engine-store save lock when
 /// reached through SaveSnapshot — see DESIGN.md §9 for the lock order.
 Mutex& FileMutex() {
+  // xo-lint: allow(new-delete) — leaked singleton, see above.
   static Mutex* mutex = new Mutex();
   return *mutex;
 }

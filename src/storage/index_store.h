@@ -37,13 +37,13 @@ namespace xontorank {
 std::string EncodeIndex(const XOntoDil& dil);
 
 /// Parses a binary representation; rejects bad magic/version/CRC/structure.
-Result<XOntoDil> DecodeIndex(std::string_view data);
+[[nodiscard]] Result<XOntoDil> DecodeIndex(std::string_view data);
 
 /// Writes the encoded index to `path` (atomically: temp file + rename).
-Status SaveIndex(const XOntoDil& dil, const std::string& path);
+[[nodiscard]] Status SaveIndex(const XOntoDil& dil, const std::string& path);
 
 /// Reads an index previously written by SaveIndex.
-Result<XOntoDil> LoadIndex(const std::string& path);
+[[nodiscard]] Result<XOntoDil> LoadIndex(const std::string& path);
 
 }  // namespace xontorank
 

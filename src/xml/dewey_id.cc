@@ -1,7 +1,8 @@
 #include "xml/dewey_id.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace xontorank {
 
@@ -12,7 +13,7 @@ DeweyId DeweyId::Child(uint32_t ordinal) const {
 }
 
 DeweyId DeweyId::Parent() const {
-  assert(components_.size() > 1 && "document root has no parent");
+  XO_CHECK(components_.size() > 1 && "document root has no parent");
   std::vector<uint32_t> comps(components_.begin(), components_.end() - 1);
   return DeweyId(std::move(comps));
 }
@@ -43,7 +44,7 @@ DeweyId DeweyId::LongestCommonAncestor(const DeweyId& other) const {
 }
 
 size_t DeweyId::DistanceTo(const DeweyId& descendant) const {
-  assert(IsAncestorOrSelfOf(descendant));
+  XO_CHECK(IsAncestorOrSelfOf(descendant));
   return descendant.components_.size() - components_.size();
 }
 

@@ -5,12 +5,14 @@
 namespace xontorank {
 
 std::unique_ptr<XmlNode> XmlNode::MakeElement(std::string tag) {
+  // xo-lint: allow(new-delete) — private constructor, make_unique cannot.
   auto node = std::unique_ptr<XmlNode>(new XmlNode(Kind::kElement));
   node->tag_ = std::move(tag);
   return node;
 }
 
 std::unique_ptr<XmlNode> XmlNode::MakeText(std::string text) {
+  // xo-lint: allow(new-delete) — private constructor, make_unique cannot.
   auto node = std::unique_ptr<XmlNode>(new XmlNode(Kind::kText));
   node->text_ = std::move(text);
   return node;

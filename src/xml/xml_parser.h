@@ -33,7 +33,7 @@ struct XmlParseOptions {
 /// default namespace throughout, so no prefix resolution is required).
 ///
 /// Errors carry 1-based line:column positions of the offending byte.
-Result<XmlDocument> ParseXml(std::string_view input,
+[[nodiscard]] Result<XmlDocument> ParseXml(std::string_view input,
                              const XmlParseOptions& options = {});
 
 /// Extracts the ontological reference of a CDA element per the convention of

@@ -1,0 +1,153 @@
+#include "common/check.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace xontorank {
+namespace {
+
+/// Runs `fn` in a forked child and reports how it ended. Death is
+/// detected by exit disposition alone (fork + waitpid, SIGABRT), so the
+/// suite does not depend on gtest's death-test machinery.
+enum class ChildOutcome { kRanToCompletion, kAborted, kOther };
+
+template <typename Fn>
+ChildOutcome RunInChild(Fn fn) {
+  std::fflush(nullptr);
+  pid_t pid = fork();
+  if (pid == 0) {
+    // Child: the failure message the check writes to stderr is expected
+    // noise for aborting cases; send it to /dev/null.
+    std::freopen("/dev/null", "w", stderr);
+    fn();
+    _exit(0);
+  }
+  int wstatus = 0;
+  if (waitpid(pid, &wstatus, 0) != pid) return ChildOutcome::kOther;
+  if (WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGABRT) {
+    return ChildOutcome::kAborted;
+  }
+  if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+    return ChildOutcome::kRanToCompletion;
+  }
+  return ChildOutcome::kOther;
+}
+
+TEST(CheckTest, PassingCheckIsANoOp) {
+  XO_CHECK(1 + 1 == 2);
+  XO_CHECK_OK(Status::OK());
+  XO_CHECK_EQ(4, 4);
+  XO_CHECK_NE(4, 5);
+  XO_CHECK_LT(4, 5);
+  XO_CHECK_LE(4, 4);
+  XO_CHECK_GT(5, 4);
+  XO_CHECK_GE(5, 5);
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_EQ(RunInChild([] { XO_CHECK(false && "seeded failure"); }),
+            ChildOutcome::kAborted);
+}
+
+TEST(CheckTest, FailingCheckAbortsUnderNDEBUGBuildsToo) {
+  // The macro has no NDEBUG branch at all, but this pins the contract:
+  // the check is live in whatever mode this test was compiled in.
+  volatile bool always_false = false;
+  EXPECT_EQ(RunInChild([&] { XO_CHECK(always_false); }),
+            ChildOutcome::kAborted);
+}
+
+TEST(CheckTest, CheckOkAbortsOnErrorStatus) {
+  EXPECT_EQ(
+      RunInChild([] { XO_CHECK_OK(Status::IoError("disk on fire")); }),
+      ChildOutcome::kAborted);
+}
+
+TEST(CheckTest, CheckOkAcceptsOkResult) {
+  Result<int> result(7);
+  XO_CHECK_OK(result);
+  EXPECT_EQ(result.value(), 7);
+}
+
+TEST(CheckTest, CheckOkAbortsOnErrorResult) {
+  EXPECT_EQ(RunInChild([] {
+              Result<int> result(Status::ParseError("bad token"));
+              XO_CHECK_OK(result);
+            }),
+            ChildOutcome::kAborted);
+}
+
+TEST(CheckTest, CheckOkEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  auto status_fn = [&calls] {
+    ++calls;
+    return Status::OK();
+  };
+  XO_CHECK_OK(status_fn());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, ComparisonChecksAbortOnViolation) {
+  EXPECT_EQ(RunInChild([] { XO_CHECK_EQ(2, 3); }), ChildOutcome::kAborted);
+  EXPECT_EQ(RunInChild([] { XO_CHECK_GE(2, 3); }), ChildOutcome::kAborted);
+  EXPECT_EQ(RunInChild([] { XO_CHECK_LT(3, 3); }), ChildOutcome::kAborted);
+}
+
+TEST(CheckTest, ComparisonChecksEvaluateOperandsExactlyOnce) {
+  int left_evals = 0;
+  int right_evals = 0;
+  XO_CHECK_LE((++left_evals, 1), (++right_evals, 2));
+  EXPECT_EQ(left_evals, 1);
+  EXPECT_EQ(right_evals, 1);
+}
+
+TEST(CheckTest, DcheckMatchesBuildMode) {
+  ChildOutcome outcome = RunInChild([] { XO_DCHECK(false); });
+#ifdef NDEBUG
+  // Release: XO_DCHECK compiles to a dead branch; the child runs on.
+  EXPECT_EQ(outcome, ChildOutcome::kRanToCompletion);
+#else
+  EXPECT_EQ(outcome, ChildOutcome::kAborted);
+#endif
+}
+
+TEST(CheckTest, DcheckDoesNotEvaluateOperandsInRelease) {
+  int evals = 0;
+  XO_DCHECK((++evals, true));
+#ifdef NDEBUG
+  EXPECT_EQ(evals, 0);
+#else
+  EXPECT_EQ(evals, 1);
+#endif
+}
+
+TEST(CheckTest, ResultValueMisuseAbortsInAllBuildModes) {
+  // The satellite contract: Result<T>::value() guards with XO_CHECK, so
+  // touching the value of an error Result aborts even under NDEBUG
+  // instead of reading a disengaged optional (silent UB).
+  EXPECT_EQ(RunInChild([] {
+              Result<int> result(Status::NotFound("no such concept"));
+              int v = result.value();
+              (void)v;
+            }),
+            ChildOutcome::kAborted);
+}
+
+TEST(CheckTest, ResultConstructedFromOkStatusAborts) {
+  EXPECT_EQ(RunInChild([] {
+              Status ok = Status::OK();
+              Result<int> result(ok);
+              (void)result.ok();
+            }),
+            ChildOutcome::kAborted);
+}
+
+}  // namespace
+}  // namespace xontorank

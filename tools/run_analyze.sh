@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the Clang Static Analyzer (scan-build) over the library targets.
+# Exits non-zero when the analyzer reports any bug (--status-bugs).
+# Skips gracefully when scan-build is not installed, like run_lint.sh:
+# this container is GCC-only; CI installs clang-tools.
+#
+# Usage: tools/run_analyze.sh [extra scan-build args...]
+# Env:   SCAN_BUILD=scan-build-18  ANALYZE_BUILD_DIR=build-analyze
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCAN="${SCAN_BUILD:-}"
+if [[ -z "${SCAN}" ]]; then
+  for candidate in scan-build scan-build-20 scan-build-19 scan-build-18 \
+                   scan-build-17 scan-build-16 scan-build-15 scan-build-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      SCAN="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${SCAN}" ]]; then
+  echo "run_analyze.sh: scan-build not found; skipping analysis." >&2
+  echo "run_analyze.sh: install clang-tools to run the analyzer locally." >&2
+  exit 0
+fi
+
+BUILD_DIR="${ANALYZE_BUILD_DIR:-build-analyze}"
+
+# The analyzer intercepts the compiler, so the tree must be configured
+# and built from scratch under scan-build.
+rm -rf "${BUILD_DIR}"
+"${SCAN}" --status-bugs "$@" cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+# Library targets only: analyzing every test/bench TU triples the run
+# time without covering new first-party code paths.
+"${SCAN}" --status-bugs "$@" cmake --build "${BUILD_DIR}" -j"$(nproc)" \
+  --target xontorank_common xontorank_xml xontorank_ir xontorank_onto \
+  xontorank_cda xontorank_core xontorank_storage xontorank_eval \
+  xontorank_emr
+
+echo "run_analyze.sh: clean"

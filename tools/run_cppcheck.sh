@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs cppcheck over the library sources (src/). Exits non-zero on any
+# reported error (--error-exitcode). Skips gracefully when cppcheck is
+# not installed, like run_lint.sh: this container is GCC-only; CI
+# installs cppcheck.
+#
+# Suppressions live in tools/cppcheck.supp (one `id:path` per line);
+# inline `// cppcheck-suppress <id>` comments are honored too.
+#
+# Usage: tools/run_cppcheck.sh [extra cppcheck args...]
+# Env:   CPPCHECK=cppcheck  CPPCHECK_JOBS=8
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK="${CPPCHECK:-}"
+if [[ -z "${CHECK}" ]]; then
+  if command -v cppcheck >/dev/null 2>&1; then
+    CHECK=cppcheck
+  fi
+fi
+if [[ -z "${CHECK}" ]]; then
+  echo "run_cppcheck.sh: cppcheck not found; skipping." >&2
+  echo "run_cppcheck.sh: install cppcheck to run the checker locally." >&2
+  exit 0
+fi
+
+JOBS="${CPPCHECK_JOBS:-$(nproc)}"
+
+# warning+performance+portability, but not style (too opinionated for a
+# gate) and not unusedFunction (the library legitimately exports more
+# than the binaries in this repo call).
+"${CHECK}" \
+  --enable=warning,performance,portability \
+  --inline-suppr \
+  --suppressions-list=tools/cppcheck.supp \
+  --error-exitcode=1 \
+  --std=c++20 \
+  --language=c++ \
+  -I src \
+  -j "${JOBS}" \
+  --quiet \
+  "$@" \
+  src
+
+echo "run_cppcheck.sh: clean"

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy) over every first-party translation
+# Runs the repo lint suite: xo_lint.py (always — Python only), then
+# clang-tidy (config: .clang-tidy) over every first-party translation
 # unit in src/ tests/ bench/ examples/, generating compile_commands.json
-# first. Exits non-zero when any WarningsAsErrors check fires.
+# first. Exits non-zero when xo_lint finds a violation or any
+# WarningsAsErrors check fires; the clang-tidy half skips gracefully
+# when clang-tidy is absent.
 #
 # Usage: tools/run_lint.sh [extra clang-tidy args...]
 # Env:   CLANG_TIDY=clang-tidy-18  LINT_BUILD_DIR=build-lint  LINT_JOBS=8
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The repo-specific lint needs only Python, so it always runs — even on
+# machines without clang. Rules and suppression syntax: tools/xo_lint.py.
+echo "run_lint.sh: xo_lint.py"
+python3 tools/xo_lint.py
 
 TIDY="${CLANG_TIDY:-}"
 if [[ -z "${TIDY}" ]]; then
