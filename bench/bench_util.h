@@ -6,6 +6,13 @@
 #include <string>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 #include "cda/cda_generator.h"
 #include "core/xontorank.h"
 #include "onto/ontology_generator.h"
@@ -87,6 +94,49 @@ inline SearchOptions TimedSearch(size_t top_k, size_t parallelism = 1) {
 inline void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Heap bytes currently handed out by the allocator (glibc mallinfo2);
+/// 0 where unavailable. Deltas around a build/load measure a structure's
+/// true heap footprint — including per-node map overhead and vector slack
+/// that sizeof-based accounting misses.
+inline size_t HeapBytesInUse() {
+#if defined(__GLIBC__) && __GLIBC_PREREQ(2, 33)
+  struct mallinfo2 info = mallinfo2();
+  return static_cast<size_t>(info.uordblks) +
+         static_cast<size_t>(info.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+/// Resident set size from /proc/self/statm (Linux); 0 elsewhere. Coarser
+/// than HeapBytesInUse (page granularity, includes code/stack) but
+/// allocator-independent.
+inline size_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long pages_total = 0, pages_resident = 0;
+  int matched = std::fscanf(statm, "%lu %lu", &pages_total, &pages_resident);
+  std::fclose(statm);
+  if (matched != 2) return 0;
+  return pages_resident * static_cast<size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+/// The heap growth attributable to running `build` and keeping its result
+/// alive: heap-in-use delta across the call. The result object must stay
+/// alive in the caller (return it from `build`).
+template <typename Fn>
+auto MeasureHeapDelta(Fn&& build, size_t* delta_bytes) {
+  size_t before = HeapBytesInUse();
+  auto result = build();
+  size_t after = HeapBytesInUse();
+  *delta_bytes = after > before ? after - before : 0;
+  return result;
 }
 
 }  // namespace bench

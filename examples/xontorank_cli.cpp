@@ -280,10 +280,11 @@ int QueryCommand(const std::vector<std::string>& args) {
   XOntoRank engine(std::move(corpus).value(), *onto, options);
 
   // Adopt a previously saved index (from the `index` command) so no
-  // OntoScore work is repeated. Must match corpus/ontology/strategy.
+  // OntoScore work is repeated. Must match corpus/ontology/strategy. The
+  // flat load decodes the file straight into the serving columns.
   std::string index_path = FlagValue(args, "--index", "");
   if (!index_path.empty()) {
-    auto dil = LoadIndex(index_path);
+    auto dil = LoadIndexFlat(index_path);
     if (!dil.ok()) return Fail(dil.status().ToString());
     engine.AdoptPrecomputed(std::move(dil).value());
     XONTO_LOG(kInfo) << "adopted " << index_path;

@@ -1,0 +1,282 @@
+#include "core/flat_dil.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace xontorank {
+
+// --- Builder --------------------------------------------------------------
+
+FlatDil::Builder::Builder(size_t expected_keywords, size_t expected_postings) {
+  // list_begin_/skip_begin_ are rebuilt from scratch: BeginList pushes each
+  // list's start, Finish the final end bound (so an empty build still ends
+  // up with the canonical {0}).
+  dil_.list_begin_.clear();
+  dil_.skip_begin_.clear();
+  dil_.keyword_offsets_.reserve(expected_keywords + 1);
+  dil_.list_begin_.reserve(expected_keywords + 1);
+  dil_.skip_begin_.reserve(expected_keywords + 1);
+  dil_.scores_.reserve(expected_postings);
+  dil_.shared_.reserve(expected_postings);
+  dil_.suffix_offsets_.reserve(expected_postings + 1);
+  // Prefix elision leaves ~1-2 fresh components per posting plus one full
+  // id per block restart; 2 per posting is a safe single-allocation guess
+  // (Finish shrinks whatever is unused).
+  dil_.arena_.reserve(expected_postings * 2);
+  dil_.skip_first_doc_.reserve(expected_postings / kBlockPostings +
+                               expected_keywords);
+}
+
+bool FlatDil::Builder::BeginList(std::string_view keyword) {
+  size_t built = dil_.keyword_offsets_.size() - 1;
+  if (built > 0) {
+    std::string_view last =
+        std::string_view(dil_.keyword_arena_)
+            .substr(dil_.keyword_offsets_[built - 1],
+                    dil_.keyword_offsets_[built] -
+                        dil_.keyword_offsets_[built - 1]);
+    if (!(last < keyword)) return false;  // must be strictly ascending
+  }
+  dil_.list_begin_.push_back(static_cast<uint32_t>(dil_.scores_.size()));
+  dil_.skip_begin_.push_back(
+      static_cast<uint32_t>(dil_.skip_first_doc_.size()));
+  dil_.keyword_arena_.append(keyword);
+  dil_.keyword_offsets_.push_back(
+      static_cast<uint32_t>(dil_.keyword_arena_.size()));
+  list_open_ = true;
+  has_prev_ = false;
+  return true;
+}
+
+bool FlatDil::Builder::AddPosting(std::span<const uint32_t> components,
+                                  double score) {
+  if (!list_open_ || components.empty() || components.size() > UINT16_MAX) {
+    return false;
+  }
+  DeweyRef cur(components.data(), components.size());
+  uint32_t shared = 0;
+  if (has_prev_) {
+    DeweyRef prev(prev_.data(), prev_.size());
+    if (CompareDewey(cur, prev) < 0) return false;  // non-decreasing only
+    shared = static_cast<uint32_t>(CommonPrefixLength(prev, cur));
+  }
+  uint32_t in_list = static_cast<uint32_t>(dil_.scores_.size()) -
+                     dil_.list_begin_.back();
+  if (in_list % kBlockPostings == 0) {
+    // Block restart: store the full id so a skip-table seek can start
+    // decoding here, and record the block's first document id.
+    shared = 0;
+    dil_.skip_first_doc_.push_back(components[0]);
+  }
+  dil_.shared_.push_back(static_cast<uint16_t>(shared));
+  dil_.arena_.insert(dil_.arena_.end(), components.begin() + shared,
+                     components.end());
+  dil_.suffix_offsets_.push_back(static_cast<uint32_t>(dil_.arena_.size()));
+  dil_.scores_.push_back(score);
+  prev_.assign(components.begin(), components.end());
+  has_prev_ = true;
+  return true;
+}
+
+FlatDil FlatDil::Builder::Finish() && {
+  dil_.list_begin_.push_back(static_cast<uint32_t>(dil_.scores_.size()));
+  dil_.skip_begin_.push_back(
+      static_cast<uint32_t>(dil_.skip_first_doc_.size()));
+  // Drop reservation slack so MemoryBytes()-style accounting (and the
+  // bench's heap counters) reflect the data, not the sizing heuristics —
+  // DecodeIndexFlat in particular can only bound the posting count from
+  // the blob size, leaving every per-posting column over-reserved.
+  dil_.scores_.shrink_to_fit();
+  dil_.shared_.shrink_to_fit();
+  dil_.suffix_offsets_.shrink_to_fit();
+  dil_.arena_.shrink_to_fit();
+  dil_.skip_first_doc_.shrink_to_fit();
+  return std::move(dil_);
+}
+
+// --- dictionary -----------------------------------------------------------
+
+uint32_t FlatDil::FindList(std::string_view keyword) const {
+  uint32_t lo = 0;
+  uint32_t hi = static_cast<uint32_t>(keyword_count());
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (KeywordAt(mid) < keyword) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < keyword_count() && KeywordAt(lo) == keyword) return lo;
+  return kNoList;
+}
+
+// --- cursors & seeks ------------------------------------------------------
+
+DilCursor FlatDil::OpenCursor(uint32_t list) const {
+  return CursorAt(list, list_begin_[list], list_begin_[list + 1]);
+}
+
+DilCursor FlatDil::OpenCursor(uint32_t list, const DocRange& range) const {
+  auto [lo, hi] = PostingRange(list, range);
+  return CursorAt(list, lo, hi);
+}
+
+DilCursor FlatDil::CursorAt(uint32_t list, uint32_t from, uint32_t to) const {
+  DilCursor c;
+  if (from >= to) return c;  // default cursor is exhausted
+  c.dil_ = this;
+  c.end_ = to;
+  c.list_start_ = list_begin_[list];
+  c.skip_lo_ = skip_begin_[list];
+  c.skip_hi_ = skip_begin_[list + 1];
+  // Seek: start decoding at `from`'s block restart (where shared == 0) and
+  // roll forward so the shared-prefix buffer is complete at `from`.
+  uint32_t list_start = c.list_start_;
+  c.pos_ = list_start +
+           (from - list_start) / kBlockPostings * kBlockPostings;
+  c.LoadCurrent();
+  while (c.pos_ < from) {
+    ++c.pos_;
+    c.LoadCurrent();
+  }
+  return c;
+}
+
+uint32_t FlatDil::LowerBoundDoc(uint32_t list, uint32_t doc) const {
+  uint32_t list_start = list_begin_[list];
+  uint32_t list_end = list_begin_[list + 1];
+  if (list_start == list_end) return list_start;
+  uint32_t skip_lo = skip_begin_[list];
+  uint32_t skip_hi = skip_begin_[list + 1];
+  // First block whose first document id is >= doc. Any earlier match must
+  // then live in the block before it.
+  auto skip_first = skip_first_doc_.begin();
+  uint32_t block = static_cast<uint32_t>(
+      std::lower_bound(skip_first + skip_lo, skip_first + skip_hi, doc) -
+      skip_first);
+  if (block == skip_lo) return list_start;
+  uint32_t begin = list_start + (block - 1 - skip_lo) * kBlockPostings;
+  uint32_t end = std::min(begin + kBlockPostings, list_end);
+  // In-block scan without full decode: the document id changes only at
+  // restart postings (shared == 0), where it is the suffix's first word.
+  uint32_t cur_doc = skip_first_doc_[block - 1];
+  for (uint32_t p = begin; p < end; ++p) {
+    if (shared_[p] == 0) cur_doc = arena_[suffix_offsets_[p]];
+    if (cur_doc >= doc) return p;
+  }
+  return end;  // == next block's start, or list_end
+}
+
+std::pair<uint32_t, uint32_t> FlatDil::PostingRange(
+    uint32_t list, const DocRange& range) const {
+  uint32_t lo = LowerBoundDoc(list, range.begin_doc);
+  uint32_t hi = range.empty() ? lo : LowerBoundDoc(list, range.end_doc);
+  return {lo, std::max(lo, hi)};
+}
+
+void FlatDil::CollectDocIds(uint32_t list,
+                            std::vector<uint32_t>* out) const {
+  uint32_t begin = list_begin_[list];
+  uint32_t end = list_begin_[list + 1];
+  out->reserve(out->size() + (end - begin));
+  uint32_t cur_doc = 0;
+  for (uint32_t p = begin; p < end; ++p) {
+    if (shared_[p] == 0) cur_doc = arena_[suffix_offsets_[p]];
+    out->push_back(cur_doc);
+  }
+}
+
+// --- thaw -----------------------------------------------------------------
+
+std::vector<DilPosting> FlatDil::ThawPostings(uint32_t list) const {
+  std::vector<DilPosting> postings;
+  postings.reserve(ListSize(list));
+  for (DilCursor c = OpenCursor(list); !c.AtEnd(); c.Next()) {
+    postings.push_back(DilPosting{c.dewey().ToDeweyId(), c.score()});
+  }
+  return postings;
+}
+
+XOntoDil FlatDil::ThawAll() const {
+  XOntoDil dil;
+  for (uint32_t l = 0; l < keyword_count(); ++l) {
+    dil.Put(std::string(KeywordAt(l)), ThawPostings(l));
+  }
+  return dil;
+}
+
+// --- introspection --------------------------------------------------------
+
+size_t FlatDil::MemoryBytes() const {
+  return keyword_arena_.size() +
+         keyword_offsets_.size() * sizeof(uint32_t) +
+         list_begin_.size() * sizeof(uint32_t) +
+         scores_.size() * sizeof(double) +
+         shared_.size() * sizeof(uint16_t) +
+         suffix_offsets_.size() * sizeof(uint32_t) +
+         arena_.size() * sizeof(uint32_t) +
+         skip_first_doc_.size() * sizeof(uint32_t) +
+         skip_begin_.size() * sizeof(uint32_t);
+}
+
+// --- conversions ----------------------------------------------------------
+
+FlatDil XOntoDil::Freeze() const {
+  FlatDil::Builder builder(entries_.size(), TotalPostings());
+  for (const auto& [keyword, entry] : entries_) {
+    XO_CHECK(builder.BeginList(keyword));  // map iterates sorted
+    for (const DilPosting& posting : entry.postings) {
+      // Lists are Dewey-sorted by Put's invariant.
+      XO_CHECK(builder.AddPosting(posting.dewey.components(), posting.score));
+    }
+  }
+  return std::move(builder).Finish();
+}
+
+// --- partitioning ---------------------------------------------------------
+
+std::vector<DocRange> PartitionListsByDocument(
+    const std::vector<DilListRef>& lists, size_t max_shards) {
+  uint32_t min_doc = UINT32_MAX;
+  uint32_t max_doc = 0;
+  size_t total = 0;
+  // Flat lists surface doc ids through one sequential scan each; reuse that
+  // scan for both the bounds and the histogram below. Span lists are read
+  // in place.
+  std::vector<std::vector<uint32_t>> flat_docs(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    const DilListRef& list = lists[i];
+    if (list.empty()) continue;
+    total += list.size();
+    if (list.flat != nullptr) {
+      list.flat->CollectDocIds(list.list, &flat_docs[i]);
+      min_doc = std::min(min_doc, flat_docs[i].front());
+      max_doc = std::max(max_doc, flat_docs[i].back());
+    } else {
+      min_doc = std::min(min_doc, list.span.front().dewey.doc_id());
+      max_doc = std::max(max_doc, list.span.back().dewey.doc_id());
+    }
+  }
+  if (total == 0) return {DocRange{0, 0}};
+  if (max_shards <= 1 || min_doc == max_doc) {
+    return {DocRange{min_doc, max_doc + 1}};
+  }
+
+  std::vector<size_t> doc_postings(max_doc - min_doc + 1, 0);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (lists[i].flat != nullptr) {
+      for (uint32_t doc : flat_docs[i]) ++doc_postings[doc - min_doc];
+    } else {
+      for (const DilPosting& p : lists[i].span) {
+        ++doc_postings[p.dewey.doc_id() - min_doc];
+      }
+    }
+  }
+
+  return PartitionDocHistogram(min_doc, max_doc, total, doc_postings,
+                               max_shards);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,370 @@
+#ifndef XONTORANK_CORE_FLAT_DIL_H_
+#define XONTORANK_CORE_FLAT_DIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/xonto_dil.h"
+#include "xml/dewey_ref.h"
+
+namespace xontorank {
+
+class DilCursor;
+
+/// The immutable, flat serving representation of an XOnto-DIL (the
+/// perf-critical half of Table III / Fig. 11): every inverted list of every
+/// keyword lives in a handful of contiguous columns instead of a
+/// `std::map<std::string, DilEntry>` of per-posting heap-owned DeweyIds.
+///
+/// Layout (see DESIGN.md "Posting storage layout"):
+///   - keyword dictionary: one sorted string arena plus offsets; lookup is
+///     a binary search over slices, no node-based map on the read path;
+///   - postings, columnar and global (list `l` owns posting indices
+///     `[list_begin_[l], list_begin_[l+1])`):
+///       scores_[p]          the posting's NS score (full double — freezing
+///                           an in-memory index is lossless),
+///       shared_[p]          Dewey components shared with posting p-1,
+///       arena_[...]         the fresh suffix components, all postings
+///                           back to back in one uint32_t arena,
+///       suffix_offsets_[p]  where posting p's suffix starts in arena_;
+///   - blocks: every kBlockPostings-th posting of a list is a restart
+///     (shared forced to 0, full id in the arena), and the per-block skip
+///     table skip_first_doc_ records each block's first document id, so
+///     document-range seeks land on a block in O(log blocks) and decode at
+///     most one block instead of binary-searching fat posting structs.
+///
+/// This is byte-for-byte the same prefix-elision scheme the on-disk format
+/// uses (storage/index_store.h), which is why DecodeIndexFlat can fill
+/// these columns straight from the wire without building an intermediate
+/// XOntoDil.
+///
+/// A FlatDil is immutable after construction (Builder/Freeze/decode) and
+/// safe to share across any number of reader threads.
+class FlatDil {
+ public:
+  /// Postings per block; restarts and skip entries are per block. 128
+  /// balances seek cost (a seek decodes at most 127 postings past the
+  /// block start) against restart overhead (one un-elided id per block).
+  static constexpr uint32_t kBlockPostings = 128;
+
+  /// FindList's miss value.
+  static constexpr uint32_t kNoList = UINT32_MAX;
+
+  FlatDil() = default;
+
+  FlatDil(FlatDil&&) = default;
+  FlatDil& operator=(FlatDil&&) = default;
+  FlatDil(const FlatDil&) = delete;
+  FlatDil& operator=(const FlatDil&) = delete;
+
+  /// Assembles a FlatDil from lists arriving in sorted order. Shared by
+  /// XOntoDil::Freeze and the flat wire decoder so there is exactly one
+  /// construction path. Defined after the class (it holds a FlatDil).
+  class Builder;
+
+  // --- dictionary -------------------------------------------------------
+
+  size_t keyword_count() const { return list_begin_.size() - 1; }
+  size_t total_postings() const { return scores_.size(); }
+
+  /// Binary search over the sorted keyword arena; kNoList if absent.
+  uint32_t FindList(std::string_view keyword) const;
+
+  std::string_view KeywordAt(uint32_t list) const {
+    return std::string_view(keyword_arena_)
+        .substr(keyword_offsets_[list],
+                keyword_offsets_[list + 1] - keyword_offsets_[list]);
+  }
+
+  size_t ListSize(uint32_t list) const {
+    return list_begin_[list + 1] - list_begin_[list];
+  }
+
+  // --- cursors & seeks --------------------------------------------------
+
+  /// A forward cursor over the whole list.
+  DilCursor OpenCursor(uint32_t list) const;
+
+  /// A cursor over the list's postings inside `range` (skip-table seek).
+  DilCursor OpenCursor(uint32_t list, const DocRange& range) const;
+
+  /// The half-open posting-index range of `list` whose documents fall in
+  /// `range`: a binary search over the block skip table narrows the
+  /// boundary to one block, which is then scanned without full decoding.
+  /// Exact equivalent of SliceDocRange on the legacy representation.
+  std::pair<uint32_t, uint32_t> PostingRange(uint32_t list,
+                                             const DocRange& range) const;
+
+  /// Appends every posting's document id, in posting order (one cheap
+  /// sequential scan: the doc id changes only at restart postings).
+  void CollectDocIds(uint32_t list, std::vector<uint32_t>* out) const;
+
+  /// Score of a posting by global posting index (columnar: O(1), used by
+  /// the ranked processor's frontier).
+  double ScoreAt(uint32_t posting) const { return scores_[posting]; }
+
+  /// The list's score column, indexed by list-local posting position —
+  /// random access for the ranked processor without touching Dewey data.
+  std::span<const double> ListScores(uint32_t list) const {
+    return std::span<const double>(scores_.data() + list_begin_[list],
+                                   ListSize(list));
+  }
+
+  // --- thaw (legacy interop) --------------------------------------------
+
+  /// Rebuilds the list's legacy posting vector, bit-identical to what was
+  /// frozen (scores are stored as full doubles).
+  std::vector<DilPosting> ThawPostings(uint32_t list) const;
+
+  /// Rebuilds the whole mutable index (persistence, tests).
+  XOntoDil ThawAll() const;
+
+  // --- introspection ----------------------------------------------------
+
+  /// Exact heap bytes of the flat representation: every column's
+  /// size() * element size plus the keyword arena. This is what
+  /// bench_flat_dil reports as bytes/posting.
+  size_t MemoryBytes() const;
+
+  /// Bytes of the Dewey component arena alone.
+  size_t ArenaBytes() const { return arena_.size() * sizeof(uint32_t); }
+
+  /// Skip-table blocks backing `list` (tests).
+  size_t BlockCount(uint32_t list) const {
+    return skip_begin_[list + 1] - skip_begin_[list];
+  }
+
+ private:
+  friend class DilCursor;
+
+  /// First posting index of `list` with document id >= `doc`.
+  uint32_t LowerBoundDoc(uint32_t list, uint32_t doc) const;
+
+  /// A cursor positioned at global posting index `from`, bounded by `to`
+  /// (seeks to the enclosing block restart and rolls forward).
+  DilCursor CursorAt(uint32_t list, uint32_t from, uint32_t to) const;
+
+  // Dictionary.
+  std::string keyword_arena_;
+  std::vector<uint32_t> keyword_offsets_ = {0};  ///< K+1
+  std::vector<uint32_t> list_begin_ = {0};       ///< K+1 posting bounds
+
+  // Columnar postings.
+  std::vector<double> scores_;          ///< P
+  std::vector<uint16_t> shared_;        ///< P (restarts store 0)
+  std::vector<uint32_t> suffix_offsets_ = {0};  ///< P+1 arena offsets
+  std::vector<uint32_t> arena_;         ///< concatenated fresh suffixes
+
+  // Per-block skip table.
+  std::vector<uint32_t> skip_first_doc_;     ///< one per block
+  std::vector<uint32_t> skip_begin_ = {0};   ///< K+1 block bounds
+};
+
+class FlatDil::Builder {
+ public:
+  /// Size hints reserve the per-posting columns up front (the arena is
+  /// reserved heuristically; suffixes are data-dependent).
+  Builder(size_t expected_keywords, size_t expected_postings);
+
+  /// Opens the list for `keyword`, which must sort strictly after every
+  /// previously begun keyword; returns false (and ignores the call)
+  /// otherwise.
+  bool BeginList(std::string_view keyword);
+
+  /// Appends one posting to the current list. `components` must be
+  /// non-empty and must not sort before the list's previous posting;
+  /// returns false (and ignores the call) otherwise.
+  bool AddPosting(std::span<const uint32_t> components, double score);
+
+  FlatDil Finish() &&;
+
+ private:
+  FlatDil dil_;
+  std::vector<uint32_t> prev_;  ///< previous posting's full components
+  bool list_open_ = false;
+  bool has_prev_ = false;  ///< a posting exists in the current list
+};
+
+/// A cheap forward view over one inverted list — flat (arena-backed) or
+/// legacy (span of DilPosting) — that the merge loop consumes without ever
+/// materializing a DeweyId. The flat side incrementally reconstructs the
+/// current id into a reused buffer (copying only the prefix-elided fresh
+/// components per advance); the span side just points at the posting.
+class DilCursor {
+ public:
+  /// An exhausted cursor.
+  DilCursor() = default;
+
+  /// A cursor over a legacy Dewey-sorted posting range.
+  static DilCursor OverSpan(std::span<const DilPosting> postings) {
+    DilCursor c;
+    c.span_ = postings;
+    c.pos_ = 0;
+    c.end_ = static_cast<uint32_t>(postings.size());
+    return c;
+  }
+
+  bool AtEnd() const { return pos_ >= end_; }
+  size_t remaining() const { return AtEnd() ? 0 : end_ - pos_; }
+
+  /// The current posting's Dewey id. The ref is valid until Next().
+  DeweyRef dewey() const {
+    if (dil_ == nullptr) return DeweyRef(span_[pos_].dewey);
+    return DeweyRef(buf_.data(), depth_);
+  }
+
+  double score() const {
+    return dil_ == nullptr ? span_[pos_].score : dil_->scores_[pos_];
+  }
+
+  /// The current posting's document id (the first Dewey component).
+  uint32_t doc() const {
+    return dil_ == nullptr ? span_[pos_].dewey.doc_id() : buf_[0];
+  }
+
+  void Next() {
+    ++pos_;
+    if (dil_ != nullptr && pos_ < end_) LoadCurrent();
+  }
+
+  /// Advances to the first posting whose document id is >= `doc` (never
+  /// moves backwards; no-op when already there). Flat cursors jump through
+  /// the block skip table and decode at most one block's worth of postings;
+  /// span cursors binary-search the remaining range. This is what lets the
+  /// conjunctive merge leapfrog over documents that cannot emit results.
+  void SeekDoc(uint32_t doc) {
+    if (AtEnd()) return;
+    if (dil_ == nullptr) {
+      auto rest = span_.subspan(pos_, end_ - pos_);
+      pos_ += static_cast<uint32_t>(
+          std::partition_point(rest.begin(), rest.end(),
+                               [doc](const DilPosting& p) {
+                                 return p.dewey.doc_id() < doc;
+                               }) -
+          rest.begin());
+      return;
+    }
+    if (buf_[0] >= doc) return;
+    // First block after the current one whose first document id is >= doc;
+    // the target posting then lives in the block before it (or at its
+    // start), so at most ~one block is decoded while rolling forward.
+    uint32_t cur_block =
+        skip_lo_ + (pos_ - list_start_) / FlatDil::kBlockPostings;
+    const std::vector<uint32_t>& skip = dil_->skip_first_doc_;
+    uint32_t next_block = static_cast<uint32_t>(
+        std::lower_bound(skip.begin() + cur_block + 1,
+                         skip.begin() + skip_hi_, doc) -
+        skip.begin());
+    if (next_block - 1 > cur_block) {
+      pos_ = list_start_ +
+             (next_block - 1 - skip_lo_) * FlatDil::kBlockPostings;
+      if (pos_ >= end_) {
+        pos_ = end_;
+        return;
+      }
+      LoadCurrent();  // block restarts have shared == 0: buf_ is complete
+    }
+    while (buf_[0] < doc) {
+      ++pos_;
+      if (pos_ >= end_) return;
+      LoadCurrent();
+    }
+  }
+
+ private:
+  friend class FlatDil;
+
+  /// Decodes posting pos_ into buf_: keeps the shared prefix (identical to
+  /// the predecessor's by construction) and copies the fresh suffix.
+  void LoadCurrent() {
+    uint32_t off = dil_->suffix_offsets_[pos_];
+    uint32_t fresh = dil_->suffix_offsets_[pos_ + 1] - off;
+    uint32_t shared = dil_->shared_[pos_];
+    depth_ = shared + fresh;
+    if (buf_.size() < depth_) buf_.resize(depth_);
+    for (uint32_t i = 0; i < fresh; ++i) {
+      buf_[shared + i] = dil_->arena_[off + i];
+    }
+  }
+
+  // Flat mode (dil_ != nullptr): pos_/end_ are global posting indices.
+  const FlatDil* dil_ = nullptr;
+  uint32_t depth_ = 0;
+  std::vector<uint32_t> buf_;  ///< reconstructed components, reused
+  uint32_t list_start_ = 0;    ///< the list's first posting index
+  uint32_t skip_lo_ = 0;       ///< the list's block range in the skip table
+  uint32_t skip_hi_ = 0;
+
+  // Span mode: pos_/end_ index span_.
+  std::span<const DilPosting> span_;
+
+  uint32_t pos_ = 0;
+  uint32_t end_ = 0;
+};
+
+/// One query keyword's inverted list for execution: either a list of a
+/// FlatDil (the precomputed, frozen set) or a legacy posting span (demand
+/// cache, tests). Query processors are written against this so the flat
+/// and legacy worlds share one execution path.
+struct DilListRef {
+  const FlatDil* flat = nullptr;
+  uint32_t list = 0;                     ///< valid when flat != nullptr
+  std::span<const DilPosting> span{};    ///< used when flat == nullptr
+
+  static DilListRef Over(std::span<const DilPosting> postings) {
+    DilListRef ref;
+    ref.span = postings;
+    return ref;
+  }
+
+  /// nullptr maps to an empty list (the keyword matches nothing).
+  static DilListRef Over(const DilEntry* entry) {
+    DilListRef ref;
+    if (entry != nullptr) ref.span = std::span<const DilPosting>(entry->postings);
+    return ref;
+  }
+
+  static DilListRef OverFlat(const FlatDil& dil, uint32_t list) {
+    DilListRef ref;
+    ref.flat = &dil;
+    ref.list = list;
+    return ref;
+  }
+
+  size_t size() const {
+    return flat != nullptr ? flat->ListSize(list) : span.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  DilCursor OpenCursor() const {
+    return flat != nullptr ? flat->OpenCursor(list) : DilCursor::OverSpan(span);
+  }
+
+  DilCursor OpenCursor(const DocRange& range) const {
+    return flat != nullptr ? flat->OpenCursor(list, range)
+                           : DilCursor::OverSpan(SliceDocRange(span, range));
+  }
+
+  /// Postings inside `range` without opening a cursor.
+  size_t CountInRange(const DocRange& range) const {
+    if (flat != nullptr) {
+      auto [lo, hi] = flat->PostingRange(list, range);
+      return hi - lo;
+    }
+    return SliceDocRange(span, range).size();
+  }
+};
+
+/// DilListRef overload of the document-granular partitioner; produces the
+/// exact ranges PartitionListsByDocument yields for the same postings.
+std::vector<DocRange> PartitionListsByDocument(
+    const std::vector<DilListRef>& lists, size_t max_shards);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_FLAT_DIL_H_

@@ -13,6 +13,12 @@ namespace xontorank {
 CorpusIndex::CorpusIndex(const Corpus& corpus,
                          std::shared_ptr<const OntologyContext> context,
                          IndexBuildOptions options, XOntoDil adopted)
+    : CorpusIndex(corpus, std::move(context), options,
+                  adopted.keyword_count() > 0 ? adopted.Freeze() : FlatDil{}) {}
+
+CorpusIndex::CorpusIndex(const Corpus& corpus,
+                         std::shared_ptr<const OntologyContext> context,
+                         IndexBuildOptions options, FlatDil adopted)
     : corpus_(&corpus),
       context_(std::move(context)),
       options_(options),
@@ -26,14 +32,14 @@ CorpusIndex::CorpusIndex(const Corpus& corpus,
     elem_rank_ = std::make_unique<ElemRank>(corpus, options_.elem_rank);
   }
   if (adopted.keyword_count() > 0) {
-    base_ = std::move(adopted);
+    flat_ = std::move(adopted);
   } else {
     Precompute();
   }
   stats_.build_millis = timer.ElapsedMillis();
   stats_.documents = corpus.size();
-  stats_.precomputed_keywords = base_.keyword_count();
-  stats_.total_postings = base_.TotalPostings();
+  stats_.precomputed_keywords = flat_.keyword_count();
+  stats_.total_postings = flat_.total_postings();
 }
 
 CorpusIndex::CorpusIndex(const Corpus& corpus, OntologySet systems,
@@ -90,12 +96,16 @@ void CorpusIndex::Precompute() {
                            : options_.num_threads;
   num_threads = std::min(num_threads, vocab.size() == 0 ? 1 : vocab.size());
 
+  // Entries are assembled into a mutable staging dil and frozen into the
+  // columnar serving form in one pass at the end.
+  XOntoDil built;
   if (num_threads <= 1) {
     for (const std::string& token : vocab) {
       Keyword kw = MakeKeyword(token);
       if (kw.tokens.empty()) continue;
-      base_.Put(kw.Canonical(), BuildPostingsCached(kw));
+      built.Put(kw.Canonical(), BuildPostingsCached(kw));
     }
+    flat_ = built.Freeze();
     return;
   }
 
@@ -118,9 +128,10 @@ void CorpusIndex::Precompute() {
   for (std::thread& worker : workers) worker.join();
   for (auto& buffer : buffers) {
     for (auto& [canonical, postings] : buffer) {
-      base_.Put(std::move(canonical), std::move(postings));
+      built.Put(std::move(canonical), std::move(postings));
     }
   }
+  flat_ = built.Freeze();
 }
 
 OntoScoreMap CorpusIndex::ComputeOntoScoreRow(const Keyword& keyword,
@@ -200,18 +211,30 @@ std::vector<DilPosting> CorpusIndex::BuildPostingsCached(
   return BuildPostingsFromRows(keyword, rows);
 }
 
+DilListRef CorpusIndex::GetListRef(const Keyword& keyword) const {
+  uint32_t list = flat_.FindList(keyword.Canonical());
+  if (list != FlatDil::kNoList) return DilListRef::OverFlat(flat_, list);
+  return DilListRef::Over(GetEntry(keyword));
+}
+
 const DilEntry* CorpusIndex::GetEntry(const Keyword& keyword) const {
   std::string canonical = keyword.Canonical();
-  // Precomputed entries are immutable after construction: lock-free.
-  if (const DilEntry* entry = base_.Find(canonical)) return entry;
   {
     MutexLock lock(demand_mutex_);
     if (const DilEntry* entry = demand_.Find(canonical)) return entry;
   }
-  // Build outside the lock (the expensive part is read-only); a racing
-  // thread may build the same entry, in which case the first Put wins and
-  // the duplicate work is discarded.
-  std::vector<DilPosting> postings = BuildPostingsCached(keyword);
+  // Thaw a precomputed flat list, or build from scratch, outside the lock
+  // (the expensive part is read-only); a racing thread may produce the
+  // same entry, in which case the first Put wins and the duplicate work is
+  // discarded. Thawed postings are bit-identical to the frozen originals
+  // (scores are stored as full doubles).
+  std::vector<DilPosting> postings;
+  uint32_t list = flat_.FindList(canonical);
+  if (list != FlatDil::kNoList) {
+    postings = flat_.ThawPostings(list);
+  } else {
+    postings = BuildPostingsCached(keyword);
+  }
   MutexLock lock(demand_mutex_);
   if (const DilEntry* entry = demand_.Find(canonical)) return entry;
   demand_.Put(canonical, std::move(postings));
@@ -250,24 +273,34 @@ CorpusIndex::NodeSupport CorpusIndex::ComputeNodeSupport(
 
 std::vector<std::string> CorpusIndex::PrecomputedVocabulary() const {
   std::vector<std::string> out;
-  out.reserve(base_.entries().size());
-  for (const auto& [kw, entry] : base_.entries()) out.push_back(kw);
+  out.reserve(flat_.keyword_count());
+  for (uint32_t l = 0; l < flat_.keyword_count(); ++l) {
+    out.emplace_back(flat_.KeywordAt(l));
+  }
   return out;
 }
 
 size_t CorpusIndex::TotalPostings() const {
-  size_t demand_postings;
+  // GetEntry may have thawed precomputed lists into the demand cache;
+  // count only genuinely demand-built lists to avoid double counting.
+  size_t demand_postings = 0;
   {
     MutexLock lock(demand_mutex_);
-    demand_postings = demand_.TotalPostings();
+    for (const auto& [kw, entry] : demand_.entries()) {
+      if (flat_.FindList(kw) == FlatDil::kNoList) {
+        demand_postings += entry.postings.size();
+      }
+    }
   }
-  return base_.TotalPostings() + demand_postings;
+  return flat_.total_postings() + demand_postings;
 }
 
 XOntoDil CorpusIndex::MaterializedCopy() const {
-  XOntoDil merged = base_;
+  XOntoDil merged = flat_.ThawAll();
   MutexLock lock(demand_mutex_);
   for (const auto& [kw, entry] : demand_.entries()) {
+    // Thawed duplicates of flat lists are identical; Put replaces either
+    // way, so the merge stays exact.
     merged.Put(kw, entry.postings);
   }
   return merged;

@@ -9,6 +9,7 @@
 
 #include "common/sync.h"
 #include "core/elem_rank.h"
+#include "core/flat_dil.h"
 #include "core/onto_score.h"
 #include "core/ontology_context.h"
 #include "core/options.h"
@@ -52,9 +53,13 @@ struct IndexBuildStats {
 /// phrases) are built on demand and cached; results are identical either
 /// way.
 ///
+/// The precomputed vocabulary is held as an immutable FlatDil (columnar
+/// postings, skip tables — core/flat_dil.h): query execution reads it
+/// through GetListRef without materializing legacy entries, lock-free.
+///
 /// Thread-safety: a CorpusIndex is immutable after construction. Any number
-/// of threads may call the const accessors concurrently; GetEntry serves
-/// precomputed (and adopted) entries without taking any lock, and
+/// of threads may call the const accessors concurrently; GetListRef serves
+/// precomputed (and adopted) lists without taking any lock, and
 /// synchronizes only the on-demand side cache. Returned entry pointers are
 /// stable for the life of the index.
 class CorpusIndex {
@@ -70,6 +75,12 @@ class CorpusIndex {
   CorpusIndex(const Corpus& corpus,
               std::shared_ptr<const OntologyContext> context,
               IndexBuildOptions options, XOntoDil adopted = {});
+
+  /// Same, adopting an already-flat index (the near-zero-copy load path:
+  /// LoadIndexFlat decodes the wire format straight into these columns).
+  CorpusIndex(const Corpus& corpus,
+              std::shared_ptr<const OntologyContext> context,
+              IndexBuildOptions options, FlatDil adopted);
 
   /// Convenience for standalone use (tests, benches, the query-expansion
   /// baseline): builds a private OntologyContext. The ontologies inside
@@ -96,13 +107,24 @@ class CorpusIndex {
   }
   const Corpus& corpus() const { return *corpus_; }
 
-  /// The inverted list for `keyword` under this index's strategy, building
-  /// and caching it if needed. The returned pointer is stable for the life
-  /// of the index; nullptr is never returned (an unmatched keyword yields
-  /// an empty list). Precomputed entries are served lock-free; only the
-  /// on-demand cache takes a mutex.
+  /// The inverted list for `keyword` as an execution reference. Keywords in
+  /// the precomputed vocabulary resolve to their flat list — zero copies,
+  /// no lock; anything else (phrases, out-of-vocabulary tokens) goes
+  /// through the demand cache. This is the serving path's entry point.
+  DilListRef GetListRef(const Keyword& keyword) const
+      XO_EXCLUDES(demand_mutex_);
+
+  /// The inverted list for `keyword` as a legacy materialized entry,
+  /// building (or thawing, for precomputed keywords) and caching it if
+  /// needed. The returned pointer is stable for the life of the index;
+  /// nullptr is never returned (an unmatched keyword yields an empty
+  /// list). Prefer GetListRef on hot paths — this copies flat lists into
+  /// the demand cache on first request.
   const DilEntry* GetEntry(const Keyword& keyword) const
       XO_EXCLUDES(demand_mutex_);
+
+  /// The precomputed vocabulary's flat serving representation.
+  const FlatDil& flat_dil() const { return flat_; }
 
   /// Builds the inverted list for `keyword` without touching the entry or
   /// row caches (used by the Table III bench to time entry creation from
@@ -166,9 +188,9 @@ class CorpusIndex {
 
   std::unique_ptr<ElemRank> elem_rank_;  ///< set when options.use_elem_rank
 
-  /// Precomputed (or adopted) entries; frozen once the constructor returns,
-  /// so lookups need no synchronization.
-  XOntoDil base_;
+  /// Precomputed (or adopted) lists, frozen columnar; immutable once the
+  /// constructor returns, so lookups need no synchronization.
+  FlatDil flat_;
   /// On-demand entries (out-of-vocabulary keywords, phrases). The mutex
   /// guards only this side cache; entry construction itself runs outside
   /// the lock. Entry pointers handed out remain stable after the lock is

@@ -33,12 +33,21 @@ IndexSnapshot::IndexSnapshot(Corpus corpus,
       ranked_processor_(options.score),
       result_cache_(options.query_cache_entries) {}
 
-std::vector<const DilEntry*> IndexSnapshot::CollectLists(
+IndexSnapshot::IndexSnapshot(Corpus corpus,
+                             std::shared_ptr<const OntologyContext> context,
+                             IndexBuildOptions options, FlatDil adopted)
+    : corpus_(std::move(corpus)),
+      index_(corpus_, std::move(context), options, std::move(adopted)),
+      processor_(options.score),
+      ranked_processor_(options.score),
+      result_cache_(options.query_cache_entries) {}
+
+std::vector<DilListRef> IndexSnapshot::CollectListRefs(
     const KeywordQuery& query) const {
-  std::vector<const DilEntry*> lists;
+  std::vector<DilListRef> lists;
   lists.reserve(query.size());
   for (const Keyword& kw : query.keywords) {
-    lists.push_back(index_.GetEntry(kw));
+    lists.push_back(index_.GetListRef(kw));
   }
   return lists;
 }
@@ -65,7 +74,7 @@ SearchResponse IndexSnapshot::Search(const KeywordQuery& query,
     }
   }
 
-  std::vector<const DilEntry*> lists = CollectLists(query);
+  std::vector<DilListRef> lists = CollectListRefs(query);
   if (options.strategy == QueryExecution::kRdil) {
     RankedQueryStats ranked_stats;
     response.results =
@@ -73,20 +82,13 @@ SearchResponse IndexSnapshot::Search(const KeywordQuery& query,
     response.stats.postings_scanned = ranked_stats.postings_consumed;
     response.stats.shards = 1;
   } else {
-    std::vector<std::span<const DilPosting>> spans;
-    spans.reserve(lists.size());
-    for (const DilEntry* list : lists) {
-      spans.push_back(list == nullptr
-                          ? std::span<const DilPosting>()
-                          : std::span<const DilPosting>(list->postings));
-    }
     ExecuteStats exec_stats;
     ThreadPool* pool =
         options.parallelism == 1 ? nullptr : &ThreadPool::Shared();
     size_t shards = options.parallelism == 0
                         ? ThreadPool::Shared().num_threads()
                         : options.parallelism;
-    response.results = processor_.ExecuteSharded(spans, options.top_k, shards,
+    response.results = processor_.ExecuteSharded(lists, options.top_k, shards,
                                                  pool, &exec_stats);
     response.stats.postings_scanned = exec_stats.postings_scanned;
     response.stats.shards = exec_stats.shards;
@@ -115,7 +117,7 @@ std::vector<QueryResult> IndexSnapshot::SearchRanked(
     const KeywordQuery& query, size_t top_k, RankedQueryStats* stats) const {
   if (stats != nullptr) *stats = RankedQueryStats{};
   if (query.empty() || top_k == 0) return {};
-  return ranked_processor_.Execute(CollectLists(query), top_k, stats);
+  return ranked_processor_.Execute(CollectListRefs(query), top_k, stats);
 }
 
 const XmlNode* IndexSnapshot::ResolveResult(const QueryResult& result) const {

@@ -45,6 +45,12 @@ class IndexSnapshot {
   IndexSnapshot(Corpus corpus, std::shared_ptr<const OntologyContext> context,
                 IndexBuildOptions options, XOntoDil adopted = {});
 
+  /// Same, adopting an already-flat index (the LoadIndexFlat path: the
+  /// wire format decodes straight into the serving columns, no
+  /// intermediate XOntoDil).
+  IndexSnapshot(Corpus corpus, std::shared_ptr<const OntologyContext> context,
+                IndexBuildOptions options, FlatDil adopted);
+
   IndexSnapshot(const IndexSnapshot&) = delete;
   IndexSnapshot& operator=(const IndexSnapshot&) = delete;
 
@@ -98,8 +104,10 @@ class IndexSnapshot {
   }
 
  private:
-  /// Collects one inverted list per query keyword.
-  std::vector<const DilEntry*> CollectLists(const KeywordQuery& query) const;
+  /// Collects one inverted list per query keyword. Precomputed keywords
+  /// resolve to flat lists (no thaw, no lock); the rest come from the
+  /// demand cache.
+  std::vector<DilListRef> CollectListRefs(const KeywordQuery& query) const;
 
   Corpus corpus_;
   CorpusIndex index_;  ///< refers to corpus_; declared after it

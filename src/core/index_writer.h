@@ -77,6 +77,9 @@ class IndexWriter {
   /// inconsistent.
   void AdoptPrecomputed(XOntoDil dil) XO_EXCLUDES(mutex_);
 
+  /// Same, adopting an already-flat index (the LoadIndexFlat path).
+  void AdoptPrecomputed(FlatDil dil) XO_EXCLUDES(mutex_);
+
  private:
   /// Builds a snapshot over `corpus` and publishes it. Holding the writer
   /// mutex across the (expensive) snapshot build is what serializes

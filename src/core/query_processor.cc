@@ -128,6 +128,160 @@ class Merger {
   size_t top_k_ = 0;
 };
 
+/// The flat-path twin of Merger: same emission and propagation logic (the
+/// parity property tests pin the two to bit-identical output), but postings
+/// arrive through DilCursors as DeweyRefs and the stack is three flat
+/// reused arrays — path components, emitted flags, and a depth × keyword
+/// score matrix — so pushing or popping a frame never allocates. This is
+/// where the columnar layout pays off: the hot loop touches contiguous
+/// memory only.
+class CursorMerger {
+ public:
+  CursorMerger(std::vector<DilCursor>& cursors, const ScoreOptions& options)
+      : cursors_(cursors), options_(options), num_keywords_(cursors.size()) {}
+
+  std::vector<QueryResult> Run(size_t top_k) {
+    top_k_ = top_k;
+    while (AlignOnSharedDocument()) {
+      uint32_t doc = cursors_[0].doc();
+      // Drain this document with the min-Dewey merge, exactly as the
+      // oblivious pass would have.
+      while (true) {
+        int chosen = -1;
+        for (size_t w = 0; w < num_keywords_; ++w) {
+          if (cursors_[w].AtEnd() || cursors_[w].doc() != doc) continue;
+          if (chosen < 0 ||
+              cursors_[w].dewey() < cursors_[chosen].dewey()) {
+            chosen = static_cast<int>(w);
+          }
+        }
+        if (chosen < 0) break;
+        DilCursor& cursor = cursors_[chosen];
+        Consume(cursor.dewey(), cursor.score(), static_cast<size_t>(chosen));
+        cursor.Next();
+      }
+    }
+    PopTo(0);
+    SortAndTruncate();
+    return std::move(results_);
+  }
+
+ private:
+  /// Leapfrogs the cursors onto the next document present in every list,
+  /// skipping whole documents through the block skip table. Exact: Eq. 1 is
+  /// conjunctive and subtree scores never propagate across a document
+  /// boundary, so documents missing any keyword cannot contribute to any
+  /// emitted frame — consuming their postings is pure overhead. Returns
+  /// false once any list is exhausted (same argument: nothing left to emit).
+  bool AlignOnSharedDocument() {
+    while (true) {
+      uint32_t max_doc = 0;
+      for (size_t w = 0; w < num_keywords_; ++w) {
+        if (cursors_[w].AtEnd()) return false;
+        max_doc = std::max(max_doc, cursors_[w].doc());
+      }
+      bool aligned = true;
+      for (size_t w = 0; w < num_keywords_; ++w) {
+        if (cursors_[w].doc() < max_doc) {
+          cursors_[w].SeekDoc(max_doc);
+          aligned = false;
+        }
+      }
+      if (aligned) return true;
+    }
+  }
+
+  void Consume(DeweyRef dewey, double score, size_t keyword) {
+    size_t common = 0;
+    while (common < path_.size() && common < dewey.size() &&
+           path_[common] == dewey[common]) {
+      ++common;
+    }
+    PopTo(common);
+    while (path_.size() < dewey.size()) {
+      path_.push_back(dewey[path_.size()]);
+      emitted_.push_back(0);
+      scores_.resize(scores_.size() + num_keywords_, 0.0);
+    }
+    double& slot = scores_[(path_.size() - 1) * num_keywords_ + keyword];
+    if (score > slot) slot = score;
+  }
+
+  void PopTo(size_t depth) {
+    while (path_.size() > depth) {
+      size_t f = path_.size() - 1;
+      double* frame = scores_.data() + f * num_keywords_;
+      bool has_all = true;
+      double total = 0.0;
+      for (size_t w = 0; w < num_keywords_; ++w) {
+        if (frame[w] <= 0.0) {
+          has_all = false;
+          break;
+        }
+        total += frame[w];
+      }
+      bool emit = has_all && emitted_[f] == 0;
+      if (emit) {
+        QueryResult result;
+        result.element =
+            DeweyId(std::vector<uint32_t>(path_.begin(), path_.end()));
+        result.score = total;
+        result.keyword_scores.assign(frame, frame + num_keywords_);
+        results_.push_back(std::move(result));
+      }
+      if (f > 0) {
+        double* parent = frame - num_keywords_;
+        for (size_t w = 0; w < num_keywords_; ++w) {
+          double propagated = frame[w] * options_.decay;
+          if (propagated > parent[w]) parent[w] = propagated;
+        }
+        if (emit || emitted_[f] != 0) emitted_[f - 1] = 1;
+      }
+      path_.pop_back();
+      emitted_.pop_back();
+      scores_.resize(scores_.size() - num_keywords_);
+    }
+  }
+
+  void SortAndTruncate() {
+    std::sort(results_.begin(), results_.end(),
+              [](const QueryResult& a, const QueryResult& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.element < b.element;
+              });
+    if (top_k_ > 0 && results_.size() > top_k_) results_.resize(top_k_);
+  }
+
+  std::vector<DilCursor>& cursors_;
+  ScoreOptions options_;
+  size_t num_keywords_;
+  std::vector<uint32_t> path_;     ///< current stack's Dewey components
+  std::vector<uint8_t> emitted_;   ///< per-frame descendant-emitted flag
+  std::vector<double> scores_;     ///< depth × num_keywords_ score matrix
+  std::vector<QueryResult> results_;
+  size_t top_k_ = 0;
+};
+
+/// Flattens per-shard top-k lists into the global (score desc, Dewey) order
+/// the serial pass produces, truncated to `top_k`.
+std::vector<QueryResult> MergeShardResults(
+    std::vector<std::vector<QueryResult>> shard_results, size_t top_k) {
+  std::vector<QueryResult> merged;
+  size_t total_results = 0;
+  for (const auto& shard : shard_results) total_results += shard.size();
+  merged.reserve(total_results);
+  for (auto& shard : shard_results) {
+    for (QueryResult& r : shard) merged.push_back(std::move(r));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const QueryResult& a, const QueryResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.element < b.element;
+            });
+  if (top_k > 0 && merged.size() > top_k) merged.resize(top_k);
+  return merged;
+}
+
 }  // namespace
 
 std::vector<QueryResult> QueryProcessor::Execute(
@@ -154,6 +308,16 @@ std::vector<QueryResult> QueryProcessor::Execute(
   Merger merger(lists, options_);
   merger.set_top_k(top_k);
   return merger.Run();
+}
+
+std::vector<QueryResult> QueryProcessor::Execute(
+    std::vector<DilCursor> cursors, size_t top_k) const {
+  if (cursors.empty()) return {};
+  for (const DilCursor& cursor : cursors) {
+    if (cursor.AtEnd()) return {};  // conjunctive short-circuit
+  }
+  CursorMerger merger(cursors, options_);
+  return merger.Run(top_k);
 }
 
 std::vector<QueryResult> QueryProcessor::ExecuteSharded(
@@ -192,20 +356,45 @@ std::vector<QueryResult> QueryProcessor::ExecuteSharded(
 
   // Final k-way merge: the same (score desc, Dewey) order the serial pass
   // uses, so the output is bit-identical to it.
-  std::vector<QueryResult> merged;
-  size_t total_results = 0;
-  for (const auto& shard : shard_results) total_results += shard.size();
-  merged.reserve(total_results);
-  for (auto& shard : shard_results) {
-    for (QueryResult& r : shard) merged.push_back(std::move(r));
+  return MergeShardResults(std::move(shard_results), top_k);
+}
+
+std::vector<QueryResult> QueryProcessor::ExecuteSharded(
+    const std::vector<DilListRef>& lists, size_t top_k, size_t num_shards,
+    ThreadPool* pool, ExecuteStats* stats) const {
+  if (stats != nullptr) *stats = ExecuteStats{};
+  if (lists.empty()) return {};
+  size_t total_postings = 0;
+  for (const DilListRef& list : lists) {
+    if (list.empty()) return {};  // conjunctive: no results, nothing scanned
+    total_postings += list.size();
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const QueryResult& a, const QueryResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.element < b.element;
-            });
-  if (top_k > 0 && merged.size() > top_k) merged.resize(top_k);
-  return merged;
+  if (stats != nullptr) stats->postings_scanned = total_postings;
+
+  auto open_all = [&lists](const DocRange* range) {
+    std::vector<DilCursor> cursors;
+    cursors.reserve(lists.size());
+    for (const DilListRef& list : lists) {
+      cursors.push_back(range == nullptr ? list.OpenCursor()
+                                         : list.OpenCursor(*range));
+    }
+    return cursors;
+  };
+
+  std::vector<DocRange> ranges;
+  if (num_shards > 1 && pool != nullptr) {
+    ranges = PartitionListsByDocument(lists, num_shards);
+  }
+  if (ranges.size() <= 1) {
+    return Execute(open_all(nullptr), top_k);
+  }
+  if (stats != nullptr) stats->shards = ranges.size();
+
+  std::vector<std::vector<QueryResult>> shard_results(ranges.size());
+  pool->ParallelFor(ranges.size(), [&](size_t s) {
+    shard_results[s] = Execute(open_all(&ranges[s]), top_k);
+  });
+  return MergeShardResults(std::move(shard_results), top_k);
 }
 
 }  // namespace xontorank

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/flat_dil.h"
 #include "core/options.h"
 #include "core/xonto_dil.h"
 #include "xml/dewey_id.h"
@@ -59,6 +60,17 @@ class QueryProcessor {
       const std::vector<std::span<const DilPosting>>& lists,
       size_t top_k) const;
 
+  /// Cursor-based merge — the flat serving path. One cursor per keyword
+  /// (flat or span backed, already restricted to the range to evaluate);
+  /// the merge consumes DeweyRefs and keeps its path stack in flat reused
+  /// arrays, so it performs no per-posting or per-frame allocation. The
+  /// conjunctive merge also leapfrogs over documents missing any keyword
+  /// (DilCursor::SeekDoc through the block skip table) — exact, because
+  /// scores never propagate across a document boundary. Bit-identical to
+  /// the span Execute (property-tested).
+  std::vector<QueryResult> Execute(std::vector<DilCursor> cursors,
+                                   size_t top_k) const;
+
   /// Parallel variant: partitions the postings into up to `num_shards`
   /// document ranges (PartitionListsByDocument), merges each range
   /// independently on `pool` into a shard-local top-k, and k-way merges
@@ -70,6 +82,13 @@ class QueryProcessor {
   std::vector<QueryResult> ExecuteSharded(
       const std::vector<std::span<const DilPosting>>& lists, size_t top_k,
       size_t num_shards, ThreadPool* pool, ExecuteStats* stats = nullptr) const;
+
+  /// DilListRef variant of ExecuteSharded: the snapshot serving entry
+  /// point. Flat lists shard via the block skip table; legacy spans via
+  /// SliceDocRange. Same contract and bit-identical output.
+  std::vector<QueryResult> ExecuteSharded(
+      const std::vector<DilListRef>& lists, size_t top_k, size_t num_shards,
+      ThreadPool* pool, ExecuteStats* stats = nullptr) const;
 
  private:
   ScoreOptions options_;

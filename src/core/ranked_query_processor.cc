@@ -9,30 +9,44 @@ namespace xontorank {
 
 namespace {
 
-/// Score-descending permutation of a list's postings.
-std::vector<uint32_t> RankByScore(const DilEntry& entry) {
-  std::vector<uint32_t> order(entry.postings.size());
-  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&entry](uint32_t a, uint32_t b) {
-    if (entry.postings[a].score != entry.postings[b].score) {
-      return entry.postings[a].score > entry.postings[b].score;
-    }
-    return entry.postings[a].dewey < entry.postings[b].dewey;
-  });
-  return order;
-}
+/// One list's ranked-access view: per-posting document ids and scores
+/// (list-local indices) plus the score-descending permutation. For flat
+/// lists the scores alias the columnar score array; for legacy spans they
+/// are gathered once up front.
+struct RankedList {
+  std::vector<uint32_t> doc_ids;
+  std::vector<double> score_store;  ///< backing storage, span mode only
+  std::span<const double> scores;
+  std::vector<uint32_t> order;  ///< score-desc permutation of local indices
+};
 
-/// The contiguous [begin, end) range of a document's postings within a
-/// Dewey-sorted list.
-std::pair<size_t, size_t> DocPostingRange(const DilEntry& entry, uint32_t doc_id) {
-  auto begin = std::lower_bound(
-      entry.postings.begin(), entry.postings.end(), doc_id,
-      [](const DilPosting& p, uint32_t doc) { return p.dewey.doc_id() < doc; });
-  auto end = std::upper_bound(
-      entry.postings.begin(), entry.postings.end(), doc_id,
-      [](uint32_t doc, const DilPosting& p) { return doc < p.dewey.doc_id(); });
-  return {static_cast<size_t>(begin - entry.postings.begin()),
-          static_cast<size_t>(end - entry.postings.begin())};
+RankedList MakeRankedList(const DilListRef& list) {
+  RankedList rl;
+  if (list.flat != nullptr) {
+    list.flat->CollectDocIds(list.list, &rl.doc_ids);
+    rl.scores = list.flat->ListScores(list.list);
+  } else {
+    rl.doc_ids.reserve(list.span.size());
+    rl.score_store.reserve(list.span.size());
+    for (const DilPosting& p : list.span) {
+      rl.doc_ids.push_back(p.dewey.doc_id());
+      rl.score_store.push_back(p.score);
+    }
+    rl.scores = rl.score_store;
+  }
+  // Score-descending, index-ascending. Within a Dewey-sorted list, index
+  // order IS Dewey order, so this matches the legacy (score desc, Dewey
+  // asc) ranking exactly.
+  rl.order.resize(rl.scores.size());
+  for (uint32_t i = 0; i < rl.order.size(); ++i) rl.order[i] = i;
+  std::sort(rl.order.begin(), rl.order.end(),
+            [&rl](uint32_t a, uint32_t b) {
+              if (rl.scores[a] != rl.scores[b]) {
+                return rl.scores[a] > rl.scores[b];
+              }
+              return a < b;
+            });
+  return rl;
 }
 
 }  // namespace
@@ -40,24 +54,34 @@ std::pair<size_t, size_t> DocPostingRange(const DilEntry& entry, uint32_t doc_id
 std::vector<QueryResult> RankedQueryProcessor::Execute(
     const std::vector<const DilEntry*>& lists, size_t top_k,
     RankedQueryStats* stats) const {
+  std::vector<DilListRef> refs;
+  refs.reserve(lists.size());
+  for (const DilEntry* list : lists) refs.push_back(DilListRef::Over(list));
+  return Execute(refs, top_k, stats);
+}
+
+std::vector<QueryResult> RankedQueryProcessor::Execute(
+    const std::vector<DilListRef>& lists, size_t top_k,
+    RankedQueryStats* stats) const {
   XO_CHECK(top_k >= 1 && "ranked evaluation needs a finite k");
   if (stats != nullptr) *stats = RankedQueryStats();
   if (lists.empty()) return {};
-  for (const DilEntry* list : lists) {
-    if (list == nullptr || list->postings.empty()) return {};
+  for (const DilListRef& list : lists) {
+    if (list.empty()) return {};
   }
+
+  std::vector<RankedList> ranked;
+  ranked.reserve(lists.size());
+  for (const DilListRef& list : lists) ranked.push_back(MakeRankedList(list));
 
   if (stats != nullptr) {
     std::unordered_set<uint32_t> docs;
-    for (const DilEntry* list : lists) {
-      for (const DilPosting& p : list->postings) docs.insert(p.dewey.doc_id());
+    for (const RankedList& rl : ranked) {
+      docs.insert(rl.doc_ids.begin(), rl.doc_ids.end());
     }
     stats->documents_total = docs.size();
   }
 
-  std::vector<std::vector<uint32_t>> ranked;
-  ranked.reserve(lists.size());
-  for (const DilEntry* list : lists) ranked.push_back(RankByScore(*list));
   std::vector<size_t> frontier(lists.size(), 0);
 
   QueryProcessor exact(options_);
@@ -69,16 +93,18 @@ std::vector<QueryResult> RankedQueryProcessor::Execute(
     return a.element < b.element;
   };
 
-  // Evaluates one document exactly by slicing each list to the document's
-  // posting range (zero-copy spans) and running the standard merge.
+  // Evaluates one document exactly by opening a single-document cursor per
+  // list (flat lists seek via the skip table) and running the standard
+  // merge.
   auto process_document = [&](uint32_t doc_id) {
-    std::vector<std::span<const DilPosting>> slices(lists.size());
-    for (size_t w = 0; w < lists.size(); ++w) {
-      auto [begin, end] = DocPostingRange(*lists[w], doc_id);
-      slices[w] = std::span<const DilPosting>(lists[w]->postings.data() + begin,
-                                              end - begin);
+    DocRange doc_range{doc_id, doc_id + 1};
+    std::vector<DilCursor> cursors;
+    cursors.reserve(lists.size());
+    for (const DilListRef& list : lists) {
+      cursors.push_back(list.OpenCursor(doc_range));
     }
-    std::vector<QueryResult> doc_results = exact.Execute(slices, 0);
+    std::vector<QueryResult> doc_results =
+        exact.Execute(std::move(cursors), 0);
     results.insert(results.end(), doc_results.begin(), doc_results.end());
     std::sort(results.begin(), results.end(), result_less);
     if (results.size() > top_k) results.resize(top_k);
@@ -94,8 +120,8 @@ std::vector<QueryResult> RankedQueryProcessor::Execute(
     double threshold = 0.0;
     bool some_exhausted = false;
     for (size_t w = 0; w < lists.size(); ++w) {
-      if (frontier[w] < ranked[w].size()) {
-        threshold += lists[w]->postings[ranked[w][frontier[w]]].score;
+      if (frontier[w] < ranked[w].order.size()) {
+        threshold += ranked[w].scores[ranked[w].order[frontier[w]]];
       } else {
         some_exhausted = true;
       }
@@ -110,19 +136,18 @@ std::vector<QueryResult> RankedQueryProcessor::Execute(
     size_t best_list = lists.size();
     double best_score = -1.0;
     for (size_t w = 0; w < lists.size(); ++w) {
-      if (frontier[w] >= ranked[w].size()) continue;
-      double s = lists[w]->postings[ranked[w][frontier[w]]].score;
+      if (frontier[w] >= ranked[w].order.size()) continue;
+      double s = ranked[w].scores[ranked[w].order[frontier[w]]];
       if (s > best_score) {
         best_score = s;
         best_list = w;
       }
     }
-    const DilPosting& posting =
-        lists[best_list]->postings[ranked[best_list][frontier[best_list]]];
+    uint32_t local = ranked[best_list].order[frontier[best_list]];
     ++frontier[best_list];
     if (stats != nullptr) ++stats->postings_consumed;
 
-    uint32_t doc_id = posting.dewey.doc_id();
+    uint32_t doc_id = ranked[best_list].doc_ids[local];
     if (processed.insert(doc_id).second) {
       process_document(doc_id);
     }

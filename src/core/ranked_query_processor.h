@@ -46,6 +46,15 @@ class RankedQueryProcessor {
                                    size_t top_k,
                                    RankedQueryStats* stats = nullptr) const;
 
+  /// DilListRef variant — the snapshot serving entry point. Flat lists get
+  /// their ranked frontier straight from the columnar score array (O(1)
+  /// random access, no posting structs touched); per-document exact
+  /// evaluation runs over skip-table cursors. The DilEntry* overload
+  /// delegates here.
+  std::vector<QueryResult> Execute(const std::vector<DilListRef>& lists,
+                                   size_t top_k,
+                                   RankedQueryStats* stats = nullptr) const;
+
  private:
   ScoreOptions options_;
 };

@@ -4,23 +4,55 @@
 
 namespace xontorank {
 
+namespace {
+
+// Length of v's LevelDB-style varint encoding (storage/coding.h).
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+bool DeweyLess(const DilPosting& a, const DilPosting& b) {
+  return a.dewey < b.dewey;
+}
+
+}  // namespace
+
 size_t DilEntry::ApproxSizeBytes() const {
+  // Mirrors the per-posting payload of EncodeIndex / the FlatDil arena:
+  // varint(shared) + varint(fresh) + fresh component varints + fixed32
+  // quantized score.
   size_t bytes = 0;
+  const DilPosting* prev = nullptr;
   for (const DilPosting& p : postings) {
-    bytes += p.dewey.size() * sizeof(uint32_t) + sizeof(float);
+    size_t shared =
+        prev == nullptr ? 0 : prev->dewey.CommonPrefixLength(p.dewey);
+    bytes += VarintLength(shared);
+    bytes += VarintLength(p.dewey.size() - shared);
+    for (size_t i = shared; i < p.dewey.size(); ++i) {
+      bytes += VarintLength(p.dewey[i]);
+    }
+    bytes += sizeof(uint32_t);  // quantized score
+    prev = &p;
   }
   return bytes;
 }
 
 void XOntoDil::Put(std::string keyword, std::vector<DilPosting> postings) {
-  std::sort(postings.begin(), postings.end(),
-            [](const DilPosting& a, const DilPosting& b) {
-              return a.dewey < b.dewey;
-            });
-  DilEntry entry;
-  entry.keyword = keyword;
+  // Builders (precompute, decode, thaw) emit Dewey order already; only
+  // genuinely unsorted input pays for the sort.
+  if (!std::is_sorted(postings.begin(), postings.end(), DeweyLess)) {
+    std::sort(postings.begin(), postings.end(), DeweyLess);
+  }
+  // Single map traversal: insert/overwrite in place instead of building a
+  // DilEntry aside and copying the keyword twice.
+  DilEntry& entry = entries_[keyword];
+  entry.keyword = std::move(keyword);
   entry.postings = std::move(postings);
-  entries_[std::move(keyword)] = std::move(entry);
 }
 
 const DilEntry* XOntoDil::Find(const std::string& keyword) const {
@@ -32,6 +64,35 @@ size_t XOntoDil::TotalPostings() const {
   size_t total = 0;
   for (const auto& [kw, entry] : entries_) total += entry.postings.size();
   return total;
+}
+
+std::vector<DocRange> PartitionDocHistogram(
+    uint32_t min_doc, uint32_t max_doc, size_t total,
+    const std::vector<size_t>& doc_postings, size_t max_shards) {
+  // Greedy equal-work cuts: close a shard once it holds its fair share of
+  // the remaining postings. Documents are atomic, so a single huge
+  // document can make one shard heavy — correctness is unaffected.
+  std::vector<DocRange> ranges;
+  uint32_t begin = min_doc;
+  size_t in_shard = 0;
+  size_t assigned = 0;
+  for (uint32_t doc = min_doc; doc <= max_doc; ++doc) {
+    in_shard += doc_postings[doc - min_doc];
+    size_t shards_left = max_shards - ranges.size();
+    size_t target = (total - assigned + shards_left - 1) / shards_left;
+    if (in_shard >= target && shards_left > 1 && doc < max_doc) {
+      ranges.push_back(DocRange{begin, doc + 1});
+      begin = doc + 1;
+      assigned += in_shard;
+      in_shard = 0;
+    }
+  }
+  if (in_shard > 0 || ranges.empty()) {
+    ranges.push_back(DocRange{begin, max_doc + 1});
+  } else {
+    ranges.back().end_doc = max_doc + 1;
+  }
+  return ranges;
 }
 
 std::vector<DocRange> PartitionListsByDocument(
@@ -58,30 +119,8 @@ std::vector<DocRange> PartitionListsByDocument(
     for (const DilPosting& p : list) ++doc_postings[p.dewey.doc_id() - min_doc];
   }
 
-  // Greedy equal-work cuts: close a shard once it holds its fair share of
-  // the remaining postings. Documents are atomic, so a single huge
-  // document can make one shard heavy — correctness is unaffected.
-  std::vector<DocRange> ranges;
-  uint32_t begin = min_doc;
-  size_t in_shard = 0;
-  size_t assigned = 0;
-  for (uint32_t doc = min_doc; doc <= max_doc; ++doc) {
-    in_shard += doc_postings[doc - min_doc];
-    size_t shards_left = max_shards - ranges.size();
-    size_t target = (total - assigned + shards_left - 1) / shards_left;
-    if (in_shard >= target && shards_left > 1 && doc < max_doc) {
-      ranges.push_back(DocRange{begin, doc + 1});
-      begin = doc + 1;
-      assigned += in_shard;
-      in_shard = 0;
-    }
-  }
-  if (in_shard > 0 || ranges.empty()) {
-    ranges.push_back(DocRange{begin, max_doc + 1});
-  } else {
-    ranges.back().end_doc = max_doc + 1;
-  }
-  return ranges;
+  return PartitionDocHistogram(min_doc, max_doc, total, doc_postings,
+                               max_shards);
 }
 
 std::span<const DilPosting> SliceDocRange(std::span<const DilPosting> list,

@@ -11,6 +11,8 @@
 
 namespace xontorank {
 
+class FlatDil;
+
 /// One posting of an XOnto Dewey Inverted List (Fig. 10): a node address and
 /// its relevance score NS(w, v) for the list's keyword (Eq. 5). Unlike
 /// XRANK's DILs, the score already folds in ontological association, which
@@ -29,18 +31,25 @@ struct DilEntry {
   std::string keyword;  ///< canonical keyword string
   std::vector<DilPosting> postings;
 
-  /// Serialized footprint estimate in bytes (Table III's "Size" column):
-  /// per posting, the Dewey components plus a 4-byte quantized score.
+  /// Serialized footprint in bytes (Table III's "Size" column): what the
+  /// flat/on-disk representation actually holds per posting — the Dewey
+  /// components after shared-prefix elision, each fresh component a
+  /// varint, plus a 4-byte quantized score. Matches EncodeIndex's posting
+  /// payload byte for byte (the wire format adds only per-entry headers).
   size_t ApproxSizeBytes() const;
 };
 
-/// The XOnto-DIL index: keyword → inverted list. Ordered map so iteration
-/// is deterministic.
+/// The mutable XOnto-DIL index: keyword → inverted list. Ordered map so
+/// iteration is deterministic. This is the *build-side* type (IndexBuilder
+/// precompute, demand cache, persistence round-trips); the serving path
+/// freezes it into the columnar FlatDil (core/flat_dil.h).
 class XOntoDil {
  public:
   XOntoDil() = default;
 
-  /// Adds (or replaces) the list for `keyword`. Postings are sorted here.
+  /// Adds (or replaces) the list for `keyword`. Builders emit postings in
+  /// Dewey order already, so sorted input is detected and kept as-is; only
+  /// unsorted input pays for a sort.
   void Put(std::string keyword, std::vector<DilPosting> postings);
 
   /// The list for `keyword`, or nullptr if absent.
@@ -53,6 +62,12 @@ class XOntoDil {
   size_t keyword_count() const { return entries_.size(); }
 
   size_t TotalPostings() const;
+
+  /// Converts to the immutable columnar serving representation. Column
+  /// reservations are driven by keyword_count()/TotalPostings(), so the
+  /// freeze is a single pass without reallocation churn. Defined in
+  /// flat_dil.cc.
+  FlatDil Freeze() const;
 
   const std::map<std::string, DilEntry>& entries() const { return entries_; }
 
@@ -85,6 +100,15 @@ struct DocRange {
 /// `max_shards <= 1` yields a single covering range.
 std::vector<DocRange> PartitionListsByDocument(
     const std::vector<std::span<const DilPosting>>& lists, size_t max_shards);
+
+/// The greedy equal-work cut shared by both PartitionListsByDocument
+/// overloads (legacy spans here, DilListRefs in flat_dil.h):
+/// `doc_postings[d - min_doc]` is document d's posting count, `total`
+/// their sum (must be > 0). Exposed so the two overloads provably cut at
+/// the same boundaries.
+std::vector<DocRange> PartitionDocHistogram(
+    uint32_t min_doc, uint32_t max_doc, size_t total,
+    const std::vector<size_t>& doc_postings, size_t max_shards);
 
 /// The sub-span of `list` (sorted by Dewey id) whose postings fall inside
 /// `range` — two binary searches, no copying.

@@ -47,6 +47,10 @@ void XOntoRank::AdoptPrecomputed(XOntoDil dil) {
   writer_.AdoptPrecomputed(std::move(dil));
 }
 
+void XOntoRank::AdoptPrecomputed(FlatDil dil) {
+  writer_.AdoptPrecomputed(std::move(dil));
+}
+
 const XmlNode* XOntoRank::ResolveResult(const QueryResult& result) const {
   return snapshot()->ResolveResult(result);
 }

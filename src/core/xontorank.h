@@ -117,6 +117,9 @@ class XOntoRank {
   /// queries will be inconsistent.
   void AdoptPrecomputed(XOntoDil dil);
 
+  /// Same, adopting an already-flat index (the LoadIndexFlat path).
+  void AdoptPrecomputed(FlatDil dil);
+
   /// The current serving snapshot — the safe way to get a stable view for
   /// a batch of related calls (resolve + serialize + explain) while
   /// writers may be publishing.

@@ -188,13 +188,15 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
   OntologySet systems;
   for (const auto& onto : loaded->ontologies_) systems.Add(*onto);
 
-  // Produce the serving snapshot directly: the persisted entries are handed
-  // to the snapshot at construction, so the vocabulary precomputation (a
-  // no-op under the persisted kNone mode anyway) is bypassed and persisted
-  // keywords serve without any stage-2 recomputation.
-  XOntoDil dil;
+  // Produce the serving snapshot directly: the persisted entries decode
+  // straight into the flat serving columns (no intermediate XOntoDil) and
+  // are handed to the snapshot at construction, so the vocabulary
+  // precomputation (a no-op under the persisted kNone mode anyway) is
+  // bypassed and persisted keywords serve without any stage-2
+  // recomputation.
+  FlatDil dil;
   if (!index_file.empty()) {
-    XONTO_ASSIGN_OR_RETURN(dil, LoadIndex(dir + "/" + index_file));
+    XONTO_ASSIGN_OR_RETURN(dil, LoadIndexFlat(dir + "/" + index_file));
   }
   auto snapshot = std::make_shared<const IndexSnapshot>(
       std::move(corpus), OntologyContext::Create(systems, options), options,

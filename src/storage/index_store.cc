@@ -38,6 +38,56 @@ double BitsToScore(uint32_t bits) {
   return static_cast<double>(f);
 }
 
+/// Shared header validation of both decoders: checks magic, trailing CRC
+/// and version, then positions `dec` on the payload and reads the entry
+/// count.
+Status OpenIndexPayload(std::string_view data, Decoder* dec,
+                        uint64_t* num_entries) {
+  if (data.size() < sizeof(kMagic) + 8) {
+    return Status::Corruption("index blob too small");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad index magic");
+  }
+  // Verify trailing CRC over everything before it.
+  Decoder crc_decoder(data.substr(data.size() - 4));
+  uint32_t stored_crc = 0;
+  crc_decoder.GetFixed32(&stored_crc);
+  uint32_t actual_crc = Crc32(data.substr(0, data.size() - 4));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("index CRC mismatch");
+  }
+
+  *dec = Decoder(
+      data.substr(sizeof(kMagic), data.size() - sizeof(kMagic) - 4));
+  uint32_t version = 0;
+  if (!dec->GetFixed32(&version)) return Status::Corruption("missing version");
+  if (version != kVersion) {
+    return Status::Corruption("unsupported index version " +
+                              std::to_string(version));
+  }
+  if (!dec->GetVarint64(num_entries)) {
+    return Status::Corruption("missing entry count");
+  }
+  return Status::OK();
+}
+
+/// Reads a string of data from disk for the Load* entry points.
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    data.append(buffer, n);
+  }
+  std::fclose(f);
+  return data;
+}
+
 }  // namespace
 
 std::string EncodeIndex(const XOntoDil& dil) {
@@ -68,32 +118,10 @@ std::string EncodeIndex(const XOntoDil& dil) {
 }
 
 Result<XOntoDil> DecodeIndex(std::string_view data) {
-  if (data.size() < sizeof(kMagic) + 8) {
-    return Status::Corruption("index blob too small");
-  }
-  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad index magic");
-  }
-  // Verify trailing CRC over everything before it.
-  Decoder crc_decoder(data.substr(data.size() - 4));
-  uint32_t stored_crc = 0;
-  crc_decoder.GetFixed32(&stored_crc);
-  uint32_t actual_crc = Crc32(data.substr(0, data.size() - 4));
-  if (stored_crc != actual_crc) {
-    return Status::Corruption("index CRC mismatch");
-  }
-
-  Decoder dec(data.substr(sizeof(kMagic), data.size() - sizeof(kMagic) - 4));
-  uint32_t version = 0;
-  if (!dec.GetFixed32(&version)) return Status::Corruption("missing version");
-  if (version != kVersion) {
-    return Status::Corruption("unsupported index version " +
-                              std::to_string(version));
-  }
+  Decoder dec{std::string_view()};
   uint64_t num_entries = 0;
-  if (!dec.GetVarint64(&num_entries)) {
-    return Status::Corruption("missing entry count");
-  }
+  Status header = OpenIndexPayload(data, &dec, &num_entries);
+  if (!header.ok()) return header;
   XOntoDil dil;
   for (uint64_t e = 0; e < num_entries; ++e) {
     std::string_view keyword;
@@ -138,6 +166,58 @@ Result<XOntoDil> DecodeIndex(std::string_view data) {
   return dil;
 }
 
+Result<FlatDil> DecodeIndexFlat(std::string_view data) {
+  Decoder dec{std::string_view()};
+  uint64_t num_entries = 0;
+  Status header = OpenIndexPayload(data, &dec, &num_entries);
+  if (!header.ok()) return header;
+  // The posting count is not stored globally; a posting occupies at least
+  // 6 payload bytes (two varints + fixed32 score), so data/6 bounds it for
+  // the column reservations.
+  FlatDil::Builder builder(num_entries, data.size() / 6);
+  std::vector<uint32_t> components;
+  for (uint64_t e = 0; e < num_entries; ++e) {
+    std::string_view keyword;
+    if (!dec.GetLengthPrefixed(&keyword)) {
+      return Status::Corruption("truncated keyword");
+    }
+    if (!builder.BeginList(keyword)) {
+      return Status::Corruption("keywords out of sorted order");
+    }
+    uint64_t num_postings = 0;
+    if (!dec.GetVarint64(&num_postings)) {
+      return Status::Corruption("truncated posting count");
+    }
+    components.clear();
+    for (uint64_t p = 0; p < num_postings; ++p) {
+      uint64_t shared = 0, fresh = 0;
+      if (!dec.GetVarint64(&shared) || !dec.GetVarint64(&fresh)) {
+        return Status::Corruption("truncated posting header");
+      }
+      if (shared > components.size()) {
+        return Status::Corruption("posting prefix exceeds previous id");
+      }
+      components.resize(shared);
+      for (uint64_t i = 0; i < fresh; ++i) {
+        uint32_t comp = 0;
+        if (!dec.GetVarint32(&comp)) {
+          return Status::Corruption("truncated dewey component");
+        }
+        components.push_back(comp);
+      }
+      uint32_t score_bits = 0;
+      if (!dec.GetFixed32(&score_bits)) {
+        return Status::Corruption("truncated posting score");
+      }
+      if (!builder.AddPosting(components, BitsToScore(score_bits))) {
+        return Status::Corruption("postings out of Dewey order");
+      }
+    }
+  }
+  if (!dec.AtEnd()) return Status::Corruption("trailing bytes in index");
+  return std::move(builder).Finish();
+}
+
 Status SaveIndex(const XOntoDil& dil, const std::string& path) {
   std::string encoded = EncodeIndex(dil);  // the expensive part, unlocked
   MutexLock lock(FileMutex());
@@ -161,18 +241,15 @@ Status SaveIndex(const XOntoDil& dil, const std::string& path) {
 }
 
 Result<XOntoDil> LoadIndex(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + path + " for reading");
-  }
-  std::string data;
-  char buffer[1 << 16];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    data.append(buffer, n);
-  }
-  std::fclose(f);
-  return DecodeIndex(data);
+  Result<std::string> data = ReadFile(path);
+  if (!data.ok()) return data.status();
+  return DecodeIndex(*data);
+}
+
+Result<FlatDil> LoadIndexFlat(const std::string& path) {
+  Result<std::string> data = ReadFile(path);
+  if (!data.ok()) return data.status();
+  return DecodeIndexFlat(*data);
 }
 
 }  // namespace xontorank

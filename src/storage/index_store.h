@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/flat_dil.h"
 #include "core/xonto_dil.h"
 
 namespace xontorank {
@@ -39,11 +40,23 @@ std::string EncodeIndex(const XOntoDil& dil);
 /// Parses a binary representation; rejects bad magic/version/CRC/structure.
 [[nodiscard]] Result<XOntoDil> DecodeIndex(std::string_view data);
 
+/// Parses a binary representation straight into the flat serving columns —
+/// the wire format's prefix-elision deltas map 1:1 onto FlatDil's arena, so
+/// no intermediate XOntoDil (and none of its per-posting heap Dewey ids) is
+/// ever built. Beyond DecodeIndex's checks this also rejects out-of-order
+/// keywords or postings (the legacy decoder silently re-sorts; a sorted
+/// writer never produces such blobs).
+[[nodiscard]] Result<FlatDil> DecodeIndexFlat(std::string_view data);
+
 /// Writes the encoded index to `path` (atomically: temp file + rename).
 [[nodiscard]] Status SaveIndex(const XOntoDil& dil, const std::string& path);
 
 /// Reads an index previously written by SaveIndex.
 [[nodiscard]] Result<XOntoDil> LoadIndex(const std::string& path);
+
+/// Reads an index previously written by SaveIndex into the flat serving
+/// form (see DecodeIndexFlat). The engine load path uses this.
+[[nodiscard]] Result<FlatDil> LoadIndexFlat(const std::string& path);
 
 }  // namespace xontorank
 

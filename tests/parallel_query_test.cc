@@ -41,7 +41,8 @@ std::vector<std::span<const DilPosting>> Spans(
 // ---- PartitionListsByDocument ----
 
 TEST(PartitionTest, EmptyInputYieldsOneEmptyRange) {
-  auto ranges = PartitionListsByDocument({}, 4);
+  auto ranges = PartitionListsByDocument(
+      std::vector<std::span<const DilPosting>>{}, 4);
   ASSERT_EQ(ranges.size(), 1u);
   EXPECT_TRUE(ranges[0].empty());
 }

@@ -81,7 +81,8 @@ TEST(RankedQueryProcessorTest, EmptyAndNullLists) {
   EXPECT_TRUE(RunRanked({a, empty}, 5).empty());
   RankedQueryProcessor processor((ScoreOptions()));
   EXPECT_TRUE(processor.Execute({&a, nullptr}, 5).empty());
-  EXPECT_TRUE(processor.Execute({}, 5).empty());
+  EXPECT_TRUE(
+      processor.Execute(std::vector<const DilEntry*>{}, 5).empty());
 }
 
 TEST(RankedQueryProcessorTest, ConjunctionAcrossDocumentsEmpty) {

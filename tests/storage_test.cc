@@ -174,16 +174,23 @@ TEST(IndexStoreTest, TruncationDetected) {
 
 TEST(IndexStoreTest, PrefixCompressionShrinksSortedLists) {
   // Deep sibling postings share long prefixes; the encoded form must be far
-  // smaller than the flat representation.
+  // smaller than the uncompressed (full components + score) representation.
   XOntoDil dil;
   std::vector<DilPosting> postings;
+  size_t uncompressed = 0;
   for (uint32_t i = 0; i < 1000; ++i) {
     postings.push_back({DeweyId({0, 3, 0, 2, 0, 5, 1, i}), 0.5});
+    uncompressed += 8 * sizeof(uint32_t) + sizeof(float);
   }
   dil.Put("deep", std::move(postings));
-  size_t flat_bytes = dil.Find("deep")->ApproxSizeBytes();
   std::string blob = EncodeIndex(dil);
-  EXPECT_LT(blob.size(), flat_bytes / 3);
+  EXPECT_LT(blob.size(), uncompressed / 3);
+  // ApproxSizeBytes now reports the encoded posting payload, so the blob
+  // (payload + per-entry header + magic/version/CRC framing) must sit just
+  // above it.
+  size_t payload_bytes = dil.Find("deep")->ApproxSizeBytes();
+  EXPECT_GE(blob.size(), payload_bytes);
+  EXPECT_LT(blob.size(), payload_bytes + 64);
   auto decoded = DecodeIndex(blob);
   ASSERT_TRUE(decoded.ok());
   ExpectDilEqual(dil, *decoded);

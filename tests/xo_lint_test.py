@@ -187,6 +187,50 @@ class XoLintFixtureTest(unittest.TestCase):
             {"tests/helper.cc":
                  "void Seed() { XO_CHECK_OK(SaveIndex(dil, \"/tmp/i\")); }\n"})
 
+    def test_voided_flat_decoder_fires(self):
+        self.assert_fires(
+            {"tests/helper.cc":
+                 "void Seed() { (void)LoadIndexFlat(\"/tmp/i\"); }\n"
+                 "void Peek() { (void)DecodeIndexFlat(blob); }\n"},
+            "voided-status", count=2)
+
+    # --- posting-by-value -----------------------------------------------
+
+    def test_posting_by_value_loop_fires(self):
+        self.assert_fires(
+            {"src/core/widget.cc":
+                 "void Scan(const DilEntry& e) {\n"
+                 "  for (DilPosting p : e.postings) Use(p);\n"
+                 "}\n"},
+            "posting-by-value")
+
+    def test_posting_const_by_value_loop_fires(self):
+        self.assert_fires(
+            {"src/core/widget.cc":
+                 "void Scan(const DilEntry& e) {\n"
+                 "  for (const DilPosting p : e.postings) Use(p);\n"
+                 "}\n"},
+            "posting-by-value")
+
+    def test_posting_by_reference_loop_does_not_fire(self):
+        self.assert_clean(
+            {"src/core/widget.cc":
+                 "void Scan(const DilEntry& e) {\n"
+                 "  for (const DilPosting& p : e.postings) Use(p);\n"
+                 "  for (DilPosting& q : mutable_postings) Touch(q);\n"
+                 "}\n"})
+
+    def test_posting_by_value_outside_core_does_not_fire(self):
+        self.assert_clean(
+            {"src/storage/widget.cc":
+                 "void Scan(const DilEntry& e) {\n"
+                 "  for (DilPosting p : e.postings) Use(p);\n"
+                 "}\n",
+             "tests/widget_test.cc":
+                 "void Scan(const DilEntry& e) {\n"
+                 "  for (DilPosting p : e.postings) Use(p);\n"
+                 "}\n"})
+
     # --- suppressions ---------------------------------------------------
 
     def test_same_line_suppression(self):

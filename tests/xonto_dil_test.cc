@@ -43,11 +43,28 @@ TEST(XOntoDilTest, TotalPostingsSumsAllEntries) {
   EXPECT_EQ(dil.keyword_count(), 2u);
 }
 
-TEST(XOntoDilTest, ApproxSizeCountsComponentsAndScore) {
+TEST(XOntoDilTest, ApproxSizeReportsEncodedFootprint) {
   DilEntry entry;
   entry.postings = {P({0, 1, 2}, 0.5), P({0}, 0.2)};
-  // (3 + 1) components * 4 bytes + 2 scores * 4 bytes = 24.
-  EXPECT_EQ(entry.ApproxSizeBytes(), 24u);
+  // Posting 1: shared(1) + fresh(1) + 3 component varints + 4-byte score
+  //          = 9 bytes.
+  // Posting 2: shares {0} with its predecessor — shared(1) + fresh(1) + no
+  //            components + 4-byte score = 6 bytes.
+  EXPECT_EQ(entry.ApproxSizeBytes(), 15u);
+}
+
+TEST(XOntoDilTest, ApproxSizeElidesSharedPrefixes) {
+  // 100 deep siblings: the common 7-component prefix is paid once, every
+  // later posting stores only its fresh last component.
+  DilEntry entry;
+  for (uint32_t i = 0; i < 100; ++i) {
+    entry.postings.push_back(P({0, 3, 0, 2, 0, 5, 1, i}, 0.5));
+  }
+  size_t uncompressed = 0;
+  for (const DilPosting& p : entry.postings) {
+    uncompressed += p.dewey.size() * sizeof(uint32_t) + sizeof(float);
+  }
+  EXPECT_LT(entry.ApproxSizeBytes(), uncompressed / 4);
 }
 
 TEST(XOntoDilTest, EntriesIterationIsSorted) {

@@ -27,6 +27,10 @@ sources and enforces the XOntoRank contract invariants:
                   dropped failure; check it, propagate it
                   (XONTO_RETURN_IF_ERROR), or XO_CHECK_OK it.
                                     [scope: src/ tests/ bench/ examples/]
+  posting-by-value  range-for iterating DilPosting by value in the query
+                  layer copies a heap-owned DeweyId per posting; iterate
+                  by const reference, or use DilCursor/DeweyRef on the
+                  serving path.                      [scope: src/core/]
 
 Suppression: a comment `// xo-lint: allow(rule)` (comma-separated list
 accepted) suppresses those rules on its own line and on the next line.
@@ -48,10 +52,12 @@ FALLIBLE_FUNCTIONS = [
     "CheckCda",
     "ConvertEmrToCda",
     "DecodeIndex",
+    "DecodeIndexFlat",
     "ExplainOntoScore",
     "ExplainResult",
     "LoadEngineDir",
     "LoadIndex",
+    "LoadIndexFlat",
     "LoadOntology",
     "ParseOntologyText",
     "ParseXml",
@@ -80,6 +86,9 @@ VOIDED_STATUS_RE = re.compile(
     r"(?:[A-Za-z_][A-Za-z0-9_]*\s*(?:::|\.|->)\s*)*"
     r"(?:" + "|".join(FALLIBLE_FUNCTIONS) + r")\s*\("
 )
+POSTING_BY_VALUE_RE = re.compile(
+    r"for\s*\(\s*(?:const\s+)?DilPosting\s+[A-Za-z_][A-Za-z0-9_]*\s*:"
+)
 SUPPRESS_RE = re.compile(r"xo-lint:\s*allow\(([^)]*)\)")
 
 RULE_DOCS = {
@@ -88,6 +97,7 @@ RULE_DOCS = {
     "new-delete": "raw new/delete expression in src/",
     "include-guard": "header guard must be XONTORANK_<PATH>_H_",
     "voided-status": "(void)-cast of a Status/Result-returning call",
+    "posting-by-value": "DilPosting iterated by value in src/core",
 }
 
 
@@ -200,6 +210,7 @@ class Linter:
         allowed = parse_suppressions(comments)
         lines = stripped.split("\n")
         in_src = relpath.startswith("src/")
+        in_core = relpath.startswith("src/core/")
         is_sync_header = relpath == "src/common/sync.h"
 
         for idx, code in enumerate(lines, start=1):
@@ -229,6 +240,12 @@ class Linter:
                     relpath, idx, "voided-status",
                     "(void)-cast discards a Status/Result; check it, "
                     "XONTO_RETURN_IF_ERROR it, or XO_CHECK_OK it", allowed)
+            if in_core and POSTING_BY_VALUE_RE.search(code):
+                self.report(
+                    relpath, idx, "posting-by-value",
+                    "DilPosting iterated by value copies a heap DeweyId "
+                    "per posting; iterate by const reference or use "
+                    "DilCursor", allowed)
 
         if relpath.endswith(".h"):
             self.lint_include_guard(relpath, lines, allowed)
