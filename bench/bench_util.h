@@ -127,6 +127,40 @@ inline size_t CurrentRssBytes() {
 #endif
 }
 
+/// Resident-set breakdown from /proc/self/smaps_rollup: how much of RSS
+/// is anonymous memory (heap/stack — swapped out under memory pressure)
+/// versus file-backed mappings (dropped and re-faulted from disk for
+/// free). The mmap-native segment's pitch is precisely moving index bytes
+/// from the first bucket into the second, so the load benches print
+/// deltas of both. All zeros where the rollup file is unavailable.
+struct RssBreakdown {
+  size_t rss_bytes = 0;
+  size_t anonymous_bytes = 0;
+  size_t file_backed_bytes = 0;  ///< rss - anonymous
+};
+
+inline RssBreakdown CurrentRssBreakdown() {
+  RssBreakdown out;
+#if defined(__linux__)
+  std::FILE* rollup = std::fopen("/proc/self/smaps_rollup", "r");
+  if (rollup == nullptr) return out;
+  char line[256];
+  while (std::fgets(line, sizeof(line), rollup) != nullptr) {
+    unsigned long kb = 0;
+    if (std::sscanf(line, "Rss: %lu kB", &kb) == 1) {
+      out.rss_bytes = kb * 1024;
+    } else if (std::sscanf(line, "Anonymous: %lu kB", &kb) == 1) {
+      out.anonymous_bytes = kb * 1024;
+    }
+  }
+  std::fclose(rollup);
+  out.file_backed_bytes = out.rss_bytes > out.anonymous_bytes
+                              ? out.rss_bytes - out.anonymous_bytes
+                              : 0;
+#endif
+  return out;
+}
+
 /// The heap growth attributable to running `build` and keeping its result
 /// alive: heap-in-use delta across the call. The result object must stay
 /// alive in the caller (return it from `build`).

@@ -7,11 +7,14 @@
 //   xontorank_cli validate <corpus-dir>
 //   xontorank_cli index <corpus-dir> <ontology.tsv> <out.xodl>
 //                 [--strategy XRANK|Graph|Taxonomy|Relationships] [--threads N]
+//                 [--index-format xodl|segment]
 //   xontorank_cli query <corpus-dir> <ontology.tsv> "<query>"
 //                 [--strategy NAME] [--top K] [--explain] [--ranked] [--group]
 //                 [--parallel N] [--no-cache] [--index saved.xodl]
+//                 (--index detects the file format by magic: XODL decodes,
+//                 a segment is mmap-opened and served in place)
 //   xontorank_cli save-engine <corpus-dir> <ontology.tsv> <engine-dir>
-//                 [--strategy NAME] [--threads N]
+//                 [--strategy NAME] [--threads N] [--index-format xodl|segment]
 //   xontorank_cli query-engine <engine-dir> "<query>" [--top K] [--explain]
 //                 [--ranked] [--parallel N] [--no-cache]
 //   xontorank_cli repl <engine-dir>     # interactive: one query per line;
@@ -48,6 +51,8 @@
 #include "onto/ontology_io.h"
 #include "onto/snomed_fragment.h"
 #include "storage/index_store.h"
+#include "storage/segment_file.h"
+#include "storage/segment_writer.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
 
@@ -71,6 +76,17 @@ std::string FlagValue(const std::vector<std::string>& args,
 
 bool HasFlag(const std::vector<std::string>& args, const std::string& name) {
   return std::find(args.begin(), args.end(), name) != args.end();
+}
+
+/// Parses the shared --index-format flag (which on-disk index format save
+/// paths write).
+Result<IndexFileFormat> ParseIndexFormatFlag(
+    const std::vector<std::string>& args) {
+  std::string name = FlagValue(args, "--index-format", "xodl");
+  if (name == "xodl") return IndexFileFormat::kXodl;
+  if (name == "segment") return IndexFileFormat::kSegment;
+  return Status::InvalidArgument("unknown index format '" + name +
+                                 "' (use xodl or segment)");
 }
 
 Result<Strategy> ParseStrategy(const std::string& name) {
@@ -161,6 +177,8 @@ int IndexCommand(const std::vector<std::string>& args) {
   if (!onto.ok()) return Fail(onto.status().ToString());
   auto strategy = ParseStrategy(FlagValue(args, "--strategy", "Relationships"));
   if (!strategy.ok()) return Fail(strategy.status().ToString());
+  auto format = ParseIndexFormatFlag(args);
+  if (!format.ok()) return Fail(format.status().ToString());
 
   IndexBuildOptions options;
   options.strategy = *strategy;
@@ -172,7 +190,9 @@ int IndexCommand(const std::vector<std::string>& args) {
 
   // The eager build already materialized every vocabulary entry.
   XOntoDil dil = index.MaterializedCopy();
-  Status st = SaveIndex(dil, args[2]);
+  Status st = *format == IndexFileFormat::kSegment
+                  ? SaveSegment(dil.Freeze(), args[2])
+                  : SaveIndex(dil, args[2]);
   if (!st.ok()) return Fail(st.ToString());
   std::printf("indexed %zu documents (%zu nodes, %zu code nodes) under %s: "
               "%zu keywords, %zu postings in %.0f ms → %s\n",
@@ -281,13 +301,26 @@ int QueryCommand(const std::vector<std::string>& args) {
 
   // Adopt a previously saved index (from the `index` command) so no
   // OntoScore work is repeated. Must match corpus/ontology/strategy. The
-  // flat load decodes the file straight into the serving columns.
+  // format is sniffed from the file: an XODL blob decodes straight into
+  // the serving columns; a segment is mmap-opened and served in place,
+  // with the mapping pinned by the published snapshot.
   std::string index_path = FlagValue(args, "--index", "");
   if (!index_path.empty()) {
-    auto dil = LoadIndexFlat(index_path);
-    if (!dil.ok()) return Fail(dil.status().ToString());
-    engine.AdoptPrecomputed(std::move(dil).value());
-    XONTO_LOG(kInfo) << "adopted " << index_path;
+    auto format = DetectIndexFileFormat(index_path);
+    if (!format.ok()) return Fail(format.status().ToString());
+    if (*format == IndexFileFormat::kSegment) {
+      auto segment = SegmentFile::Open(index_path);
+      if (!segment.ok()) return Fail(segment.status().ToString());
+      std::shared_ptr<const SegmentFile> backing =
+          std::move(segment).value();
+      engine.AdoptPrecomputed(backing->MakeView(), backing);
+      XONTO_LOG(kInfo) << "mapped " << index_path;
+    } else {
+      auto dil = LoadIndexFlat(index_path);
+      if (!dil.ok()) return Fail(dil.status().ToString());
+      engine.AdoptPrecomputed(std::move(dil).value());
+      XONTO_LOG(kInfo) << "adopted " << index_path;
+    }
   }
 
   KeywordQuery query = ParseQuery(args[2]);
@@ -318,6 +351,8 @@ int SaveEngineCommand(const std::vector<std::string>& args) {
   if (!onto.ok()) return Fail(onto.status().ToString());
   auto strategy = ParseStrategy(FlagValue(args, "--strategy", "Relationships"));
   if (!strategy.ok()) return Fail(strategy.status().ToString());
+  auto format = ParseIndexFormatFlag(args);
+  if (!format.ok()) return Fail(format.status().ToString());
 
   IndexBuildOptions options;
   options.strategy = *strategy;
@@ -325,7 +360,9 @@ int SaveEngineCommand(const std::vector<std::string>& args) {
       IndexBuildOptions::VocabularyMode::kCorpusAndOntology;
   options.num_threads = std::stoul(FlagValue(args, "--threads", "1"));
   XOntoRank engine(std::move(corpus).value(), *onto, options);
-  Status st = SaveEngineDir(engine, args[2]);
+  SaveSnapshotOptions save_options;
+  save_options.index_format = *format;
+  Status st = SaveEngineDir(engine, args[2], save_options);
   if (!st.ok()) return Fail(st.ToString());
   std::printf("saved engine (%zu documents, %zu keywords, %zu postings) to "
               "%s\n",

@@ -6,9 +6,71 @@
 
 namespace xontorank {
 
+// --- ownership ------------------------------------------------------------
+
+void FlatDil::Rebind() {
+  v_.keyword_arena = keyword_arena_;
+  v_.keyword_offsets = keyword_offsets_;
+  v_.list_begin = list_begin_;
+  v_.scores = scores_;
+  v_.shared = shared_;
+  v_.suffix_offsets = suffix_offsets_;
+  v_.dewey_arena = arena_;
+  v_.skip_first_doc = skip_first_doc_;
+  v_.skip_begin = skip_begin_;
+}
+
+void FlatDil::Reset() {
+  keyword_arena_.clear();
+  keyword_offsets_ = {0};
+  list_begin_ = {0};
+  scores_.clear();
+  shared_.clear();
+  suffix_offsets_ = {0};
+  arena_.clear();
+  skip_first_doc_.clear();
+  skip_begin_ = {0};
+  mapped_ = false;
+  Rebind();
+}
+
+FlatDil& FlatDil::operator=(FlatDil&& other) noexcept {
+  if (this == &other) return *this;
+  keyword_arena_ = std::move(other.keyword_arena_);
+  keyword_offsets_ = std::move(other.keyword_offsets_);
+  list_begin_ = std::move(other.list_begin_);
+  scores_ = std::move(other.scores_);
+  shared_ = std::move(other.shared_);
+  suffix_offsets_ = std::move(other.suffix_offsets_);
+  arena_ = std::move(other.arena_);
+  skip_first_doc_ = std::move(other.skip_first_doc_);
+  skip_begin_ = std::move(other.skip_begin_);
+  mapped_ = other.mapped_;
+  if (mapped_) {
+    // The views point at external memory, which is unaffected by the move.
+    v_ = other.v_;
+  } else {
+    // keyword_arena_ may have been SSO-stored, so the moved string's bytes
+    // can live at a different address: re-point every view at the (now
+    // ours) owned storage rather than copying other's views.
+    Rebind();
+  }
+  other.Reset();
+  return *this;
+}
+
+FlatDil FlatDil::FromSections(const Sections& sections) {
+  FlatDil dil;
+  dil.mapped_ = true;
+  dil.v_ = sections;
+  return dil;
+}
+
 // --- Builder --------------------------------------------------------------
 
-FlatDil::Builder::Builder(size_t expected_keywords, size_t expected_postings) {
+FlatDil::Builder::Builder(size_t expected_keywords, size_t expected_postings,
+                          size_t expected_keyword_bytes,
+                          size_t expected_blocks) {
   // list_begin_/skip_begin_ are rebuilt from scratch: BeginList pushes each
   // list's start, Finish the final end bound (so an empty build still ends
   // up with the canonical {0}).
@@ -17,6 +79,7 @@ FlatDil::Builder::Builder(size_t expected_keywords, size_t expected_postings) {
   dil_.keyword_offsets_.reserve(expected_keywords + 1);
   dil_.list_begin_.reserve(expected_keywords + 1);
   dil_.skip_begin_.reserve(expected_keywords + 1);
+  dil_.keyword_arena_.reserve(expected_keyword_bytes);
   dil_.scores_.reserve(expected_postings);
   dil_.shared_.reserve(expected_postings);
   dil_.suffix_offsets_.reserve(expected_postings + 1);
@@ -24,8 +87,10 @@ FlatDil::Builder::Builder(size_t expected_keywords, size_t expected_postings) {
   // id per block restart; 2 per posting is a safe single-allocation guess
   // (Finish shrinks whatever is unused).
   dil_.arena_.reserve(expected_postings * 2);
-  dil_.skip_first_doc_.reserve(expected_postings / kBlockPostings +
-                               expected_keywords);
+  dil_.skip_first_doc_.reserve(expected_blocks != 0
+                                   ? expected_blocks
+                                   : expected_postings / kBlockPostings +
+                                         expected_keywords);
 }
 
 bool FlatDil::Builder::BeginList(std::string_view keyword) {
@@ -92,6 +157,7 @@ FlatDil FlatDil::Builder::Finish() && {
   dil_.suffix_offsets_.shrink_to_fit();
   dil_.arena_.shrink_to_fit();
   dil_.skip_first_doc_.shrink_to_fit();
+  dil_.Rebind();
   return std::move(dil_);
 }
 
@@ -115,7 +181,7 @@ uint32_t FlatDil::FindList(std::string_view keyword) const {
 // --- cursors & seeks ------------------------------------------------------
 
 DilCursor FlatDil::OpenCursor(uint32_t list) const {
-  return CursorAt(list, list_begin_[list], list_begin_[list + 1]);
+  return CursorAt(list, v_.list_begin[list], v_.list_begin[list + 1]);
 }
 
 DilCursor FlatDil::OpenCursor(uint32_t list, const DocRange& range) const {
@@ -128,9 +194,9 @@ DilCursor FlatDil::CursorAt(uint32_t list, uint32_t from, uint32_t to) const {
   if (from >= to) return c;  // default cursor is exhausted
   c.dil_ = this;
   c.end_ = to;
-  c.list_start_ = list_begin_[list];
-  c.skip_lo_ = skip_begin_[list];
-  c.skip_hi_ = skip_begin_[list + 1];
+  c.list_start_ = v_.list_begin[list];
+  c.skip_lo_ = v_.skip_begin[list];
+  c.skip_hi_ = v_.skip_begin[list + 1];
   // Seek: start decoding at `from`'s block restart (where shared == 0) and
   // roll forward so the shared-prefix buffer is complete at `from`.
   uint32_t list_start = c.list_start_;
@@ -145,14 +211,14 @@ DilCursor FlatDil::CursorAt(uint32_t list, uint32_t from, uint32_t to) const {
 }
 
 uint32_t FlatDil::LowerBoundDoc(uint32_t list, uint32_t doc) const {
-  uint32_t list_start = list_begin_[list];
-  uint32_t list_end = list_begin_[list + 1];
+  uint32_t list_start = v_.list_begin[list];
+  uint32_t list_end = v_.list_begin[list + 1];
   if (list_start == list_end) return list_start;
-  uint32_t skip_lo = skip_begin_[list];
-  uint32_t skip_hi = skip_begin_[list + 1];
+  uint32_t skip_lo = v_.skip_begin[list];
+  uint32_t skip_hi = v_.skip_begin[list + 1];
   // First block whose first document id is >= doc. Any earlier match must
   // then live in the block before it.
-  auto skip_first = skip_first_doc_.begin();
+  auto skip_first = v_.skip_first_doc.begin();
   uint32_t block = static_cast<uint32_t>(
       std::lower_bound(skip_first + skip_lo, skip_first + skip_hi, doc) -
       skip_first);
@@ -161,9 +227,9 @@ uint32_t FlatDil::LowerBoundDoc(uint32_t list, uint32_t doc) const {
   uint32_t end = std::min(begin + kBlockPostings, list_end);
   // In-block scan without full decode: the document id changes only at
   // restart postings (shared == 0), where it is the suffix's first word.
-  uint32_t cur_doc = skip_first_doc_[block - 1];
+  uint32_t cur_doc = v_.skip_first_doc[block - 1];
   for (uint32_t p = begin; p < end; ++p) {
-    if (shared_[p] == 0) cur_doc = arena_[suffix_offsets_[p]];
+    if (v_.shared[p] == 0) cur_doc = v_.dewey_arena[v_.suffix_offsets[p]];
     if (cur_doc >= doc) return p;
   }
   return end;  // == next block's start, or list_end
@@ -178,12 +244,12 @@ std::pair<uint32_t, uint32_t> FlatDil::PostingRange(
 
 void FlatDil::CollectDocIds(uint32_t list,
                             std::vector<uint32_t>* out) const {
-  uint32_t begin = list_begin_[list];
-  uint32_t end = list_begin_[list + 1];
+  uint32_t begin = v_.list_begin[list];
+  uint32_t end = v_.list_begin[list + 1];
   out->reserve(out->size() + (end - begin));
   uint32_t cur_doc = 0;
   for (uint32_t p = begin; p < end; ++p) {
-    if (shared_[p] == 0) cur_doc = arena_[suffix_offsets_[p]];
+    if (v_.shared[p] == 0) cur_doc = v_.dewey_arena[v_.suffix_offsets[p]];
     out->push_back(cur_doc);
   }
 }
@@ -210,21 +276,32 @@ XOntoDil FlatDil::ThawAll() const {
 // --- introspection --------------------------------------------------------
 
 size_t FlatDil::MemoryBytes() const {
-  return keyword_arena_.size() +
-         keyword_offsets_.size() * sizeof(uint32_t) +
-         list_begin_.size() * sizeof(uint32_t) +
-         scores_.size() * sizeof(double) +
-         shared_.size() * sizeof(uint16_t) +
-         suffix_offsets_.size() * sizeof(uint32_t) +
-         arena_.size() * sizeof(uint32_t) +
-         skip_first_doc_.size() * sizeof(uint32_t) +
-         skip_begin_.size() * sizeof(uint32_t);
+  return v_.keyword_arena.size() +
+         v_.keyword_offsets.size() * sizeof(uint32_t) +
+         v_.list_begin.size() * sizeof(uint32_t) +
+         v_.scores.size() * sizeof(double) +
+         v_.shared.size() * sizeof(uint16_t) +
+         v_.suffix_offsets.size() * sizeof(uint32_t) +
+         v_.dewey_arena.size() * sizeof(uint32_t) +
+         v_.skip_first_doc.size() * sizeof(uint32_t) +
+         v_.skip_begin.size() * sizeof(uint32_t);
 }
 
 // --- conversions ----------------------------------------------------------
 
 FlatDil XOntoDil::Freeze() const {
-  FlatDil::Builder builder(entries_.size(), TotalPostings());
+  // Exact sizes fall out of the source index's own bookkeeping, so every
+  // column can be reserved once and verified after the build.
+  size_t total_postings = TotalPostings();
+  size_t keyword_bytes = 0;
+  size_t blocks = 0;
+  for (const auto& [keyword, entry] : entries_) {
+    keyword_bytes += keyword.size();
+    blocks += (entry.postings.size() + FlatDil::kBlockPostings - 1) /
+              FlatDil::kBlockPostings;
+  }
+  FlatDil::Builder builder(entries_.size(), total_postings, keyword_bytes,
+                           blocks);
   for (const auto& [keyword, entry] : entries_) {
     XO_CHECK(builder.BeginList(keyword));  // map iterates sorted
     for (const DilPosting& posting : entry.postings) {
@@ -232,7 +309,12 @@ FlatDil XOntoDil::Freeze() const {
       XO_CHECK(builder.AddPosting(posting.dewey.components(), posting.score));
     }
   }
-  return std::move(builder).Finish();
+  FlatDil dil = std::move(builder).Finish();
+  XO_CHECK_EQ(dil.keyword_count(), entries_.size());
+  XO_CHECK_EQ(dil.total_postings(), total_postings);
+  XO_CHECK_EQ(dil.sections().keyword_arena.size(), keyword_bytes);
+  XO_CHECK_EQ(dil.TotalBlocks(), blocks);
+  return dil;
 }
 
 // --- partitioning ---------------------------------------------------------

@@ -25,26 +25,34 @@ class DilCursor;
 ///   - keyword dictionary: one sorted string arena plus offsets; lookup is
 ///     a binary search over slices, no node-based map on the read path;
 ///   - postings, columnar and global (list `l` owns posting indices
-///     `[list_begin_[l], list_begin_[l+1])`):
-///       scores_[p]          the posting's NS score (full double — freezing
-///                           an in-memory index is lossless),
-///       shared_[p]          Dewey components shared with posting p-1,
-///       arena_[...]         the fresh suffix components, all postings
-///                           back to back in one uint32_t arena,
-///       suffix_offsets_[p]  where posting p's suffix starts in arena_;
+///     `[list_begin[l], list_begin[l+1])`):
+///       scores[p]          the posting's NS score (full double — freezing
+///                          an in-memory index is lossless),
+///       shared[p]          Dewey components shared with posting p-1,
+///       dewey_arena[...]   the fresh suffix components, all postings
+///                          back to back in one uint32_t arena,
+///       suffix_offsets[p]  where posting p's suffix starts in the arena;
 ///   - blocks: every kBlockPostings-th posting of a list is a restart
 ///     (shared forced to 0, full id in the arena), and the per-block skip
-///     table skip_first_doc_ records each block's first document id, so
+///     table skip_first_doc records each block's first document id, so
 ///     document-range seeks land on a block in O(log blocks) and decode at
 ///     most one block instead of binary-searching fat posting structs.
 ///
-/// This is byte-for-byte the same prefix-elision scheme the on-disk format
-/// uses (storage/index_store.h), which is why DecodeIndexFlat can fill
-/// these columns straight from the wire without building an intermediate
-/// XOntoDil.
+/// This is byte-for-byte the same prefix-elision scheme both on-disk
+/// formats use: the XODL wire format (storage/index_store.h) stores the
+/// deltas varint-compressed, which is why DecodeIndexFlat can fill these
+/// columns straight from the wire, and the segment format
+/// (storage/segment_file.h) stores the columns *themselves*, which is why
+/// a segment opens with mmap + pointer fixup and no decode at all.
 ///
-/// A FlatDil is immutable after construction (Builder/Freeze/decode) and
-/// safe to share across any number of reader threads.
+/// Ownership modes. A FlatDil normally owns its columns (Builder / Freeze /
+/// decode). In **mapped-view mode** (FromSections, used by
+/// SegmentFile::MakeView) it owns nothing: every column aliases external
+/// memory — typically a memory-mapped segment file — and the caller must
+/// keep that memory alive for the life of the FlatDil (IndexSnapshot holds
+/// the backing mapping alongside the served FlatDil). Either way the
+/// object is immutable after construction and safe to share across any
+/// number of reader threads.
 class FlatDil {
  public:
   /// Postings per block; restarts and skip entries are per block. 128
@@ -55,10 +63,25 @@ class FlatDil {
   /// FindList's miss value.
   static constexpr uint32_t kNoList = UINT32_MAX;
 
-  FlatDil() = default;
+  /// The column views, in segment-file section order. For an owning
+  /// FlatDil these alias its own vectors; for a mapped view they alias the
+  /// external (mmap'd) memory. SegmentWriter serializes exactly these.
+  struct Sections {
+    std::string_view keyword_arena;             ///< concatenated keywords
+    std::span<const uint32_t> keyword_offsets;  ///< K+1 arena offsets
+    std::span<const uint32_t> list_begin;       ///< K+1 posting bounds
+    std::span<const double> scores;             ///< P
+    std::span<const uint16_t> shared;           ///< P (restarts store 0)
+    std::span<const uint32_t> suffix_offsets;   ///< P+1 arena offsets
+    std::span<const uint32_t> dewey_arena;      ///< concatenated suffixes
+    std::span<const uint32_t> skip_first_doc;   ///< one per block
+    std::span<const uint32_t> skip_begin;       ///< K+1 block bounds
+  };
 
-  FlatDil(FlatDil&&) = default;
-  FlatDil& operator=(FlatDil&&) = default;
+  FlatDil() { Rebind(); }
+
+  FlatDil(FlatDil&& other) noexcept : FlatDil() { *this = std::move(other); }
+  FlatDil& operator=(FlatDil&& other) noexcept;
   FlatDil(const FlatDil&) = delete;
   FlatDil& operator=(const FlatDil&) = delete;
 
@@ -67,22 +90,35 @@ class FlatDil {
   /// construction path. Defined after the class (it holds a FlatDil).
   class Builder;
 
+  /// A non-owning FlatDil whose columns alias `sections` (mapped-view
+  /// mode). The caller is responsible for (a) the sections being mutually
+  /// consistent — SegmentFile::Open validates exactly that before calling
+  /// — and (b) the referenced memory outliving the returned object.
+  static FlatDil FromSections(const Sections& sections);
+
+  /// This dil's column views. Valid as long as the FlatDil (owning mode)
+  /// or its external backing (mapped-view mode) stays alive.
+  const Sections& sections() const { return v_; }
+
+  /// True when the columns alias external memory (FromSections).
+  bool is_mapped_view() const { return mapped_; }
+
   // --- dictionary -------------------------------------------------------
 
-  size_t keyword_count() const { return list_begin_.size() - 1; }
-  size_t total_postings() const { return scores_.size(); }
+  size_t keyword_count() const { return v_.list_begin.size() - 1; }
+  size_t total_postings() const { return v_.scores.size(); }
 
   /// Binary search over the sorted keyword arena; kNoList if absent.
   uint32_t FindList(std::string_view keyword) const;
 
   std::string_view KeywordAt(uint32_t list) const {
-    return std::string_view(keyword_arena_)
-        .substr(keyword_offsets_[list],
-                keyword_offsets_[list + 1] - keyword_offsets_[list]);
+    return v_.keyword_arena.substr(
+        v_.keyword_offsets[list],
+        v_.keyword_offsets[list + 1] - v_.keyword_offsets[list]);
   }
 
   size_t ListSize(uint32_t list) const {
-    return list_begin_[list + 1] - list_begin_[list];
+    return v_.list_begin[list + 1] - v_.list_begin[list];
   }
 
   // --- cursors & seeks --------------------------------------------------
@@ -106,13 +142,12 @@ class FlatDil {
 
   /// Score of a posting by global posting index (columnar: O(1), used by
   /// the ranked processor's frontier).
-  double ScoreAt(uint32_t posting) const { return scores_[posting]; }
+  double ScoreAt(uint32_t posting) const { return v_.scores[posting]; }
 
   /// The list's score column, indexed by list-local posting position —
   /// random access for the ranked processor without touching Dewey data.
   std::span<const double> ListScores(uint32_t list) const {
-    return std::span<const double>(scores_.data() + list_begin_[list],
-                                   ListSize(list));
+    return v_.scores.subspan(v_.list_begin[list], ListSize(list));
   }
 
   // --- thaw (legacy interop) --------------------------------------------
@@ -126,21 +161,34 @@ class FlatDil {
 
   // --- introspection ----------------------------------------------------
 
-  /// Exact heap bytes of the flat representation: every column's
-  /// size() * element size plus the keyword arena. This is what
-  /// bench_flat_dil reports as bytes/posting.
+  /// Exact bytes of the flat columns: every column's size() * element size
+  /// plus the keyword arena. In owning mode these are heap bytes (what
+  /// bench_flat_dil reports as bytes/posting); in mapped-view mode they
+  /// are file-backed mapped bytes and the heap holds essentially nothing.
   size_t MemoryBytes() const;
 
   /// Bytes of the Dewey component arena alone.
-  size_t ArenaBytes() const { return arena_.size() * sizeof(uint32_t); }
+  size_t ArenaBytes() const {
+    return v_.dewey_arena.size() * sizeof(uint32_t);
+  }
 
   /// Skip-table blocks backing `list` (tests).
   size_t BlockCount(uint32_t list) const {
-    return skip_begin_[list + 1] - skip_begin_[list];
+    return v_.skip_begin[list + 1] - v_.skip_begin[list];
   }
+
+  /// Skip-table blocks across all lists (the segment header's block
+  /// count).
+  size_t TotalBlocks() const { return v_.skip_first_doc.size(); }
 
  private:
   friend class DilCursor;
+
+  /// Points every view in v_ at the owned vectors (owning mode only).
+  void Rebind();
+
+  /// Restores the canonical empty owning state (moved-from objects).
+  void Reset();
 
   /// First posting index of `list` with document id >= `doc`.
   uint32_t LowerBoundDoc(uint32_t list, uint32_t doc) const;
@@ -149,27 +197,35 @@ class FlatDil {
   /// (seeks to the enclosing block restart and rolls forward).
   DilCursor CursorAt(uint32_t list, uint32_t from, uint32_t to) const;
 
-  // Dictionary.
+  // Owned storage. Empty in mapped-view mode; in owning mode the views in
+  // v_ alias these (every read goes through v_, never through these).
   std::string keyword_arena_;
   std::vector<uint32_t> keyword_offsets_ = {0};  ///< K+1
   std::vector<uint32_t> list_begin_ = {0};       ///< K+1 posting bounds
+  std::vector<double> scores_;                   ///< P
+  std::vector<uint16_t> shared_;                 ///< P (restarts store 0)
+  std::vector<uint32_t> suffix_offsets_ = {0};   ///< P+1 arena offsets
+  std::vector<uint32_t> arena_;                  ///< concatenated suffixes
+  std::vector<uint32_t> skip_first_doc_;         ///< one per block
+  std::vector<uint32_t> skip_begin_ = {0};       ///< K+1 block bounds
 
-  // Columnar postings.
-  std::vector<double> scores_;          ///< P
-  std::vector<uint16_t> shared_;        ///< P (restarts store 0)
-  std::vector<uint32_t> suffix_offsets_ = {0};  ///< P+1 arena offsets
-  std::vector<uint32_t> arena_;         ///< concatenated fresh suffixes
-
-  // Per-block skip table.
-  std::vector<uint32_t> skip_first_doc_;     ///< one per block
-  std::vector<uint32_t> skip_begin_ = {0};   ///< K+1 block bounds
+  /// The read views: every accessor and cursor reads through these. They
+  /// alias the owned vectors above (owning mode) or external memory
+  /// (mapped-view mode).
+  Sections v_;
+  bool mapped_ = false;
 };
 
 class FlatDil::Builder {
  public:
-  /// Size hints reserve the per-posting columns up front (the arena is
-  /// reserved heuristically; suffixes are data-dependent).
-  Builder(size_t expected_keywords, size_t expected_postings);
+  /// Size hints reserve the columns up front. The first two size the
+  /// per-posting columns exactly; `expected_keyword_bytes` and
+  /// `expected_blocks`, when nonzero, size the keyword arena and the
+  /// skip table exactly too (Freeze computes all four from the source
+  /// index's own counts). The Dewey arena stays heuristic — suffix
+  /// lengths are data-dependent (Finish shrinks the slack).
+  Builder(size_t expected_keywords, size_t expected_postings,
+          size_t expected_keyword_bytes = 0, size_t expected_blocks = 0);
 
   /// Opens the list for `keyword`, which must sort strictly after every
   /// previously begun keyword; returns false (and ignores the call)
@@ -219,7 +275,7 @@ class DilCursor {
   }
 
   double score() const {
-    return dil_ == nullptr ? span_[pos_].score : dil_->scores_[pos_];
+    return dil_ == nullptr ? span_[pos_].score : dil_->v_.scores[pos_];
   }
 
   /// The current posting's document id (the first Dewey component).
@@ -255,7 +311,7 @@ class DilCursor {
     // start), so at most ~one block is decoded while rolling forward.
     uint32_t cur_block =
         skip_lo_ + (pos_ - list_start_) / FlatDil::kBlockPostings;
-    const std::vector<uint32_t>& skip = dil_->skip_first_doc_;
+    std::span<const uint32_t> skip = dil_->v_.skip_first_doc;
     uint32_t next_block = static_cast<uint32_t>(
         std::lower_bound(skip.begin() + cur_block + 1,
                          skip.begin() + skip_hi_, doc) -
@@ -282,13 +338,13 @@ class DilCursor {
   /// Decodes posting pos_ into buf_: keeps the shared prefix (identical to
   /// the predecessor's by construction) and copies the fresh suffix.
   void LoadCurrent() {
-    uint32_t off = dil_->suffix_offsets_[pos_];
-    uint32_t fresh = dil_->suffix_offsets_[pos_ + 1] - off;
-    uint32_t shared = dil_->shared_[pos_];
+    uint32_t off = dil_->v_.suffix_offsets[pos_];
+    uint32_t fresh = dil_->v_.suffix_offsets[pos_ + 1] - off;
+    uint32_t shared = dil_->v_.shared[pos_];
     depth_ = shared + fresh;
     if (buf_.size() < depth_) buf_.resize(depth_);
     for (uint32_t i = 0; i < fresh; ++i) {
-      buf_[shared + i] = dil_->arena_[off + i];
+      buf_[shared + i] = dil_->v_.dewey_arena[off + i];
     }
   }
 

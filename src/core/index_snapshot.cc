@@ -35,8 +35,10 @@ IndexSnapshot::IndexSnapshot(Corpus corpus,
 
 IndexSnapshot::IndexSnapshot(Corpus corpus,
                              std::shared_ptr<const OntologyContext> context,
-                             IndexBuildOptions options, FlatDil adopted)
-    : corpus_(std::move(corpus)),
+                             IndexBuildOptions options, FlatDil adopted,
+                             std::shared_ptr<const void> backing)
+    : backing_(std::move(backing)),
+      corpus_(std::move(corpus)),
       index_(corpus_, std::move(context), options, std::move(adopted)),
       processor_(options.score),
       ranked_processor_(options.score),

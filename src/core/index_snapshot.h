@@ -47,9 +47,13 @@ class IndexSnapshot {
 
   /// Same, adopting an already-flat index (the LoadIndexFlat path: the
   /// wire format decodes straight into the serving columns, no
-  /// intermediate XOntoDil).
+  /// intermediate XOntoDil). When `adopted` is a mapped view whose columns
+  /// alias external memory — a mmap-opened SegmentFile — pass the owner as
+  /// `backing`: the snapshot pins it for its own lifetime, so the mapping
+  /// cannot be unmapped while queries read through the view.
   IndexSnapshot(Corpus corpus, std::shared_ptr<const OntologyContext> context,
-                IndexBuildOptions options, FlatDil adopted);
+                IndexBuildOptions options, FlatDil adopted,
+                std::shared_ptr<const void> backing = nullptr);
 
   IndexSnapshot(const IndexSnapshot&) = delete;
   IndexSnapshot& operator=(const IndexSnapshot&) = delete;
@@ -109,6 +113,11 @@ class IndexSnapshot {
   /// demand cache.
   std::vector<DilListRef> CollectListRefs(const KeywordQuery& query) const;
 
+  /// Keep-alive for externally backed indexes (type-erased so core never
+  /// depends on storage's SegmentFile). Declared FIRST: members destroy in
+  /// reverse order, so the backing mapping outlives index_, whose FlatDil
+  /// view may point into it.
+  std::shared_ptr<const void> backing_;
   Corpus corpus_;
   CorpusIndex index_;  ///< refers to corpus_; declared after it
   QueryProcessor processor_;

@@ -77,12 +77,13 @@ void IndexWriter::AdoptPrecomputed(XOntoDil dil) {
   Publish(corpus_, std::move(dil));
 }
 
-void IndexWriter::AdoptPrecomputed(FlatDil dil) {
+void IndexWriter::AdoptPrecomputed(FlatDil dil,
+                                   std::shared_ptr<const void> backing) {
   MutexLock lock(mutex_);
   XO_CHECK(pending_.empty() &&
            "commit staged documents before adopting a precomputed index");
   auto snapshot = std::make_shared<const IndexSnapshot>(
-      corpus_, context_, options_, std::move(dil));
+      corpus_, context_, options_, std::move(dil), std::move(backing));
   corpus_ = snapshot->corpus();
   published_.store(snapshot, std::memory_order_release);
 }

@@ -77,8 +77,12 @@ class IndexWriter {
   /// inconsistent.
   void AdoptPrecomputed(XOntoDil dil) XO_EXCLUDES(mutex_);
 
-  /// Same, adopting an already-flat index (the LoadIndexFlat path).
-  void AdoptPrecomputed(FlatDil dil) XO_EXCLUDES(mutex_);
+  /// Same, adopting an already-flat index (the LoadIndexFlat path). For a
+  /// mapped-view dil (SegmentFile::MakeView), `backing` is the owner of
+  /// the mapped memory; the published snapshot pins it alive.
+  void AdoptPrecomputed(FlatDil dil,
+                        std::shared_ptr<const void> backing = nullptr)
+      XO_EXCLUDES(mutex_);
 
  private:
   /// Builds a snapshot over `corpus` and publishes it. Holding the writer

@@ -47,8 +47,9 @@ void XOntoRank::AdoptPrecomputed(XOntoDil dil) {
   writer_.AdoptPrecomputed(std::move(dil));
 }
 
-void XOntoRank::AdoptPrecomputed(FlatDil dil) {
-  writer_.AdoptPrecomputed(std::move(dil));
+void XOntoRank::AdoptPrecomputed(FlatDil dil,
+                                 std::shared_ptr<const void> backing) {
+  writer_.AdoptPrecomputed(std::move(dil), std::move(backing));
 }
 
 const XmlNode* XOntoRank::ResolveResult(const QueryResult& result) const {

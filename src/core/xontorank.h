@@ -117,8 +117,12 @@ class XOntoRank {
   /// queries will be inconsistent.
   void AdoptPrecomputed(XOntoDil dil);
 
-  /// Same, adopting an already-flat index (the LoadIndexFlat path).
-  void AdoptPrecomputed(FlatDil dil);
+  /// Same, adopting an already-flat index (the LoadIndexFlat path). A
+  /// mapped-view dil (a mmap-opened segment) passes its SegmentFile as
+  /// `backing` so the mapping stays alive as long as any snapshot serves
+  /// from it.
+  void AdoptPrecomputed(FlatDil dil,
+                        std::shared_ptr<const void> backing = nullptr);
 
   /// The current serving snapshot — the safe way to get a stable view for
   /// a batch of related calls (resolve + serialize + explain) while

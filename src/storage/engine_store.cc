@@ -8,6 +8,7 @@
 #include "common/sync.h"
 #include "onto/ontology_io.h"
 #include "storage/index_store.h"
+#include "storage/segment_writer.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
 
@@ -57,7 +58,8 @@ Mutex& SaveMutex() {
 
 }  // namespace
 
-Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir) {
+Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir,
+                    const SaveSnapshotOptions& save_options) {
   MutexLock lock(SaveMutex());
   std::error_code ec;
   std::filesystem::create_directories(dir + "/corpus", ec);
@@ -99,16 +101,33 @@ Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir) {
     manifest += "document\t" + name + "\n";
   }
 
-  // Materialized inverted lists (precomputed + demand-cached).
-  XONTO_RETURN_IF_ERROR(
-      SaveIndex(index.MaterializedCopy(), dir + "/index.xodl"));
-  manifest += "index\tindex.xodl\n";
+  // Materialized inverted lists (precomputed + demand-cached), in the
+  // requested index format. The load side dispatches on file magic, not
+  // the manifest name, so either file round-trips through older manifests.
+  if (save_options.index_format == IndexFileFormat::kSegment) {
+    XONTO_RETURN_IF_ERROR(SaveSegment(index.MaterializedCopy().Freeze(),
+                                      dir + "/index.xoseg"));
+    manifest += "index\tindex.xoseg\n";
+  } else {
+    XONTO_RETURN_IF_ERROR(
+        SaveIndex(index.MaterializedCopy(), dir + "/index.xodl"));
+    manifest += "index\tindex.xodl\n";
+  }
 
   return WriteFile(dir + "/manifest.tsv", manifest);
 }
 
+Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir) {
+  return SaveSnapshot(snapshot, dir, SaveSnapshotOptions());
+}
+
+Status SaveEngineDir(const XOntoRank& engine, const std::string& dir,
+                     const SaveSnapshotOptions& options) {
+  return SaveSnapshot(*engine.snapshot(), dir, options);
+}
+
 Status SaveEngineDir(const XOntoRank& engine, const std::string& dir) {
-  return SaveSnapshot(*engine.snapshot(), dir);
+  return SaveSnapshot(*engine.snapshot(), dir, SaveSnapshotOptions());
 }
 
 Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
@@ -188,19 +207,40 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
   OntologySet systems;
   for (const auto& onto : loaded->ontologies_) systems.Add(*onto);
 
-  // Produce the serving snapshot directly: the persisted entries decode
-  // straight into the flat serving columns (no intermediate XOntoDil) and
-  // are handed to the snapshot at construction, so the vocabulary
+  // Produce the serving snapshot directly: the persisted entries are
+  // handed to the snapshot at construction, so the vocabulary
   // precomputation (a no-op under the persisted kNone mode anyway) is
   // bypassed and persisted keywords serve without any stage-2
-  // recomputation.
+  // recomputation. The index file's magic picks the path: a segment is
+  // mmap-opened and served in place (the snapshot pins the mapping), an
+  // XODL file decodes straight into owned flat columns (no intermediate
+  // XOntoDil).
   FlatDil dil;
+  std::shared_ptr<const void> backing;
   if (!index_file.empty()) {
-    XONTO_ASSIGN_OR_RETURN(dil, LoadIndexFlat(dir + "/" + index_file));
+    std::string index_path = dir + "/" + index_file;
+    XONTO_ASSIGN_OR_RETURN(IndexFileFormat format,
+                           DetectIndexFileFormat(index_path));
+    switch (format) {
+      case IndexFileFormat::kSegment: {
+        XONTO_ASSIGN_OR_RETURN(std::unique_ptr<SegmentFile> segment,
+                               SegmentFile::Open(index_path));
+        dil = segment->MakeView();
+        backing = std::shared_ptr<const SegmentFile>(std::move(segment));
+        break;
+      }
+      case IndexFileFormat::kXodl: {
+        XONTO_ASSIGN_OR_RETURN(dil, LoadIndexFlat(index_path));
+        break;
+      }
+      case IndexFileFormat::kUnknown:
+        return Status::Corruption(index_path +
+                                  ": unrecognized index file magic");
+    }
   }
   auto snapshot = std::make_shared<const IndexSnapshot>(
       std::move(corpus), OntologyContext::Create(systems, options), options,
-      std::move(dil));
+      std::move(dil), std::move(backing));
   loaded->engine_ = std::make_unique<XOntoRank>(std::move(snapshot));
   return loaded;
 }

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/xontorank.h"
 #include "onto/ontology.h"
+#include "storage/segment_file.h"
 
 namespace xontorank {
 
@@ -45,15 +46,32 @@ class LoadedEngine {
   std::unique_ptr<XOntoRank> engine_;
 };
 
+/// How SaveSnapshot persists the inverted lists.
+struct SaveSnapshotOptions {
+  /// kXodl writes the compact, portable varint format (index.xodl);
+  /// kSegment writes the mmap-native segment (index.xoseg) that
+  /// LoadEngineDir serves directly from the page cache with no decode.
+  /// The manifest records which file was written, and loading detects the
+  /// format by magic either way — directories saved by older builds keep
+  /// working.
+  IndexFileFormat index_format = IndexFileFormat::kXodl;
+};
+
 /// Persists one immutable serving snapshot (its corpus slice, its systems,
 /// its currently materialized DIL entries and its options) into `dir`,
 /// creating it if needed. Because a snapshot is frozen, the saved state is
 /// consistent even while writers keep committing to the engine it came
 /// from.
 [[nodiscard]] Status SaveSnapshot(const IndexSnapshot& snapshot,
+                                  const std::string& dir,
+                                  const SaveSnapshotOptions& options);
+[[nodiscard]] Status SaveSnapshot(const IndexSnapshot& snapshot,
                                   const std::string& dir);
 
 /// Convenience: saves `engine`'s currently published snapshot.
+[[nodiscard]] Status SaveEngineDir(const XOntoRank& engine,
+                                   const std::string& dir,
+                                   const SaveSnapshotOptions& options);
 [[nodiscard]] Status SaveEngineDir(const XOntoRank& engine,
                                    const std::string& dir);
 

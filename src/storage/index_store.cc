@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/check.h"
 #include "common/sync.h"
 #include "storage/coding.h"
 
@@ -38,16 +39,29 @@ double BitsToScore(uint32_t bits) {
   return static_cast<double>(f);
 }
 
+/// " (offset N)" where N is the decoder's absolute position in the file —
+/// the payload decoder starts after the magic, so its position is shifted.
+std::string At(const Decoder& dec) {
+  return " (offset " + std::to_string(dec.position() + sizeof(kMagic)) + ")";
+}
+
+/// Prefixes a decode error with the file it came from, so a bad blob in an
+/// engine directory names itself (decode errors are always Corruption).
+Status WithPath(const std::string& path, const Status& status) {
+  return Status::Corruption(path + ": " + status.message());
+}
+
 /// Shared header validation of both decoders: checks magic, trailing CRC
 /// and version, then positions `dec` on the payload and reads the entry
 /// count.
 Status OpenIndexPayload(std::string_view data, Decoder* dec,
                         uint64_t* num_entries) {
   if (data.size() < sizeof(kMagic) + 8) {
-    return Status::Corruption("index blob too small");
+    return Status::Corruption("index blob too small: " +
+                              std::to_string(data.size()) + " bytes");
   }
   if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad index magic");
+    return Status::Corruption("bad index magic (offset 0)");
   }
   // Verify trailing CRC over everything before it.
   Decoder crc_decoder(data.substr(data.size() - 4));
@@ -55,19 +69,22 @@ Status OpenIndexPayload(std::string_view data, Decoder* dec,
   crc_decoder.GetFixed32(&stored_crc);
   uint32_t actual_crc = Crc32(data.substr(0, data.size() - 4));
   if (stored_crc != actual_crc) {
-    return Status::Corruption("index CRC mismatch");
+    return Status::Corruption("index CRC mismatch (offset " +
+                              std::to_string(data.size() - 4) + ")");
   }
 
   *dec = Decoder(
       data.substr(sizeof(kMagic), data.size() - sizeof(kMagic) - 4));
   uint32_t version = 0;
-  if (!dec->GetFixed32(&version)) return Status::Corruption("missing version");
+  if (!dec->GetFixed32(&version)) {
+    return Status::Corruption("missing version" + At(*dec));
+  }
   if (version != kVersion) {
     return Status::Corruption("unsupported index version " +
-                              std::to_string(version));
+                              std::to_string(version) + At(*dec));
   }
   if (!dec->GetVarint64(num_entries)) {
-    return Status::Corruption("missing entry count");
+    return Status::Corruption("missing entry count" + At(*dec));
   }
   return Status::OK();
 }
@@ -126,11 +143,11 @@ Result<XOntoDil> DecodeIndex(std::string_view data) {
   for (uint64_t e = 0; e < num_entries; ++e) {
     std::string_view keyword;
     if (!dec.GetLengthPrefixed(&keyword)) {
-      return Status::Corruption("truncated keyword");
+      return Status::Corruption("truncated keyword" + At(dec));
     }
     uint64_t num_postings = 0;
     if (!dec.GetVarint64(&num_postings)) {
-      return Status::Corruption("truncated posting count");
+      return Status::Corruption("truncated posting count" + At(dec));
     }
     std::vector<DilPosting> postings;
     postings.reserve(num_postings);
@@ -138,23 +155,23 @@ Result<XOntoDil> DecodeIndex(std::string_view data) {
     for (uint64_t p = 0; p < num_postings; ++p) {
       uint64_t shared = 0, fresh = 0;
       if (!dec.GetVarint64(&shared) || !dec.GetVarint64(&fresh)) {
-        return Status::Corruption("truncated posting header");
+        return Status::Corruption("truncated posting header" + At(dec));
       }
       if (shared > prev_components.size()) {
-        return Status::Corruption("posting prefix exceeds previous id");
+        return Status::Corruption("posting prefix exceeds previous id" + At(dec));
       }
       std::vector<uint32_t> components(prev_components.begin(),
                                        prev_components.begin() + shared);
       for (uint64_t i = 0; i < fresh; ++i) {
         uint32_t comp = 0;
         if (!dec.GetVarint32(&comp)) {
-          return Status::Corruption("truncated dewey component");
+          return Status::Corruption("truncated dewey component" + At(dec));
         }
         components.push_back(comp);
       }
       uint32_t score_bits = 0;
       if (!dec.GetFixed32(&score_bits)) {
-        return Status::Corruption("truncated posting score");
+        return Status::Corruption("truncated posting score" + At(dec));
       }
       prev_components = components;
       postings.push_back({DeweyId(std::move(components)),
@@ -162,7 +179,7 @@ Result<XOntoDil> DecodeIndex(std::string_view data) {
     }
     dil.Put(std::string(keyword), std::move(postings));
   }
-  if (!dec.AtEnd()) return Status::Corruption("trailing bytes in index");
+  if (!dec.AtEnd()) return Status::Corruption("trailing bytes in index" + At(dec));
   return dil;
 }
 
@@ -176,46 +193,56 @@ Result<FlatDil> DecodeIndexFlat(std::string_view data) {
   // the column reservations.
   FlatDil::Builder builder(num_entries, data.size() / 6);
   std::vector<uint32_t> components;
+  uint64_t total_postings = 0;
   for (uint64_t e = 0; e < num_entries; ++e) {
     std::string_view keyword;
     if (!dec.GetLengthPrefixed(&keyword)) {
-      return Status::Corruption("truncated keyword");
+      return Status::Corruption("truncated keyword" + At(dec));
     }
     if (!builder.BeginList(keyword)) {
-      return Status::Corruption("keywords out of sorted order");
+      return Status::Corruption("keywords out of sorted order" + At(dec));
     }
     uint64_t num_postings = 0;
     if (!dec.GetVarint64(&num_postings)) {
-      return Status::Corruption("truncated posting count");
+      return Status::Corruption("truncated posting count" + At(dec));
     }
     components.clear();
     for (uint64_t p = 0; p < num_postings; ++p) {
       uint64_t shared = 0, fresh = 0;
       if (!dec.GetVarint64(&shared) || !dec.GetVarint64(&fresh)) {
-        return Status::Corruption("truncated posting header");
+        return Status::Corruption("truncated posting header" + At(dec));
       }
       if (shared > components.size()) {
-        return Status::Corruption("posting prefix exceeds previous id");
+        return Status::Corruption("posting prefix exceeds previous id" + At(dec));
       }
       components.resize(shared);
       for (uint64_t i = 0; i < fresh; ++i) {
         uint32_t comp = 0;
         if (!dec.GetVarint32(&comp)) {
-          return Status::Corruption("truncated dewey component");
+          return Status::Corruption("truncated dewey component" + At(dec));
         }
         components.push_back(comp);
       }
       uint32_t score_bits = 0;
       if (!dec.GetFixed32(&score_bits)) {
-        return Status::Corruption("truncated posting score");
+        return Status::Corruption("truncated posting score" + At(dec));
       }
       if (!builder.AddPosting(components, BitsToScore(score_bits))) {
-        return Status::Corruption("postings out of Dewey order");
+        return Status::Corruption("postings out of Dewey order" + At(dec));
       }
+      ++total_postings;
     }
   }
-  if (!dec.AtEnd()) return Status::Corruption("trailing bytes in index");
-  return std::move(builder).Finish();
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in index" + At(dec));
+  }
+  FlatDil dil = std::move(builder).Finish();
+  // Every BeginList/AddPosting above returned true, so the built columns
+  // must account for exactly the decoded entities — a mismatch would mean
+  // the builder dropped or duplicated data.
+  XO_CHECK_EQ(dil.keyword_count(), num_entries);
+  XO_CHECK_EQ(dil.total_postings(), total_postings);
+  return dil;
 }
 
 Status SaveIndex(const XOntoDil& dil, const std::string& path) {
@@ -243,13 +270,17 @@ Status SaveIndex(const XOntoDil& dil, const std::string& path) {
 Result<XOntoDil> LoadIndex(const std::string& path) {
   Result<std::string> data = ReadFile(path);
   if (!data.ok()) return data.status();
-  return DecodeIndex(*data);
+  Result<XOntoDil> decoded = DecodeIndex(*data);
+  if (!decoded.ok()) return WithPath(path, decoded.status());
+  return decoded;
 }
 
 Result<FlatDil> LoadIndexFlat(const std::string& path) {
   Result<std::string> data = ReadFile(path);
   if (!data.ok()) return data.status();
-  return DecodeIndexFlat(*data);
+  Result<FlatDil> decoded = DecodeIndexFlat(*data);
+  if (!decoded.ok()) return WithPath(path, decoded.status());
+  return decoded;
 }
 
 }  // namespace xontorank

@@ -1,0 +1,134 @@
+#include "storage/segment_writer.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/sync.h"
+#include "storage/coding.h"
+#include "storage/segment_format.h"
+
+namespace xontorank {
+
+namespace {
+
+/// Serializes SaveSegment's temp-file + rename sequence for the same
+/// reason SaveIndex has one: two concurrent saves to the same path share
+/// one "<path>.tmp" name. Leaked so saves racing static destruction stay
+/// safe. Independent of index_store's FileMutex — the two formats never
+/// share a temp path (different extensions by convention, and even on a
+/// shared path the rename target differs only by who wins).
+Mutex& SegmentFileMutex() {
+  // xo-lint: allow(new-delete) — leaked singleton, see above.
+  static Mutex* mutex = new Mutex();
+  return *mutex;
+}
+
+// Host-endian fixed-width appends/patches. The segment deliberately does
+// NOT use coding.h's little-endian PutFixed32: the reader fixes pointers
+// straight into the mapping and reads metadata with host-endian memcpy,
+// so the writer must emit host order for the pair to agree (XODL handles
+// cross-endian interchange).
+void AppendU32(std::string* out, uint32_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PatchU32(std::string* out, size_t offset, uint32_t value) {
+  std::memcpy(out->data() + offset, &value, sizeof(value));
+}
+
+void PatchU64(std::string* out, size_t offset, uint64_t value) {
+  std::memcpy(out->data() + offset, &value, sizeof(value));
+}
+
+/// Pads with zero bytes to the next section boundary.
+void PadToAlignment(std::string* out) {
+  out->resize(SegmentAlignUp(out->size()), '\0');
+}
+
+}  // namespace
+
+std::string EncodeSegment(const FlatDil& dil) {
+  const FlatDil::Sections& v = dil.sections();
+
+  // The nine section payloads, in kSegmentSections order: raw bytes of
+  // the serving columns (host-endian, exactly as FlatDil reads them).
+  struct Payload {
+    const void* data;
+    size_t bytes;
+  };
+  const Payload payloads[kSegmentSectionCount] = {
+      {v.keyword_arena.data(), v.keyword_arena.size()},
+      {v.keyword_offsets.data(), v.keyword_offsets.size_bytes()},
+      {v.list_begin.data(), v.list_begin.size_bytes()},
+      {v.scores.data(), v.scores.size_bytes()},
+      {v.shared.data(), v.shared.size_bytes()},
+      {v.suffix_offsets.data(), v.suffix_offsets.size_bytes()},
+      {v.dewey_arena.data(), v.dewey_arena.size_bytes()},
+      {v.skip_first_doc.data(), v.skip_first_doc.size_bytes()},
+      {v.skip_begin.data(), v.skip_begin.size_bytes()},
+  };
+
+  std::string out;
+  // Header (file_bytes is patched once the total is known).
+  out.append(kSegmentMagic, sizeof(kSegmentMagic));
+  AppendU32(&out, kSegmentVersion);
+  constexpr size_t kFileBytesOffset = 8;
+  AppendU64(&out, 0);  // file_bytes placeholder
+  AppendU64(&out, dil.keyword_count());
+  AppendU64(&out, dil.total_postings());
+  AppendU64(&out, dil.TotalBlocks());
+  AppendU32(&out, static_cast<uint32_t>(kSegmentSectionCount));
+  AppendU32(&out, 0);  // flags, reserved
+  out.resize(kSegmentHeaderBytes, '\0');
+
+  // Section table placeholder, patched per section below.
+  out.resize(kSegmentTableEnd, '\0');
+
+  for (size_t s = 0; s < kSegmentSectionCount; ++s) {
+    PadToAlignment(&out);
+    size_t offset = out.size();
+    out.append(static_cast<const char*>(payloads[s].data),
+               payloads[s].bytes);
+    size_t entry = kSegmentHeaderBytes + s * kSegmentTableEntryBytes;
+    PatchU64(&out, entry, offset);
+    PatchU64(&out, entry + 8, payloads[s].bytes);
+    PatchU32(&out, entry + 16,
+             Crc32(std::string_view(out).substr(offset, payloads[s].bytes)));
+  }
+
+  PatchU64(&out, kFileBytesOffset, out.size() + kSegmentFooterBytes);
+  // Footer: CRC over the (now final) header + section table, then magic.
+  AppendU32(&out, Crc32(std::string_view(out).substr(0, kSegmentTableEnd)));
+  AppendU32(&out, kSegmentFooterMagic);
+  XO_CHECK_EQ(out.size() % 4, 0u);
+  return out;
+}
+
+Status SaveSegment(const FlatDil& dil, const std::string& path) {
+  std::string encoded = EncodeSegment(dil);  // the expensive part, unlocked
+  MutexLock lock(SegmentFileMutex());
+  std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + tmp_path + " for writing");
+  }
+  size_t written = std::fwrite(encoded.data(), 1, encoded.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != encoded.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace xontorank

@@ -71,6 +71,59 @@ TEST_F(EngineStoreFixture, SaveLoadPreservesQueryResults) {
   }
 }
 
+TEST_F(EngineStoreFixture, SegmentFormatSaveLoadPreservesQueryResults) {
+  auto engine = BuildEngine();
+  std::vector<std::string> queries = {"\"cardiac arrest\" epinephrine",
+                                      "asthma", "\"bronchial structure\""};
+  std::vector<std::vector<QueryResult>> before;
+  for (const std::string& q : queries) before.push_back(engine->Search(q, 10));
+
+  SaveSnapshotOptions options;
+  options.index_format = IndexFileFormat::kSegment;
+  ASSERT_TRUE(SaveEngineDir(*engine, dir_, options).ok());
+  // The mmap-native segment replaces the varint blob on disk.
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/index.xoseg"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/index.xodl"));
+
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto after = (*loaded)->engine().Search(queries[i], 10);
+    ASSERT_EQ(after.size(), before[i].size()) << queries[i];
+    for (size_t r = 0; r < after.size(); ++r) {
+      EXPECT_EQ(after[r].element, before[i][r].element) << queries[i];
+      EXPECT_NEAR(after[r].score, before[i][r].score, 1e-5) << queries[i];
+    }
+  }
+}
+
+TEST_F(EngineStoreFixture, CorruptSegmentIndexFailsWithSectionContext) {
+  auto engine = BuildEngine();
+  engine->Search("asthma", 5);  // materialize something to persist
+  SaveSnapshotOptions options;
+  options.index_format = IndexFileFormat::kSegment;
+  ASSERT_TRUE(SaveEngineDir(*engine, dir_, options).ok());
+
+  std::string index_path = dir_ + "/index.xoseg";
+  std::string data;
+  {
+    std::ifstream in(index_path, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(data.size(), 400u);
+  data[data.size() / 2] ^= 0x20;
+  {
+    std::ofstream out(index_path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  auto loaded = LoadEngineDir(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find(index_path), std::string::npos)
+      << loaded.status().message();
+}
+
 TEST_F(EngineStoreFixture, OptionsRoundTrip) {
   auto engine = BuildEngine();
   ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());

@@ -231,6 +231,52 @@ class XoLintFixtureTest(unittest.TestCase):
                  "  for (DilPosting p : e.postings) Use(p);\n"
                  "}\n"})
 
+    # --- raw-mmap -------------------------------------------------------
+
+    def test_raw_mmap_in_src_fires(self):
+        self.assert_fires(
+            {"src/core/widget.cc":
+                 "#include <sys/mman.h>\n"
+                 "void* Map(size_t n) {\n"
+                 "  return mmap(nullptr, n, PROT_READ, MAP_PRIVATE, -1, 0);\n"
+                 "}\n"},
+            "raw-mmap")
+
+    def test_raw_munmap_and_madvise_fire(self):
+        self.assert_fires(
+            {"src/storage/other_store.cc":
+                 "void Drop(void* p, size_t n) { ::munmap(p, n); }\n"
+                 "void Hint(void* p, size_t n) { ::madvise(p, n, 1); }\n"},
+            "raw-mmap", count=2)
+
+    def test_segment_file_is_exempt(self):
+        self.assert_clean(
+            {"src/storage/segment_file.cc":
+                 "#include <sys/mman.h>\n"
+                 "void* Map(size_t n) {\n"
+                 "  return mmap(nullptr, n, PROT_READ, MAP_PRIVATE, -1, 0);\n"
+                 "}\n"
+                 "void Unmap(void* p, size_t n) { ::munmap(p, n); }\n"})
+
+    def test_mmap_outside_src_does_not_fire(self):
+        self.assert_clean(
+            {"bench/bench_widget.cc":
+                 "void* Map(size_t n) {\n"
+                 "  return mmap(nullptr, n, PROT_READ, MAP_PRIVATE, -1, 0);\n"
+                 "}\n"})
+
+    def test_mmap_in_comment_does_not_fire(self):
+        self.assert_clean(
+            {"src/core/widget.cc":
+                 "// the old design called mmap() here; see segment_file.h\n"})
+
+    def test_raw_mmap_suppression_comment(self):
+        self.assert_clean(
+            {"src/core/widget.cc":
+                 "void Hint(void* p, size_t n) {\n"
+                 "  ::madvise(p, n, 1);  // xo-lint: allow(raw-mmap)\n"
+                 "}\n"})
+
     # --- suppressions ---------------------------------------------------
 
     def test_same_line_suppression(self):

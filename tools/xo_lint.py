@@ -31,6 +31,11 @@ sources and enforces the XOntoRank contract invariants:
                   layer copies a heap-owned DeweyId per posting; iterate
                   by const reference, or use DilCursor/DeweyRef on the
                   serving path.                      [scope: src/core/]
+  raw-mmap        mmap/munmap/madvise may appear only in
+                  src/storage/segment_file.* — the single RAII owner of
+                  every mapping; everywhere else takes views through
+                  SegmentFile so lifetime and advice policy stay in one
+                  auditable place.                      [scope: src/]
 
 Suppression: a comment `// xo-lint: allow(rule)` (comma-separated list
 accepted) suppresses those rules on its own line and on the next line.
@@ -89,6 +94,7 @@ VOIDED_STATUS_RE = re.compile(
 POSTING_BY_VALUE_RE = re.compile(
     r"for\s*\(\s*(?:const\s+)?DilPosting\s+[A-Za-z_][A-Za-z0-9_]*\s*:"
 )
+RAW_MMAP_RE = re.compile(r"\b(?:mmap|munmap|madvise)\s*\(")
 SUPPRESS_RE = re.compile(r"xo-lint:\s*allow\(([^)]*)\)")
 
 RULE_DOCS = {
@@ -98,6 +104,7 @@ RULE_DOCS = {
     "include-guard": "header guard must be XONTORANK_<PATH>_H_",
     "voided-status": "(void)-cast of a Status/Result-returning call",
     "posting-by-value": "DilPosting iterated by value in src/core",
+    "raw-mmap": "mmap/munmap/madvise outside src/storage/segment_file.*",
 }
 
 
@@ -212,6 +219,7 @@ class Linter:
         in_src = relpath.startswith("src/")
         in_core = relpath.startswith("src/core/")
         is_sync_header = relpath == "src/common/sync.h"
+        is_mapping_owner = relpath.startswith("src/storage/segment_file.")
 
         for idx, code in enumerate(lines, start=1):
             if in_src and not is_sync_header and RAW_SYNC_RE.search(code):
@@ -240,6 +248,12 @@ class Linter:
                     relpath, idx, "voided-status",
                     "(void)-cast discards a Status/Result; check it, "
                     "XONTO_RETURN_IF_ERROR it, or XO_CHECK_OK it", allowed)
+            if in_src and not is_mapping_owner and RAW_MMAP_RE.search(code):
+                self.report(
+                    relpath, idx, "raw-mmap",
+                    "raw mmap/munmap/madvise call; SegmentFile "
+                    "(src/storage/segment_file.h) is the single owner of "
+                    "file mappings — take a view through it", allowed)
             if in_core and POSTING_BY_VALUE_RE.search(code):
                 self.report(
                     relpath, idx, "posting-by-value",
