@@ -10,13 +10,16 @@
 //                 [--index-format xodl|segment]
 //   xontorank_cli query <corpus-dir> <ontology.tsv> "<query>"
 //                 [--strategy NAME] [--top K] [--explain] [--ranked] [--group]
-//                 [--parallel N] [--no-cache] [--index saved.xodl]
+//                 [--parallel N] [--no-cache] [--pruning=exact|blockmax]
+//                 [--stats] [--index saved.xodl]
 //                 (--index detects the file format by magic: XODL decodes,
-//                 a segment is mmap-opened and served in place)
+//                 a segment is mmap-opened and served in place; --stats
+//                 reports the pruning work counters)
 //   xontorank_cli save-engine <corpus-dir> <ontology.tsv> <engine-dir>
 //                 [--strategy NAME] [--threads N] [--index-format xodl|segment]
 //   xontorank_cli query-engine <engine-dir> "<query>" [--top K] [--explain]
 //                 [--ranked] [--parallel N] [--no-cache]
+//                 [--pruning=exact|blockmax] [--stats]
 //   xontorank_cli repl <engine-dir>     # interactive: one query per line;
 //                                       # :top N, :explain, :group, :quit
 //
@@ -65,11 +68,15 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-/// Flag extraction: returns the value after `name` or fallback.
+/// Flag extraction: returns the value after `name` (or attached as
+/// `name=value`) or fallback.
 std::string FlagValue(const std::vector<std::string>& args,
                       const std::string& name, const std::string& fallback) {
-  for (size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == name) return args[i + 1];
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == name && i + 1 < args.size()) return args[i + 1];
+    if (args[i].rfind(name + "=", 0) == 0) {
+      return args[i].substr(name.size() + 1);
+    }
   }
   return fallback;
 }
@@ -262,24 +269,51 @@ void PrintResults(const IndexSnapshot& snap, const KeywordQuery& query,
   }
 }
 
-/// Parses the shared query-execution flags into SearchOptions.
-SearchOptions ParseSearchFlags(const std::vector<std::string>& args,
-                               size_t default_top_k) {
+/// Parses the shared query-execution flags into SearchOptions. Exits via
+/// the returned error Result on an unknown --pruning value.
+Result<SearchOptions> ParseSearchFlags(const std::vector<std::string>& args,
+                                       size_t default_top_k) {
   SearchOptions options;
   options.top_k =
       std::stoul(FlagValue(args, "--top", std::to_string(default_top_k)));
   if (HasFlag(args, "--ranked")) options.strategy = QueryExecution::kRdil;
   options.parallelism = std::stoul(FlagValue(args, "--parallel", "1"));
   options.use_cache = !HasFlag(args, "--no-cache");
+  std::string pruning = FlagValue(args, "--pruning", "blockmax");
+  if (pruning == "exact") {
+    options.pruning = PruningMode::kExact;
+  } else if (pruning == "blockmax") {
+    options.pruning = PruningMode::kBlockMax;
+  } else {
+    return Status::InvalidArgument("unknown pruning mode '" + pruning +
+                                   "' (use exact or blockmax)");
+  }
   return options;
 }
 
-/// One-line execution summary from the response stats.
-void PrintQueryStats(const SearchOptions& options, const QueryStats& stats) {
-  std::printf("(%s: %zu postings, %zu shard(s), %.0f us%s)\n",
+/// One-line execution summary from the response stats; `--stats` appends
+/// the pruning work counters.
+void PrintQueryStats(const SearchOptions& options, const QueryStats& stats,
+                     bool detailed) {
+  std::printf("(%s/%s: %zu postings, %zu shard(s), %.0f us%s)\n",
               std::string(QueryExecutionName(options.strategy)).c_str(),
+              std::string(PruningModeName(options.pruning)).c_str(),
               stats.postings_scanned, stats.shards, stats.wall_micros,
               stats.cache_hit ? ", served from cache" : "");
+  if (!detailed) return;
+  double skipped_pct =
+      stats.postings_scanned == 0
+          ? 0.0
+          : 100.0 *
+                static_cast<double>(stats.postings_scanned -
+                                    stats.postings_scored) /
+                static_cast<double>(stats.postings_scanned);
+  std::printf("  scored %zu of %zu postings (%.1f%% skipped), "
+              "blocks %zu scored / %zu skipped, "
+              "%zu threshold update(s)\n",
+              stats.postings_scored, stats.postings_scanned, skipped_pct,
+              stats.blocks_scored, stats.blocks_skipped,
+              stats.threshold_updates);
 }
 
 int QueryCommand(const std::vector<std::string>& args) {
@@ -324,14 +358,15 @@ int QueryCommand(const std::vector<std::string>& args) {
   }
 
   KeywordQuery query = ParseQuery(args[2]);
-  SearchOptions search = ParseSearchFlags(args, /*default_top_k=*/5);
-  if (Status v = search.Validate(); !v.ok()) return Fail(v.ToString());
+  auto search = ParseSearchFlags(args, /*default_top_k=*/5);
+  if (!search.ok()) return Fail(search.status().ToString());
+  if (Status v = search->Validate(); !v.ok()) return Fail(v.ToString());
 
   // Pin one snapshot for the whole request: query + render + explain all
   // read the same serving state.
   auto snap = engine.snapshot();
-  SearchResponse response = snap->Search(query, search);
-  PrintQueryStats(search, response.stats);
+  SearchResponse response = snap->Search(query, *search);
+  PrintQueryStats(*search, response.stats, HasFlag(args, "--stats"));
 
   std::printf("%zu result(s) for [%s] under %s\n", response.results.size(),
               query.ToString().c_str(),
@@ -377,10 +412,12 @@ int QueryEngineCommand(const std::vector<std::string>& args) {
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   XOntoRank& engine = (*loaded)->engine();
   KeywordQuery query = ParseQuery(args[1]);
-  SearchOptions search = ParseSearchFlags(args, /*default_top_k=*/5);
-  if (Status v = search.Validate(); !v.ok()) return Fail(v.ToString());
+  auto search = ParseSearchFlags(args, /*default_top_k=*/5);
+  if (!search.ok()) return Fail(search.status().ToString());
+  if (Status v = search->Validate(); !v.ok()) return Fail(v.ToString());
   auto snap = engine.snapshot();
-  SearchResponse response = snap->Search(query, search);
+  SearchResponse response = snap->Search(query, *search);
+  PrintQueryStats(*search, response.stats, HasFlag(args, "--stats"));
   std::printf("%zu result(s) for [%s] (persisted engine, %s)\n",
               response.results.size(), query.ToString().c_str(),
               std::string(StrategyName(snap->options().strategy)).c_str());

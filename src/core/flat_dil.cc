@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/simd_kernels.h"
 
 namespace xontorank {
 
@@ -18,6 +19,7 @@ void FlatDil::Rebind() {
   v_.dewey_arena = arena_;
   v_.skip_first_doc = skip_first_doc_;
   v_.skip_begin = skip_begin_;
+  v_.block_max = block_max_;
 }
 
 void FlatDil::Reset() {
@@ -30,6 +32,7 @@ void FlatDil::Reset() {
   arena_.clear();
   skip_first_doc_.clear();
   skip_begin_ = {0};
+  block_max_.clear();
   mapped_ = false;
   Rebind();
 }
@@ -45,6 +48,7 @@ FlatDil& FlatDil::operator=(FlatDil&& other) noexcept {
   arena_ = std::move(other.arena_);
   skip_first_doc_ = std::move(other.skip_first_doc_);
   skip_begin_ = std::move(other.skip_begin_);
+  block_max_ = std::move(other.block_max_);
   mapped_ = other.mapped_;
   if (mapped_) {
     // The views point at external memory, which is unaffected by the move.
@@ -87,10 +91,12 @@ FlatDil::Builder::Builder(size_t expected_keywords, size_t expected_postings,
   // id per block restart; 2 per posting is a safe single-allocation guess
   // (Finish shrinks whatever is unused).
   dil_.arena_.reserve(expected_postings * 2);
-  dil_.skip_first_doc_.reserve(expected_blocks != 0
-                                   ? expected_blocks
-                                   : expected_postings / kBlockPostings +
-                                         expected_keywords);
+  size_t reserve_blocks = expected_blocks != 0
+                              ? expected_blocks
+                              : expected_postings / kBlockPostings +
+                                    expected_keywords;
+  dil_.skip_first_doc_.reserve(reserve_blocks);
+  dil_.block_max_.reserve(reserve_blocks);
 }
 
 bool FlatDil::Builder::BeginList(std::string_view keyword) {
@@ -130,9 +136,14 @@ bool FlatDil::Builder::AddPosting(std::span<const uint32_t> components,
                      dil_.list_begin_.back();
   if (in_list % kBlockPostings == 0) {
     // Block restart: store the full id so a skip-table seek can start
-    // decoding here, and record the block's first document id.
+    // decoding here, and record the block's first document id and open
+    // its score upper bound.
     shared = 0;
     dil_.skip_first_doc_.push_back(components[0]);
+    dil_.block_max_.push_back(ScoreUpperBoundFloat(score));
+  } else {
+    float ub = ScoreUpperBoundFloat(score);
+    if (ub > dil_.block_max_.back()) dil_.block_max_.back() = ub;
   }
   dil_.shared_.push_back(static_cast<uint16_t>(shared));
   dil_.arena_.insert(dil_.arena_.end(), components.begin() + shared,
@@ -157,6 +168,7 @@ FlatDil FlatDil::Builder::Finish() && {
   dil_.suffix_offsets_.shrink_to_fit();
   dil_.arena_.shrink_to_fit();
   dil_.skip_first_doc_.shrink_to_fit();
+  dil_.block_max_.shrink_to_fit();
   dil_.Rebind();
   return std::move(dil_);
 }
@@ -225,14 +237,15 @@ uint32_t FlatDil::LowerBoundDoc(uint32_t list, uint32_t doc) const {
   if (block == skip_lo) return list_start;
   uint32_t begin = list_start + (block - 1 - skip_lo) * kBlockPostings;
   uint32_t end = std::min(begin + kBlockPostings, list_end);
-  // In-block scan without full decode: the document id changes only at
-  // restart postings (shared == 0), where it is the suffix's first word.
-  uint32_t cur_doc = v_.skip_first_doc[block - 1];
-  for (uint32_t p = begin; p < end; ++p) {
-    if (v_.shared[p] == 0) cur_doc = v_.dewey_arena[v_.suffix_offsets[p]];
-    if (cur_doc >= doc) return p;
-  }
-  return end;  // == next block's start, or list_end
+  // In-block seek without full decode: batch-fill the block's doc-id
+  // column (it changes only at restart postings, where it is the suffix's
+  // first word), then lower-bound it — both SIMD-dispatched.
+  uint32_t docs[kBlockPostings];
+  FillDocIds(v_.shared.data() + begin, v_.suffix_offsets.data() + begin,
+             v_.dewey_arena.data(), end - begin,
+             v_.skip_first_doc[block - 1], docs);
+  return begin + static_cast<uint32_t>(
+                     LowerBoundU32(docs, end - begin, doc));
 }
 
 std::pair<uint32_t, uint32_t> FlatDil::PostingRange(
@@ -246,12 +259,12 @@ void FlatDil::CollectDocIds(uint32_t list,
                             std::vector<uint32_t>* out) const {
   uint32_t begin = v_.list_begin[list];
   uint32_t end = v_.list_begin[list + 1];
-  out->reserve(out->size() + (end - begin));
-  uint32_t cur_doc = 0;
-  for (uint32_t p = begin; p < end; ++p) {
-    if (v_.shared[p] == 0) cur_doc = v_.dewey_arena[v_.suffix_offsets[p]];
-    out->push_back(cur_doc);
-  }
+  size_t old_size = out->size();
+  out->resize(old_size + (end - begin));
+  // Lists start at a restart (shared == 0), so the carry seed is unused.
+  FillDocIds(v_.shared.data() + begin, v_.suffix_offsets.data() + begin,
+             v_.dewey_arena.data(), end - begin, 0,
+             out->data() + old_size);
 }
 
 // --- thaw -----------------------------------------------------------------
@@ -284,7 +297,8 @@ size_t FlatDil::MemoryBytes() const {
          v_.suffix_offsets.size() * sizeof(uint32_t) +
          v_.dewey_arena.size() * sizeof(uint32_t) +
          v_.skip_first_doc.size() * sizeof(uint32_t) +
-         v_.skip_begin.size() * sizeof(uint32_t);
+         v_.skip_begin.size() * sizeof(uint32_t) +
+         v_.block_max.size() * sizeof(float);
 }
 
 // --- conversions ----------------------------------------------------------
@@ -314,6 +328,7 @@ FlatDil XOntoDil::Freeze() const {
   XO_CHECK_EQ(dil.total_postings(), total_postings);
   XO_CHECK_EQ(dil.sections().keyword_arena.size(), keyword_bytes);
   XO_CHECK_EQ(dil.TotalBlocks(), blocks);
+  XO_CHECK_EQ(dil.sections().block_max.size(), blocks);
   return dil;
 }
 

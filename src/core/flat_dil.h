@@ -2,7 +2,9 @@
 #define XONTORANK_CORE_FLAT_DIL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <string_view>
@@ -15,6 +17,18 @@
 namespace xontorank {
 
 class DilCursor;
+
+/// The smallest float >= `score`. Block upper bounds are stored as floats
+/// while the score column is double; rounding *up* keeps the bound
+/// admissible — a bound that rounded below the true maximum would let the
+/// pruned merge drop a genuine top-k result.
+inline float ScoreUpperBoundFloat(double score) {
+  float f = static_cast<float>(score);
+  if (static_cast<double>(f) < score) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
 
 /// The immutable, flat serving representation of an XOnto-DIL (the
 /// perf-critical half of Table III / Fig. 11): every inverted list of every
@@ -66,6 +80,11 @@ class FlatDil {
   /// The column views, in segment-file section order. For an owning
   /// FlatDil these alias its own vectors; for a mapped view they alias the
   /// external (mmap'd) memory. SegmentWriter serializes exactly these.
+  ///
+  /// `block_max` (one float per block, upper-rounded from the double
+  /// scores) is the only optional column: segment v1 files predate it, so
+  /// a v1 mapped view carries an empty span and top-k pruning falls back
+  /// to the exact merge (has_block_max()).
   struct Sections {
     std::string_view keyword_arena;             ///< concatenated keywords
     std::span<const uint32_t> keyword_offsets;  ///< K+1 arena offsets
@@ -76,6 +95,7 @@ class FlatDil {
     std::span<const uint32_t> dewey_arena;      ///< concatenated suffixes
     std::span<const uint32_t> skip_first_doc;   ///< one per block
     std::span<const uint32_t> skip_begin;       ///< K+1 block bounds
+    std::span<const float> block_max;           ///< one per block, or empty
   };
 
   FlatDil() { Rebind(); }
@@ -181,6 +201,21 @@ class FlatDil {
   /// count).
   size_t TotalBlocks() const { return v_.skip_first_doc.size(); }
 
+  // --- block-max pruning ------------------------------------------------
+
+  /// True when every block carries its score upper bound (always for
+  /// built/decoded dils; false for mapped views of v1 segments, which
+  /// predate the column). Top-k pruning requires this; without it the
+  /// query path falls back to the exact merge.
+  bool has_block_max() const {
+    return v_.block_max.size() == v_.skip_first_doc.size();
+  }
+
+  /// Upper bound of any score in `block` (global skip-table index). The
+  /// bound is a float rounded *up* from the block's double scores, so it
+  /// never under-estimates (pruning against it is admissible).
+  float BlockMaxAt(uint32_t block) const { return v_.block_max[block]; }
+
  private:
   friend class DilCursor;
 
@@ -208,6 +243,7 @@ class FlatDil {
   std::vector<uint32_t> arena_;                  ///< concatenated suffixes
   std::vector<uint32_t> skip_first_doc_;         ///< one per block
   std::vector<uint32_t> skip_begin_ = {0};       ///< K+1 block bounds
+  std::vector<float> block_max_;                 ///< one per block
 
   /// The read views: every accessor and cursor reads through these. They
   /// alias the owned vectors above (owning mode) or external memory
@@ -330,6 +366,65 @@ class DilCursor {
       if (pos_ >= end_) return;
       LoadCurrent();
     }
+  }
+
+  /// Exhausts the cursor without decoding anything. Used by the pruned
+  /// merge once the block bounds prove no remaining document can score.
+  void SkipToEnd() { pos_ = end_; }
+
+  // --- block-max pruning (flat cursors only) ----------------------------
+
+  /// True when this cursor can participate in block-max pruning: flat mode
+  /// over a dil carrying the block-max column. Span cursors (demand cache,
+  /// legacy postings) and v1 mapped views answer false, which routes the
+  /// whole query to the exact merge.
+  bool has_block_max() const {
+    return dil_ != nullptr && dil_->has_block_max();
+  }
+
+  /// Global skip-table index of the current posting's block. Requires
+  /// !AtEnd() and flat mode.
+  uint32_t block() const {
+    return skip_lo_ + (pos_ - list_start_) / FlatDil::kBlockPostings;
+  }
+
+  /// Last block this cursor's range [pos_, end_) can touch. Requires
+  /// !AtEnd() and flat mode.
+  uint32_t range_last_block() const {
+    return skip_lo_ + (end_ - 1 - list_start_) / FlatDil::kBlockPostings;
+  }
+
+  /// The score upper bound this list contributes for documents in
+  /// [pivot_doc, next_doc): the max block-max over the window of blocks
+  /// that can hold postings of those documents.
+  struct BlockBound {
+    float max_score;    ///< >= every posting score in the window
+    uint32_t next_doc;  ///< first doc past the window (UINT32_MAX: none)
+  };
+
+  /// Computes the window bound at the aligned document `pivot_doc` (which
+  /// must be the current document). The window runs from the current block
+  /// through the last block whose first document is <= pivot_doc: postings
+  /// are document-sorted, so any posting of a document < next_doc lies
+  /// inside it, and the returned max_score bounds them all. Blocks past
+  /// the cursor's range end over-extend the bound harmlessly (bounds may
+  /// only over-estimate). Requires !AtEnd() and has_block_max().
+  BlockBound BlockUpperBound(uint32_t pivot_doc) const {
+    uint32_t lo = block();
+    uint32_t last = range_last_block();
+    std::span<const uint32_t> first = dil_->v_.skip_first_doc;
+    // Last block in range whose first document id is <= pivot_doc.
+    uint32_t hi = static_cast<uint32_t>(
+        std::upper_bound(first.begin() + lo + 1, first.begin() + last + 1,
+                         pivot_doc) -
+        first.begin() - 1);
+    BlockBound bound;
+    bound.next_doc = hi < last ? first[hi + 1] : UINT32_MAX;
+    bound.max_score = dil_->v_.block_max[lo];
+    for (uint32_t b = lo + 1; b <= hi; ++b) {
+      bound.max_score = std::max(bound.max_score, dil_->v_.block_max[b]);
+    }
+    return bound;
   }
 
  private:

@@ -10,11 +10,11 @@ namespace xontorank {
 
 namespace {
 
-/// Cache key: the canonical query rendering plus top_k. Execution strategy
-/// and shard count are deliberately excluded — dil/rdil and every shard
-/// count return identical results by construction (the parity property
-/// tests assert this), so distinguishing them would only lower the hit
-/// rate.
+/// Cache key: the canonical query rendering plus top_k. Execution
+/// strategy, shard count and pruning mode are deliberately excluded —
+/// dil/rdil, every shard count and exact/blockmax all return identical
+/// results by construction (the parity property tests assert this), so
+/// distinguishing them would only lower the hit rate.
 std::string ResultCacheKey(const KeywordQuery& query, size_t top_k) {
   std::string key = query.ToString();
   key.push_back('\x1f');
@@ -90,10 +90,15 @@ SearchResponse IndexSnapshot::Search(const KeywordQuery& query,
     size_t shards = options.parallelism == 0
                         ? ThreadPool::Shared().num_threads()
                         : options.parallelism;
-    response.results = processor_.ExecuteSharded(lists, options.top_k, shards,
-                                                 pool, &exec_stats);
+    response.results =
+        processor_.ExecuteSharded(lists, options.top_k, shards, pool,
+                                  &exec_stats, options.pruning);
     response.stats.postings_scanned = exec_stats.postings_scanned;
     response.stats.shards = exec_stats.shards;
+    response.stats.postings_scored = exec_stats.postings_scored;
+    response.stats.blocks_scored = exec_stats.blocks_scored;
+    response.stats.blocks_skipped = exec_stats.blocks_skipped;
+    response.stats.threshold_updates = exec_stats.threshold_updates;
   }
 
   if (use_cache) {
@@ -103,23 +108,6 @@ SearchResponse IndexSnapshot::Search(const KeywordQuery& query,
   }
   response.stats.wall_micros = timer.ElapsedMicros();
   return response;
-}
-
-std::vector<QueryResult> IndexSnapshot::Search(const KeywordQuery& query,
-                                               size_t top_k) const {
-  SearchOptions options;
-  options.top_k = top_k;
-  options.strategy = QueryExecution::kDil;
-  options.parallelism = 1;
-  options.use_cache = false;  // the legacy contract: always compute
-  return Search(query, options).results;
-}
-
-std::vector<QueryResult> IndexSnapshot::SearchRanked(
-    const KeywordQuery& query, size_t top_k, RankedQueryStats* stats) const {
-  if (stats != nullptr) *stats = RankedQueryStats{};
-  if (query.empty() || top_k == 0) return {};
-  return ranked_processor_.Execute(CollectListRefs(query), top_k, stats);
 }
 
 const XmlNode* IndexSnapshot::ResolveResult(const QueryResult& result) const {

@@ -76,24 +76,11 @@ class IndexSnapshot {
   /// rule: rdil needs top_k >= 1) yield an empty response, never UB.
   ///
   /// The result cache is owned by this snapshot: entries are keyed by the
-  /// normalized query + top_k (execution strategy and shard count are
-  /// hints that provably do not change results) and can never outlive or
-  /// cross snapshots.
+  /// normalized query + top_k (execution strategy, shard count and pruning
+  /// mode are hints that provably do not change results) and can never
+  /// outlive or cross snapshots.
   SearchResponse Search(const KeywordQuery& query,
                         const SearchOptions& options) const;
-
-  /// DEPRECATED — thin wrapper over the unified Search (serial, uncached;
-  /// `top_k == 0` returns all). Prefer Search(query, SearchOptions).
-  std::vector<QueryResult> Search(const KeywordQuery& query,
-                                  size_t top_k) const;
-
-  /// DEPRECATED — thin wrapper over ranked execution; kept for its
-  /// RankedQueryStats out-param. `top_k == 0` returns an empty vector (the
-  /// SearchOptions validity rule). Prefer Search(query, SearchOptions).
-  std::vector<QueryResult> SearchRanked(const KeywordQuery& query,
-                                        size_t top_k,
-                                        RankedQueryStats* stats =
-                                            nullptr) const;
 
   /// Resolves a result to its XML element; nullptr if the Dewey id does not
   /// address a node of this snapshot's corpus.

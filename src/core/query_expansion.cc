@@ -65,7 +65,7 @@ QueryExpansionEngine::Expand(const Keyword& keyword) const {
   return expansions;
 }
 
-std::vector<QueryResult> QueryExpansionEngine::Search(
+std::vector<QueryResult> QueryExpansionEngine::SearchExpanded(
     const KeywordQuery& query, size_t top_k) {
   if (query.empty()) return {};
   scratch_.clear();
@@ -94,9 +94,9 @@ std::vector<QueryResult> QueryExpansionEngine::Search(
   return processor_.Execute(lists, top_k);
 }
 
-std::vector<QueryResult> QueryExpansionEngine::Search(
+std::vector<QueryResult> QueryExpansionEngine::SearchExpanded(
     std::string_view query_text, size_t top_k) {
-  return Search(ParseQuery(query_text), top_k);
+  return SearchExpanded(ParseQuery(query_text), top_k);
 }
 
 }  // namespace xontorank

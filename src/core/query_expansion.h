@@ -52,9 +52,13 @@ class QueryExpansionEngine {
   std::vector<WeightedKeyword> Expand(const Keyword& keyword) const;
 
   /// Searches with expanded keywords; result semantics are Eq. 1 over the
-  /// union lists.
-  std::vector<QueryResult> Search(const KeywordQuery& query, size_t top_k);
-  std::vector<QueryResult> Search(std::string_view query_text, size_t top_k);
+  /// union lists. (Named SearchExpanded, not Search: the comparator is a
+  /// baseline, not part of the finalized Search(query, SearchOptions)
+  /// surface, and the distinct name keeps that visible at call sites.)
+  std::vector<QueryResult> SearchExpanded(const KeywordQuery& query,
+                                          size_t top_k);
+  std::vector<QueryResult> SearchExpanded(std::string_view query_text,
+                                          size_t top_k);
 
   const CorpusIndex& index() const { return index_; }
 

@@ -9,6 +9,15 @@ namespace xontorank {
 
 namespace {
 
+/// The result order every path in this file produces: score descending,
+/// ties broken by Dewey order. Doubles as the heap comparator of the
+/// pruned merge (comp = "a beats b" puts the *worst* kept result at the
+/// heap top, which is exactly the running k-th threshold).
+bool BetterResult(const QueryResult& a, const QueryResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.element < b.element;
+}
+
 /// A stack frame mirrors one component of the current Dewey path.
 struct Frame {
   uint32_t component;
@@ -111,11 +120,7 @@ class Merger {
   }
 
   void SortAndTruncate() {
-    std::sort(results_.begin(), results_.end(),
-              [](const QueryResult& a, const QueryResult& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.element < b.element;
-              });
+    std::sort(results_.begin(), results_.end(), BetterResult);
     if (top_k_ > 0 && results_.size() > top_k_) results_.resize(top_k_);
   }
 
@@ -140,33 +145,124 @@ class CursorMerger {
   CursorMerger(std::vector<DilCursor>& cursors, const ScoreOptions& options)
       : cursors_(cursors), options_(options), num_keywords_(cursors.size()) {}
 
-  std::vector<QueryResult> Run(size_t top_k) {
+  std::vector<QueryResult> Run(size_t top_k, ExecuteStats* stats) {
     top_k_ = top_k;
+    stats_ = stats != nullptr ? stats : &local_stats_;
     while (AlignOnSharedDocument()) {
-      uint32_t doc = cursors_[0].doc();
-      // Drain this document with the min-Dewey merge, exactly as the
-      // oblivious pass would have.
-      while (true) {
-        int chosen = -1;
-        for (size_t w = 0; w < num_keywords_; ++w) {
-          if (cursors_[w].AtEnd() || cursors_[w].doc() != doc) continue;
-          if (chosen < 0 ||
-              cursors_[w].dewey() < cursors_[chosen].dewey()) {
-            chosen = static_cast<int>(w);
-          }
-        }
-        if (chosen < 0) break;
-        DilCursor& cursor = cursors_[chosen];
-        Consume(cursor.dewey(), cursor.score(), static_cast<size_t>(chosen));
-        cursor.Next();
-      }
+      DrainDocument(cursors_[0].doc());
     }
     PopTo(0);
     SortAndTruncate();
     return std::move(results_);
   }
 
+  /// Block-Max-WAND merge (DESIGN.md §12). Same output as Run, proven by
+  /// the threshold algebra: once the heap holds k results, a document range
+  /// whose summed per-list block maxima is <= the k-th score cannot produce
+  /// a result that enters the heap — Eq. 4 sums per-keyword subtree maxima,
+  /// each bounded by its list's window max (decay <= 1 keeps propagation
+  /// non-increasing), and a tie on the threshold loses to the already-kept
+  /// earlier-document result under the Dewey tiebreak. Callers must ensure
+  /// every cursor has_block_max(), top_k >= 1, and decay <= 1.
+  std::vector<QueryResult> RunPruned(size_t top_k, ExecuteStats* stats) {
+    top_k_ = top_k;
+    stats_ = stats != nullptr ? stats : &local_stats_;
+    bounded_ = true;
+    results_.reserve(top_k);
+    last_counted_block_.assign(num_keywords_, UINT32_MAX);
+    while (AlignOnSharedDocument()) {
+      uint32_t doc = cursors_[0].doc();
+      if (results_.size() == top_k_) {
+        double bound = 0.0;
+        uint32_t next_doc = UINT32_MAX;
+        for (size_t w = 0; w < num_keywords_; ++w) {
+          DilCursor::BlockBound b = cursors_[w].BlockUpperBound(doc);
+          bound += b.max_score;
+          next_doc = std::min(next_doc, b.next_doc);
+        }
+        if (bound <= threshold_) {
+          // Nothing in [doc, next_doc) can beat the kept k; leapfrog all
+          // cursors there (next_doc == UINT32_MAX: every window runs to
+          // its range end, so nothing at all remains).
+          for (size_t w = 0; w < num_keywords_; ++w) {
+            DilCursor& cursor = cursors_[w];
+            uint32_t before = cursor.block();
+            if (next_doc == UINT32_MAX) {
+              cursor.SkipToEnd();
+            } else {
+              cursor.SeekDoc(next_doc);
+            }
+            uint32_t after = cursor.AtEnd() ? cursor.range_last_block() + 1
+                                            : cursor.block();
+            stats_->blocks_skipped += after - before;
+          }
+          continue;
+        }
+      }
+      DrainDocument(doc);
+      // Document boundary: flush the finished frames into the heap now so
+      // the next prune decision sees the freshest threshold.
+      PopTo(0);
+    }
+    PopTo(0);
+    std::sort(results_.begin(), results_.end(), BetterResult);
+    return std::move(results_);
+  }
+
  private:
+  /// Drains every posting of `doc` with the min-Dewey merge, exactly as
+  /// the oblivious pass would.
+  void DrainDocument(uint32_t doc) {
+    while (true) {
+      int chosen = -1;
+      for (size_t w = 0; w < num_keywords_; ++w) {
+        if (cursors_[w].AtEnd() || cursors_[w].doc() != doc) continue;
+        if (chosen < 0 || cursors_[w].dewey() < cursors_[chosen].dewey()) {
+          chosen = static_cast<int>(w);
+        }
+      }
+      if (chosen < 0) break;
+      DilCursor& cursor = cursors_[chosen];
+      ++stats_->postings_scored;
+      if (bounded_) {
+        // Count each block once, the first time a posting is drawn from it.
+        uint32_t block = cursor.block();
+        if (block != last_counted_block_[static_cast<size_t>(chosen)]) {
+          last_counted_block_[static_cast<size_t>(chosen)] = block;
+          ++stats_->blocks_scored;
+        }
+      }
+      Consume(cursor.dewey(), cursor.score(), static_cast<size_t>(chosen));
+      cursor.Next();
+    }
+  }
+
+  /// Routes a finished frame into the output. Exact mode appends (the
+  /// final sort truncates); bounded mode keeps a k-element heap whose top
+  /// is the worst kept result — the pruning threshold.
+  void Emit(QueryResult result) {
+    if (!bounded_) {
+      results_.push_back(std::move(result));
+      return;
+    }
+    if (results_.size() < top_k_) {
+      results_.push_back(std::move(result));
+      std::push_heap(results_.begin(), results_.end(), BetterResult);
+      if (results_.size() == top_k_) {
+        threshold_ = results_.front().score;
+        ++stats_->threshold_updates;
+      }
+      return;
+    }
+    if (!BetterResult(result, results_.front())) return;
+    std::pop_heap(results_.begin(), results_.end(), BetterResult);
+    results_.back() = std::move(result);
+    std::push_heap(results_.begin(), results_.end(), BetterResult);
+    if (results_.front().score > threshold_) {
+      threshold_ = results_.front().score;
+      ++stats_->threshold_updates;
+    }
+  }
   /// Leapfrogs the cursors onto the next document present in every list,
   /// skipping whole documents through the block skip table. Exact: Eq. 1 is
   /// conjunctive and subtree scores never propagate across a document
@@ -227,7 +323,7 @@ class CursorMerger {
             DeweyId(std::vector<uint32_t>(path_.begin(), path_.end()));
         result.score = total;
         result.keyword_scores.assign(frame, frame + num_keywords_);
-        results_.push_back(std::move(result));
+        Emit(std::move(result));
       }
       if (f > 0) {
         double* parent = frame - num_keywords_;
@@ -244,11 +340,7 @@ class CursorMerger {
   }
 
   void SortAndTruncate() {
-    std::sort(results_.begin(), results_.end(),
-              [](const QueryResult& a, const QueryResult& b) {
-                if (a.score != b.score) return a.score > b.score;
-                return a.element < b.element;
-              });
+    std::sort(results_.begin(), results_.end(), BetterResult);
     if (top_k_ > 0 && results_.size() > top_k_) results_.resize(top_k_);
   }
 
@@ -260,6 +352,13 @@ class CursorMerger {
   std::vector<double> scores_;     ///< depth × num_keywords_ score matrix
   std::vector<QueryResult> results_;
   size_t top_k_ = 0;
+
+  // Pruned-merge state (RunPruned only).
+  bool bounded_ = false;      ///< results_ is a BetterResult heap of size k
+  double threshold_ = 0.0;    ///< k-th best score once the heap is full
+  std::vector<uint32_t> last_counted_block_;  ///< per keyword, for stats
+  ExecuteStats* stats_ = nullptr;  ///< added to, never reset; never null
+  ExecuteStats local_stats_;       ///< sink when the caller passed none
 };
 
 /// Flattens per-shard top-k lists into the global (score desc, Dewey) order
@@ -273,11 +372,7 @@ std::vector<QueryResult> MergeShardResults(
   for (auto& shard : shard_results) {
     for (QueryResult& r : shard) merged.push_back(std::move(r));
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const QueryResult& a, const QueryResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.element < b.element;
-            });
+  std::sort(merged.begin(), merged.end(), BetterResult);
   if (top_k > 0 && merged.size() > top_k) merged.resize(top_k);
   return merged;
 }
@@ -312,12 +407,33 @@ std::vector<QueryResult> QueryProcessor::Execute(
 
 std::vector<QueryResult> QueryProcessor::Execute(
     std::vector<DilCursor> cursors, size_t top_k) const {
+  return Execute(std::move(cursors), top_k, PruningMode::kExact, nullptr);
+}
+
+std::vector<QueryResult> QueryProcessor::Execute(
+    std::vector<DilCursor> cursors, size_t top_k, PruningMode pruning,
+    ExecuteStats* stats) const {
   if (cursors.empty()) return {};
   for (const DilCursor& cursor : cursors) {
     if (cursor.AtEnd()) return {};  // conjunctive short-circuit
   }
+  // Admissibility: pruning needs a threshold (top_k >= 1), per-block
+  // bounds on every list, and non-increasing score propagation
+  // (decay <= 1) so the window max bounds every frame a document range
+  // can emit. Anything else runs the exact merge — same results.
+  bool prunable = pruning == PruningMode::kBlockMax && top_k >= 1 &&
+                  options_.decay <= 1.0;
+  if (prunable) {
+    for (const DilCursor& cursor : cursors) {
+      if (!cursor.has_block_max()) {
+        prunable = false;
+        break;
+      }
+    }
+  }
   CursorMerger merger(cursors, options_);
-  return merger.Run(top_k);
+  return prunable ? merger.RunPruned(top_k, stats)
+                  : merger.Run(top_k, stats);
 }
 
 std::vector<QueryResult> QueryProcessor::ExecuteSharded(
@@ -361,7 +477,7 @@ std::vector<QueryResult> QueryProcessor::ExecuteSharded(
 
 std::vector<QueryResult> QueryProcessor::ExecuteSharded(
     const std::vector<DilListRef>& lists, size_t top_k, size_t num_shards,
-    ThreadPool* pool, ExecuteStats* stats) const {
+    ThreadPool* pool, ExecuteStats* stats, PruningMode pruning) const {
   if (stats != nullptr) *stats = ExecuteStats{};
   if (lists.empty()) return {};
   size_t total_postings = 0;
@@ -386,14 +502,27 @@ std::vector<QueryResult> QueryProcessor::ExecuteSharded(
     ranges = PartitionListsByDocument(lists, num_shards);
   }
   if (ranges.size() <= 1) {
-    return Execute(open_all(nullptr), top_k);
+    return Execute(open_all(nullptr), top_k, pruning, stats);
   }
   if (stats != nullptr) stats->shards = ranges.size();
 
+  // Each shard prunes against its own shard-local threshold: every
+  // shard-local top-k is exact for its document range, so the k-way merge
+  // below is the global top-k — bit-identical to the serial pass.
   std::vector<std::vector<QueryResult>> shard_results(ranges.size());
+  std::vector<ExecuteStats> shard_stats(ranges.size());
   pool->ParallelFor(ranges.size(), [&](size_t s) {
-    shard_results[s] = Execute(open_all(&ranges[s]), top_k);
+    shard_results[s] =
+        Execute(open_all(&ranges[s]), top_k, pruning, &shard_stats[s]);
   });
+  if (stats != nullptr) {
+    for (const ExecuteStats& s : shard_stats) {
+      stats->postings_scored += s.postings_scored;
+      stats->blocks_scored += s.blocks_scored;
+      stats->blocks_skipped += s.blocks_skipped;
+      stats->threshold_updates += s.threshold_updates;
+    }
+  }
   return MergeShardResults(std::move(shard_results), top_k);
 }
 

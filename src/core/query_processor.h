@@ -23,10 +23,31 @@ struct QueryResult {
   std::vector<double> keyword_scores;
 };
 
-/// Work counters of one (possibly sharded) exhaustive execution.
+/// Whether a top-k merge may skip work that provably cannot change the
+/// result set. Both modes return identical results (parity is
+/// property-tested); the choice only moves work around.
+enum class PruningMode {
+  /// Score every aligned document (the reference path; required for
+  /// top_k == 0, where there is no threshold to prune against).
+  kExact,
+  /// Block-Max-WAND upper-bound pruning: keep the running k-th score in a
+  /// bounded heap and leapfrog all cursors past document ranges whose
+  /// summed per-block score upper bounds cannot beat it. Requires every
+  /// list to carry the block-max column (flat, built or v2-mapped);
+  /// otherwise the merge silently falls back to kExact.
+  kBlockMax,
+};
+
+/// Work counters of one (possibly sharded) execution. The block/threshold
+/// counters are filled by the pruned merge; the exact path leaves them 0
+/// (except postings_scored, counted on both paths).
 struct ExecuteStats {
   size_t postings_scanned = 0;  ///< postings fed into the merge
   size_t shards = 1;            ///< shards the merge actually ran with
+  size_t postings_scored = 0;   ///< postings actually consumed/scored
+  size_t blocks_scored = 0;     ///< blocks the pruned merge decoded into
+  size_t blocks_skipped = 0;    ///< blocks leapfrogged by upper bound
+  size_t threshold_updates = 0; ///< times the k-th score threshold rose
 };
 
 /// Evaluates keyword queries by a single sort-merge pass over XOnto Dewey
@@ -71,6 +92,18 @@ class QueryProcessor {
   std::vector<QueryResult> Execute(std::vector<DilCursor> cursors,
                                    size_t top_k) const;
 
+  /// Same, with a pruning mode. kBlockMax runs the Block-Max-WAND merge
+  /// when it is admissible — a finite top_k, every cursor flat with a
+  /// block-max column, and a decay <= 1 (the bound argument needs scores
+  /// to never grow while propagating) — and falls back to the exact merge
+  /// otherwise, so the result set is identical either way (DESIGN.md §12
+  /// gives the threshold algebra). `stats`, if non-null, is *added to*
+  /// (never reset): postings_scored plus the pruned path's block and
+  /// threshold counters.
+  std::vector<QueryResult> Execute(std::vector<DilCursor> cursors,
+                                   size_t top_k, PruningMode pruning,
+                                   ExecuteStats* stats) const;
+
   /// Parallel variant: partitions the postings into up to `num_shards`
   /// document ranges (PartitionListsByDocument), merges each range
   /// independently on `pool` into a shard-local top-k, and k-way merges
@@ -85,10 +118,14 @@ class QueryProcessor {
 
   /// DilListRef variant of ExecuteSharded: the snapshot serving entry
   /// point. Flat lists shard via the block skip table; legacy spans via
-  /// SliceDocRange. Same contract and bit-identical output.
+  /// SliceDocRange. Same contract and bit-identical output. Under
+  /// kBlockMax each shard prunes against its own shard-local threshold —
+  /// every shard-local top-k is exact, so the k-way merge of them is the
+  /// global top-k, bit-identical to the serial exact pass.
   std::vector<QueryResult> ExecuteSharded(
       const std::vector<DilListRef>& lists, size_t top_k, size_t num_shards,
-      ThreadPool* pool, ExecuteStats* stats = nullptr) const;
+      ThreadPool* pool, ExecuteStats* stats = nullptr,
+      PruningMode pruning = PruningMode::kExact) const;
 
  private:
   ScoreOptions options_;

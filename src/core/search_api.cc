@@ -12,6 +12,16 @@ std::string_view QueryExecutionName(QueryExecution e) {
   return "?";
 }
 
+std::string_view PruningModeName(PruningMode mode) {
+  switch (mode) {
+    case PruningMode::kExact:
+      return "exact";
+    case PruningMode::kBlockMax:
+      return "blockmax";
+  }
+  return "?";
+}
+
 Status SearchOptions::Validate() const {
   if (strategy == QueryExecution::kRdil && top_k == 0) {
     return Status::InvalidArgument(

@@ -27,6 +27,9 @@ enum class QueryExecution {
 /// Human-readable execution-strategy name ("dil" / "rdil").
 std::string_view QueryExecutionName(QueryExecution e);
 
+/// Human-readable pruning-mode name ("exact" / "blockmax").
+std::string_view PruningModeName(PruningMode mode);
+
 /// Per-call knobs of the unified Search entry point.
 ///
 /// `top_k` has ONE meaning everywhere: 0 returns all results, k >= 1
@@ -51,6 +54,14 @@ struct SearchOptions {
   /// and die with their snapshot, so a hit can never serve stale data.
   bool use_cache = true;
 
+  /// Top-k pruning of the DIL merge (see PruningMode). Like `strategy`,
+  /// an execution hint: results are identical under either mode, so it is
+  /// excluded from the cache key. The default prunes whenever admissible;
+  /// `top_k == 0` (no threshold exists), a decay > 1, or lists without the
+  /// block-max column (v1 segments, demand-cache spans) silently run
+  /// exact. Ignored under kRdil.
+  PruningMode pruning = PruningMode::kBlockMax;
+
   /// The one validity rule above; every Search entry point applies it.
   [[nodiscard]] Status Validate() const;
 };
@@ -67,6 +78,18 @@ struct QueryStats {
   bool cache_hit = false;
   /// End-to-end wall time of the call, microseconds.
   double wall_micros = 0.0;
+
+  // Work counters of the DIL merge (0 under kRdil or on a cache hit).
+  /// Postings actually decoded and scored; under block-max pruning this is
+  /// postings_scanned minus everything leapfrogged.
+  size_t postings_scored = 0;
+  /// Blocks the merge drew at least one posting from.
+  size_t blocks_scored = 0;
+  /// Blocks skipped wholesale because their summed score upper bounds
+  /// could not beat the running k-th score.
+  size_t blocks_skipped = 0;
+  /// Times the k-th-score pruning threshold was set or raised.
+  size_t threshold_updates = 0;
 };
 
 /// The unified Search result: the ranked results plus execution stats.

@@ -1,0 +1,255 @@
+#include "core/simd_kernels.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+// The x86 paths are compiled whenever the target is x86-64 and SIMD is
+// not disabled; which one runs is decided at startup from CPUID. SSE2 is
+// part of the x86-64 baseline, so it needs no target attribute; the AVX2
+// functions carry one so the rest of the translation unit stays baseline
+// (the binary must start on machines without AVX2 and only *call* the
+// AVX2 kernels after the CPUID check).
+#if defined(__x86_64__) && !defined(XO_DISABLE_SIMD)
+#define XO_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace xontorank {
+
+namespace {
+
+// --- scalar fallbacks (the reference semantics) ---------------------------
+
+void FillDocIdsScalar(const uint16_t* shared, const uint32_t* suffix_offsets,
+                      const uint32_t* arena, size_t count, uint32_t carry,
+                      uint32_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    if (shared[i] == 0) carry = arena[suffix_offsets[i]];
+    out[i] = carry;
+  }
+}
+
+size_t LowerBoundU32Scalar(const uint32_t* values, size_t count,
+                           uint32_t key) {
+  return static_cast<size_t>(
+      std::lower_bound(values, values + count, key) - values);
+}
+
+float MaxFloatScalar(const float* values, size_t count) {
+  float max = values[0];
+  for (size_t i = 1; i < count; ++i) {
+    if (values[i] > max) max = values[i];
+  }
+  return max;
+}
+
+#ifdef XO_SIMD_X86
+
+// --- SSE2 -----------------------------------------------------------------
+
+// Restarts are one posting in kBlockPostings (128), so almost every chunk
+// of `shared` is all-nonzero and the doc id is a plain broadcast of the
+// running carry; only chunks containing a restart drop to the scalar
+// loop. The same shape (wide test, rare slow path) is what makes this
+// vectorizable at all — the carry itself is a serial dependence.
+void FillDocIdsSse2(const uint16_t* shared, const uint32_t* suffix_offsets,
+                    const uint32_t* arena, size_t count, uint32_t carry,
+                    uint32_t* out) {
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m128i sh = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(shared + i));
+    __m128i restart = _mm_cmpeq_epi16(sh, zero);
+    if (_mm_movemask_epi8(restart) == 0) {
+      __m128i v = _mm_set1_epi32(static_cast<int>(carry));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4), v);
+    } else {
+      for (size_t j = i; j < i + 8; ++j) {
+        if (shared[j] == 0) carry = arena[suffix_offsets[j]];
+        out[j] = carry;
+      }
+    }
+  }
+  FillDocIdsScalar(shared + i, suffix_offsets + i, arena, count - i, carry,
+                   out + i);
+}
+
+// Packed compares are signed; flipping the sign bit maps the unsigned
+// order onto the signed one.
+size_t LowerBoundU32Sse2(const uint32_t* values, size_t count,
+                         uint32_t key) {
+  const __m128i flip = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i k =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int>(key)), flip);
+  size_t below = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m128i v = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i)),
+        flip);
+    // Lanes with values[i] < key; the array is non-decreasing, so the
+    // total count of such lanes is the lower-bound index.
+    int mask = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(v, k)));
+    below += static_cast<size_t>(__builtin_popcount(mask));
+  }
+  for (; i < count; ++i) below += values[i] < key ? 1 : 0;
+  return below;
+}
+
+float MaxFloatSse2(const float* values, size_t count) {
+  if (count < 4) return MaxFloatScalar(values, count);
+  __m128 max = _mm_loadu_ps(values);
+  size_t i = 4;
+  for (; i + 4 <= count; i += 4) {
+    max = _mm_max_ps(max, _mm_loadu_ps(values + i));
+  }
+  if (i < count) max = _mm_max_ps(max, _mm_loadu_ps(values + count - 4));
+  max = _mm_max_ps(max, _mm_shuffle_ps(max, max, _MM_SHUFFLE(1, 0, 3, 2)));
+  max = _mm_max_ps(max, _mm_shuffle_ps(max, max, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtss_f32(max);
+}
+
+// --- AVX2 -----------------------------------------------------------------
+
+__attribute__((target("avx2"))) void FillDocIdsAvx2(
+    const uint16_t* shared, const uint32_t* suffix_offsets,
+    const uint32_t* arena, size_t count, uint32_t carry, uint32_t* out) {
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    __m256i sh = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(shared + i));
+    __m256i restart = _mm256_cmpeq_epi16(sh, zero);
+    if (_mm256_movemask_epi8(restart) == 0) {
+      __m256i v = _mm256_set1_epi32(static_cast<int>(carry));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8), v);
+    } else {
+      for (size_t j = i; j < i + 16; ++j) {
+        if (shared[j] == 0) carry = arena[suffix_offsets[j]];
+        out[j] = carry;
+      }
+    }
+  }
+  FillDocIdsScalar(shared + i, suffix_offsets + i, arena, count - i, carry,
+                   out + i);
+}
+
+__attribute__((target("avx2"))) size_t LowerBoundU32Avx2(
+    const uint32_t* values, size_t count, uint32_t key) {
+  const __m256i flip = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i k =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(key)), flip);
+  size_t below = 0;
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i)),
+        flip);
+    int mask = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(k, v)));
+    below += static_cast<size_t>(__builtin_popcount(mask));
+  }
+  for (; i < count; ++i) below += values[i] < key ? 1 : 0;
+  return below;
+}
+
+__attribute__((target("avx2"))) float MaxFloatAvx2(const float* values,
+                                                   size_t count) {
+  if (count < 8) return MaxFloatSse2(values, count);
+  __m256 max = _mm256_loadu_ps(values);
+  size_t i = 8;
+  for (; i + 8 <= count; i += 8) {
+    max = _mm256_max_ps(max, _mm256_loadu_ps(values + i));
+  }
+  if (i < count) {
+    max = _mm256_max_ps(max, _mm256_loadu_ps(values + count - 8));
+  }
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(max),
+                        _mm256_extractf128_ps(max, 1));
+  m = _mm_max_ps(m, _mm_shuffle_ps(m, m, _MM_SHUFFLE(1, 0, 3, 2)));
+  m = _mm_max_ps(m, _mm_shuffle_ps(m, m, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtss_f32(m);
+}
+
+#endif  // XO_SIMD_X86
+
+SimdLevel DetectSimdLevel() {
+#ifdef XO_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kSse2;  // x86-64 baseline
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+std::string_view SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+void FillDocIds(const uint16_t* shared, const uint32_t* suffix_offsets,
+                const uint32_t* arena, size_t count, uint32_t carry,
+                uint32_t* out) {
+#ifdef XO_SIMD_X86
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      FillDocIdsAvx2(shared, suffix_offsets, arena, count, carry, out);
+      return;
+    case SimdLevel::kSse2:
+      FillDocIdsSse2(shared, suffix_offsets, arena, count, carry, out);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  FillDocIdsScalar(shared, suffix_offsets, arena, count, carry, out);
+}
+
+size_t LowerBoundU32(const uint32_t* values, size_t count, uint32_t key) {
+#ifdef XO_SIMD_X86
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return LowerBoundU32Avx2(values, count, key);
+    case SimdLevel::kSse2:
+      return LowerBoundU32Sse2(values, count, key);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return LowerBoundU32Scalar(values, count, key);
+}
+
+float MaxFloat(const float* values, size_t count) {
+  XO_CHECK(count > 0);
+#ifdef XO_SIMD_X86
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return MaxFloatAvx2(values, count);
+    case SimdLevel::kSse2:
+      return MaxFloatSse2(values, count);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return MaxFloatScalar(values, count);
+}
+
+}  // namespace xontorank

@@ -1,0 +1,59 @@
+#ifndef XONTORANK_CORE_SIMD_KERNELS_H_
+#define XONTORANK_CORE_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xontorank {
+
+/// Batch kernels over the FlatDil posting columns, with an instruction-set
+/// implementation selected once at runtime: AVX2 where the CPU has it,
+/// SSE2 otherwise (baseline on x86-64), and a portable scalar fallback
+/// everywhere else. Building with -DXO_DISABLE_SIMD=ON compiles the
+/// scalar fallback only — CI runs that leg so the fallback stays correct,
+/// and the parity tests run identically under either build.
+///
+/// The kernels exist for the block-granular work the top-k pruning path
+/// leaves behind: once whole blocks are skipped by upper bound, the
+/// surviving blocks are decoded in batches (doc-id column fill, in-block
+/// seek) instead of posting-at-a-time.
+
+/// The instruction set the kernels dispatch to (decided once, from CPUID).
+enum class SimdLevel {
+  kScalar,
+  kSse2,
+  kAvx2,
+};
+
+/// The level this process runs the kernels at.
+SimdLevel ActiveSimdLevel();
+
+/// "scalar" / "sse2" / "avx2" — for stats lines and bench output.
+std::string_view SimdLevelName(SimdLevel level);
+
+/// Decodes the document-id column of a run of `count` postings:
+/// `out[i]` = the document id of posting i, where a restart posting
+/// (`shared[i] == 0`) takes the arena word at its suffix offset (the
+/// first Dewey component is the doc id) and every other posting inherits
+/// its predecessor's. `carry` seeds runs that do not start at a restart.
+/// The columns are the FlatDil ones: `suffix_offsets` indexes `arena`
+/// absolutely, so pass the column pointers offset to the run's first
+/// posting and the arena base unshifted.
+void FillDocIds(const uint16_t* shared, const uint32_t* suffix_offsets,
+                const uint32_t* arena, size_t count, uint32_t carry,
+                uint32_t* out);
+
+/// Index of the first element >= `key` in the non-decreasing array
+/// `values` (= `count` when none is). The vector paths count the
+/// elements below `key` with packed unsigned compares, which for a
+/// sorted array is exactly the lower bound.
+size_t LowerBoundU32(const uint32_t* values, size_t count, uint32_t key);
+
+/// Maximum over `count` floats; `count` must be >= 1. Used over
+/// block-max windows and by the segment inspector's per-list summaries.
+float MaxFloat(const float* values, size_t count);
+
+}  // namespace xontorank
+
+#endif  // XONTORANK_CORE_SIMD_KERNELS_H_

@@ -16,23 +16,6 @@ SearchResponse XOntoRank::Search(std::string_view query_text,
   return Search(ParseQuery(query_text), options);
 }
 
-std::vector<QueryResult> XOntoRank::Search(const KeywordQuery& query,
-                                           size_t top_k) const {
-  return snapshot()->Search(query, top_k);
-}
-
-std::vector<QueryResult> XOntoRank::Search(std::string_view query_text,
-                                           size_t top_k) const {
-  return Search(ParseQuery(query_text), top_k);
-}
-
-std::vector<QueryResult> XOntoRank::SearchRanked(const KeywordQuery& query,
-                                                 size_t top_k,
-                                                 RankedQueryStats* stats)
-    const {
-  return snapshot()->SearchRanked(query, top_k, stats);
-}
-
 uint32_t XOntoRank::AddDocument(XmlDocument doc) {
   return writer_.AddDocument(std::move(doc));
 }

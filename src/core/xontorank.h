@@ -25,8 +25,9 @@ namespace xontorank {
 ///   Ontology onto = BuildSnomedCardiologyFragment();
 ///   std::vector<XmlDocument> corpus = ...;           // parse or generate
 ///   XOntoRank engine(std::move(corpus), onto, {});   // preprocessing phase
-///   auto results = engine.Search("\"bronchial structure\" theophylline", 10);
-///   for (const QueryResult& r : results)
+///   auto response =
+///       engine.Search("\"bronchial structure\" theophylline", {.top_k = 10});
+///   for (const QueryResult& r : response.results)
 ///     std::cout << engine.ResultFragmentXml(r) << "\n";
 /// ```
 ///
@@ -76,23 +77,6 @@ class XOntoRank {
   /// Convenience: parses `query_text` (quoted phrases supported) first.
   SearchResponse Search(std::string_view query_text,
                         const SearchOptions& options) const;
-
-  /// DEPRECATED — thin wrapper over the unified Search (serial, uncached;
-  /// `top_k == 0` returns all). Prefer Search(query, SearchOptions).
-  std::vector<QueryResult> Search(const KeywordQuery& query,
-                                  size_t top_k) const;
-
-  /// DEPRECATED — string + top_k wrapper; same semantics as above.
-  std::vector<QueryResult> Search(std::string_view query_text,
-                                  size_t top_k) const;
-
-  /// DEPRECATED — ranked-execution wrapper kept for its RankedQueryStats
-  /// out-param; `top_k == 0` returns an empty vector. Prefer
-  /// Search(query, SearchOptions{.strategy = QueryExecution::kRdil}).
-  std::vector<QueryResult> SearchRanked(const KeywordQuery& query,
-                                        size_t top_k,
-                                        RankedQueryStats* stats =
-                                            nullptr) const;
 
   /// Appends one document to the corpus and publishes a new snapshot; its
   /// doc id is assigned (its corpus position). Subsequent queries are

@@ -11,10 +11,13 @@
 #include "core/xontorank.h"
 #include "eval/workload.h"
 #include "gtest/gtest.h"
+#include "tests/test_util.h"
 #include "onto/snomed_fragment.h"
 
 namespace xontorank {
 namespace {
+
+using testing_util::SearchTop;
 
 TEST(ConcurrencyTest, ParallelSearchesMatchSerial) {
   Ontology onto = BuildSnomedCardiologyFragment();
@@ -32,7 +35,7 @@ TEST(ConcurrencyTest, ParallelSearchesMatchSerial) {
   std::vector<std::vector<QueryResult>> expected;
   for (const WorkloadQuery& wq : TableOneQueries()) {
     queries.push_back(ParseQuery(wq.text));
-    expected.push_back(serial.Search(queries.back(), 10));
+    expected.push_back(SearchTop(serial, queries.back(), 10));
   }
 
   // Parallel engine: every thread runs the whole workload repeatedly with a
@@ -46,7 +49,7 @@ TEST(ConcurrencyTest, ParallelSearchesMatchSerial) {
     workers.emplace_back([&]() {
       for (int round = 0; round < kRounds; ++round) {
         for (size_t q = 0; q < queries.size(); ++q) {
-          auto results = parallel.Search(queries[q], 10);
+          auto results = SearchTop(parallel, queries[q], 10);
           if (results.size() != expected[q].size()) {
             ++mismatches;
             continue;
@@ -131,7 +134,7 @@ TEST(ConcurrencyTest, SnapshotIsolationUnderCommits) {
     std::vector<XmlDocument> prefix = generator.GenerateCorpus();
     prefix.resize(size);
     XOntoRank reference(std::move(prefix), onto, options);
-    milestones.push_back(reference.Search(query, 10));
+    milestones.push_back(SearchTop(reference, query, 10));
   }
   ASSERT_FALSE(milestones.front().empty());
 
@@ -152,7 +155,7 @@ TEST(ConcurrencyTest, SnapshotIsolationUnderCommits) {
       int iterations = 0;
       while (!done.load(std::memory_order_acquire) || iterations < 50) {
         ++iterations;
-        std::vector<QueryResult> results = engine.Search(query, 10);
+        std::vector<QueryResult> results = SearchTop(engine, query, 10);
         bool matched = false;
         for (const std::vector<QueryResult>& milestone : milestones) {
           if (SameResults(results, milestone)) {
@@ -184,7 +187,7 @@ TEST(ConcurrencyTest, SnapshotIsolationUnderCommits) {
   EXPECT_EQ(torn.load(), 0);
   // After the final commit every reader converges on the full corpus.
   EXPECT_EQ(engine.corpus_size(), gen_options.num_documents);
-  EXPECT_TRUE(SameResults(engine.Search(query, 10), milestones.back()));
+  EXPECT_TRUE(SameResults(SearchTop(engine, query, 10), milestones.back()));
 }
 
 // A snapshot handle pinned before commits keeps answering from its frozen
@@ -207,13 +210,13 @@ TEST(ConcurrencyTest, PinnedSnapshotSurvivesCommits) {
 
   KeywordQuery query = ParseQuery("asthma");
   std::shared_ptr<const IndexSnapshot> pinned = engine.snapshot();
-  std::vector<QueryResult> before = pinned->Search(query, 10);
+  std::vector<QueryResult> before = SearchTop(*pinned, query, 10);
 
   for (XmlDocument& doc : extra) engine.AddDocument(std::move(doc));
 
   EXPECT_EQ(pinned->corpus_size(), 4u);
   EXPECT_EQ(engine.corpus_size(), 6u);
-  EXPECT_TRUE(SameResults(pinned->Search(query, 10), before));
+  EXPECT_TRUE(SameResults(SearchTop(*pinned, query, 10), before));
   EXPECT_NE(engine.snapshot().get(), pinned.get());
 }
 

@@ -10,6 +10,7 @@ namespace {
 
 using testing_util::BuildTinyOntology;
 using testing_util::MustParse;
+using testing_util::SearchTop;
 
 Corpus MakeCorpus(std::initializer_list<const char*> xmls) {
   Corpus corpus;
@@ -103,8 +104,8 @@ TEST(ElemRankIntegrationTest, BlendChangesScoresButNotCoverage) {
   };
   auto plain = make_engine(false);
   auto ranked = make_engine(true);
-  auto plain_results = plain->Search("asthma", 0);
-  auto ranked_results = ranked->Search("asthma", 0);
+  auto plain_results = SearchTop(*plain, "asthma", 0);
+  auto ranked_results = SearchTop(*ranked, "asthma", 0);
   // Same result elements (coverage identical), different scores possible.
   ASSERT_EQ(plain_results.size(), ranked_results.size());
   for (const QueryResult& r : ranked_results) {

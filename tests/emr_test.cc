@@ -5,11 +5,14 @@
 #include "cda/cda_validator.h"
 #include "core/xontorank.h"
 #include "gtest/gtest.h"
+#include "tests/test_util.h"
 #include "onto/snomed_fragment.h"
 #include "xml/xml_writer.h"
 
 namespace xontorank {
 namespace {
+
+using testing_util::SearchTop;
 
 EmrDatabase TinyDatabase() {
   EmrDatabase db;
@@ -148,7 +151,7 @@ TEST(EmrPipelineTest, FullPaperPipelineProducesSearchableCorpus) {
   XOntoRank engine(std::move(corpus), onto, build);
   EXPECT_GT(engine.build_stats().code_nodes, 0u);
   // A common cardiology keyword must find something in 12 patients.
-  EXPECT_FALSE(engine.Search("cardiac", 5).empty());
+  EXPECT_FALSE(SearchTop(engine, "cardiac", 5).empty());
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 namespace xontorank {
 namespace {
 
+using testing_util::SearchTop;
+
 class EngineStoreFixture : public ::testing::Test {
  protected:
   EngineStoreFixture()
@@ -55,14 +57,14 @@ TEST_F(EngineStoreFixture, SaveLoadPreservesQueryResults) {
   std::vector<std::string> queries = {"\"cardiac arrest\" epinephrine",
                                       "asthma", "\"bronchial structure\""};
   std::vector<std::vector<QueryResult>> before;
-  for (const std::string& q : queries) before.push_back(engine->Search(q, 10));
+  for (const std::string& q : queries) before.push_back(SearchTop(*engine, q, 10));
 
   ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());
   auto loaded = LoadEngineDir(dir_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto after = (*loaded)->engine().Search(queries[i], 10);
+    auto after = SearchTop((*loaded)->engine(), queries[i], 10);
     ASSERT_EQ(after.size(), before[i].size()) << queries[i];
     for (size_t r = 0; r < after.size(); ++r) {
       EXPECT_EQ(after[r].element, before[i][r].element) << queries[i];
@@ -76,7 +78,7 @@ TEST_F(EngineStoreFixture, SegmentFormatSaveLoadPreservesQueryResults) {
   std::vector<std::string> queries = {"\"cardiac arrest\" epinephrine",
                                       "asthma", "\"bronchial structure\""};
   std::vector<std::vector<QueryResult>> before;
-  for (const std::string& q : queries) before.push_back(engine->Search(q, 10));
+  for (const std::string& q : queries) before.push_back(SearchTop(*engine, q, 10));
 
   SaveSnapshotOptions options;
   options.index_format = IndexFileFormat::kSegment;
@@ -88,7 +90,7 @@ TEST_F(EngineStoreFixture, SegmentFormatSaveLoadPreservesQueryResults) {
   auto loaded = LoadEngineDir(dir_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto after = (*loaded)->engine().Search(queries[i], 10);
+    auto after = SearchTop((*loaded)->engine(), queries[i], 10);
     ASSERT_EQ(after.size(), before[i].size()) << queries[i];
     for (size_t r = 0; r < after.size(); ++r) {
       EXPECT_EQ(after[r].element, before[i][r].element) << queries[i];
@@ -99,7 +101,7 @@ TEST_F(EngineStoreFixture, SegmentFormatSaveLoadPreservesQueryResults) {
 
 TEST_F(EngineStoreFixture, CorruptSegmentIndexFailsWithSectionContext) {
   auto engine = BuildEngine();
-  engine->Search("asthma", 5);  // materialize something to persist
+  SearchTop(*engine, "asthma", 5);  // materialize something to persist
   SaveSnapshotOptions options;
   options.index_format = IndexFileFormat::kSegment;
   ASSERT_TRUE(SaveEngineDir(*engine, dir_, options).ok());
@@ -148,7 +150,7 @@ TEST_F(EngineStoreFixture, SystemsRoundTrip) {
 
 TEST_F(EngineStoreFixture, AdoptedEntriesServeWithoutRecomputation) {
   auto engine = BuildEngine();
-  engine->Search("asthma", 5);  // materialize
+  SearchTop(*engine, "asthma", 5);  // materialize
   size_t postings = engine->index().TotalPostings();
   ASSERT_GT(postings, 0u);
   ASSERT_TRUE(SaveEngineDir(*engine, dir_).ok());

@@ -12,6 +12,7 @@ namespace {
 using testing_util::BuildTinyOntology;
 using testing_util::MustParse;
 using testing_util::TinyCdaXml;
+using testing_util::SearchTop;
 
 class ExplainFixture : public ::testing::Test {
  protected:
@@ -172,7 +173,7 @@ class ExplainResultFixture : public ::testing::Test {
 
 TEST_F(ExplainResultFixture, DistinguishesTextualFromOntological) {
   KeywordQuery query = ParseQuery("bronchus theophylline");
-  auto results = engine_->Search(query, 1);
+  auto results = SearchTop(*engine_, query, 1);
   ASSERT_FALSE(results.empty());
   auto evidence = ExplainResult(engine_->index(), query, results[0]);
   ASSERT_TRUE(evidence.ok()) << evidence.status().ToString();
@@ -198,7 +199,7 @@ TEST_F(ExplainResultFixture, FailsForUncoveredKeyword) {
 
 TEST_F(ExplainResultFixture, FormatEvidenceMentionsSources) {
   KeywordQuery query = ParseQuery("bronchus theophylline");
-  auto results = engine_->Search(query, 1);
+  auto results = SearchTop(*engine_, query, 1);
   ASSERT_FALSE(results.empty());
   auto evidence = ExplainResult(engine_->index(), query, results[0]);
   ASSERT_TRUE(evidence.ok());

@@ -12,6 +12,7 @@ namespace xontorank {
 namespace {
 
 using testing_util::MustParse;
+using testing_util::SearchTop;
 
 class IncrementalFixture : public ::testing::Test {
  protected:
@@ -54,8 +55,8 @@ TEST_F(IncrementalFixture, AddDocumentMatchesFreshBuild) {
   for (const char* text :
        {"asthma", "cardiac arrest", "\"bronchial structure\" theophylline",
         "furosemide"}) {
-    auto a = incremental.Search(text, 0);
-    auto b = fresh.Search(text, 0);
+    auto a = SearchTop(incremental, text, 0);
+    auto b = SearchTop(fresh, text, 0);
     ASSERT_EQ(a.size(), b.size()) << text;
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].element, b[i].element) << text;
@@ -70,9 +71,9 @@ TEST_F(IncrementalFixture, NewDocumentIsImmediatelySearchable) {
   std::vector<XmlDocument> corpus;
   corpus.push_back(MustParse("<r><s>plain note</s></r>", 0));
   XOntoRank engine(std::move(corpus), onto_, BuildOptions());
-  EXPECT_TRUE(engine.Search("zebrafish", 5).empty());
+  EXPECT_TRUE(SearchTop(engine, "zebrafish", 5).empty());
   engine.AddDocument(MustParse("<r><s>zebrafish study enrolled</s></r>", 0));
-  auto results = engine.Search("zebrafish", 5);
+  auto results = SearchTop(engine, "zebrafish", 5);
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].element.doc_id(), 1u);
 }
@@ -81,10 +82,10 @@ TEST_F(IncrementalFixture, CachedEntriesInvalidated) {
   std::vector<XmlDocument> corpus;
   corpus.push_back(MustParse("<r><s>asthma follow up</s></r>", 0));
   XOntoRank engine(std::move(corpus), onto_, BuildOptions());
-  auto before = engine.Search("asthma", 0);
+  auto before = SearchTop(engine, "asthma", 0);
   ASSERT_EQ(before.size(), 1u);
   engine.AddDocument(MustParse("<r><s>asthma admission</s></r>", 0));
-  auto after = engine.Search("asthma", 0);
+  auto after = SearchTop(engine, "asthma", 0);
   // Both documents now match; scores reflect the new collection stats.
   EXPECT_EQ(after.size(), 2u);
 }
@@ -99,7 +100,7 @@ TEST_F(IncrementalFixture, EagerVocabularyRebuilt) {
   engine.AddDocument(MustParse("<r><s>betawave gamma</s></r>", 0));
   size_t after = engine.build_stats().precomputed_keywords;
   EXPECT_GT(after, before);  // new tokens entered the vocabulary
-  EXPECT_FALSE(engine.Search("betawave", 5).empty());
+  EXPECT_FALSE(SearchTop(engine, "betawave", 5).empty());
 }
 
 TEST_F(IncrementalFixture, CodeNodesInNewDocumentsResolve) {
@@ -112,7 +113,7 @@ TEST_F(IncrementalFixture, CodeNodesInNewDocumentsResolve) {
   engine.AddDocument(MustParse(coded, 0));
   EXPECT_EQ(engine.build_stats().code_nodes, 1u);
   // The ontological route works for the new code node.
-  EXPECT_FALSE(engine.Search("\"bronchial structure\"", 5).empty());
+  EXPECT_FALSE(SearchTop(engine, "\"bronchial structure\"", 5).empty());
 }
 
 }  // namespace

@@ -8,11 +8,14 @@
 #include "eval/relevance_oracle.h"
 #include "eval/workload.h"
 #include "gtest/gtest.h"
+#include "tests/test_util.h"
 #include "onto/snomed_fragment.h"
 #include "storage/index_store.h"
 
 namespace xontorank {
 namespace {
+
+using testing_util::SearchTop;
 
 class IntegrationFixture : public ::testing::Test {
  protected:
@@ -37,7 +40,7 @@ TEST_F(IntegrationFixture, ResultsAreAntichainsUnderEveryStrategy) {
   for (Strategy strategy : kAllStrategies) {
     XOntoRank engine = MakeEngine(strategy);
     for (const WorkloadQuery& wq : TableOneQueries()) {
-      auto results = engine.Search(wq.text, 0);
+      auto results = SearchTop(engine, wq.text, 0);
       for (size_t i = 0; i < results.size(); ++i) {
         for (size_t j = 0; j < results.size(); ++j) {
           if (i == j) continue;
@@ -53,7 +56,7 @@ TEST_F(IntegrationFixture, ResultsAreAntichainsUnderEveryStrategy) {
 TEST_F(IntegrationFixture, EveryResultResolvesToARealElement) {
   XOntoRank engine = MakeEngine(Strategy::kRelationships);
   for (const WorkloadQuery& wq : TableOneQueries()) {
-    for (const QueryResult& r : engine.Search(wq.text, 10)) {
+    for (const QueryResult& r : SearchTop(engine, wq.text, 10)) {
       const XmlNode* node = engine.ResolveResult(r);
       ASSERT_NE(node, nullptr) << wq.id;
       EXPECT_TRUE(node->is_element());
@@ -65,7 +68,7 @@ TEST_F(IntegrationFixture, KeywordScoresPositiveAndSumToTotal) {
   XOntoRank engine = MakeEngine(Strategy::kGraph);
   for (const WorkloadQuery& wq : TableOneQueries()) {
     KeywordQuery query = ParseQuery(wq.text);
-    for (const QueryResult& r : engine.Search(query, 10)) {
+    for (const QueryResult& r : SearchTop(engine, query, 10)) {
       ASSERT_EQ(r.keyword_scores.size(), query.size());
       double sum = 0.0;
       for (double s : r.keyword_scores) {
@@ -84,10 +87,10 @@ TEST_F(IntegrationFixture, OntologyStrategiesFindAtLeastXRankQueries) {
   XOntoRank graph = MakeEngine(Strategy::kGraph);
   XOntoRank relationships = MakeEngine(Strategy::kRelationships);
   for (const WorkloadQuery& wq : TableOneQueries()) {
-    size_t base_count = baseline.Search(wq.text, 0).size();
+    size_t base_count = SearchTop(baseline, wq.text, 0).size();
     if (base_count > 0) {
-      EXPECT_FALSE(graph.Search(wq.text, 0).empty()) << wq.id;
-      EXPECT_FALSE(relationships.Search(wq.text, 0).empty()) << wq.id;
+      EXPECT_FALSE(SearchTop(graph, wq.text, 0).empty()) << wq.id;
+      EXPECT_FALSE(SearchTop(relationships, wq.text, 0).empty()) << wq.id;
     }
   }
 }
@@ -100,8 +103,8 @@ TEST_F(IntegrationFixture, MotivatingQueriesAnsweredOnlyWithOntology) {
   XOntoRank relationships = MakeEngine(Strategy::kRelationships);
   size_t separations = 0;
   for (const WorkloadQuery& wq : TableOneQueries()) {
-    if (baseline.Search(wq.text, 5).empty() &&
-        !relationships.Search(wq.text, 5).empty()) {
+    if (SearchTop(baseline, wq.text, 5).empty() &&
+        !SearchTop(relationships, wq.text, 5).empty()) {
       ++separations;
     }
   }
@@ -114,7 +117,7 @@ TEST_F(IntegrationFixture, IndexSurvivesStorageRoundTrip) {
   std::vector<KeywordQuery> queries;
   for (const WorkloadQuery& wq : TableOneQueries()) {
     queries.push_back(ParseQuery(wq.text));
-    engine.Search(queries.back(), 5);
+    SearchTop(engine, queries.back(), 5);
   }
   XOntoDil snapshot;
   for (const KeywordQuery& q : queries) {
@@ -152,7 +155,7 @@ TEST_F(IntegrationFixture, OracleJudgesTextualResultsRelevant) {
   const Corpus& corpus = baseline.index().corpus();
   for (const WorkloadQuery& wq : TableOneQueries()) {
     KeywordQuery query = ParseQuery(wq.text);
-    auto results = baseline.Search(query, 5);
+    auto results = SearchTop(baseline, query, 5);
     if (results.empty()) continue;
     EXPECT_EQ(oracle.CountRelevant(query, corpus, results), results.size())
         << wq.id;

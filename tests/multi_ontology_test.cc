@@ -10,6 +10,7 @@ namespace xontorank {
 namespace {
 
 using testing_util::MustParse;
+using testing_util::SearchTop;
 
 TEST(OntologySetTest, LookupBySystemId) {
   Ontology snomed = BuildSnomedCardiologyFragment();
@@ -84,18 +85,18 @@ TEST_F(MultiSystemFixture, LoincKeywordReachesSectionCode) {
   // "vital" never appears textually (no <title>); only the LOINC concept
   // "Vital signs" can supply it.
   XOntoRank with_loinc = MakeEngine(true);
-  auto results = with_loinc.Search("vital pulse", 5);
+  auto results = SearchTop(with_loinc, "vital pulse", 5);
   EXPECT_FALSE(results.empty());
 
   XOntoRank without = MakeEngine(false);
-  EXPECT_TRUE(without.Search("vital pulse", 5).empty());
+  EXPECT_TRUE(SearchTop(without, "vital pulse", 5).empty());
 }
 
 TEST_F(MultiSystemFixture, CrossSystemQueryCombinesBothOntologies) {
   // "bronchial" routes through SNOMED (finding-site of the Asthma code);
   // "vital" routes through LOINC. Both legs are ontological.
   XOntoRank engine = MakeEngine(true);
-  auto results = engine.Search("bronchial vital", 5);
+  auto results = SearchTop(engine, "bronchial vital", 5);
   ASSERT_FALSE(results.empty());
   // The most specific covering element is the section.
   const XmlNode* node = engine.ResolveResult(results[0]);
@@ -109,7 +110,7 @@ TEST_F(MultiSystemFixture, SystemsDoNotCrossTalk) {
   // pins down).
   XOntoRank engine = MakeEngine(true);
   KeywordQuery query = ParseQuery("asthma");
-  auto results = engine.Search(query, 0);
+  auto results = SearchTop(engine, query, 0);
   for (const QueryResult& r : results) {
     const XmlNode* node = engine.ResolveResult(r);
     ASSERT_NE(node, nullptr);
@@ -138,7 +139,7 @@ TEST(MultiSystemGeneratorTest, LoincVitalCodesResolveWhenEnabled) {
   XOntoRank engine(generator.GenerateCorpus(), systems, options);
   // A "pulse" query reaches LOINC's Heart rate measurement (synonym
   // "Pulse reading") through the coded vitals.
-  EXPECT_FALSE(engine.Search("pulse", 5).empty());
+  EXPECT_FALSE(SearchTop(engine, "pulse", 5).empty());
 
   // Without the LOINC system the same corpus has fewer resolvable code
   // nodes.

@@ -9,6 +9,7 @@ namespace xontorank {
 namespace {
 
 using testing_util::BuildTinyOntology;
+using testing_util::SearchTop;
 using testing_util::MustParse;
 using testing_util::TinyCdaXml;
 
@@ -67,7 +68,7 @@ TEST_F(QueryExpansionFixture, FindsResultsForExpandableKeywords) {
   // "disease" never occurs textually, but its expansion includes "asthma"
   // (subclass, association 1.0), which does.
   QueryExpansionEngine engine(corpus_, onto_, {});
-  auto results = engine.Search("disease", 5);
+  auto results = engine.SearchExpanded("disease", 5);
   EXPECT_FALSE(results.empty());
 }
 
@@ -84,21 +85,21 @@ TEST_F(QueryExpansionFixture, CannotSeeCodeOnlyConcepts) {
   for (const auto& [kw, weight] : expansions) {
     EXPECT_GE(weight, 0.6);
   }
-  auto results = engine.Search("structure", 5);
+  auto results = engine.SearchExpanded("structure", 5);
   EXPECT_TRUE(results.empty());
 
   IndexBuildOptions xo;
   xo.strategy = Strategy::kRelationships;
   XOntoRank xontorank(std::move(corpus_), onto_, xo);
-  EXPECT_FALSE(xontorank.Search("structure", 5).empty());
+  EXPECT_FALSE(SearchTop(xontorank, "structure", 5).empty());
 }
 
 TEST_F(QueryExpansionFixture, ScoresScaledByAssociation) {
   // A node matched only through an expansion term scores at most the
   // association degree (IRS ≤ 1 times weight < 1).
   QueryExpansionEngine engine(corpus_, onto_, {});
-  auto direct = engine.Search("asthma", 1);
-  auto expanded_only = engine.Search("disease", 1);
+  auto direct = engine.SearchExpanded("asthma", 1);
+  auto expanded_only = engine.SearchExpanded("disease", 1);
   ASSERT_FALSE(direct.empty());
   ASSERT_FALSE(expanded_only.empty());
   EXPECT_GE(direct[0].score + 1e-9, expanded_only[0].score);
@@ -106,7 +107,7 @@ TEST_F(QueryExpansionFixture, ScoresScaledByAssociation) {
 
 TEST_F(QueryExpansionFixture, EmptyQuery) {
   QueryExpansionEngine engine(corpus_, onto_, {});
-  EXPECT_TRUE(engine.Search("", 5).empty());
+  EXPECT_TRUE(engine.SearchExpanded("", 5).empty());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@ namespace xontorank {
 namespace {
 
 using testing_util::MustParse;
+using testing_util::SearchTop;
 
 QueryResult R(std::vector<uint32_t> comps, double score) {
   QueryResult r;
@@ -70,7 +71,7 @@ TEST(GroupingIntegrationTest, CdaResultsShareSectionShape) {
   IndexBuildOptions options;
   options.strategy = Strategy::kRelationships;
   XOntoRank engine(std::move(corpus), onto, options);
-  auto results = engine.Search("asthma", 0);
+  auto results = SearchTop(engine, "asthma", 0);
   ASSERT_FALSE(results.empty());
   auto groups = GroupResultsByPath(results, engine.index().corpus());
   ASSERT_FALSE(groups.empty());

@@ -1,6 +1,7 @@
 // The unified Search(query, SearchOptions) entry point: option validation,
-// stats reporting, equivalence of execution strategies, and the legacy
-// wrapper contracts.
+// stats reporting, and equivalence of execution strategies and pruning
+// modes. This is the ONLY query surface — the old Search(query, top_k) and
+// SearchRanked wrappers are gone (xo_lint rejects reintroductions).
 
 #include "core/search_api.h"
 
@@ -16,6 +17,7 @@ namespace {
 using testing_util::BuildTinyOntology;
 using testing_util::MustParse;
 using testing_util::TinyCdaXml;
+using testing_util::SearchTop;
 
 void ExpectSameResults(const std::vector<QueryResult>& a,
                        const std::vector<QueryResult>& b) {
@@ -46,6 +48,15 @@ TEST(SearchOptionsTest, ExecutionNames) {
   EXPECT_EQ(QueryExecutionName(QueryExecution::kRdil), "rdil");
 }
 
+TEST(SearchOptionsTest, PruningModeNames) {
+  EXPECT_EQ(PruningModeName(PruningMode::kExact), "exact");
+  EXPECT_EQ(PruningModeName(PruningMode::kBlockMax), "blockmax");
+}
+
+TEST(SearchOptionsTest, DefaultPruningIsBlockMax) {
+  EXPECT_EQ(SearchOptions{}.pruning, PruningMode::kBlockMax);
+}
+
 class SearchApiFixture : public ::testing::Test {
  protected:
   SearchApiFixture() : onto_(BuildTinyOntology()) {
@@ -70,23 +81,35 @@ TEST_F(SearchApiFixture, InvalidOptionsReturnEmptyResponseNotUb) {
   EXPECT_EQ(response.stats.shards, 0u);
 }
 
-TEST_F(SearchApiFixture, LegacyRankedWrapperRejectsZeroTopK) {
-  // Previously asserted; now the one documented meaning applies and the
-  // call answers with an empty vector.
-  RankedQueryStats stats;
-  stats.documents_processed = 99;  // must be reset
-  auto results = engine_->SearchRanked(ParseQuery("theophylline"), 0, &stats);
-  EXPECT_TRUE(results.empty());
-  EXPECT_EQ(stats.documents_processed, 0u);
+TEST_F(SearchApiFixture, PruningIsAnExecutionHintOnly) {
+  KeywordQuery query = ParseQuery("bronchus theophylline");
+  SearchOptions exact;
+  exact.top_k = 10;
+  exact.use_cache = false;
+  exact.pruning = PruningMode::kExact;
+  SearchOptions blockmax = exact;
+  blockmax.pruning = PruningMode::kBlockMax;
+  SearchResponse a = engine_->Search(query, exact);
+  SearchResponse b = engine_->Search(query, blockmax);
+  EXPECT_FALSE(a.results.empty());
+  ExpectSameResults(a.results, b.results);
+  // The exact path never skips and never tracks block work.
+  EXPECT_EQ(a.stats.blocks_skipped, 0u);
+  EXPECT_EQ(a.stats.blocks_scored, 0u);
+  EXPECT_EQ(a.stats.threshold_updates, 0u);
 }
 
-TEST_F(SearchApiFixture, UnifiedDilMatchesLegacyWrapper) {
-  KeywordQuery query = ParseQuery("bronchus theophylline");
-  SearchOptions options;
-  options.top_k = 10;
-  SearchResponse response = engine_->Search(query, options);
+TEST_F(SearchApiFixture, TopKZeroForcesExactScoring) {
+  // There is no k-th score to prune against, so the blockmax hint is
+  // silently ignored — all results, none skipped.
+  SearchOptions all;
+  all.top_k = 0;
+  all.use_cache = false;
+  all.pruning = PruningMode::kBlockMax;
+  SearchResponse response = engine_->Search("theophylline", all);
   EXPECT_FALSE(response.results.empty());
-  ExpectSameResults(response.results, engine_->Search(query, size_t{10}));
+  EXPECT_EQ(response.stats.blocks_skipped, 0u);
+  EXPECT_EQ(response.stats.threshold_updates, 0u);
 }
 
 TEST_F(SearchApiFixture, RdilReturnsIdenticalResultsToDil) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/search_api.h"
 #include "onto/ontology.h"
 #include "xml/xml_node.h"
 #include "xml/xml_parser.h"
@@ -12,6 +13,22 @@
 
 namespace xontorank {
 namespace testing_util {
+
+/// Top-k search through the finalized Search(query, SearchOptions) entry
+/// point, returning just the results: serial and uncached (every call
+/// computes), but with the default pruning mode — so the whole test suite
+/// exercises the block-max path wherever the index supports it. Works for
+/// any engine with that entry point (XOntoRank, IndexSnapshot) and any
+/// query form it accepts (KeywordQuery, string).
+template <typename Engine, typename Query>
+std::vector<QueryResult> SearchTop(const Engine& engine, const Query& query,
+                                   size_t top_k) {
+  SearchOptions options;
+  options.top_k = top_k;
+  options.parallelism = 1;
+  options.use_cache = false;
+  return engine.Search(query, options).results;
+}
 
 /// Parses XML or fails the test.
 inline XmlDocument MustParse(std::string_view xml, uint32_t doc_id = 0) {

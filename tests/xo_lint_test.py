@@ -277,6 +277,62 @@ class XoLintFixtureTest(unittest.TestCase):
                  "  ::madvise(p, n, 1);  // xo-lint: allow(raw-mmap)\n"
                  "}\n"})
 
+    # --- legacy-search --------------------------------------------------
+
+    def test_search_ranked_fires(self):
+        self.assert_fires(
+            {"src/core/widget.cc":
+                 "void Run(Engine& e, const KeywordQuery& q) {\n"
+                 "  auto results = e.SearchRanked(q, 10);\n"
+                 "}\n"},
+            "legacy-search")
+
+    def test_search_with_integer_top_k_fires(self):
+        self.assert_fires(
+            {"tests/widget_test.cc":
+                 "void Run(Engine& e, const KeywordQuery& q) {\n"
+                 "  auto results = e.Search(q, 10);\n"
+                 "}\n"},
+            "legacy-search")
+
+    def test_search_string_with_integer_top_k_fires(self):
+        self.assert_fires(
+            {"examples/widget_main.cc":
+                 "void Run(Engine& e) {\n"
+                 "  auto results = e.Search(\"theophylline\", 5);\n"
+                 "}\n"},
+            "legacy-search")
+
+    def test_search_with_options_struct_does_not_fire(self):
+        self.assert_clean(
+            {"src/core/widget.cc":
+                 "void Run(Engine& e, const KeywordQuery& q) {\n"
+                 "  SearchOptions options;\n"
+                 "  options.top_k = 10;\n"
+                 "  auto response = e.Search(q, options);\n"
+                 "}\n"})
+
+    def test_search_expanded_comparator_does_not_fire(self):
+        # The query-expansion comparator keeps an integer top_k on a
+        # DIFFERENT name precisely so this rule stays precise.
+        self.assert_clean(
+            {"bench/bench_widget.cc":
+                 "void Run(QueryExpansionEngine& e, const KeywordQuery& q) {\n"
+                 "  auto results = e.SearchExpanded(q, 5);\n"
+                 "}\n"})
+
+    def test_search_top_helper_does_not_fire(self):
+        self.assert_clean(
+            {"tests/widget_test.cc":
+                 "void Run(Engine& e, const KeywordQuery& q) {\n"
+                 "  auto results = SearchTop(e, q, 10);\n"
+                 "}\n"})
+
+    def test_search_in_comment_does_not_fire(self):
+        self.assert_clean(
+            {"src/core/widget.cc":
+                 "// the old API was Search(query, 10); see search_api.h\n"})
+
     # --- suppressions ---------------------------------------------------
 
     def test_same_line_suppression(self):

@@ -9,6 +9,7 @@ namespace {
 using testing_util::BuildTinyOntology;
 using testing_util::MustParse;
 using testing_util::TinyCdaXml;
+using testing_util::SearchTop;
 
 class XOntoRankFixture : public ::testing::Test {
  protected:
@@ -28,7 +29,7 @@ class XOntoRankFixture : public ::testing::Test {
 TEST_F(XOntoRankFixture, TextualQueryWorksUnderAllStrategies) {
   for (Strategy strategy : kAllStrategies) {
     XOntoRank engine = MakeEngine(strategy);
-    auto results = engine.Search("theophylline", 10);
+    auto results = SearchTop(engine, "theophylline", 10);
     EXPECT_FALSE(results.empty()) << StrategyName(strategy);
   }
 }
@@ -36,13 +37,13 @@ TEST_F(XOntoRankFixture, TextualQueryWorksUnderAllStrategies) {
 TEST_F(XOntoRankFixture, OntologyOnlyKeywordFailsUnderXRank) {
   // "bronchus" never occurs in the document text.
   XOntoRank baseline = MakeEngine(Strategy::kXRank);
-  EXPECT_TRUE(baseline.Search("bronchus theophylline", 10).empty());
+  EXPECT_TRUE(SearchTop(baseline, "bronchus theophylline", 10).empty());
 
   XOntoRank graph = MakeEngine(Strategy::kGraph);
-  EXPECT_FALSE(graph.Search("bronchus theophylline", 10).empty());
+  EXPECT_FALSE(SearchTop(graph, "bronchus theophylline", 10).empty());
 
   XOntoRank relationships = MakeEngine(Strategy::kRelationships);
-  EXPECT_FALSE(relationships.Search("bronchus theophylline", 10).empty());
+  EXPECT_FALSE(SearchTop(relationships, "bronchus theophylline", 10).empty());
 }
 
 TEST_F(XOntoRankFixture, TaxonomyMissesRelationshipOnlyConnections) {
@@ -53,8 +54,8 @@ TEST_F(XOntoRankFixture, TaxonomyMissesRelationshipOnlyConnections) {
   // Taxonomy score for the same result.
   XOntoRank taxonomy = MakeEngine(Strategy::kTaxonomy);
   XOntoRank relationships = MakeEngine(Strategy::kRelationships);
-  auto tax_results = taxonomy.Search("bronchus", 1);
-  auto rel_results = relationships.Search("bronchus", 1);
+  auto tax_results = SearchTop(taxonomy, "bronchus", 1);
+  auto rel_results = SearchTop(relationships, "bronchus", 1);
   ASSERT_FALSE(rel_results.empty());
   if (!tax_results.empty()) {
     EXPECT_GT(rel_results[0].score, tax_results[0].score);
@@ -63,7 +64,7 @@ TEST_F(XOntoRankFixture, TaxonomyMissesRelationshipOnlyConnections) {
 
 TEST_F(XOntoRankFixture, ResolveResultReturnsElement) {
   XOntoRank engine = MakeEngine(Strategy::kRelationships);
-  auto results = engine.Search("asthma", 1);
+  auto results = SearchTop(engine, "asthma", 1);
   ASSERT_FALSE(results.empty());
   const XmlNode* node = engine.ResolveResult(results[0]);
   ASSERT_NE(node, nullptr);
@@ -82,14 +83,14 @@ TEST_F(XOntoRankFixture, ResolveRejectsBogusResult) {
 
 TEST_F(XOntoRankFixture, EmptyQueryYieldsNothing) {
   XOntoRank engine = MakeEngine(Strategy::kRelationships);
-  EXPECT_TRUE(engine.Search("", 10).empty());
-  EXPECT_TRUE(engine.Search(KeywordQuery{}, 10).empty());
+  EXPECT_TRUE(SearchTop(engine, "", 10).empty());
+  EXPECT_TRUE(SearchTop(engine, KeywordQuery{}, 10).empty());
 }
 
 TEST_F(XOntoRankFixture, SearchIsDeterministic) {
   XOntoRank engine = MakeEngine(Strategy::kRelationships);
-  auto a = engine.Search("asthma theophylline", 10);
-  auto b = engine.Search("asthma theophylline", 10);
+  auto a = SearchTop(engine, "asthma theophylline", 10);
+  auto b = SearchTop(engine, "asthma theophylline", 10);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].element, b[i].element);
@@ -99,8 +100,8 @@ TEST_F(XOntoRankFixture, SearchIsDeterministic) {
 
 TEST_F(XOntoRankFixture, TopKTruncates) {
   XOntoRank engine = MakeEngine(Strategy::kRelationships);
-  auto all = engine.Search("asthma", 0);
-  auto top1 = engine.Search("asthma", 1);
+  auto all = SearchTop(engine, "asthma", 0);
+  auto top1 = SearchTop(engine, "asthma", 1);
   EXPECT_GE(all.size(), top1.size());
   if (!all.empty()) {
     ASSERT_EQ(top1.size(), 1u);
@@ -111,13 +112,13 @@ TEST_F(XOntoRankFixture, TopKTruncates) {
 TEST_F(XOntoRankFixture, PhraseKeywordMatchesOnlyAdjacent) {
   XOntoRank engine = MakeEngine(Strategy::kXRank);
   // "theophylline 20 mg daily": "theophylline daily" is not adjacent.
-  EXPECT_FALSE(engine.Search("\"theophylline\"", 10).empty());
-  EXPECT_TRUE(engine.Search("\"daily theophylline\"", 10).empty());
+  EXPECT_FALSE(SearchTop(engine, "\"theophylline\"", 10).empty());
+  EXPECT_TRUE(SearchTop(engine, "\"daily theophylline\"", 10).empty());
 }
 
 TEST_F(XOntoRankFixture, ScoresMonotoneNonIncreasing) {
   XOntoRank engine = MakeEngine(Strategy::kGraph);
-  auto results = engine.Search("asthma drug", 0);
+  auto results = SearchTop(engine, "asthma drug", 0);
   for (size_t i = 1; i < results.size(); ++i) {
     EXPECT_LE(results[i].score, results[i - 1].score);
   }
@@ -128,8 +129,8 @@ TEST_F(XOntoRankFixture, DuplicateKeywordsAreWellDefined) {
   // [asthma asthma] — both conjuncts met by the same postings; per-keyword
   // scores repeat and sum (Eq. 4 over two identical keywords).
   XOntoRank engine = MakeEngine(Strategy::kRelationships);
-  auto once = engine.Search("asthma", 0);
-  auto twice = engine.Search("asthma asthma", 0);
+  auto once = SearchTop(engine, "asthma", 0);
+  auto twice = SearchTop(engine, "asthma asthma", 0);
   ASSERT_EQ(once.size(), twice.size());
   for (size_t i = 0; i < once.size(); ++i) {
     EXPECT_EQ(once[i].element, twice[i].element);

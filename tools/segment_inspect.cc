@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/simd_kernels.h"
 #include "storage/segment_file.h"
 
 using namespace xontorank;
@@ -87,6 +88,29 @@ int main(int argc, char** argv) {
                     static_cast<double>(view.keyword_count()),
                 static_cast<double>(seg.file_bytes()) /
                     static_cast<double>(view.total_postings()));
+  }
+
+  // Block-max column (v2+): the per-block score upper bounds that drive
+  // top-k pruning. A v1 file has no such section — say so explicitly, and
+  // note that queries served from it fall back to exact scoring.
+  std::span<const float> block_max = view.sections().block_max;
+  if (!seg.has_block_max()) {
+    std::printf("\n  block-max: none — v1 (no block-max); queries over this "
+                "segment score exactly, no pruning\n");
+  } else if (block_max.empty()) {
+    std::printf("\n  block-max: 0 blocks (empty segment)\n");
+  } else {
+    float hi = MaxFloat(block_max.data(), block_max.size());
+    float lo = block_max[0];
+    double sum = 0.0;
+    for (float v : block_max) {
+      if (v < lo) lo = v;
+      sum += v;
+    }
+    std::printf("\n  block-max: %zu blocks, score bounds min %.4f / avg %.4f "
+                "/ max %.4f\n",
+                block_max.size(), lo,
+                sum / static_cast<double>(block_max.size()), hi);
   }
   return 0;
 }

@@ -36,6 +36,12 @@ sources and enforces the XOntoRank contract invariants:
                   every mapping; everywhere else takes views through
                   SegmentFile so lifetime and advice policy stay in one
                   auditable place.                      [scope: src/]
+  legacy-search   the pre-SearchOptions query surface — SearchRanked()
+                  and the Search(query, <integer top_k>) convenience
+                  overloads — was removed when the API was finalized;
+                  call Search(query, SearchOptions) so execution options
+                  (pruning, strategy, cache) stay on one struct.
+                                    [scope: src/ tests/ bench/ examples/]
 
 Suppression: a comment `// xo-lint: allow(rule)` (comma-separated list
 accepted) suppresses those rules on its own line and on the next line.
@@ -95,6 +101,14 @@ POSTING_BY_VALUE_RE = re.compile(
     r"for\s*\(\s*(?:const\s+)?DilPosting\s+[A-Za-z_][A-Za-z0-9_]*\s*:"
 )
 RAW_MMAP_RE = re.compile(r"\b(?:mmap|munmap|madvise)\s*\(")
+# The finalized-API rule: SearchRanked is gone, and a Search(...) call
+# whose last argument is an integer literal is the removed top_k
+# convenience shape (Search(query, 5)). The unified surface takes a
+# SearchOptions struct, never a bare count.
+LEGACY_SEARCH_RANKED_RE = re.compile(r"\bSearchRanked\s*\(")
+LEGACY_SEARCH_TOPK_RE = re.compile(
+    r"\bSearch\s*\(\s*[^()]*,\s*\d+[uUlL]*\s*\)"
+)
 SUPPRESS_RE = re.compile(r"xo-lint:\s*allow\(([^)]*)\)")
 
 RULE_DOCS = {
@@ -105,6 +119,7 @@ RULE_DOCS = {
     "voided-status": "(void)-cast of a Status/Result-returning call",
     "posting-by-value": "DilPosting iterated by value in src/core",
     "raw-mmap": "mmap/munmap/madvise outside src/storage/segment_file.*",
+    "legacy-search": "removed SearchRanked/Search(query, top_k) call shape",
 }
 
 
@@ -254,6 +269,14 @@ class Linter:
                     "raw mmap/munmap/madvise call; SegmentFile "
                     "(src/storage/segment_file.h) is the single owner of "
                     "file mappings — take a view through it", allowed)
+            if LEGACY_SEARCH_RANKED_RE.search(code) or \
+                    LEGACY_SEARCH_TOPK_RE.search(code):
+                self.report(
+                    relpath, idx, "legacy-search",
+                    "the SearchRanked/Search(query, top_k) overloads were "
+                    "removed; call Search(query, SearchOptions) — set "
+                    "top_k (and pruning, strategy, cache) on the options "
+                    "struct", allowed)
             if in_core and POSTING_BY_VALUE_RE.search(code):
                 self.report(
                     relpath, idx, "posting-by-value",
