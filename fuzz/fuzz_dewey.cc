@@ -1,0 +1,106 @@
+// Harness: Dewey identifier algebra — the ordering and containment
+// primitives every merge loop and score propagation leans on. Builds two
+// ids from the input bytes and checks the algebraic properties the rest
+// of the engine assumes: comparison is a strict weak order consistent
+// between DeweyId and DeweyRef, prefix containment agrees with document
+// order, the longest common ancestor really is a common ancestor, and
+// Child/Parent invert each other.
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "fuzz_target.h"
+#include "xml/dewey_id.h"
+#include "xml/dewey_ref.h"
+
+namespace {
+
+using xontorank::CompareDewey;
+using xontorank::DeweyId;
+using xontorank::DeweyRef;
+
+constexpr size_t kMaxComponents = 12;
+
+std::vector<uint32_t> TakeComponents(xontorank::fuzz::FuzzInput& input) {
+  size_t count = input.TakeByte() % (kMaxComponents + 1);
+  std::vector<uint32_t> components;
+  components.reserve(count);
+  for (size_t i = 0; i < count; ++i) components.push_back(input.TakeU32());
+  return components;
+}
+
+void CheckPair(const DeweyId& a, const DeweyId& b) {
+  DeweyRef ra(a), rb(b);
+
+  // The two comparison implementations agree, and CompareDewey is
+  // antisymmetric with a consistent equality case.
+  int cmp = CompareDewey(ra, rb);
+  XO_CHECK_EQ(CompareDewey(rb, ra), -cmp);
+  XO_CHECK_EQ(a < b, cmp < 0);
+  XO_CHECK_EQ(b < a, cmp > 0);
+  XO_CHECK_EQ(a == b, cmp == 0);
+  XO_CHECK_EQ(ra == rb, cmp == 0);
+
+  // Prefix length is symmetric, bounded, and zero across documents.
+  size_t prefix = CommonPrefixLength(ra, rb);
+  XO_CHECK_EQ(a.CommonPrefixLength(b), prefix);
+  XO_CHECK_EQ(CommonPrefixLength(rb, ra), prefix);
+  XO_CHECK(prefix <= a.size() && prefix <= b.size());
+  if (!a.empty() && !b.empty() && a.doc_id() != b.doc_id()) {
+    XO_CHECK_EQ(prefix, size_t{0});
+  }
+
+  // Containment is exactly the full-prefix case, and ancestors sort
+  // at-or-before their descendants.
+  bool contains = a.IsAncestorOrSelfOf(b);
+  XO_CHECK_EQ(contains, prefix == a.size() && b.size() >= a.size());
+  XO_CHECK_EQ(a.IsStrictAncestorOf(b), contains && a.size() < b.size());
+  if (contains) {
+    XO_CHECK(cmp <= 0);
+    XO_CHECK_EQ(a.DistanceTo(b), b.size() - a.size());
+  }
+
+  // The LCA is an ancestor-or-self of both operands (when the operands
+  // share a document), and deeper than any other common ancestor we can
+  // name — here, checked against the operands themselves.
+  DeweyId lca = a.LongestCommonAncestor(b);
+  XO_CHECK_EQ(lca.size(), prefix);
+  if (!lca.empty()) {
+    XO_CHECK(lca.IsAncestorOrSelfOf(a));
+    XO_CHECK(lca.IsAncestorOrSelfOf(b));
+  }
+  if (a.IsAncestorOrSelfOf(b)) XO_CHECK(lca == a);
+}
+
+void CheckOne(const DeweyId& id) {
+  XO_CHECK(id.IsAncestorOrSelfOf(id));  // empty prefix trivially matches
+  XO_CHECK_EQ(CompareDewey(DeweyRef(id), DeweyRef(id)), 0);
+  XO_CHECK(!(id < id));
+  std::string text = id.ToString();
+  XO_CHECK(id.empty() || !text.empty());
+  XO_CHECK_EQ(DeweyRef(id).ToDeweyId() == id, true);
+
+  if (!id.empty()) {
+    DeweyId child = id.Child(7);
+    XO_CHECK(id.IsStrictAncestorOf(child));
+    XO_CHECK_EQ(id.DistanceTo(child), size_t{1});
+    XO_CHECK(child.Parent() == id);
+    XO_CHECK_EQ(child.depth(), id.depth() + 1);
+    XO_CHECK_EQ(child.doc_id(), id.doc_id());
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xontorank::fuzz::FuzzInput input(data, size);
+  DeweyId a(TakeComponents(input));
+  DeweyId b(TakeComponents(input));
+  CheckOne(a);
+  CheckOne(b);
+  CheckPair(a, b);
+  CheckPair(b, a);
+  CheckPair(a, a);
+  return 0;
+}

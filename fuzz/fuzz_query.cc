@@ -1,0 +1,127 @@
+// Harness: the query surface — ParseQuery over arbitrary text plus the
+// full Search entry point with fuzz-derived SearchOptions against a
+// small baked-in engine (tiny ontology + three CDA documents, built once
+// per process). Invariant: any (query text, options) pair yields a
+// well-formed response — results capped at top_k, scores non-increasing
+// — or the documented empty response for the one invalid combination.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "core/search_api.h"
+#include "core/xontorank.h"
+#include "fuzz_target.h"
+#include "ir/query.h"
+#include "onto/ontology.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using xontorank::Ontology;
+using xontorank::XmlDocument;
+using xontorank::XOntoRank;
+
+constexpr size_t kMaxQueryBytes = 512;
+
+Ontology BuildOntology() {
+  Ontology onto("test.sys", "FuzzOnto");
+  auto root = onto.AddConcept("1", "Root concept");
+  auto disease = onto.AddConcept("2", "Disease");
+  auto structure = onto.AddConcept("3", "Structure");
+  auto asthma = onto.AddConcept("4", "Asthma", {"bronchial asthma"});
+  auto bronchus = onto.AddConcept("6", "Bronchus");
+  auto drug = onto.AddConcept("8", "Drug", {"theophylline"});
+  XO_CHECK(onto.AddIsA(disease, root).ok());
+  XO_CHECK(onto.AddIsA(structure, root).ok());
+  XO_CHECK(onto.AddIsA(asthma, disease).ok());
+  XO_CHECK(onto.AddIsA(bronchus, structure).ok());
+  XO_CHECK(onto.AddIsA(drug, root).ok());
+  XO_CHECK(onto.AddRelationship(asthma, "finding_site_of", bronchus).ok());
+  XO_CHECK(onto.AddRelationship(drug, "treats", asthma).ok());
+  XO_CHECK(onto.Validate().ok());
+  return onto;
+}
+
+XmlDocument MustParse(std::string_view xml, uint32_t doc_id) {
+  auto result = xontorank::ParseXml(xml);
+  XO_CHECK(result.ok());
+  XmlDocument doc = std::move(result).value();
+  doc.set_doc_id(doc_id);
+  return doc;
+}
+
+const XOntoRank& Engine() {
+  // Leaked singletons: the ontology is borrowed by the engine and both
+  // must live for the whole campaign.
+  static const XOntoRank* engine = [] {
+    // xo-lint: allow(new-delete) — process-lifetime fixture.
+    auto* onto = new Ontology(BuildOntology());
+    std::vector<XmlDocument> corpus;
+    corpus.push_back(MustParse(R"(<ClinicalDocument><section>
+        <title>Problems</title>
+        <entry><Observation>
+          <value code="4" codeSystem="test.sys" displayName="Asthma"/>
+        </Observation></entry>
+        <entry><SubstanceAdministration>
+          <text>Theophylline 20 mg daily</text>
+          <code code="8" codeSystem="test.sys" displayName="Drug"/>
+        </SubstanceAdministration></entry>
+      </section></ClinicalDocument>)", 0));
+    corpus.push_back(MustParse(R"(<ClinicalDocument><section>
+        <title>Findings</title>
+        <entry><Observation>
+          <value code="6" codeSystem="test.sys" displayName="Bronchus"/>
+          <text>bronchial structure inflamed, wheezing pulse 96</text>
+        </Observation></entry>
+      </section></ClinicalDocument>)", 1));
+    corpus.push_back(MustParse(R"(<ClinicalDocument><section>
+        <title>Vitals</title>
+        <text>Pulse 86 per minute, asthma attack resolved</text>
+      </section></ClinicalDocument>)", 2));
+    // xo-lint: allow(new-delete) — process-lifetime fixture.
+    return new XOntoRank(std::move(corpus), *onto, {});
+  }();
+  return *engine;
+}
+
+void CheckResponse(const xontorank::SearchResponse& response,
+                   const xontorank::SearchOptions& options) {
+  if (options.top_k > 0) {
+    XO_CHECK(response.results.size() <= options.top_k);
+  }
+  for (size_t i = 1; i < response.results.size(); ++i) {
+    XO_CHECK(response.results[i - 1].score >= response.results[i].score);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xontorank::fuzz::FuzzInput input(data, size);
+  xontorank::SearchOptions options;
+  options.top_k = input.TakeByte() % 17;                  // 0 = everything
+  options.strategy = (input.TakeByte() & 1) != 0
+                         ? xontorank::QueryExecution::kRdil
+                         : xontorank::QueryExecution::kDil;
+  options.parallelism = input.TakeByte() % 4;             // 0 = per-core
+  options.use_cache = (input.TakeByte() & 1) != 0;
+  options.pruning = (input.TakeByte() & 1) != 0
+                        ? xontorank::PruningMode::kBlockMax
+                        : xontorank::PruningMode::kExact;
+  // Deliberately dropped: valid and invalid option combinations are both
+  // legal Search inputs here.  xo-lint: allow(voided-status)
+  (void)options.Validate();
+
+  std::string_view text = input.Rest().substr(
+      0, std::min(input.remaining(), kMaxQueryBytes));
+
+  xontorank::KeywordQuery parsed = xontorank::ParseQuery(text);
+  XO_CHECK(parsed.ToString().size() <= 4 * text.size() + 2 * parsed.size());
+
+  const XOntoRank& engine = Engine();
+  CheckResponse(engine.Search(text, options), options);
+  CheckResponse(engine.Search(parsed, options), options);
+  return 0;
+}

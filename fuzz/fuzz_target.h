@@ -1,0 +1,57 @@
+#ifndef XONTORANK_FUZZ_FUZZ_TARGET_H_
+#define XONTORANK_FUZZ_FUZZ_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// The single entry point every harness in fuzz/ defines (the libFuzzer
+/// contract): consume `size` arbitrary bytes, return 0, and uphold the
+/// repo invariant — every input produces a Status or a response, never an
+/// abort, never a sanitizer report. Under Clang with -DXO_FUZZ=ON the
+/// harness links against libFuzzer (-fsanitize=fuzzer); everywhere else
+/// replay_main.cc provides a standalone main() that replays corpus files
+/// and can run a randomized mutation campaign (see fuzz/README.md).
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+/// Optional structure-aware mutator (libFuzzer's hook name). Harnesses
+/// for framed formats (fuzz_segment_open) define it so mutation reaches
+/// past magic/CRC gates; the replay driver picks it up through a weak
+/// reference when present.
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed);
+
+namespace xontorank::fuzz {
+
+/// Front-to-back consumer for deriving structured knobs (option bytes,
+/// counts) from the head of a fuzz input, leaving the tail as payload.
+/// Reads past the end yield zeros, so every input length is valid.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint32_t TakeU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | TakeByte();
+    return v;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+  /// Everything not yet consumed, as text payload.
+  std::string_view Rest() const {
+    return std::string_view(reinterpret_cast<const char*>(data_ + pos_),
+                            size_ - pos_);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xontorank::fuzz
+
+#endif  // XONTORANK_FUZZ_FUZZ_TARGET_H_

@@ -1,0 +1,30 @@
+#ifndef XONTORANK_FUZZ_FUZZ_UTIL_H_
+#define XONTORANK_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+
+namespace xontorank::fuzz {
+
+/// Generic byte-level mutation over a buffer of capacity `max_size`
+/// holding `size` valid bytes: bit flips, byte writes, inserts, erases,
+/// chunk duplication, interesting-value u32 overwrites, truncation.
+/// Returns the new valid size (>= 1 unless max_size == 0). This is the
+/// replay driver's campaign engine on toolchains without libFuzzer.
+size_t MutateBytes(uint8_t* data, size_t size, size_t max_size,
+                   std::mt19937& rng);
+
+/// Structure-aware mutation of a `.xoseg` segment image: bit-flips inside
+/// section payloads, section-table entry splices, declared-count and
+/// table-field resizes, hostile offset-column edits — each followed by
+/// re-fixing the section/metadata CRCs (usually: a fraction is left
+/// broken on purpose) so mutants reach the validation logic *past* the
+/// CRC gates instead of dying on a checksum mismatch. Inputs that do not
+/// look like a segment fall back to MutateBytes. Returns the new size.
+size_t MutateSegmentBytes(uint8_t* data, size_t size, size_t max_size,
+                          std::mt19937& rng);
+
+}  // namespace xontorank::fuzz
+
+#endif  // XONTORANK_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,39 @@
+// Harness: ParseXml over arbitrary bytes — the CDA ingestion surface.
+// Invariant: every input yields a ParseError Status or a document; a
+// parsed document is walkable (Visit terminates, node accessors are
+// safe). Exercised with every option combination including a tight
+// max_depth (the depth cap is itself a fuzz-campaign fix: unbounded
+// nesting used to recurse the parser off the stack).
+
+#include <string_view>
+
+#include "common/check.h"
+#include "fuzz_target.h"
+#include "xml/xml_parser.h"
+
+namespace {
+constexpr size_t kMaxInput = size_t{1} << 20;
+}
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  for (int variant = 0; variant < 3; ++variant) {
+    xontorank::XmlParseOptions options;
+    options.skip_ignorable_whitespace = variant != 1;
+    options.detect_onto_refs = variant != 2;
+    if (variant == 2) options.max_depth = 16;
+    auto doc = xontorank::ParseXml(input, options);
+    if (!doc.ok()) {
+      XO_CHECK(!doc.status().message().empty());
+      continue;
+    }
+    size_t nodes = 0;
+    doc->root()->Visit([&nodes](const xontorank::XmlNode& node) {
+      ++nodes;
+      if (node.is_element()) (void)xontorank::ExtractOntoRef(node);
+    });
+    XO_CHECK(nodes >= 1);
+  }
+  return 0;
+}

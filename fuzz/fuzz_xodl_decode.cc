@@ -1,0 +1,110 @@
+// Harness: the XODL wire format and the varint layer under it.
+// DecodeIndex (legacy) and DecodeIndexFlat (columnar) must answer every
+// byte string with a Status or a well-formed index; a flat decode that
+// succeeds implies the legacy decode succeeds (flat is strictly
+// stricter), its lists walk fully Dewey-sorted, and our own re-encoding
+// of either result decodes again.
+
+#include <string_view>
+#include <vector>
+
+#include <cstring>
+#include <random>
+
+#include "common/check.h"
+#include "core/flat_dil.h"
+#include "fuzz_target.h"
+#include "fuzz_util.h"
+#include "storage/coding.h"
+#include "storage/index_store.h"
+#include "xml/dewey_ref.h"
+
+namespace {
+
+constexpr size_t kMaxInput = size_t{1} << 20;
+constexpr size_t kRoundTripLimit = size_t{1} << 16;
+
+void WalkFlat(const xontorank::FlatDil& dil) {
+  using xontorank::CompareDewey;
+  using xontorank::DeweyRef;
+  std::vector<uint32_t> prev;
+  for (uint32_t l = 0; l < dil.keyword_count(); ++l) {
+    XO_CHECK_EQ(dil.FindList(dil.KeywordAt(l)), l);
+    size_t seen = 0;
+    prev.clear();
+    xontorank::DilCursor cursor = dil.OpenCursor(l);
+    while (!cursor.AtEnd()) {
+      DeweyRef id = cursor.dewey();
+      XO_CHECK(id.size() >= 1);
+      XO_CHECK_EQ(cursor.doc(), id[0]);
+      if (!prev.empty()) {
+        XO_CHECK(CompareDewey(DeweyRef(prev.data(), prev.size()), id) <= 0);
+      }
+      prev.assign(id.data(), id.data() + id.size());
+      ++seen;
+      cursor.Next();
+    }
+    XO_CHECK_EQ(seen, dil.ListSize(l));
+  }
+}
+
+}  // namespace
+
+/// Structure-aware mutation: byte-level noise, then (usually) re-fix the
+/// trailing CRC so mutants with hostile counts/deltas survive the
+/// integrity gate and reach the decode logic itself.
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size,
+                                          unsigned int seed) {
+  std::mt19937 rng(seed);
+  size = xontorank::fuzz::MutateBytes(data, size, max_size, rng);
+  if (size >= 8 && std::memcmp(data, "XODL", 4) == 0 && rng() % 10 != 0) {
+    uint32_t crc = xontorank::Crc32(std::string_view(
+        reinterpret_cast<const char*>(data), size - 4));
+    std::memcpy(data + size - 4, &crc, sizeof(crc));
+  }
+  return size;
+}
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // The varint layer alone: pull values until the bytes run out. Every
+  // Get must either produce a value or refuse without advancing past the
+  // end.
+  {
+    xontorank::Decoder dec(input);
+    while (!dec.AtEnd()) {
+      size_t before = dec.position();
+      uint64_t v64 = 0;
+      std::string_view s;
+      if (!dec.GetVarint64(&v64) && !dec.GetLengthPrefixed(&s)) {
+        uint32_t v32 = 0;
+        if (!dec.GetFixed32(&v32)) break;
+      }
+      XO_CHECK(dec.position() > before || dec.AtEnd());
+    }
+  }
+
+  auto legacy = xontorank::DecodeIndex(input);
+  auto flat = xontorank::DecodeIndexFlat(input);
+  if (flat.ok()) {
+    XO_CHECK(legacy.ok());  // flat accepts a strict subset of legacy
+    WalkFlat(*flat);
+  }
+  if (size <= kRoundTripLimit) {
+    if (legacy.ok()) {
+      std::string encoded = xontorank::EncodeIndex(*legacy);
+      XO_CHECK(xontorank::DecodeIndex(encoded).ok());
+    }
+    if (flat.ok()) {
+      std::string encoded = xontorank::EncodeIndex(flat->ThawAll());
+      auto again = xontorank::DecodeIndexFlat(encoded);
+      XO_CHECK(again.ok());
+      XO_CHECK_EQ(again->keyword_count(), flat->keyword_count());
+      XO_CHECK_EQ(again->total_postings(), flat->total_postings());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Standalone driver for the fuzz harnesses on toolchains without
+// libFuzzer (this container's GCC, the Release CI legs): replays corpus
+// files through LLVMFuzzerTestOneInput, and can run a randomized mutation
+// campaign seeded from that corpus. Built into every harness unless the
+// CMake XO_FUZZ/Clang path swaps in -fsanitize=fuzzer, which brings its
+// own main. The ctest `fuzz_replay_*` targets invoke this over
+// fuzz/corpus/seed + fuzz/corpus/regression.
+//
+// Usage:
+//   fuzz_<target> PATH...                      replay files/directories
+//   fuzz_<target> --mutate N [--seed S] PATH...    N mutated executions
+//   fuzz_<target> --seconds T [--seed S] PATH...   time-budget campaign
+//
+// In campaign mode each input is written to --artifact (default
+// fuzz_artifact.bin) *before* execution, so a crash leaves its
+// reproducer on disk; move it under fuzz/corpus/regression/<target>/ once
+// the bug is fixed. Harnesses with a structure-aware mutator
+// (LLVMFuzzerCustomMutator) get it applied to roughly half the campaign
+// inputs via the weak reference below.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.h"
+#include "fuzz_util.h"
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed)
+    __attribute__((weak));
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool LoadFile(const fs::path& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Files under `path` (itself, or its recursive contents), sorted so a
+/// replay is deterministic regardless of directory iteration order.
+bool CollectInputs(const std::string& path, std::vector<fs::path>* out) {
+  std::error_code ec;
+  fs::file_status status = fs::status(path, ec);
+  if (ec || status.type() == fs::file_type::not_found) {
+    std::fprintf(stderr, "replay: no such path: %s\n", path.c_str());
+    return false;
+  }
+  if (fs::is_directory(status)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file()) out->push_back(entry.path());
+    }
+  } else {
+    out->push_back(path);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t iterations = 0;
+  uint64_t seconds = 0;
+  uint32_t seed = 1;
+  size_t max_len = size_t{1} << 16;
+  std::string artifact = "fuzz_artifact.bin";
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "replay: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mutate") {
+      iterations = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seconds") {
+      seconds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-len") {
+      max_len = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--artifact") {
+      artifact = next();
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: %s [--mutate N | --seconds T] [--seed S] "
+                   "[--max-len N] [--artifact PATH] PATH...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& path : paths) {
+    if (!CollectInputs(path, &files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const fs::path& file : files) {
+    std::vector<uint8_t> bytes;
+    if (!LoadFile(file, &bytes)) {
+      std::fprintf(stderr, "replay: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    if (bytes.size() <= max_len) corpus.push_back(std::move(bytes));
+  }
+  std::printf("replay: %zu inputs OK\n", files.size());
+
+  if (iterations == 0 && seconds == 0) return 0;
+
+  if (corpus.empty()) corpus.push_back({});
+  std::mt19937 rng(seed);
+  std::vector<uint8_t> buf(max_len);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(seconds);
+  uint64_t execs = 0;
+  while (true) {
+    if (iterations != 0 && execs >= iterations) break;
+    if (seconds != 0 && std::chrono::steady_clock::now() >= deadline) break;
+    const std::vector<uint8_t>& base = corpus[rng() % corpus.size()];
+    size_t len = std::min(base.size(), max_len);
+    std::memcpy(buf.data(), base.data(), len);
+    size_t rounds = 1 + rng() % 4;
+    for (size_t r = 0; r < rounds; ++r) {
+      if (&LLVMFuzzerCustomMutator != nullptr && rng() % 2 == 0) {
+        len = LLVMFuzzerCustomMutator(buf.data(), len, max_len, rng());
+      } else {
+        len = xontorank::fuzz::MutateBytes(buf.data(), len, max_len, rng);
+      }
+    }
+    if (!artifact.empty()) {
+      std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(len));
+    }
+    LLVMFuzzerTestOneInput(buf.data(), len);
+    ++execs;
+    if (execs % 16384 == 0) {
+      std::printf("replay: %llu execs\n",
+                  static_cast<unsigned long long>(execs));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("replay: campaign done, %llu execs, no crash\n",
+              static_cast<unsigned long long>(execs));
+  if (!artifact.empty()) std::remove(artifact.c_str());
+  return 0;
+}

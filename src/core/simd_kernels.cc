@@ -15,6 +15,11 @@
 #include <immintrin.h>
 #endif
 
+// The reinterpret_casts in the x86 paths are the intrinsic-mandated
+// register load/store spelling over in-memory arrays the caller already
+// validated — not wire-byte decoding — hence their per-line
+// untrusted-decode suppressions.
+
 namespace xontorank {
 
 namespace {
@@ -60,12 +65,12 @@ void FillDocIdsSse2(const uint16_t* shared, const uint32_t* suffix_offsets,
   size_t i = 0;
   for (; i + 8 <= count; i += 8) {
     __m128i sh = _mm_loadu_si128(
-        reinterpret_cast<const __m128i*>(shared + i));
+        reinterpret_cast<const __m128i*>(shared + i));  // xo-lint: allow(untrusted-decode)
     __m128i restart = _mm_cmpeq_epi16(sh, zero);
     if (_mm_movemask_epi8(restart) == 0) {
       __m128i v = _mm_set1_epi32(static_cast<int>(carry));
-      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
-      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4), v);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);  // xo-lint: allow(untrusted-decode)
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4), v);  // xo-lint: allow(untrusted-decode)
     } else {
       for (size_t j = i; j < i + 8; ++j) {
         if (shared[j] == 0) carry = arena[suffix_offsets[j]];
@@ -88,7 +93,7 @@ size_t LowerBoundU32Sse2(const uint32_t* values, size_t count,
   size_t i = 0;
   for (; i + 4 <= count; i += 4) {
     __m128i v = _mm_xor_si128(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i)),  // xo-lint: allow(untrusted-decode)
         flip);
     // Lanes with values[i] < key; the array is non-decreasing, so the
     // total count of such lanes is the lower-bound index.
@@ -121,12 +126,12 @@ __attribute__((target("avx2"))) void FillDocIdsAvx2(
   size_t i = 0;
   for (; i + 16 <= count; i += 16) {
     __m256i sh = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(shared + i));
+        reinterpret_cast<const __m256i*>(shared + i));  // xo-lint: allow(untrusted-decode)
     __m256i restart = _mm256_cmpeq_epi16(sh, zero);
     if (_mm256_movemask_epi8(restart) == 0) {
       __m256i v = _mm256_set1_epi32(static_cast<int>(carry));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8), v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);  // xo-lint: allow(untrusted-decode)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8), v);  // xo-lint: allow(untrusted-decode)
     } else {
       for (size_t j = i; j < i + 16; ++j) {
         if (shared[j] == 0) carry = arena[suffix_offsets[j]];
@@ -147,7 +152,7 @@ __attribute__((target("avx2"))) size_t LowerBoundU32Avx2(
   size_t i = 0;
   for (; i + 8 <= count; i += 8) {
     __m256i v = _mm256_xor_si256(
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i)),  // xo-lint: allow(untrusted-decode)
         flip);
     int mask = _mm256_movemask_ps(
         _mm256_castsi256_ps(_mm256_cmpgt_epi32(k, v)));

@@ -86,7 +86,23 @@ Status OpenIndexPayload(std::string_view data, Decoder* dec,
   if (!dec->GetVarint64(num_entries)) {
     return Status::Corruption("missing entry count" + At(*dec));
   }
+  // Plausibility cap before anything reserves O(num_entries) memory: an
+  // entry occupies at least 2 payload bytes (keyword length prefix +
+  // posting count varint), so a count beyond remaining/2 cannot possibly
+  // be satisfied by the bytes that follow. The CRC above only proves the
+  // blob is self-consistent, not that its counts are sane.
+  if (*num_entries > dec->remaining() / 2) {
+    return Status::Corruption("implausible entry count " +
+                              std::to_string(*num_entries) + At(*dec));
+  }
   return Status::OK();
+}
+
+/// Same idea per list: a posting occupies at least 6 payload bytes (two
+/// varints + fixed32 score), so a declared count beyond remaining/6 is
+/// corrupt — reject it before reserving O(count) memory.
+bool PlausiblePostingCount(const Decoder& dec, uint64_t num_postings) {
+  return num_postings <= dec.remaining() / 6;
 }
 
 /// Reads a string of data from disk for the Load* entry points.
@@ -149,6 +165,10 @@ Result<XOntoDil> DecodeIndex(std::string_view data) {
     if (!dec.GetVarint64(&num_postings)) {
       return Status::Corruption("truncated posting count" + At(dec));
     }
+    if (!PlausiblePostingCount(dec, num_postings)) {
+      return Status::Corruption("implausible posting count " +
+                                std::to_string(num_postings) + At(dec));
+    }
     std::vector<DilPosting> postings;
     postings.reserve(num_postings);
     std::vector<uint32_t> prev_components;
@@ -205,6 +225,10 @@ Result<FlatDil> DecodeIndexFlat(std::string_view data) {
     uint64_t num_postings = 0;
     if (!dec.GetVarint64(&num_postings)) {
       return Status::Corruption("truncated posting count" + At(dec));
+    }
+    if (!PlausiblePostingCount(dec, num_postings)) {
+      return Status::Corruption("implausible posting count " +
+                                std::to_string(num_postings) + At(dec));
     }
     components.clear();
     for (uint64_t p = 0; p < num_postings; ++p) {

@@ -104,6 +104,13 @@ Result<std::unique_ptr<SegmentFile>> SegmentFile::Open(
         " bytes, minimum " + std::to_string(kSegmentMinBytes) +
         " (offset 0)");
   }
+  if (options.max_declared_size != 0 && size > options.max_declared_size) {
+    ::close(fd);
+    return Status::Corruption(
+        path + ": segment of " + std::to_string(size) +
+        " bytes exceeds the configured max_declared_size of " +
+        std::to_string(options.max_declared_size) + " (offset 0)");
+  }
   void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping keeps its own reference to the file
   if (base == MAP_FAILED) {
@@ -153,6 +160,22 @@ Status SegmentFile::Validate(const Options& options) {
   header_.block_count = LoadU64(bytes + 32);
   uint32_t section_count = LoadU32(bytes + 40);
   header_.flags = LoadU32(bytes + 44);
+  // Resource cap on what the header may claim, before any count-derived
+  // work: a hostile declared size is rejected here in O(1) rather than
+  // shaping the validation passes below. 0 = the documented default of
+  // max(16 MiB, 8x the on-disk size).
+  uint64_t declared_cap = options.max_declared_size;
+  if (declared_cap == 0) {
+    constexpr uint64_t kDeclaredFloor = 16ull << 20;
+    uint64_t scaled = static_cast<uint64_t>(size_) * 8;
+    declared_cap = scaled > kDeclaredFloor ? scaled : kDeclaredFloor;
+  }
+  if (header_.file_bytes > declared_cap) {
+    return Status::Corruption(
+        path_ + ": header declares " + std::to_string(header_.file_bytes) +
+        " bytes, over the declared-size cap of " +
+        std::to_string(declared_cap) + " (offset 8)");
+  }
   if (header_.file_bytes != size_) {
     return Status::Corruption(
         path_ + ": truncated segment: header declares " +
@@ -175,6 +198,19 @@ Status SegmentFile::Validate(const Options& options) {
       header_.block_count >= UINT32_MAX) {
     return Status::Corruption(path_ +
                               ": implausible header counts (offset 16)");
+  }
+  // Tighter O(1) plausibility: every keyword needs at least one
+  // keyword_offsets element (4 bytes), every posting a suffix_offsets
+  // element (4) plus a shared element (2), every block a skip_first_doc
+  // element (4) — counts a file of this size cannot physically carry are
+  // corrupt regardless of what the section table claims.
+  if (header_.keyword_count > header_.file_bytes / 4 ||
+      header_.total_postings > header_.file_bytes / 6 ||
+      header_.block_count > header_.file_bytes / 4) {
+    return Status::Corruption(
+        path_ + ": header counts exceed what " +
+        std::to_string(header_.file_bytes) +
+        " bytes can carry (offset 16)");
   }
 
   // Footer: magic, then the metadata CRC over header + section table —
@@ -318,6 +354,104 @@ Status SegmentFile::Validate(const Options& options) {
                                           view_.skip_begin,
                                           header_.block_count,
                                           infos_[8].offset));
+
+  // Structural invariants the cursors rely on for memory safety. The
+  // offset columns being monotone ramps is necessary but not sufficient:
+  // block-indexed seeks also assume each list carves exactly
+  // ceil(list_size / kBlockPostings) blocks, and the prefix-elided decode
+  // assumes every posting reconstructs to at least one component with a
+  // full restart id at each block boundary. A file violating any of these
+  // could steer a cursor outside its list (or leave its reconstruction
+  // buffer empty), so they are checked on every open — one linear pass
+  // over columns the monotonicity checks above already touched.
+  for (size_t l = 0; l + 1 < view_.list_begin.size(); ++l) {
+    const uint32_t begin = view_.list_begin[l];
+    const uint32_t end = view_.list_begin[l + 1];
+    const uint64_t blocks = view_.skip_begin[l + 1] - view_.skip_begin[l];
+    const uint64_t expected_blocks =
+        (static_cast<uint64_t>(end - begin) + FlatDil::kBlockPostings - 1) /
+        FlatDil::kBlockPostings;
+    if (blocks != expected_blocks) {
+      return SectionError(path_, "skip_begin",
+                          "list " + std::to_string(l) + " carves " +
+                              std::to_string(blocks) + " blocks for " +
+                              std::to_string(end - begin) +
+                              " postings, expected " +
+                              std::to_string(expected_blocks),
+                          infos_[8].offset);
+    }
+    uint32_t prev_depth = 0;
+    for (uint32_t p = begin; p < end; ++p) {
+      const uint32_t fresh =
+          view_.suffix_offsets[p + 1] - view_.suffix_offsets[p];
+      const uint32_t shared = view_.shared[p];
+      if ((p - begin) % FlatDil::kBlockPostings == 0 && shared != 0) {
+        return SectionError(path_, "shared",
+                            "restart posting " + std::to_string(p) +
+                                " has a nonzero shared prefix",
+                            infos_[4].offset);
+      }
+      if (shared > prev_depth) {
+        return SectionError(path_, "shared",
+                            "posting " + std::to_string(p) +
+                                " shares " + std::to_string(shared) +
+                                " components but its predecessor has " +
+                                std::to_string(prev_depth),
+                            infos_[4].offset);
+      }
+      if (shared + fresh == 0) {
+        return SectionError(path_, "suffix_offsets",
+                            "posting " + std::to_string(p) +
+                                " has an empty Dewey id",
+                            infos_[5].offset);
+      }
+      prev_depth = shared + fresh;
+    }
+  }
+
+  if (options.verify_checksums) {
+    // Correctness-tier checks (CRCs only prove the file matches what its
+    // writer put down, not that the writer was honest). The keyword
+    // dictionary must be strictly sorted or FindList's binary search
+    // silently misses lists.
+    for (size_t l = 1; l + 1 < view_.keyword_offsets.size(); ++l) {
+      std::string_view prev = view_.keyword_arena.substr(
+          view_.keyword_offsets[l - 1],
+          view_.keyword_offsets[l] - view_.keyword_offsets[l - 1]);
+      std::string_view cur = view_.keyword_arena.substr(
+          view_.keyword_offsets[l],
+          view_.keyword_offsets[l + 1] - view_.keyword_offsets[l]);
+      if (prev >= cur) {
+        return SectionError(path_, "keyword_arena",
+                            "keywords out of sorted order at entry " +
+                                std::to_string(l),
+                            infos_[0].offset);
+      }
+    }
+    // With the data pages already faulted by the CRC pass, also pin the
+    // skip index to the postings it summarizes: each block's first-doc
+    // entry must equal the first component of its restart posting, or a
+    // forged skip table would silently mis-steer seeks (a correctness,
+    // not a safety, property — hence checksum-tier).
+    for (size_t l = 0; l + 1 < view_.list_begin.size(); ++l) {
+      for (uint32_t b = view_.skip_begin[l]; b < view_.skip_begin[l + 1];
+           ++b) {
+        const uint32_t p =
+            view_.list_begin[l] +
+            (b - view_.skip_begin[l]) * FlatDil::kBlockPostings;
+        const uint32_t first_doc = view_.dewey_arena[view_.suffix_offsets[p]];
+        if (view_.skip_first_doc[b] != first_doc) {
+          return SectionError(path_, "skip_first_doc",
+                              "block " + std::to_string(b) +
+                                  " claims first doc " +
+                                  std::to_string(view_.skip_first_doc[b]) +
+                                  " but its restart posting has doc " +
+                                  std::to_string(first_doc),
+                              infos_[7].offset);
+        }
+      }
+    }
+  }
 
   ::madvise(base_, size_, AdviceFlag(options.advice));
   if (options.prefetch) Prefetch();

@@ -52,6 +52,15 @@ class SegmentFile {
     /// always checked — they are 280 bytes, not the corpus). Cold opens
     /// become O(1) at the cost of deferring data-corruption detection.
     bool verify_checksums = true;
+
+    /// Upper bound on the size a segment may claim: both the on-disk
+    /// file (checked against fstat before mmap) and the header-declared
+    /// byte count (checked before any count-derived work). 0 picks the
+    /// default for the declared size — max(16 MiB, 8x the on-disk file
+    /// size) — and leaves the on-disk size uncapped. Set it explicitly
+    /// to bound how much a hostile or runaway file can make Open map
+    /// and validate. Checked in O(1); failures are Corruption.
+    uint64_t max_declared_size = 0;
   };
 
   /// One parsed section-table entry plus its spec, for the inspector and

@@ -29,12 +29,17 @@ Mutex& SegmentFileMutex() {
 // straight into the mapping and reads metadata with host-endian memcpy,
 // so the writer must emit host order for the pair to agree (XODL handles
 // cross-endian interchange).
+// The casts here run in the encode direction — serializing trusted
+// in-memory values, not interpreting untrusted bytes — hence the
+// untrusted-decode suppressions.
 void AppendU32(std::string* out, uint32_t value) {
-  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+  out->append(reinterpret_cast<const char*>(&value),  // xo-lint: allow(untrusted-decode)
+              sizeof(value));
 }
 
 void AppendU64(std::string* out, uint64_t value) {
-  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+  out->append(reinterpret_cast<const char*>(&value),  // xo-lint: allow(untrusted-decode)
+              sizeof(value));
 }
 
 void PatchU32(std::string* out, size_t offset, uint32_t value) {

@@ -229,6 +229,16 @@ class Parser {
   }
 
   Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (depth_ >= options_.max_depth) {
+      return Error("element nesting exceeds the configured maximum depth");
+    }
+    ++depth_;
+    auto result = ParseElementBody();
+    --depth_;
+    return result;
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElementBody() {
     Advance();  // consume '<'
     auto tag = ParseName();
     if (!tag.ok()) return tag.status();
@@ -330,6 +340,7 @@ class Parser {
 
   std::string_view input_;
   XmlParseOptions options_;
+  size_t depth_ = 0;
   size_t pos_ = 0;
   size_t line_ = 1;
   size_t column_ = 1;

@@ -20,6 +20,13 @@ struct XmlParseOptions {
   /// both a `code` and a `codeSystem` attribute, or whose `value` carries
   /// them, gets its OntoRef populated (HL7 CDA convention, §II/§III).
   bool detect_onto_refs = true;
+
+  /// Maximum element nesting depth. The parser (and the resulting node
+  /// tree's destructor) recurses once per nesting level, so unbounded
+  /// depth lets a hostile document like `<a><a><a>...` overflow the
+  /// stack. Real CDA documents nest ~10 deep; 256 is generous. Inputs
+  /// deeper than this fail with a ParseError. Must be >= 1.
+  size_t max_depth = 256;
 };
 
 /// Parses `input` into a document tree.

@@ -92,6 +92,17 @@ void RepatchMetaCrc(std::string* data) {
               sizeof(crc));
 }
 
+// Re-signs one section's table CRC after tampering with its payload, so
+// validation reaches the semantic checks behind the integrity gate.
+void RepatchSectionCrc(std::string* data, size_t section_index) {
+  size_t entry = kSegmentHeaderBytes + section_index * kSegmentTableEntryBytes;
+  uint64_t offset, bytes;
+  std::memcpy(&offset, data->data() + entry, sizeof(offset));
+  std::memcpy(&bytes, data->data() + entry + 8, sizeof(bytes));
+  uint32_t crc = Crc32(std::string_view(data->data() + offset, bytes));
+  std::memcpy(data->data() + entry + 16, &crc, sizeof(crc));
+}
+
 template <typename T>
 void ExpectSpanEq(std::span<const T> a, std::span<const T> b,
                   const char* what) {
@@ -399,6 +410,125 @@ TEST_F(SegmentCorruptionTest, ImplausibleHeaderCounts) {
   PatchAt<uint64_t>(&data, 24, UINT64_MAX / 2);  // total_postings
   RepatchMetaCrc(&data);
   ExpectCorrupt(data, {"implausible header counts", "(offset 16)"});
+}
+
+TEST_F(SegmentCorruptionTest, ExplicitDeclaredSizeCapRejectsAtOpen) {
+  // The O(1) pre-map cap: a file larger than the caller's
+  // max_declared_size is refused before any mapping or validation work.
+  SegmentFile::Options options;
+  options.max_declared_size = kSegmentMinBytes;
+  auto segment = SegmentFile::Open(path_, options);
+  ASSERT_FALSE(segment.ok());
+  EXPECT_EQ(segment.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(segment.status().message().find("max_declared_size"),
+            std::string::npos)
+      << segment.status().message();
+
+  // A cap at (or above) the actual size admits the file unchanged.
+  options.max_declared_size = pristine_.size();
+  EXPECT_TRUE(SegmentFile::Open(path_, options).ok());
+}
+
+TEST_F(SegmentCorruptionTest, DeclaredSizeBombOverDefaultCap) {
+  // header.file_bytes claiming terabytes must die at the declared-size
+  // cap (default: max(16 MiB, 8x the on-disk size)), not at the
+  // equality check whose message would leak no cap semantics.
+  std::string data = pristine_;
+  PatchAt<uint64_t>(&data, 8, uint64_t{1} << 42);
+  RepatchMetaCrc(&data);
+  ExpectCorrupt(data, {"declared-size cap", "(offset 8)"});
+}
+
+TEST_F(SegmentCorruptionTest, HeaderCountsBeyondWhatFileBytesCanCarry) {
+  // keyword_count passes the UINT32_MAX ceiling but no 10M keywords fit
+  // in a few-hundred-KB file; the plausibility cap must say so before
+  // any section pointer is fixed.
+  std::string data = pristine_;
+  PatchAt<uint64_t>(&data, 16, 10'000'000);
+  RepatchMetaCrc(&data);
+  ExpectCorrupt(data, {"header counts exceed", "(offset 16)"});
+}
+
+TEST_F(SegmentCorruptionTest, BlockCountMismatchCaughtWithoutChecksums) {
+  // Stealing a block from list 0 (still a monotonic skip_begin column)
+  // breaks the blocks == ceil(postings/128) identity the cursor seek
+  // math relies on; the always-on structural pass must reject it even
+  // with the CRC tier off.
+  std::string data = pristine_;
+  ASSERT_STREQ(sections_[8].name, "skip_begin");
+  uint32_t second = LoadAt<uint32_t>(data, sections_[8].offset + 4);
+  ASSERT_GE(second, 1u);
+  PatchAt<uint32_t>(&data, sections_[8].offset + 4, second - 1);
+  WriteAll(path_, data);
+  SegmentFile::Options options;
+  options.verify_checksums = false;
+  auto segment = SegmentFile::Open(path_, options);
+  ASSERT_FALSE(segment.ok());
+  const std::string& msg = segment.status().message();
+  EXPECT_NE(msg.find("section skip_begin"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("carves"), std::string::npos) << msg;
+}
+
+TEST_F(SegmentCorruptionTest, RestartWithSharedPrefixCaughtWithoutChecksums) {
+  // A restart posting declaring a shared prefix would make the cursor
+  // copy components from a predecessor that was never decoded.
+  std::string data = pristine_;
+  ASSERT_STREQ(sections_[4].name, "shared");
+  PatchAt<uint16_t>(&data, sections_[4].offset, 1);
+  WriteAll(path_, data);
+  SegmentFile::Options options;
+  options.verify_checksums = false;
+  auto segment = SegmentFile::Open(path_, options);
+  ASSERT_FALSE(segment.ok());
+  const std::string& msg = segment.status().message();
+  EXPECT_NE(msg.find("section shared"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("nonzero shared prefix"), std::string::npos) << msg;
+}
+
+TEST_F(SegmentCorruptionTest, EmptyDeweyPostingCaughtWithoutChecksums) {
+  // depth == 0 would make DilCursor::doc() read buf_[0] of an empty
+  // buffer; shrinking posting 0's suffix to nothing must be rejected.
+  std::string data = pristine_;
+  ASSERT_STREQ(sections_[5].name, "suffix_offsets");
+  uint32_t first = LoadAt<uint32_t>(data, sections_[5].offset);
+  PatchAt<uint32_t>(&data, sections_[5].offset + 4, first);
+  WriteAll(path_, data);
+  SegmentFile::Options options;
+  options.verify_checksums = false;
+  auto segment = SegmentFile::Open(path_, options);
+  ASSERT_FALSE(segment.ok());
+  const std::string& msg = segment.status().message();
+  EXPECT_NE(msg.find("section suffix_offsets"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("empty Dewey id"), std::string::npos) << msg;
+}
+
+TEST_F(SegmentCorruptionTest, UnsortedKeywordsCaughtByChecksumTier) {
+  // Swap "kw0"/"kw1" in the arena and re-sign the section + metadata
+  // CRCs: integrity now passes, so only the dictionary-order check
+  // stands between a forged file and a meaningless FindList binary
+  // search.
+  std::string data = pristine_;
+  ASSERT_STREQ(sections_[0].name, "keyword_arena");
+  size_t arena = sections_[0].offset;
+  ASSERT_EQ(data[arena + 2], '0');
+  ASSERT_EQ(data[arena + 5], '1');
+  data[arena + 2] = '1';
+  data[arena + 5] = '0';
+  RepatchSectionCrc(&data, 0);
+  RepatchMetaCrc(&data);
+  ExpectCorrupt(data, {"section keyword_arena", "out of sorted order"});
+}
+
+TEST_F(SegmentCorruptionTest, SkipFirstDocMismatchCaughtByChecksumTier) {
+  // The skip table's first_doc must agree with the restart posting it
+  // points at, or block seeks land on the wrong document.
+  std::string data = pristine_;
+  ASSERT_STREQ(sections_[7].name, "skip_first_doc");
+  uint32_t first = LoadAt<uint32_t>(data, sections_[7].offset);
+  PatchAt<uint32_t>(&data, sections_[7].offset, first + 1);
+  RepatchSectionCrc(&data, 7);
+  RepatchMetaCrc(&data);
+  ExpectCorrupt(data, {"section skip_first_doc", "claims first doc"});
 }
 
 TEST_F(SegmentCorruptionTest, BrokenOffsetColumnCaughtWithoutChecksums) {

@@ -172,6 +172,48 @@ TEST(IndexStoreTest, TruncationDetected) {
   }
 }
 
+TEST(IndexStoreTest, EntryCountBombRejectedBeforeAllocation) {
+  // A 13-byte blob with a valid CRC declaring 2^40 entries: the
+  // plausibility cap (an entry needs >= 2 payload bytes) must refuse it
+  // up front instead of feeding the count to reserve().
+  std::string blob;
+  blob.append("XODL", 4);
+  PutFixed32(&blob, 1);                        // version
+  PutVarint64(&blob, uint64_t{1} << 40);       // entry count
+  PutFixed32(&blob, Crc32(blob));
+  for (auto decode : {+[](std::string_view b) { return DecodeIndex(b).ok(); },
+                      +[](std::string_view b) {
+                        return DecodeIndexFlat(b).ok();
+                      }}) {
+    EXPECT_FALSE(decode(blob));
+  }
+  auto decoded = DecodeIndex(blob);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(decoded.status().message().find("implausible entry count"),
+            std::string::npos)
+      << decoded.status().message();
+}
+
+TEST(IndexStoreTest, PostingCountBombRejectedBeforeAllocation) {
+  // Same attack one level down: a single keyword whose posting count
+  // (fed to three reserve() calls) exceeds what the remaining bytes
+  // could encode at >= 6 bytes per posting.
+  std::string blob;
+  blob.append("XODL", 4);
+  PutFixed32(&blob, 1);                        // version
+  PutVarint64(&blob, 1);                       // one entry
+  PutLengthPrefixed(&blob, "kw");
+  PutVarint64(&blob, uint64_t{1} << 40);       // posting count
+  PutFixed32(&blob, Crc32(blob));
+  auto decoded = DecodeIndex(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(decoded.status().message().find("implausible posting count"),
+            std::string::npos)
+      << decoded.status().message();
+  EXPECT_FALSE(DecodeIndexFlat(blob).ok());
+}
+
 TEST(IndexStoreTest, PrefixCompressionShrinksSortedLists) {
   // Deep sibling postings share long prefixes; the encoded form must be far
   // smaller than the uncompressed (full components + score) representation.

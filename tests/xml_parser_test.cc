@@ -219,6 +219,40 @@ TEST(OntoRefTest, DetectionCanBeDisabled) {
   EXPECT_FALSE(doc->root()->onto_ref().has_value());
 }
 
+// ---- Nesting depth cap (hostile-input hardening, DESIGN.md §13) ----
+
+std::string NestedXml(size_t depth) {
+  std::string xml;
+  for (size_t i = 0; i < depth; ++i) xml += "<a>";
+  xml += "x";
+  for (size_t i = 0; i < depth; ++i) xml += "</a>";
+  return xml;
+}
+
+TEST(XmlParserTest, NestingAtDefaultDepthLimitParses) {
+  auto doc = Parse(NestedXml(XmlParseOptions{}.max_depth));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+TEST(XmlParserTest, NestingBeyondDefaultDepthLimitIsParseError) {
+  // The parser is recursive-descent: without the cap, nesting depth is
+  // attacker-controlled stack depth.
+  auto doc = Parse(NestedXml(XmlParseOptions{}.max_depth + 1));
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("maximum depth"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(XmlParserTest, CustomDepthLimitIsExact) {
+  XmlParseOptions options;
+  options.max_depth = 4;
+  EXPECT_TRUE(ParseXml(NestedXml(4), options).ok());
+  auto doc = ParseXml(NestedXml(5), options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
 // ---- Round-trip property ----
 
 class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};

@@ -333,6 +333,54 @@ class XoLintFixtureTest(unittest.TestCase):
             {"src/core/widget.cc":
                  "// the old API was Search(query, 10); see search_api.h\n"})
 
+    # --- untrusted-decode -----------------------------------------------
+
+    def test_reinterpret_cast_in_src_fires(self):
+        self.assert_fires(
+            {"src/core/widget.cc":
+                 "uint32_t Peek(const char* bytes) {\n"
+                 "  return *reinterpret_cast<const uint32_t*>(bytes);\n"
+                 "}\n"},
+            "untrusted-decode")
+
+    def test_cstyle_scalar_pointer_cast_fires(self):
+        self.assert_fires(
+            {"src/emr/widget.cc":
+                 "uint32_t Peek(const void* bytes) {\n"
+                 "  return *(const uint32_t*)bytes;\n"
+                 "}\n"},
+            "untrusted-decode")
+
+    def test_decode_layer_files_are_exempt(self):
+        cast = ("uint32_t Peek(const char* bytes) {\n"
+                "  return *reinterpret_cast<const uint32_t*>(bytes);\n"
+                "}\n")
+        self.assert_clean(
+            {"src/storage/segment_file.cc": cast,
+             "src/storage/coding.cc": cast,
+             "src/core/flat_dil.cc": cast})
+
+    def test_cast_outside_src_does_not_fire(self):
+        self.assert_clean(
+            {"tests/widget_test.cc":
+                 "const char* Bytes(const uint8_t* p) {\n"
+                 "  return reinterpret_cast<const char*>(p);\n"
+                 "}\n"})
+
+    def test_pointer_parameter_declaration_does_not_fire(self):
+        self.assert_clean(
+            {"src/core/widget.cc":
+                 "void Fill(const uint32_t* values, uint32_t* out);\n"
+                 "size_t Span(const char* begin, const char* end);\n"})
+
+    def test_untrusted_decode_suppression_comment(self):
+        self.assert_clean(
+            {"src/core/widget.cc":
+                 "uint32_t Load(const char* p) {\n"
+                 "  return *reinterpret_cast<const uint32_t*>(p);"
+                 "  // xo-lint: allow(untrusted-decode)\n"
+                 "}\n"})
+
     # --- suppressions ---------------------------------------------------
 
     def test_same_line_suppression(self):

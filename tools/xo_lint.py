@@ -42,6 +42,15 @@ sources and enforces the XOntoRank contract invariants:
                   call Search(query, SearchOptions) so execution options
                   (pruning, strategy, cache) stay on one struct.
                                     [scope: src/ tests/ bench/ examples/]
+  untrusted-decode  reinterpreting raw bytes as typed data
+                  (reinterpret_cast, C-style scalar-pointer casts) is how
+                  wire/mapped input reaches typed code, so it is confined
+                  to the audited+fuzzed decode layer: segment_file.*,
+                  coding.*, flat_dil.cc. Everywhere else must go through
+                  Decoder or a SegmentFile view; the sanctioned
+                  exceptions (SIMD register loads over in-memory arrays,
+                  the encode direction) carry explicit suppressions.
+                                                        [scope: src/]
 
 Suppression: a comment `// xo-lint: allow(rule)` (comma-separated list
 accepted) suppresses those rules on its own line and on the next line.
@@ -79,7 +88,16 @@ FALLIBLE_FUNCTIONS = [
     "Validate",
 ]
 
-SCAN_ROOTS = ("src", "tests", "bench", "examples")
+SCAN_ROOTS = ("src", "tests", "bench", "examples", "fuzz")
+
+# The audited decode layer: the only src/ files allowed to reinterpret
+# wire or mapped bytes as typed data (rule: untrusted-decode). Every one
+# of them is covered by a fuzz/ harness.
+UNTRUSTED_DECODE_OWNERS = (
+    "src/storage/segment_file.",
+    "src/storage/coding.",
+    "src/core/flat_dil.cc",
+)
 CXX_EXTENSIONS = (".h", ".cc", ".cpp")
 
 RAW_SYNC_RE = re.compile(
@@ -109,6 +127,15 @@ LEGACY_SEARCH_RANKED_RE = re.compile(r"\bSearchRanked\s*\(")
 LEGACY_SEARCH_TOPK_RE = re.compile(
     r"\bSearch\s*\(\s*[^()]*,\s*\d+[uUlL]*\s*\)"
 )
+REINTERPRET_CAST_RE = re.compile(r"\breinterpret_cast\s*<")
+# A C-style cast to pointer-to-scalar ((const uint32_t*)p, (char*)buf):
+# the other spelling of byte reinterpretation. Parameter declarations
+# carry a name between '*' and ')' and don't match; abstract declarators
+# are excluded by requiring an operand after the ')'.
+CSTYLE_BYTE_CAST_RE = re.compile(
+    r"\(\s*(?:const\s+)?(?:unsigned\s+|signed\s+)?"
+    r"(?:u?int(?:8|16|32|64)_t|char|float|double)\s*\*+\s*\)\s*[A-Za-z_(&]"
+)
 SUPPRESS_RE = re.compile(r"xo-lint:\s*allow\(([^)]*)\)")
 
 RULE_DOCS = {
@@ -120,6 +147,9 @@ RULE_DOCS = {
     "posting-by-value": "DilPosting iterated by value in src/core",
     "raw-mmap": "mmap/munmap/madvise outside src/storage/segment_file.*",
     "legacy-search": "removed SearchRanked/Search(query, top_k) call shape",
+    "untrusted-decode": "byte-reinterpreting cast outside the audited "
+                        "decode layer (segment_file.*, coding.*, "
+                        "flat_dil.cc)",
 }
 
 
@@ -235,6 +265,7 @@ class Linter:
         in_core = relpath.startswith("src/core/")
         is_sync_header = relpath == "src/common/sync.h"
         is_mapping_owner = relpath.startswith("src/storage/segment_file.")
+        is_decode_owner = relpath.startswith(UNTRUSTED_DECODE_OWNERS)
 
         for idx, code in enumerate(lines, start=1):
             if in_src and not is_sync_header and RAW_SYNC_RE.search(code):
@@ -277,6 +308,15 @@ class Linter:
                     "removed; call Search(query, SearchOptions) — set "
                     "top_k (and pruning, strategy, cache) on the options "
                     "struct", allowed)
+            if in_src and not is_decode_owner and (
+                    REINTERPRET_CAST_RE.search(code) or
+                    CSTYLE_BYTE_CAST_RE.search(code)):
+                self.report(
+                    relpath, idx, "untrusted-decode",
+                    "byte-reinterpreting cast outside the audited decode "
+                    "layer; parse through Decoder (storage/coding.h) or a "
+                    "SegmentFile view so every wire-byte interpretation "
+                    "stays in the fuzzed files", allowed)
             if in_core and POSTING_BY_VALUE_RE.search(code):
                 self.report(
                     relpath, idx, "posting-by-value",
