@@ -68,7 +68,7 @@ bool Rng::NextBool(double p) {
 
 double Rng::NextGaussian(double mean, double stddev) {
   // Marsaglia polar method.
-  double u, v, s;
+  double u = 0, v = 0, s = 0;
   do {
     u = 2.0 * NextDouble() - 1.0;
     v = 2.0 * NextDouble() - 1.0;

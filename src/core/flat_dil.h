@@ -67,6 +67,8 @@ inline float ScoreUpperBoundFloat(double score) {
 /// the backing mapping alongside the served FlatDil). Either way the
 /// object is immutable after construction and safe to share across any
 /// number of reader threads.
+// xo-analyze: allow(backing-before-view) FlatDil is the view-capable root
+// by design: owners pin the mapping (IndexSnapshot) or own the columns.
 class FlatDil {
  public:
   /// Postings per block; restarts and skip entries are per block. 128
@@ -252,6 +254,8 @@ class FlatDil {
   bool mapped_ = false;
 };
 
+// xo-analyze: allow(backing-before-view) the Builder's FlatDil is always
+// in owning mode (mapped_ == false) until Freeze() hands it off.
 class FlatDil::Builder {
  public:
   /// Size hints reserve the columns up front. The first two size the

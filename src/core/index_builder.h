@@ -62,6 +62,8 @@ struct IndexBuildStats {
 /// precomputed (and adopted) lists without taking any lock, and
 /// synchronizes only the on-demand side cache. Returned entry pointers are
 /// stable for the life of the index.
+// xo-analyze: allow(backing-before-view) intentional propagation: the
+// holder pins the mapping (IndexSnapshot declares backing_ first).
 class CorpusIndex {
  public:
   /// Full constructor: `corpus` must outlive the index (the IndexSnapshot

@@ -171,7 +171,7 @@ Result<Ontology> LoadOntology(const std::string& path) {
   }
   std::string text;
   char buffer[1 << 16];
-  size_t n;
+  size_t n = 0;
   while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     text.append(buffer, n);
   }

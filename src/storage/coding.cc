@@ -33,7 +33,7 @@ void PutLengthPrefixed(std::string* dst, std::string_view value) {
 }
 
 bool Decoder::GetVarint32(uint32_t* value) {
-  uint64_t v64;
+  uint64_t v64 = 0;
   size_t saved = pos_;
   if (!GetVarint64(&v64) || v64 > UINT32_MAX) {
     pos_ = saved;
@@ -70,7 +70,7 @@ bool Decoder::GetFixed32(uint32_t* value) {
 
 bool Decoder::GetLengthPrefixed(std::string_view* value) {
   size_t saved = pos_;
-  uint64_t len;
+  uint64_t len = 0;
   if (!GetVarint64(&len) || len > remaining()) {
     pos_ = saved;
     return false;

@@ -28,13 +28,13 @@ Mutex& FileMutex() {
 
 uint32_t FloatBits(double score) {
   float f = static_cast<float>(score);
-  uint32_t bits;
+  uint32_t bits = 0;
   std::memcpy(&bits, &f, sizeof(bits));
   return bits;
 }
 
 double BitsToScore(uint32_t bits) {
-  float f;
+  float f = 0;
   std::memcpy(&f, &bits, sizeof(f));
   return static_cast<double>(f);
 }
@@ -113,7 +113,7 @@ Result<std::string> ReadFile(const std::string& path) {
   }
   std::string data;
   char buffer[1 << 16];
-  size_t n;
+  size_t n = 0;
   while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     data.append(buffer, n);
   }

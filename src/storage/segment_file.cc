@@ -20,13 +20,13 @@ constexpr char kXodlMagic[4] = {'X', 'O', 'D', 'L'};
 /// reinterpret-cast load: header/table fields are not aligned to their
 /// own width (the magic shifts everything by 4).
 uint32_t LoadU32(const char* p) {
-  uint32_t v;
+  uint32_t v = 0;
   std::memcpy(&v, p, sizeof(v));
   return v;
 }
 
 uint64_t LoadU64(const char* p) {
-  uint64_t v;
+  uint64_t v = 0;
   std::memcpy(&v, p, sizeof(v));
   return v;
 }

@@ -35,6 +35,8 @@ namespace xontorank {
 /// the expected access pattern, opt into prefetch, or skip checksums when
 /// the file was verified out of band (checksum verification is the only
 /// part of Open that faults in the whole file).
+// xo-analyze: allow(backing-before-view) SegmentFile IS the backing: it
+// owns the mapping its view aliases and unmaps it in the destructor.
 class SegmentFile {
  public:
   struct Options {

@@ -160,7 +160,7 @@ class Parser {
       if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
         for (size_t i = 2; i < name.size(); ++i) {
           char c = name[i];
-          uint32_t digit;
+          uint32_t digit = 0;
           if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
           else if (c >= 'a' && c <= 'f') digit = static_cast<uint32_t>(c - 'a' + 10);
           else if (c >= 'A' && c <= 'F') digit = static_cast<uint32_t>(c - 'A' + 10);

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
-# Runs the Clang Static Analyzer (scan-build) over the library targets.
-# Exits non-zero when the analyzer reports any bug (--status-bugs).
-# Skips gracefully when scan-build is not installed, like run_lint.sh:
-# this container is GCC-only; CI installs clang-tools.
+# Runs the repo's static-analysis suite:
+#   1. tools/xo_analyze.py — the AST-grounded lifetime/lock analyzer.
+#      The builtin frontend is Python-only, so this gate always runs;
+#      the libclang frontend engages automatically when clang.cindex is
+#      importable (CI pins it). Gated on the committed baseline.
+#   2. Clang Static Analyzer (scan-build) over the library targets,
+#      non-zero on any bug (--status-bugs). Skips gracefully when
+#      scan-build is not installed, like run_lint.sh: this container is
+#      GCC-only; CI installs clang-tools.
 #
 # Usage: tools/run_analyze.sh [extra scan-build args...]
 # Env:   SCAN_BUILD=scan-build-18  ANALYZE_BUILD_DIR=build-analyze
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# AST-grounded invariants first: always-on (Python stdlib only). The
+# analyzer locates build*/compile_commands.json itself for the clang
+# frontend; the builtin frontend needs nothing.
+echo "run_analyze.sh: xo_analyze.py"
+python3 tools/xo_analyze.py --baseline tools/xo_analyze_baseline.txt
 
 SCAN="${SCAN_BUILD:-}"
 if [[ -z "${SCAN}" ]]; then

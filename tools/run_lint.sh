@@ -32,10 +32,22 @@ if [[ -z "${TIDY}" ]]; then
   exit 0
 fi
 
-BUILD_DIR="${LINT_BUILD_DIR:-build-lint}"
-cmake -B "${BUILD_DIR}" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+# Locate a compilation database: the primary build tree exports one
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists), so
+# reuse it when present; otherwise configure a dedicated lint tree.
+BUILD_DIR="${LINT_BUILD_DIR:-}"
+if [[ -z "${BUILD_DIR}" ]]; then
+  if [[ -f build/compile_commands.json ]]; then
+    BUILD_DIR=build
+  else
+    BUILD_DIR=build-lint
+  fi
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
 
 # Every first-party TU in the compilation database (third-party code, if it
 # ever appears, lives outside these four roots and is skipped).
