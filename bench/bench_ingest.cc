@@ -1,0 +1,197 @@
+// Ingest latency: O(delta) LSM commits vs the full-rebuild baseline
+// (DESIGN.md §15). The workload is the serving-system shape the segment
+// architecture exists for — a live engine over a sizable corpus taking a
+// stream of single-document commits, with searches interleaved:
+//
+//   1. latency gate — at a 10k-document corpus, the median single-doc
+//      commit under `lsm.enabled` must be at least 10x faster than the
+//      legacy full-rebuild commit. The margin in practice is orders of
+//      magnitude (the rebuild is O(corpus), the seal is O(delta)); the
+//      10x gate just keeps the property machine-checked without making
+//      the smoke run flaky.
+//   2. p50/p99 commit latency and interleaved search latency for both
+//      modes, plus a concurrent phase: reader threads hammering Search
+//      while the writer commits and the background compactor folds
+//      segments — the paper's query phase staying live through the
+//      preprocessing phase's updates.
+//
+// `--smoke` runs gate 1 only (3 baseline rebuild-commits against 20 LSM
+// seal-commits — the baseline commit is the expensive thing being
+// measured, so the smoke budget goes mostly to it) and exits nonzero on
+// a miss; ctest runs it as bench_ingest_smoke. Results are recorded in
+// EXPERIMENTS.md ("LSM ingest").
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cda/cda_document.h"
+#include "common/timer.h"
+#include "core/xontorank.h"
+
+using namespace xontorank;
+
+namespace {
+
+constexpr size_t kSeedDocs = 10000;
+constexpr uint64_t kSeed = 11;
+
+IndexBuildOptions BuildOptions(bool lsm) {
+  IndexBuildOptions options;
+  options.strategy = Strategy::kRelationships;
+  // Lazy vocabulary on both sides: the bench measures the commit path
+  // (corpus extension + index build/seal + publish), not precomputation.
+  options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
+  options.lsm.enabled = lsm;
+  return options;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(p * static_cast<double>(samples.size()));
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+/// Commits `count` single documents (ids `next_doc`...) and returns each
+/// commit's wall time in milliseconds. AddDocument is the whole path
+/// under test: corpus extension, index build (full rebuild or segment
+/// seal), snapshot publish.
+std::vector<double> TimeCommits(XOntoRank* engine, const CdaGenerator& gen,
+                                uint32_t next_doc, size_t count) {
+  std::vector<double> millis;
+  millis.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t doc_id = next_doc + static_cast<uint32_t>(i);
+    XmlDocument doc = CdaToXml(gen.GenerateDocument(doc_id), doc_id);
+    Timer timer;
+    engine->AddDocument(std::move(doc));
+    millis.push_back(timer.ElapsedMillis());
+  }
+  return millis;
+}
+
+int RunSmoke() {
+  bench::ExperimentSetup setup(kSeedDocs, kSeed);
+  const CdaGenerator& gen = *setup.generator;
+
+  XOntoRank lsm(gen.GenerateCorpus(), setup.search_ontology,
+                BuildOptions(/*lsm=*/true));
+  std::vector<double> lsm_ms =
+      TimeCommits(&lsm, gen, kSeedDocs, /*count=*/20);
+  lsm.WaitForCompactionIdle();
+
+  XOntoRank legacy(gen.GenerateCorpus(), setup.search_ontology,
+                   BuildOptions(/*lsm=*/false));
+  std::vector<double> legacy_ms =
+      TimeCommits(&legacy, gen, kSeedDocs, /*count=*/3);
+
+  double lsm_median = Percentile(lsm_ms, 0.5);
+  double legacy_median = Percentile(legacy_ms, 0.5);
+  bool ok = lsm_median * 10.0 <= legacy_median;
+  std::printf("bench_ingest --smoke: %s — single-doc commit at %zu docs: "
+              "lsm median %.3f ms vs rebuild median %.1f ms (%.0fx, "
+              "gate >= 10x)\n",
+              ok ? "OK" : "FAILED", kSeedDocs, lsm_median, legacy_median,
+              lsm_median > 0.0 ? legacy_median / lsm_median : 0.0);
+  return ok ? 0 : 1;
+}
+
+/// One mode's interleaved phase: `commits` single-doc commits, a
+/// top-10 two-keyword search after each. Prints commit p50/p99 and the
+/// mean interleaved search latency.
+void RunInterleaved(const char* label, XOntoRank* engine,
+                    const CdaGenerator& gen, size_t commits) {
+  std::vector<double> commit_ms;
+  std::vector<double> search_ms;
+  for (size_t i = 0; i < commits; ++i) {
+    uint32_t doc_id = kSeedDocs + static_cast<uint32_t>(i);
+    XmlDocument doc = CdaToXml(gen.GenerateDocument(doc_id), doc_id);
+    Timer commit_timer;
+    engine->AddDocument(std::move(doc));
+    commit_ms.push_back(commit_timer.ElapsedMillis());
+
+    Timer search_timer;
+    SearchResponse response =
+        engine->Search("asthma theophylline", bench::TimedSearch(10));
+    search_ms.push_back(search_timer.ElapsedMillis());
+    if (response.results.empty()) std::printf("(%s: empty results?)\n", label);
+  }
+  double mean_search = 0.0;
+  for (double ms : search_ms) mean_search += ms;
+  mean_search /= static_cast<double>(search_ms.size());
+  std::printf("%8s %8zu %12.3f %12.3f %14.3f\n", label, commits,
+              Percentile(commit_ms, 0.5), Percentile(commit_ms, 0.99),
+              mean_search);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
+
+  std::printf("LSM INGEST — O(delta) commits vs full rebuild "
+              "(%zu-doc seed corpus, single-doc commits)\n\n",
+              kSeedDocs);
+  bench::ExperimentSetup setup(kSeedDocs, kSeed);
+  const CdaGenerator& gen = *setup.generator;
+
+  std::printf("%8s %8s %12s %12s %14s\n", "mode", "commits", "p50 ms",
+              "p99 ms", "search ms");
+  bench::PrintRule(60);
+
+  XOntoRank lsm(gen.GenerateCorpus(), setup.search_ontology,
+                BuildOptions(/*lsm=*/true));
+  RunInterleaved("lsm", &lsm, gen, /*commits=*/200);
+  lsm.WaitForCompactionIdle();
+
+  XOntoRank legacy(gen.GenerateCorpus(), setup.search_ontology,
+                   BuildOptions(/*lsm=*/false));
+  RunInterleaved("rebuild", &legacy, gen, /*commits=*/5);
+  std::printf("\n");
+
+  // Concurrent phase (LSM only — the rebuild baseline would spend the
+  // whole phase inside two commits): readers hammer Search while the
+  // writer streams commits and the background compactor folds segments.
+  constexpr int kReaders = 2;
+  constexpr double kPhaseSeconds = 2.0;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> searches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&lsm, &stop, &searches] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        lsm.Search("asthma theophylline", bench::TimedSearch(10));
+        searches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<double> commit_ms;
+  uint32_t next_doc = static_cast<uint32_t>(lsm.corpus_size());
+  Timer phase;
+  while (phase.ElapsedMillis() < kPhaseSeconds * 1000.0) {
+    XmlDocument doc = CdaToXml(gen.GenerateDocument(next_doc), next_doc);
+    Timer commit_timer;
+    lsm.AddDocument(std::move(doc));
+    commit_ms.push_back(commit_timer.ElapsedMillis());
+    ++next_doc;
+  }
+  double elapsed = phase.ElapsedMillis() / 1000.0;
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  lsm.WaitForCompactionIdle();
+  std::printf("concurrent (%d readers, %.1fs): %.0f searches/s alongside "
+              "%zu commits (p50 %.3f ms, p99 %.3f ms), %zu segments after "
+              "compaction\n",
+              kReaders, elapsed,
+              static_cast<double>(searches.load()) / elapsed,
+              commit_ms.size(), Percentile(commit_ms, 0.5),
+              Percentile(commit_ms, 0.99),
+              lsm.snapshot()->segments().size());
+  return 0;
+}

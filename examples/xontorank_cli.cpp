@@ -17,6 +17,7 @@
 //                 reports the pruning work counters)
 //   xontorank_cli save-engine <corpus-dir> <ontology.tsv> <engine-dir>
 //                 [--strategy NAME] [--threads N] [--index-format xodl|segment]
+//                 [--lsm]  (multi-segment engine dir: O(delta) recommits)
 //   xontorank_cli query-engine <engine-dir> "<query>" [--top K] [--explain]
 //                 [--ranked] [--parallel N] [--no-cache]
 //                 [--pruning=exact|blockmax] [--stats]
@@ -252,17 +253,23 @@ void PrintResults(const IndexSnapshot& snap, const KeywordQuery& query,
         MakeSnippet(snap.document(r.element.doc_id()), r.element, query, {});
     if (!snippet.empty()) std::printf("   %s\n", snippet.c_str());
     if (explain) {
-      auto evidence = ExplainResult(snap.index(), query, r);
-      if (evidence.ok()) {
-        std::printf("   %s\n",
-                    FormatEvidence(snap.index(), *evidence).c_str());
+      // The index responsible for the result's document: under an LSM
+      // snapshot that is the owning segment's index (whose per-document
+      // support values ARE the serving scores); otherwise the monolith.
+      const CorpusIndex* index = snap.SegmentIndexForDoc(r.element.doc_id());
+      if (index != nullptr) {
+        auto evidence = ExplainResult(*index, query, r);
+        if (evidence.ok()) {
+          std::printf("   %s\n",
+                      FormatEvidence(*index, *evidence).c_str());
+        }
       }
     }
   }
   if (group) {
     std::printf("\nstructural groups:\n");
     for (const ResultGroup& g :
-         GroupResultsByPath(results, snap.index().corpus())) {
+         GroupResultsByPath(results, snap.corpus())) {
       std::printf("  %zux %s (best %.3f)\n", g.results.size(),
                   g.signature.c_str(), g.best_score());
     }
@@ -394,14 +401,19 @@ int SaveEngineCommand(const std::vector<std::string>& args) {
   options.vocabulary_mode =
       IndexBuildOptions::VocabularyMode::kCorpusAndOntology;
   options.num_threads = std::stoul(FlagValue(args, "--threads", "1"));
+  // --lsm builds and persists the multi-segment layout (seg-<id>.xoseg
+  // files + binary MANIFEST, DESIGN.md §15): subsequent loads resume the
+  // segment set and commit new documents in O(delta).
+  options.lsm.enabled = HasFlag(args, "--lsm");
   XOntoRank engine(std::move(corpus).value(), *onto, options);
   SaveSnapshotOptions save_options;
   save_options.index_format = *format;
   Status st = SaveEngineDir(engine, args[2], save_options);
   if (!st.ok()) return Fail(st.ToString());
-  std::printf("saved engine (%zu documents, %zu keywords, %zu postings) to "
+  std::printf("saved %sengine (%zu documents, %zu keywords, %zu postings) to "
               "%s\n",
-              engine.corpus_size(), engine.build_stats().precomputed_keywords,
+              options.lsm.enabled ? "LSM " : "", engine.corpus_size(),
+              engine.build_stats().precomputed_keywords,
               engine.build_stats().total_postings, args[2].c_str());
   return 0;
 }

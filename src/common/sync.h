@@ -20,6 +20,34 @@
 /// none), which is why shared state must use these wrappers rather than
 /// std::mutex directly; see DESIGN.md §9 for the discipline and the
 /// documented lock order.
+///
+/// Documented lock order (enforced by tools/xo_analyze.py's lock-order
+/// rule for the named process-wide locks, and by XO_ACQUIRED_AFTER
+/// annotations for the per-object ones):
+///
+///   Process-wide, level 1 (outermost):
+///     SaveMutex            engine_store.cc — one whole-directory save
+///                          at a time.
+///   Process-wide, level 2 (under SaveMutex; never nested in each other):
+///     FileMutex            index_store.cc   — temp+rename of one index.
+///     SegmentFileMutex     segment_writer.cc — temp+rename of a segment.
+///     ManifestFileMutex    manifest.cc      — temp+rename of a MANIFEST
+///                          (the LSM commit point; always the LAST file a
+///                          save writes, so it nests innermost in time as
+///                          well as in order).
+///   Per-object:
+///     IndexWriter::mutex_  before IndexWriter::compaction_mutex_ — the
+///                          compactor claims its in-flight slot under
+///                          compaction_mutex_ alone, but pick/publish
+///                          steps take mutex_ first; never the reverse.
+///     ThreadPool::mutex_   released before a Batch's internal mutex —
+///                          the pool never holds its queue lock while
+///                          running or completing a task.
+///
+/// A new named lock joins this table by getting a level in
+/// tools/xo_analyze.py's LOCK_LEVELS (plus fixtures in
+/// tests/xo_analyze_test.py) or, for member locks, an XO_ACQUIRED_AFTER
+/// annotation at its declaration.
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(guarded_by)

@@ -38,6 +38,17 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
+  // Workers are gone; any tasks still queued are detached ones (ParallelFor
+  // callers block until their batch drains, so no batch task can remain).
+  // Run them inline to honor the Post() exactly-once guarantee.
+  std::deque<Task> leftover;
+  {
+    MutexLock lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (Task& task : leftover) {
+    if (task.batch == nullptr && task.detached) task.detached();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -45,14 +56,36 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
     if (shutting_down_) break;
-    Task task = queue_.front();
+    Task task = std::move(queue_.front());
     queue_.pop_front();
     mutex_.Unlock();
-    (*task.batch->body)(task.index);
-    task.batch->FinishOne();
+    if (task.batch != nullptr) {
+      (*task.batch->body)(task.index);
+      task.batch->FinishOne();
+    } else {
+      task.detached();
+    }
     mutex_.Lock();
   }
   mutex_.Unlock();
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    MutexLock lock(mutex_);
+    if (!shutting_down_) {
+      Task queued;
+      queued.detached = std::move(task);
+      queue_.push_back(std::move(queued));
+      task = nullptr;
+    }
+  }
+  if (task) {
+    // Posted during shutdown: run inline so the closure still runs once.
+    task();
+    return;
+  }
+  work_available_.NotifyAll();
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -70,7 +103,7 @@ void ThreadPool::ParallelFor(size_t n,
   }
   {
     MutexLock lock(mutex_);
-    for (size_t i = 1; i < n; ++i) queue_.push_back(Task{&batch, i});
+    for (size_t i = 1; i < n; ++i) queue_.push_back(Task{&batch, i, {}});
   }
   work_available_.NotifyAll();
 

@@ -50,6 +50,15 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& body)
       XO_EXCLUDES(mutex_);
 
+  /// Enqueues one detached task: fire-and-forget, no join handle. Used for
+  /// background maintenance (the IndexWriter's compactor). Tasks still
+  /// queued at destruction run inline on the destroying thread after the
+  /// workers have joined, so a posted closure ALWAYS runs exactly once —
+  /// callers may rely on it for cleanup/wakeup protocols. The ParallelFor
+  /// caveat applies doubly: a posted task must never call ParallelFor or
+  /// Post on the same pool and then block on its completion.
+  void Post(std::function<void()> task) XO_EXCLUDES(mutex_);
+
   /// A process-wide pool sized to the hardware, created on first use and
   /// intentionally leaked (serving threads may outlive static destruction
   /// order). Shared by all query execution; index builds keep their own
@@ -59,10 +68,13 @@ class ThreadPool {
  private:
   struct Batch;
 
-  /// One queued iteration of some ParallelFor batch.
+  /// One queued unit of work: an iteration of some ParallelFor batch
+  /// (batch != nullptr) or a detached closure from Post (batch == nullptr,
+  /// `detached` set).
   struct Task {
-    Batch* batch;
-    size_t index;
+    Batch* batch = nullptr;
+    size_t index = 0;
+    std::function<void()> detached;
   };
 
   void WorkerLoop() XO_EXCLUDES(mutex_);

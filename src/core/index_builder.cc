@@ -26,6 +26,9 @@ CorpusIndex::CorpusIndex(const Corpus& corpus,
   XO_CHECK(context_ != nullptr && "an ontology context is required");
   XO_CHECK(context_->strategy() == options_.strategy &&
            "context was created for a different strategy");
+  XO_CHECK(!(options_.lsm.enabled && options_.use_elem_rank) &&
+           "ElemRank is corpus-normalized, so its scores are not invariant "
+           "under document->segment grouping; disable it in LSM mode");
   Timer timer;
   IndexCorpus();
   if (options_.use_elem_rank) {
@@ -50,12 +53,25 @@ CorpusIndex::CorpusIndex(const Corpus& corpus, OntologySet systems,
 void CorpusIndex::IndexCorpus() {
   const auto& excluded = DefaultExcludedAttributes();
   const OntologySet& systems = context_->systems();
+  // LSM mode scores each document against its own BM25 statistics (one
+  // TextIndex per document) so posting scores are invariant under any
+  // document → segment grouping; legacy mode keeps the corpus-global
+  // collection. Unit ids are global either way.
+  const bool doc_scoped = options_.lsm.enabled;
   uint32_t unit = 0;
   for (const XmlDocument& doc : *corpus_) {
-    if (doc.root() == nullptr) continue;
+    TextIndex* sink = &node_index_;
+    if (doc_scoped) {
+      doc_indexes_.emplace_back(options_.score.bm25);
+      sink = &doc_indexes_.back();
+    }
+    if (doc.root() == nullptr) {
+      if (doc_scoped) sink->Finalize();
+      continue;
+    }
     doc.root()->Visit([&](const XmlNode& node) {
       if (!node.is_element()) return;
-      node_index_.AddUnit(unit, TextualDescription(node, excluded));
+      sink->AddUnit(unit, TextualDescription(node, excluded));
       unit_deweys_.push_back(doc.DeweyIdOf(node));
       if (node.onto_ref().has_value()) {
         size_t system = systems.FindSystem(node.onto_ref()->system);
@@ -71,9 +87,32 @@ void CorpusIndex::IndexCorpus() {
       }
       ++unit;
     });
+    if (doc_scoped) sink->Finalize();
   }
-  node_index_.Finalize();
+  if (!doc_scoped) node_index_.Finalize();
   stats_.indexed_nodes = unit;
+}
+
+std::vector<ScoredUnit> CorpusIndex::LookupUnits(const Keyword& keyword) const {
+  if (!options_.lsm.enabled) return node_index_.Lookup(keyword);
+  std::vector<ScoredUnit> units;
+  for (const TextIndex& index : doc_indexes_) {
+    std::vector<ScoredUnit> part = index.Lookup(keyword);
+    units.insert(units.end(), part.begin(), part.end());
+  }
+  return units;
+}
+
+std::vector<std::string> CorpusIndex::CorpusVocabulary() const {
+  if (!options_.lsm.enabled) return node_index_.Vocabulary();
+  std::vector<std::string> vocab;
+  for (const TextIndex& index : doc_indexes_) {
+    std::vector<std::string> part = index.Vocabulary();
+    vocab.insert(vocab.end(), part.begin(), part.end());
+  }
+  std::sort(vocab.begin(), vocab.end());
+  vocab.erase(std::unique(vocab.begin(), vocab.end()), vocab.end());
+  return vocab;
 }
 
 void CorpusIndex::Precompute() {
@@ -81,7 +120,7 @@ void CorpusIndex::Precompute() {
     return;
   }
   // Vocabulary = corpus tokens, optionally united with ontology tokens.
-  std::vector<std::string> vocab = node_index_.Vocabulary();
+  std::vector<std::string> vocab = CorpusVocabulary();
   if (options_.vocabulary_mode ==
       IndexBuildOptions::VocabularyMode::kCorpusAndOntology) {
     for (size_t s = 0; s < context_->systems().size(); ++s) {
@@ -148,7 +187,7 @@ std::vector<DilPosting> CorpusIndex::BuildPostingsFromRows(
   std::unordered_map<uint32_t, double> node_scores;
 
   // Textual component.
-  for (const ScoredUnit& unit : node_index_.Lookup(keyword)) {
+  for (const ScoredUnit& unit : LookupUnits(keyword)) {
     node_scores[unit.unit_id] = unit.score;
   }
 
@@ -250,7 +289,7 @@ CorpusIndex::NodeSupport CorpusIndex::ComputeNodeSupport(
   if (it == unit_deweys_.end() || !(*it == dewey)) return support;
   uint32_t unit = static_cast<uint32_t>(it - unit_deweys_.begin());
 
-  for (const ScoredUnit& scored : node_index_.Lookup(keyword)) {
+  for (const ScoredUnit& scored : LookupUnits(keyword)) {
     if (scored.unit_id == unit) {
       support.textual_irs = scored.score;
       break;

@@ -174,11 +174,25 @@ class CorpusIndex {
       const Keyword& keyword,
       const std::vector<OntoScoreRowCache::Row>& rows) const;
 
+  /// Stage-1 matches for `keyword` across the whole corpus, sorted by unit
+  /// id. Legacy mode reads node_index_; LSM mode concatenates the per-
+  /// document indexes (unit id ranges ascend with document order, so the
+  /// concatenation is already sorted).
+  std::vector<ScoredUnit> LookupUnits(const Keyword& keyword) const;
+
+  /// The corpus half of the precomputed vocabulary, sorted and unique.
+  std::vector<std::string> CorpusVocabulary() const;
+
   const Corpus* corpus_;
   std::shared_ptr<const OntologyContext> context_;
   IndexBuildOptions options_;
 
-  TextIndex node_index_;  ///< stage 1 over document nodes
+  TextIndex node_index_;  ///< stage 1 over document nodes (legacy mode)
+  /// LSM mode's stage 1: one TextIndex per document, each its own BM25
+  /// collection (document-scoped statistics — see LsmOptions). Unit ids
+  /// stay global, so lookups across documents concatenate directly.
+  /// Empty in legacy mode, where node_index_ is used instead.
+  std::vector<TextIndex> doc_indexes_;
   std::vector<DeweyId> unit_deweys_;  ///< unit id → node address
   /// A code node resolved against its ontological system.
   struct CodeUnit {

@@ -1,0 +1,130 @@
+#include "core/index_segment.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+#include "core/flat_dil.h"
+
+namespace xontorank {
+
+std::shared_ptr<const IndexSegment> IndexSegment::Build(
+    uint64_t id, std::shared_ptr<const Corpus> docs, uint32_t first_doc,
+    std::shared_ptr<const OntologyContext> context,
+    const IndexBuildOptions& options) {
+  XO_CHECK(docs != nullptr);
+  XO_CHECK(options.lsm.enabled &&
+           "segments require document-scoped scoring (options.lsm.enabled)");
+  // xo-lint: allow(new-delete) — private ctor, unreachable by make_shared.
+  auto segment = std::shared_ptr<IndexSegment>(new IndexSegment());
+  segment->docs_ = std::move(docs);
+  segment->index_ = std::make_unique<const CorpusIndex>(*segment->docs_,
+                                                        std::move(context),
+                                                        options);
+  segment->id_ = id;
+  segment->first_doc_ = first_doc;
+  segment->end_doc_ =
+      first_doc + static_cast<uint32_t>(segment->docs_->size());
+  return segment;
+}
+
+std::shared_ptr<const IndexSegment> IndexSegment::Adopt(
+    uint64_t id, std::shared_ptr<const Corpus> docs, uint32_t first_doc,
+    std::shared_ptr<const OntologyContext> context,
+    const IndexBuildOptions& options, FlatDil adopted,
+    std::shared_ptr<const void> backing) {
+  XO_CHECK(docs != nullptr);
+  XO_CHECK(options.lsm.enabled &&
+           "segments require document-scoped scoring (options.lsm.enabled)");
+  // xo-lint: allow(new-delete) — private ctor, unreachable by make_shared.
+  auto segment = std::shared_ptr<IndexSegment>(new IndexSegment());
+  segment->backing_ = std::move(backing);
+  segment->docs_ = std::move(docs);
+  segment->index_ = std::make_unique<const CorpusIndex>(
+      *segment->docs_, std::move(context), options, std::move(adopted));
+  segment->id_ = id;
+  segment->first_doc_ = first_doc;
+  segment->end_doc_ =
+      first_doc + static_cast<uint32_t>(segment->docs_->size());
+  return segment;
+}
+
+std::shared_ptr<const IndexSegment> MergeSegments(
+    std::span<const std::shared_ptr<const IndexSegment>> inputs, uint64_t id,
+    std::shared_ptr<const OntologyContext> context,
+    const IndexBuildOptions& options) {
+  XO_CHECK(!inputs.empty());
+  auto docs = std::make_shared<Corpus>();
+  uint32_t first_doc = inputs.front()->first_doc();
+  uint32_t expect_doc = first_doc;
+  for (const auto& input : inputs) {
+    XO_CHECK(input->first_doc() == expect_doc &&
+             "MergeSegments inputs must be adjacent in document order");
+    expect_doc = input->end_doc();
+    for (size_t d = 0; d < input->docs().size(); ++d) {
+      docs->Add(input->docs().handle(d));
+    }
+  }
+
+  // Keyword-union sizing pass: the Builder wants exact keyword/posting
+  // counts, and the union walk below is the same k-way keyword merge run
+  // twice. Posting order within a keyword is concatenation order — inputs
+  // are adjacent ascending document ranges and each list is Dewey-sorted,
+  // so appending per input keeps the merged list sorted.
+  std::vector<uint32_t> pos(inputs.size(), 0);
+  size_t union_keywords = 0;
+  size_t union_postings = 0;
+  size_t union_keyword_bytes = 0;
+  auto walk_union = [&](auto&& per_keyword) {
+    std::fill(pos.begin(), pos.end(), 0);
+    while (true) {
+      std::string_view min_kw;
+      bool any = false;
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        const FlatDil& dil = inputs[i]->index().flat_dil();
+        if (pos[i] >= dil.keyword_count()) continue;
+        std::string_view kw = dil.KeywordAt(pos[i]);
+        if (!any || kw < min_kw) {
+          min_kw = kw;
+          any = true;
+        }
+      }
+      if (!any) break;
+      per_keyword(min_kw);
+    }
+  };
+  walk_union([&](std::string_view kw) {
+    ++union_keywords;
+    union_keyword_bytes += kw.size();
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const FlatDil& dil = inputs[i]->index().flat_dil();
+      if (pos[i] < dil.keyword_count() && dil.KeywordAt(pos[i]) == kw) {
+        union_postings += dil.ListSize(pos[i]);
+        ++pos[i];
+      }
+    }
+  });
+
+  FlatDil::Builder builder(union_keywords, union_postings,
+                           union_keyword_bytes);
+  walk_union([&](std::string_view kw) {
+    builder.BeginList(kw);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const FlatDil& dil = inputs[i]->index().flat_dil();
+      if (pos[i] >= dil.keyword_count() || dil.KeywordAt(pos[i]) != kw) {
+        continue;
+      }
+      for (const DilPosting& posting : dil.ThawPostings(pos[i])) {
+        builder.AddPosting(posting.dewey.components(), posting.score);
+      }
+      ++pos[i];
+    }
+  });
+
+  return IndexSegment::Adopt(id, std::move(docs), first_doc,
+                             std::move(context), options,
+                             std::move(builder).Finish());
+}
+
+}  // namespace xontorank

@@ -27,31 +27,102 @@ std::string ResultCacheKey(const KeywordQuery& query, size_t top_k) {
 IndexSnapshot::IndexSnapshot(Corpus corpus,
                              std::shared_ptr<const OntologyContext> context,
                              IndexBuildOptions options, XOntoDil adopted)
-    : corpus_(std::move(corpus)),
-      index_(corpus_, std::move(context), options, std::move(adopted)),
+    : context_(context),
+      options_(options),
+      corpus_(std::move(corpus)),
+      index_(std::make_unique<const CorpusIndex>(corpus_, std::move(context),
+                                                 options, std::move(adopted))),
       processor_(options.score),
       ranked_processor_(options.score),
-      result_cache_(options.query_cache_entries) {}
+      result_cache_(options.query_cache_entries) {
+  stats_ = index_->stats();
+}
 
 IndexSnapshot::IndexSnapshot(Corpus corpus,
                              std::shared_ptr<const OntologyContext> context,
                              IndexBuildOptions options, FlatDil adopted,
                              std::shared_ptr<const void> backing)
     : backing_(std::move(backing)),
+      context_(context),
+      options_(options),
       corpus_(std::move(corpus)),
-      index_(corpus_, std::move(context), options, std::move(adopted)),
+      index_(std::make_unique<const CorpusIndex>(corpus_, std::move(context),
+                                                 options, std::move(adopted))),
       processor_(options.score),
       ranked_processor_(options.score),
-      result_cache_(options.query_cache_entries) {}
+      result_cache_(options.query_cache_entries) {
+  stats_ = index_->stats();
+}
+
+IndexSnapshot::IndexSnapshot(
+    Corpus corpus, std::shared_ptr<const OntologyContext> context,
+    IndexBuildOptions options,
+    std::vector<std::shared_ptr<const IndexSegment>> segments)
+    : context_(std::move(context)),
+      options_(options),
+      corpus_(std::move(corpus)),
+      segments_(std::move(segments)),
+      lsm_(true),
+      processor_(options.score),
+      ranked_processor_(options.score),
+      result_cache_(options.query_cache_entries) {
+  XO_CHECK(options_.lsm.enabled &&
+           "multi-segment snapshots require options.lsm.enabled");
+  // Segments must tile the corpus: disjoint, ascending, gap-free.
+  uint32_t expect_doc = 0;
+  for (const auto& segment : segments_) {
+    XO_CHECK(segment != nullptr);
+    XO_CHECK(segment->first_doc() == expect_doc &&
+             "segments must tile the corpus in document order");
+    expect_doc = segment->end_doc();
+    stats_.indexed_nodes += segment->index().stats().indexed_nodes;
+    stats_.code_nodes += segment->index().stats().code_nodes;
+    stats_.precomputed_keywords +=
+        segment->index().stats().precomputed_keywords;
+    stats_.total_postings += segment->index().stats().total_postings;
+    stats_.build_millis += segment->index().stats().build_millis;
+  }
+  XO_CHECK(expect_doc == corpus_.size() &&
+           "segments must cover the whole corpus");
+  stats_.documents = corpus_.size();
+}
+
+const CorpusIndex* IndexSnapshot::SegmentIndexForDoc(uint32_t doc_id) const {
+  if (doc_id >= corpus_.size()) return nullptr;
+  if (!lsm_) return index_.get();
+  // Segments are few and doc-ordered; linear scan with an upper-bound
+  // shape would both be fine. Keep it simple.
+  for (const auto& segment : segments_) {
+    if (doc_id >= segment->first_doc() && doc_id < segment->end_doc()) {
+      return &segment->index();
+    }
+  }
+  return nullptr;
+}
 
 std::vector<DilListRef> IndexSnapshot::CollectListRefs(
     const KeywordQuery& query) const {
   std::vector<DilListRef> lists;
   lists.reserve(query.size());
   for (const Keyword& kw : query.keywords) {
-    lists.push_back(index_.GetListRef(kw));
+    lists.push_back(index_->GetListRef(kw));
   }
   return lists;
+}
+
+std::vector<std::vector<DilListRef>> IndexSnapshot::CollectSegmentLists(
+    const KeywordQuery& query) const {
+  std::vector<std::vector<DilListRef>> segment_lists;
+  segment_lists.reserve(segments_.size());
+  for (const auto& segment : segments_) {
+    std::vector<DilListRef> lists;
+    lists.reserve(query.size());
+    for (const Keyword& kw : query.keywords) {
+      lists.push_back(segment->index().GetListRef(kw));
+    }
+    segment_lists.push_back(std::move(lists));
+  }
+  return segment_lists;
 }
 
 SearchResponse IndexSnapshot::Search(const KeywordQuery& query,
@@ -76,14 +147,53 @@ SearchResponse IndexSnapshot::Search(const KeywordQuery& query,
     }
   }
 
-  std::vector<DilListRef> lists = CollectListRefs(query);
-  if (options.strategy == QueryExecution::kRdil) {
+  if (lsm_) {
+    std::vector<std::vector<DilListRef>> segment_lists =
+        CollectSegmentLists(query);
+    if (options.strategy == QueryExecution::kRdil) {
+      // Per-segment ranked execution is exact for the segment's documents
+      // (the RankedQueryProcessor contract), and segments partition the
+      // corpus, so the k-way merge of the per-segment top-k's is the
+      // global top-k.
+      std::vector<std::vector<QueryResult>> parts;
+      parts.reserve(segment_lists.size());
+      size_t postings_consumed = 0;
+      for (const std::vector<DilListRef>& lists : segment_lists) {
+        RankedQueryStats ranked_stats;
+        parts.push_back(
+            ranked_processor_.Execute(lists, options.top_k, &ranked_stats));
+        postings_consumed += ranked_stats.postings_consumed;
+      }
+      response.results =
+          QueryProcessor::MergeTopK(std::move(parts), options.top_k);
+      response.stats.postings_scanned = postings_consumed;
+      response.stats.shards = 1;
+    } else {
+      ExecuteStats exec_stats;
+      ThreadPool* pool =
+          options.parallelism == 1 ? nullptr : &ThreadPool::Shared();
+      size_t shards = options.parallelism == 0
+                          ? ThreadPool::Shared().num_threads()
+                          : options.parallelism;
+      response.results =
+          processor_.ExecuteSegments(segment_lists, options.top_k, shards,
+                                     pool, &exec_stats, options.pruning);
+      response.stats.postings_scanned = exec_stats.postings_scanned;
+      response.stats.shards = exec_stats.shards;
+      response.stats.postings_scored = exec_stats.postings_scored;
+      response.stats.blocks_scored = exec_stats.blocks_scored;
+      response.stats.blocks_skipped = exec_stats.blocks_skipped;
+      response.stats.threshold_updates = exec_stats.threshold_updates;
+    }
+  } else if (options.strategy == QueryExecution::kRdil) {
+    std::vector<DilListRef> lists = CollectListRefs(query);
     RankedQueryStats ranked_stats;
     response.results =
         ranked_processor_.Execute(lists, options.top_k, &ranked_stats);
     response.stats.postings_scanned = ranked_stats.postings_consumed;
     response.stats.shards = 1;
   } else {
+    std::vector<DilListRef> lists = CollectListRefs(query);
     ExecuteStats exec_stats;
     ThreadPool* pool =
         options.parallelism == 1 ? nullptr : &ThreadPool::Shared();

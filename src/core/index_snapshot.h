@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/lru_cache.h"
 #include "core/index_builder.h"
+#include "core/index_segment.h"
 #include "core/ontology_context.h"
 #include "core/query_processor.h"
 #include "core/ranked_query_processor.h"
@@ -55,6 +57,15 @@ class IndexSnapshot {
                 IndexBuildOptions options, FlatDil adopted,
                 std::shared_ptr<const void> backing = nullptr);
 
+  /// LSM mode (DESIGN.md §15): the snapshot serves from an ordered set of
+  /// immutable segments whose document ranges tile [0, corpus.size()).
+  /// `options.lsm.enabled` must be set; `segments` may be empty only for
+  /// an empty corpus. Search results are bit-identical to a single-segment
+  /// snapshot of the same corpus (the lsm_segment_test parity property).
+  IndexSnapshot(Corpus corpus, std::shared_ptr<const OntologyContext> context,
+                IndexBuildOptions options,
+                std::vector<std::shared_ptr<const IndexSegment>> segments);
+
   IndexSnapshot(const IndexSnapshot&) = delete;
   IndexSnapshot& operator=(const IndexSnapshot&) = delete;
 
@@ -63,12 +74,36 @@ class IndexSnapshot {
   const XmlDocument& document(uint32_t doc_id) const {
     return corpus_[doc_id];
   }
-  const CorpusIndex& index() const { return index_; }
-  const std::shared_ptr<const OntologyContext>& context() const {
-    return index_.context();
+
+  /// True when this snapshot serves from segments (LSM mode); index() is
+  /// then unavailable — use segments() or SegmentIndexForDoc().
+  bool is_lsm() const { return lsm_; }
+
+  /// The monolithic index (legacy mode only).
+  const CorpusIndex& index() const {
+    XO_CHECK(index_ != nullptr &&
+             "index() is unavailable on a multi-segment (LSM) snapshot; "
+             "use segments() or SegmentIndexForDoc()");
+    return *index_;
   }
-  const IndexBuildOptions& options() const { return index_.options(); }
-  const IndexBuildStats& build_stats() const { return index_.stats(); }
+
+  /// The ordered segment set (LSM mode; empty in legacy mode). Segments
+  /// cover disjoint ascending document ranges tiling the corpus.
+  const std::vector<std::shared_ptr<const IndexSegment>>& segments() const {
+    return segments_;
+  }
+
+  /// The CorpusIndex responsible for `doc_id`: the segment's index in LSM
+  /// mode, the monolithic one otherwise; nullptr for an out-of-range doc.
+  /// This is what explain/node-support tooling should use — under LSM
+  /// mode, per-document support values ARE the serving scores.
+  const CorpusIndex* SegmentIndexForDoc(uint32_t doc_id) const;
+
+  const std::shared_ptr<const OntologyContext>& context() const {
+    return context_;
+  }
+  const IndexBuildOptions& options() const { return options_; }
+  const IndexBuildStats& build_stats() const { return stats_; }
 
   /// The unified query entry point: executes `query` under `options` —
   /// exhaustive (optionally sharded-parallel) or ranked, cached or not —
@@ -97,16 +132,28 @@ class IndexSnapshot {
  private:
   /// Collects one inverted list per query keyword. Precomputed keywords
   /// resolve to flat lists (no thaw, no lock); the rest come from the
-  /// demand cache.
+  /// demand cache. Legacy mode only.
   std::vector<DilListRef> CollectListRefs(const KeywordQuery& query) const;
+
+  /// LSM mode: one list vector per segment, same keyword order in each.
+  std::vector<std::vector<DilListRef>> CollectSegmentLists(
+      const KeywordQuery& query) const;
 
   /// Keep-alive for externally backed indexes (type-erased so core never
   /// depends on storage's SegmentFile). Declared FIRST: members destroy in
   /// reverse order, so the backing mapping outlives index_, whose FlatDil
-  /// view may point into it.
+  /// view may point into it. (LSM segments pin their own backing.)
   std::shared_ptr<const void> backing_;
+  std::shared_ptr<const OntologyContext> context_;
+  IndexBuildOptions options_;
   Corpus corpus_;
-  CorpusIndex index_;  ///< refers to corpus_; declared after it
+  /// Legacy mode's monolithic index (refers to corpus_; declared after
+  /// it). Null in LSM mode.
+  std::unique_ptr<const CorpusIndex> index_;
+  /// LSM mode's ordered segment set; empty in legacy mode.
+  std::vector<std::shared_ptr<const IndexSegment>> segments_;
+  bool lsm_ = false;
+  IndexBuildStats stats_;  ///< legacy: the index's; LSM: segment aggregate
   QueryProcessor processor_;
   RankedQueryProcessor ranked_processor_;
   /// Snapshot-scoped result cache (see Search). Mutable: caching is not

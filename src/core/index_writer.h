@@ -27,15 +27,29 @@ namespace xontorank {
 /// A reader therefore observes either the entire old snapshot or the entire
 /// new one, never a partially built index.
 ///
-/// Scores match a fresh build over the extended corpus exactly: BM25
-/// collection statistics (df, average length) change globally on every
-/// commit, so the corpus-dependent posting lists are re-derived rather than
-/// patched; the expensive ontological rows are reused from the context's
-/// cache (see IndexSnapshot's structural-sharing notes).
+/// Scores match a fresh build over the extended corpus exactly. In legacy
+/// mode BM25 collection statistics (df, average length) change globally on
+/// every commit, so the corpus-dependent posting lists are re-derived rather
+/// than patched — commit cost is O(corpus). Under LSM mode
+/// (options.lsm.enabled, DESIGN.md §15) scores are document-scoped, so a
+/// commit seals ONLY the staged delta into a new immutable IndexSegment and
+/// publishes a snapshot sharing every previous segment — commit cost is
+/// O(delta). Either way the expensive ontological rows are reused from the
+/// context's cache (see IndexSnapshot's structural-sharing notes).
+///
+/// LSM mode additionally runs a background compactor: when the segment set
+/// accumulates >= lsm.compaction_fanin segments of the same size tier, a
+/// detached task on the shared ThreadPool merges them (MergeSegments — bit-
+/// identical to fresh-sealing the union) and publishes the compacted
+/// snapshot. At most one compaction drain is in flight per writer; commits
+/// never wait for it. CompactNow()/WaitForCompactionIdle() give tests and
+/// shutdown paths a deterministic handle on it.
 ///
 /// Thread-safety: snapshot() is safe from any thread and lock-free on the
 /// reader side. StageDocument/Commit/AddDocument/AdoptPrecomputed serialize
-/// on an internal writer mutex that readers never touch.
+/// on an internal writer mutex that readers never touch. The compactor's
+/// in-flight flag lives under a second mutex ordered strictly after the
+/// writer mutex (see the lock-order table in common/sync.h).
 class IndexWriter {
  public:
   /// Builds and publishes the initial snapshot over `corpus`. The
@@ -43,8 +57,14 @@ class IndexWriter {
   IndexWriter(Corpus corpus, OntologySet systems, IndexBuildOptions options);
 
   /// Adopts an externally built snapshot (the engine store's load path) as
-  /// the published state; subsequent commits extend it.
+  /// the published state; subsequent commits extend it. An LSM snapshot
+  /// resumes its segment set (fresh segment ids continue past the largest
+  /// adopted id).
   explicit IndexWriter(std::shared_ptr<const IndexSnapshot> initial);
+
+  /// Waits for any in-flight compaction before tearing down (the detached
+  /// compactor task captures `this`).
+  ~IndexWriter();
 
   IndexWriter(const IndexWriter&) = delete;
   IndexWriter& operator=(const IndexWriter&) = delete;
@@ -84,12 +104,51 @@ class IndexWriter {
                         std::shared_ptr<const void> backing = nullptr)
       XO_EXCLUDES(mutex_);
 
+  /// LSM mode: runs the compaction policy to a fixed point on the calling
+  /// thread (claiming the single in-flight slot first, so it never races a
+  /// background drain) and returns when no further merge is eligible. A
+  /// no-op in legacy mode or when nothing is eligible. Deterministic
+  /// handle for tests and for `auto_compact = false` setups.
+  void CompactNow() XO_EXCLUDES(mutex_, compaction_mutex_);
+
+  /// Blocks until no compaction is in flight. Note the next commit may
+  /// schedule a new one; call under quiesced writers for a stable state.
+  void WaitForCompactionIdle() XO_EXCLUDES(mutex_, compaction_mutex_);
+
  private:
   /// Builds a snapshot over `corpus` and publishes it. Holding the writer
   /// mutex across the (expensive) snapshot build is what serializes
-  /// commits; readers never wait on it.
+  /// commits; readers never wait on it. Legacy mode only.
   std::shared_ptr<const IndexSnapshot> Publish(Corpus corpus, XOntoDil adopted)
       XO_REQUIRES(mutex_);
+
+  /// Commits the staged batch under the already-held writer mutex: legacy
+  /// mode rebuilds over the extended corpus; LSM mode seals the delta into
+  /// one new segment, publishes, and (auto_compact) nudges the compactor.
+  std::shared_ptr<const IndexSnapshot> CommitLocked() XO_REQUIRES(mutex_);
+
+  /// Publishes a snapshot over the current corpus_/segments_ (LSM mode).
+  std::shared_ptr<const IndexSnapshot> PublishLsm() XO_REQUIRES(mutex_);
+
+  /// Tiered compaction policy: returns true with [*begin, *begin + *count)
+  /// set to the first contiguous run of `compaction_fanin` segments sharing
+  /// a size tier (tier = log_fanin(postings / tier_base_postings)).
+  bool PickCompaction(size_t* begin, size_t* count) const
+      XO_REQUIRES(mutex_);
+
+  /// Schedules a background CompactionDrain if one is eligible and none is
+  /// in flight.
+  void MaybeScheduleCompaction() XO_REQUIRES(mutex_);
+
+  /// The compactor body: repeatedly {pick + claim a merged id under mutex_,
+  /// merge UNLOCKED, splice + publish under mutex_} until no merge is
+  /// eligible, then clears the in-flight flag under compaction_mutex_
+  /// ALONE (never while holding mutex_ — the destructor may win the wake-up
+  /// race and destroy the writer the moment the flag reads false, so
+  /// touching any other member afterwards would be use-after-free). The
+  /// window between the final pick check and the flag clear can swallow one
+  /// scheduling attempt; that is benign — the next commit re-picks.
+  void CompactionDrain() XO_EXCLUDES(mutex_, compaction_mutex_);
 
   std::shared_ptr<const OntologyContext> context_;
   IndexBuildOptions options_;
@@ -99,6 +158,19 @@ class IndexWriter {
   Corpus corpus_ XO_GUARDED_BY(mutex_);
   /// Staged batch for the next Commit.
   std::vector<XmlDocument> pending_ XO_GUARDED_BY(mutex_);
+  /// LSM mode: the committed segment set (what PublishLsm snapshots) and
+  /// the next fresh segment id. Both empty/0 in legacy mode.
+  std::vector<std::shared_ptr<const IndexSegment>> segments_
+      XO_GUARDED_BY(mutex_);
+  uint64_t next_segment_id_ XO_GUARDED_BY(mutex_) = 0;
+
+  /// Compactor rendezvous. Ordered strictly after mutex_ (the scheduler
+  /// checks the flag while holding mutex_); never the other way around —
+  /// the drain loop takes them in alternation, not nested.
+  mutable Mutex compaction_mutex_ XO_ACQUIRED_AFTER(mutex_);
+  bool compaction_inflight_ XO_GUARDED_BY(compaction_mutex_) = false;
+  CondVar compaction_idle_;
+
   /// The serving snapshot. Not guarded: readers load it lock-free with
   /// acquire ordering; only Publish (under mutex_) stores it.
   std::atomic<std::shared_ptr<const IndexSnapshot>> published_;

@@ -63,6 +63,42 @@ struct ScoreOptions {
   Bm25Params bm25;
 };
 
+/// LSM-style multi-segment snapshot knobs (DESIGN.md §15). When enabled,
+/// the engine's serving state is an ordered set of immutable segments
+/// instead of one monolithic index: a commit seals only the staged delta
+/// into a new segment — O(delta), not O(corpus) — and a background
+/// compactor merges small segments under the same snapshot-publish
+/// discipline.
+///
+/// Scoring under LSM mode is *document-scoped*: each document is its own
+/// BM25 collection (stage 1 builds one TextIndex per document), so a
+/// posting's score depends only on its own document and the ontology —
+/// never on collection statistics. That is what makes segment results
+/// composable: any grouping of the same documents into segments produces
+/// bit-identical search results (the lsm_segment_test parity property),
+/// which in turn is what lets a commit avoid touching existing segments.
+/// OntoScores are corpus-independent already; ElemRank is corpus-normalized
+/// and therefore rejected (XO_CHECK) in LSM mode.
+struct LsmOptions {
+  /// Multi-segment snapshots + O(delta) commits. Off by default: the
+  /// legacy single-index mode (corpus-global BM25) is unchanged.
+  bool enabled = false;
+
+  /// Tiered compaction triggers when this many contiguous segments share a
+  /// size tier; the compactor merges exactly this many per step. Values
+  /// below 2 are clamped to 2.
+  size_t compaction_fanin = 4;
+
+  /// Tier t holds segments whose posting count lies in
+  /// [tier_base_postings·fanin^t, tier_base_postings·fanin^(t+1)).
+  size_t tier_base_postings = 1024;
+
+  /// Schedule compaction automatically on the shared ThreadPool after each
+  /// commit. Disable for deterministic tests (CompactNow() remains
+  /// available either way).
+  bool auto_compact = true;
+};
+
 /// Options of the preprocessing phase (§V).
 struct IndexBuildOptions {
   /// Which OntoScore strategy the XOnto-DILs embed. kXRank disables the
@@ -119,6 +155,9 @@ struct IndexBuildOptions {
   /// per system) for much cheaper writer commits. Disable for one-shot
   /// static indexes where the memory matters more.
   bool cache_onto_score_rows = true;
+
+  /// Multi-segment snapshot / O(delta) commit knobs (DESIGN.md §15).
+  LsmOptions lsm;
 };
 
 /// Attribute names whose values are excluded from a node's textual

@@ -170,6 +170,35 @@ class CursorMerger {
     bounded_ = true;
     results_.reserve(top_k);
     last_counted_block_.assign(num_keywords_, UINT32_MAX);
+    RunPrunedLoop();
+    std::sort(results_.begin(), results_.end(), BetterResult);
+    return std::move(results_);
+  }
+
+  /// Cross-segment step of the pruned merge (DESIGN.md §15): continues a
+  /// *shared* global top-k carried across segments. `heap` is a
+  /// BetterResult heap of at most top_k results from earlier segments; on
+  /// return it holds the updated (still unsorted) heap. Pruning against the
+  /// carried threshold stays exact for the same tie argument as within one
+  /// segment: segments are visited in ascending document order, so a
+  /// later candidate that merely ties the k-th score loses the Dewey
+  /// tiebreak to the already-kept result and could never enter the heap.
+  void RunPrunedShared(size_t top_k, ExecuteStats* stats,
+                       std::vector<QueryResult>* heap) {
+    top_k_ = top_k;
+    stats_ = stats != nullptr ? stats : &local_stats_;
+    bounded_ = true;
+    results_ = std::move(*heap);
+    results_.reserve(top_k);
+    if (results_.size() == top_k_) threshold_ = results_.front().score;
+    last_counted_block_.assign(num_keywords_, UINT32_MAX);
+    RunPrunedLoop();
+    *heap = std::move(results_);
+  }
+
+ private:
+  /// The Block-Max-WAND loop shared by RunPruned and RunPrunedShared.
+  void RunPrunedLoop() {
     while (AlignOnSharedDocument()) {
       uint32_t doc = cursors_[0].doc();
       if (results_.size() == top_k_) {
@@ -205,11 +234,8 @@ class CursorMerger {
       PopTo(0);
     }
     PopTo(0);
-    std::sort(results_.begin(), results_.end(), BetterResult);
-    return std::move(results_);
   }
 
- private:
   /// Drains every posting of `doc` with the min-Dewey merge, exactly as
   /// the oblivious pass would.
   void DrainDocument(uint32_t doc) {
@@ -524,6 +550,132 @@ std::vector<QueryResult> QueryProcessor::ExecuteSharded(
     }
   }
   return MergeShardResults(std::move(shard_results), top_k);
+}
+
+std::vector<QueryResult> QueryProcessor::MergeTopK(
+    std::vector<std::vector<QueryResult>> parts, size_t top_k) {
+  return MergeShardResults(std::move(parts), top_k);
+}
+
+std::vector<QueryResult> QueryProcessor::ExecuteSegments(
+    const std::vector<std::vector<DilListRef>>& segment_lists, size_t top_k,
+    size_t num_shards, ThreadPool* pool, ExecuteStats* stats,
+    PruningMode pruning) const {
+  if (stats != nullptr) *stats = ExecuteStats{};
+  // Conjunctive short-circuit per segment: a segment where any keyword
+  // matches nothing contributes no results and is dropped up front.
+  std::vector<const std::vector<DilListRef>*> eligible;
+  size_t total_postings = 0;
+  for (const auto& lists : segment_lists) {
+    if (lists.empty()) continue;
+    bool all_nonempty = true;
+    size_t postings = 0;
+    for (const DilListRef& list : lists) {
+      if (list.empty()) {
+        all_nonempty = false;
+        break;
+      }
+      postings += list.size();
+    }
+    if (!all_nonempty) continue;
+    eligible.push_back(&lists);
+    total_postings += postings;
+  }
+  if (eligible.empty()) return {};
+  if (eligible.size() == 1) {
+    // One live segment: this IS the single-segment path.
+    return ExecuteSharded(*eligible[0], top_k, num_shards, pool, stats,
+                          pruning);
+  }
+  if (stats != nullptr) stats->postings_scanned = total_postings;
+
+  // Parallel plan: flatten into (segment, document range) work items —
+  // segments are doc-disjoint, so the items partition the corpus at
+  // document granularity exactly like single-segment sharding, and each
+  // item's exact local top-k makes the final k-way merge the global top-k.
+  std::vector<std::pair<size_t, DocRange>> items;
+  if (num_shards > 1 && pool != nullptr) {
+    size_t per_segment = std::max<size_t>(1, num_shards / eligible.size());
+    for (size_t s = 0; s < eligible.size(); ++s) {
+      for (const DocRange& range :
+           PartitionListsByDocument(*eligible[s], per_segment)) {
+        if (!range.empty()) items.emplace_back(s, range);
+      }
+    }
+  }
+  if (items.size() > 1) {
+    if (stats != nullptr) stats->shards = items.size();
+    std::vector<std::vector<QueryResult>> item_results(items.size());
+    std::vector<ExecuteStats> item_stats(items.size());
+    pool->ParallelFor(items.size(), [&](size_t i) {
+      const auto& [s, range] = items[i];
+      std::vector<DilCursor> cursors;
+      cursors.reserve(eligible[s]->size());
+      for (const DilListRef& list : *eligible[s]) {
+        cursors.push_back(list.OpenCursor(range));
+      }
+      item_results[i] =
+          Execute(std::move(cursors), top_k, pruning, &item_stats[i]);
+    });
+    if (stats != nullptr) {
+      for (const ExecuteStats& s : item_stats) {
+        stats->postings_scored += s.postings_scored;
+        stats->blocks_scored += s.blocks_scored;
+        stats->blocks_skipped += s.blocks_skipped;
+        stats->threshold_updates += s.threshold_updates;
+      }
+    }
+    return MergeShardResults(std::move(item_results), top_k);
+  }
+
+  // Serial plan: one global top-k heap shared across segments, visited in
+  // ascending document order. Prunable segments (block-max admissible)
+  // continue the Block-Max-WAND merge against the carried threshold;
+  // non-prunable ones run the exact merge locally — their local top-k
+  // contains every candidate that could enter the shared heap, because
+  // scores never interact across (doc-disjoint) segments.
+  std::vector<QueryResult> heap;  // BetterResult heap, <= top_k entries
+  auto emit_shared = [&heap, top_k](std::vector<QueryResult> results) {
+    for (QueryResult& r : results) {
+      if (top_k == 0) {
+        heap.push_back(std::move(r));
+        continue;
+      }
+      if (heap.size() < top_k) {
+        heap.push_back(std::move(r));
+        std::push_heap(heap.begin(), heap.end(), BetterResult);
+        continue;
+      }
+      if (!BetterResult(r, heap.front())) continue;
+      std::pop_heap(heap.begin(), heap.end(), BetterResult);
+      heap.back() = std::move(r);
+      std::push_heap(heap.begin(), heap.end(), BetterResult);
+    }
+  };
+  for (const std::vector<DilListRef>* lists : eligible) {
+    std::vector<DilCursor> cursors;
+    cursors.reserve(lists->size());
+    for (const DilListRef& list : *lists) cursors.push_back(list.OpenCursor());
+    bool prunable = pruning == PruningMode::kBlockMax && top_k >= 1 &&
+                    options_.decay <= 1.0;
+    if (prunable) {
+      for (const DilCursor& cursor : cursors) {
+        if (!cursor.has_block_max()) {
+          prunable = false;
+          break;
+        }
+      }
+    }
+    CursorMerger merger(cursors, options_);
+    if (prunable) {
+      merger.RunPrunedShared(top_k, stats, &heap);
+    } else {
+      emit_shared(merger.Run(top_k, stats));
+    }
+  }
+  std::sort(heap.begin(), heap.end(), BetterResult);
+  if (top_k > 0 && heap.size() > top_k) heap.resize(top_k);
+  return heap;
 }
 
 }  // namespace xontorank

@@ -127,6 +127,31 @@ class QueryProcessor {
       ThreadPool* pool, ExecuteStats* stats = nullptr,
       PruningMode pruning = PruningMode::kExact) const;
 
+  /// Cross-segment merge (DESIGN.md §15): `segment_lists` holds one list
+  /// vector per segment — same keyword order in each — for segments
+  /// covering disjoint, ascending document ranges (the LSM snapshot
+  /// layout). Bit-identical to evaluating one concatenated list per
+  /// keyword: segments never share a document, so the merge stack and the
+  /// conjunctive/pruning arguments all localize per segment, and the
+  /// segment results compose through one shared top-k. Serially the
+  /// segments run in document order against one global heap (block-max
+  /// segments continue Block-Max-WAND with the carried threshold;
+  /// non-prunable ones run exact and feed the heap); with a pool and
+  /// num_shards > 1 the segments shard into (segment, doc range) items
+  /// whose exact local top-k's k-way merge is the global answer — the
+  /// same argument as ExecuteSharded.
+  std::vector<QueryResult> ExecuteSegments(
+      const std::vector<std::vector<DilListRef>>& segment_lists, size_t top_k,
+      size_t num_shards, ThreadPool* pool, ExecuteStats* stats = nullptr,
+      PruningMode pruning = PruningMode::kExact) const;
+
+  /// K-way merges independently produced top-k lists (e.g. one per
+  /// segment under ranked execution) into the global (score desc, Dewey)
+  /// order, truncated to `top_k` (0 = keep all). Exact whenever the parts
+  /// cover disjoint document sets and each part is exact for its set.
+  static std::vector<QueryResult> MergeTopK(
+      std::vector<std::vector<QueryResult>> parts, size_t top_k);
+
  private:
   ScoreOptions options_;
 };

@@ -127,7 +127,10 @@ std::vector<QueryResult> RankedQueryProcessor::Execute(
       }
     }
     if (some_exhausted) break;
-    if (results.size() >= top_k && results.back().score >= threshold) {
+    // Strictly greater: at equality an unprocessed document could still
+    // reach exactly the k-th score with a smaller Dewey id, which outranks
+    // the current k-th result under the (score desc, Dewey asc) order.
+    if (results.size() >= top_k && results.back().score > threshold) {
       if (stats != nullptr) stats->terminated_early = true;
       break;
     }

@@ -91,8 +91,16 @@ class XOntoRank {
   uint32_t StageDocument(XmlDocument doc);
 
   /// Publishes one snapshot covering every staged document (no-op if none
-  /// are staged). One commit per batch amortizes the rebuild.
+  /// are staged). One commit per batch amortizes the rebuild (legacy mode)
+  /// or seals one segment per batch (LSM mode, options.lsm.enabled).
   void Commit();
+
+  /// LSM mode: runs the compaction policy to a fixed point on the calling
+  /// thread (see IndexWriter::CompactNow); a no-op in legacy mode.
+  void CompactNow() { writer_.CompactNow(); }
+
+  /// Blocks until no background compaction is in flight.
+  void WaitForCompactionIdle() { writer_.WaitForCompactionIdle(); }
 
   /// Replaces the precomputed entry set with `dil` (typically one loaded
   /// from an index file) by publishing a republished snapshot: subsequent

@@ -1,13 +1,17 @@
 #include "storage/engine_store.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/string_util.h"
 #include "common/sync.h"
+#include "core/index_segment.h"
 #include "onto/ontology_io.h"
 #include "storage/index_store.h"
+#include "storage/manifest.h"
 #include "storage/segment_writer.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
@@ -22,6 +26,19 @@ Status WriteFile(const std::string& path, const std::string& content) {
   out << content;
   out.flush();
   if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+/// Atomic variant (temp file + rename) for files whose partial content
+/// must never be observable — the LSM save sequence depends on
+/// manifest.tsv being either the old or the new inventory, never a prefix.
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  std::string tmp_path = path + ".tmp";
+  XONTO_RETURN_IF_ERROR(WriteFile(tmp_path, content));
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
   return Status::OK();
 }
 
@@ -65,8 +82,8 @@ Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir,
   std::filesystem::create_directories(dir + "/corpus", ec);
   if (ec) return Status::IoError("cannot create " + dir);
 
-  const CorpusIndex& index = snapshot.index();
-  const IndexBuildOptions& options = index.options();
+  const IndexBuildOptions& options = snapshot.options();
+  const OntologySet& systems = snapshot.context()->systems();
 
   std::string manifest;
   manifest += "format\txontorank-engine\t1\n";
@@ -83,12 +100,21 @@ Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir,
   manifest += StringPrintf("elem_rank\t%d\t%.17g\n",
                            options.use_elem_rank ? 1 : 0,
                            options.elem_rank_blend);
+  if (snapshot.is_lsm()) {
+    // The marker flips the load path to the segment-set layout; the
+    // authoritative segment list lives in the binary MANIFEST. The
+    // compaction knobs ride along so a reloaded engine keeps the policy it
+    // was built with (notably auto_compact, which tests disable for
+    // deterministic segment counts).
+    manifest += StringPrintf(
+        "lsm\t1\t%zu\t%zu\t%d\n", options.lsm.compaction_fanin,
+        options.lsm.tier_base_postings, options.lsm.auto_compact ? 1 : 0);
+  }
 
   // Ontological systems.
-  for (size_t s = 0; s < index.systems().size(); ++s) {
+  for (size_t s = 0; s < systems.size(); ++s) {
     std::string name = StringPrintf("ontology_%zu.tsv", s);
-    XONTO_RETURN_IF_ERROR(
-        SaveOntology(index.systems().system(s), dir + "/" + name));
+    XONTO_RETURN_IF_ERROR(SaveOntology(systems.system(s), dir + "/" + name));
     manifest += "ontology\t" + name + "\n";
   }
 
@@ -101,9 +127,57 @@ Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& dir,
     manifest += "document\t" + name + "\n";
   }
 
+  if (snapshot.is_lsm()) {
+    // LSM layout (DESIGN.md §15). Order is the crash-safety argument:
+    //   1. every live segment file (atomic rename each; persists exactly
+    //      the segment's serving FlatDil so a merged segment and a
+    //      fresh-sealed one save byte-identically),
+    //   2. manifest.tsv (atomic; the new doc inventory),
+    //   3. the binary MANIFEST LAST (atomic; generation = prior + 1).
+    // A crash anywhere before step 3 leaves the previous MANIFEST — and
+    // thus the previous generation's fully consistent engine — loadable;
+    // the new files are unreferenced garbage, collected on the next save.
+    std::unordered_set<std::string> live_files;
+    for (const auto& segment : snapshot.segments()) {
+      std::string name = StringPrintf(
+          "seg-%llu.xoseg", static_cast<unsigned long long>(segment->id()));
+      XONTO_RETURN_IF_ERROR(
+          SaveSegment(segment->index().flat_dil(), dir + "/" + name));
+      live_files.insert(name);
+    }
+    XONTO_RETURN_IF_ERROR(WriteFileAtomic(dir + "/manifest.tsv", manifest));
+
+    EngineManifest binary;
+    binary.generation = 1;
+    if (Result<EngineManifest> prior = LoadManifest(dir + "/MANIFEST");
+        prior.ok()) {
+      binary.generation = prior.value().generation + 1;
+    }
+    for (const auto& segment : snapshot.segments()) {
+      binary.segments.push_back(ManifestSegment{
+          segment->id(), segment->first_doc(), segment->end_doc()});
+    }
+    XONTO_RETURN_IF_ERROR(SaveManifest(binary, dir + "/MANIFEST"));
+
+    // GC: segment files the new MANIFEST no longer references (compacted
+    // inputs, interrupted earlier saves). Failure to unlink is harmless —
+    // unreferenced files are ignored by load — so errors are not fatal.
+    std::error_code gc_ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, gc_ec)) {
+      std::string name = entry.path().filename().string();
+      if (name.rfind("seg-", 0) == 0 &&
+          name.size() > 6 && name.substr(name.size() - 6) == ".xoseg" &&
+          live_files.count(name) == 0) {
+        std::filesystem::remove(entry.path(), gc_ec);
+      }
+    }
+    return Status::OK();
+  }
+
   // Materialized inverted lists (precomputed + demand-cached), in the
   // requested index format. The load side dispatches on file magic, not
   // the manifest name, so either file round-trips through older manifests.
+  const CorpusIndex& index = snapshot.index();
   if (save_options.index_format == IndexFileFormat::kSegment) {
     XONTO_RETURN_IF_ERROR(SaveSegment(index.MaterializedCopy().Freeze(),
                                       dir + "/index.xoseg"));
@@ -138,6 +212,7 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
   options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
   std::vector<std::string> document_files;
   std::string index_file;
+  bool lsm = false;
 
   for (std::string_view line : SplitString(manifest, '\n')) {
     if (TrimWhitespace(line).empty()) continue;
@@ -181,6 +256,15 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
       document_files.emplace_back(fields[1]);
     } else if (key == "index" && fields.size() >= 2) {
       index_file = std::string(fields[1]);
+    } else if (key == "lsm" && fields.size() >= 2) {
+      lsm = fields[1] == "1";
+      if (fields.size() >= 5) {
+        options.lsm.compaction_fanin =
+            std::stoul(std::string(fields[2]));
+        options.lsm.tier_base_postings =
+            std::stoul(std::string(fields[3]));
+        options.lsm.auto_compact = fields[4] == "1";
+      }
     }
     // Unknown keys are ignored for forward compatibility.
   }
@@ -191,9 +275,34 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
   if (document_files.empty()) {
     return Status::Corruption("manifest lists no documents");
   }
+  if (lsm && options.use_elem_rank) {
+    // The builder XO_CHECKs this combination (ElemRank is corpus-
+    // normalized, LSM scoring is document-scoped); a manifest carrying
+    // both is corrupt input, not a programming error.
+    return Status::Corruption("manifest combines lsm with elem_rank");
+  }
+
+  // LSM directories: the binary MANIFEST is authoritative for how many of
+  // the listed documents are committed — documents past the last segment's
+  // end are leftovers of an interrupted save (the MANIFEST rename is the
+  // commit point) and are deliberately ignored, restoring the previous
+  // generation's state.
+  EngineManifest binary;
+  size_t num_docs = document_files.size();
+  if (lsm) {
+    XONTO_ASSIGN_OR_RETURN(binary, LoadManifest(dir + "/MANIFEST"));
+    num_docs =
+        binary.segments.empty() ? 0 : binary.segments.back().end_doc;
+    if (num_docs > document_files.size()) {
+      return Status::Corruption(
+          "MANIFEST references more documents than the directory holds");
+    }
+    options.lsm.enabled = true;
+  }
 
   Corpus corpus;
-  for (const std::string& name : document_files) {
+  for (size_t d = 0; d < num_docs; ++d) {
+    const std::string& name = document_files[d];
     XONTO_ASSIGN_OR_RETURN(std::string xml, ReadFile(dir + "/" + name));
     auto parsed = ParseXml(xml);
     if (!parsed.ok()) {
@@ -206,6 +315,34 @@ Result<std::unique_ptr<LoadedEngine>> LoadEngineDir(const std::string& dir) {
 
   OntologySet systems;
   for (const auto& onto : loaded->ontologies_) systems.Add(*onto);
+
+  if (lsm) {
+    auto context = OntologyContext::Create(systems, options);
+    std::vector<std::shared_ptr<const IndexSegment>> segments;
+    segments.reserve(binary.segments.size());
+    for (const ManifestSegment& entry : binary.segments) {
+      std::string path = dir + "/" +
+                         StringPrintf("seg-%llu.xoseg",
+                                      static_cast<unsigned long long>(
+                                          entry.id));
+      XONTO_ASSIGN_OR_RETURN(std::unique_ptr<SegmentFile> file,
+                             SegmentFile::Open(path));
+      FlatDil view = file->MakeView();
+      std::shared_ptr<const void> backing(std::move(file));
+      auto docs = std::make_shared<Corpus>();
+      for (uint32_t d = entry.first_doc; d < entry.end_doc; ++d) {
+        docs->Add(corpus.handle(d));
+      }
+      segments.push_back(IndexSegment::Adopt(entry.id, std::move(docs),
+                                             entry.first_doc, context,
+                                             options, std::move(view),
+                                             std::move(backing)));
+    }
+    auto snapshot = std::make_shared<const IndexSnapshot>(
+        std::move(corpus), std::move(context), options, std::move(segments));
+    loaded->engine_ = std::make_unique<XOntoRank>(std::move(snapshot));
+    return loaded;
+  }
 
   // Produce the serving snapshot directly: the persisted entries are
   // handed to the snapshot at construction, so the vocabulary

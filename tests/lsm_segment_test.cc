@@ -1,0 +1,406 @@
+// LSM multi-segment snapshots (DESIGN.md §15): the load-bearing property is
+// that search results are BIT-IDENTICAL — exact doubles, exact tie order —
+// no matter how the corpus is split into segments: one commit or many,
+// before or after compaction, in memory or reloaded from an engine dir.
+// Document-scoped scoring (LsmOptions) is what makes the property hold;
+// these tests are the proof obligation.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "cda/cda_document.h"
+#include "cda/cda_generator.h"
+#include "core/index_writer.h"
+#include "core/xontorank.h"
+#include "gtest/gtest.h"
+#include "ir/query.h"
+#include "onto/snomed_fragment.h"
+#include "storage/engine_store.h"
+#include "storage/manifest.h"
+#include "tests/test_util.h"
+
+namespace xontorank {
+namespace {
+
+constexpr uint32_t kNumDocs = 8;
+
+const char* const kQueries[] = {
+    "asthma",                                  // single keyword, text-heavy
+    "asthma theophylline",                     // conjunctive, onto-scored
+    "\"bronchial structure\" theophylline",    // phrase + keyword
+    "cardiac arrest furosemide",               // conjunctive
+    "theophylline",                            // ontology-propagated
+};
+
+class LsmFixture : public ::testing::Test {
+ protected:
+  LsmFixture() : onto_(BuildSnomedCardiologyFragment()) {
+    CdaGeneratorOptions options;
+    options.num_documents = kNumDocs;
+    options.seed = 1234;
+    generator_ = std::make_unique<CdaGenerator>(onto_, options);
+  }
+
+  /// Deterministic document `i` (XmlDocument is move-only; regeneration is
+  /// the copy).
+  XmlDocument Doc(uint32_t i) {
+    return CdaToXml(generator_->GenerateDocument(i), i);
+  }
+
+  IndexBuildOptions LsmOptionsWith(size_t fanin, size_t tier_base,
+                                   bool auto_compact) {
+    IndexBuildOptions options;
+    options.strategy = Strategy::kRelationships;
+    options.vocabulary_mode = IndexBuildOptions::VocabularyMode::kNone;
+    options.lsm.enabled = true;
+    options.lsm.compaction_fanin = fanin;
+    options.lsm.tier_base_postings = tier_base;
+    options.lsm.auto_compact = auto_compact;
+    return options;
+  }
+
+  /// An engine over docs_ committed in batches of `group` documents, no
+  /// background compaction (deterministic segment set).
+  std::unique_ptr<XOntoRank> BuildGrouped(size_t group) {
+    auto engine = std::make_unique<XOntoRank>(
+        Corpus(), OntologySet(onto_),
+        LsmOptionsWith(4, 1024, /*auto_compact=*/false));
+    for (uint32_t i = 0; i < kNumDocs; ++i) {
+      engine->StageDocument(Doc(i));
+      if ((i + 1) % group == 0 || i + 1 == kNumDocs) engine->Commit();
+    }
+    return engine;
+  }
+
+  Ontology onto_;
+  std::unique_ptr<CdaGenerator> generator_;
+};
+
+/// Bitwise result equality: element, score (exact doubles), per-keyword
+/// scores, and order.
+void ExpectIdenticalResults(const std::vector<QueryResult>& a,
+                            const std::vector<QueryResult>& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].element, b[i].element) << label << " rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << label << " rank " << i;
+    ASSERT_EQ(a[i].keyword_scores.size(), b[i].keyword_scores.size())
+        << label << " rank " << i;
+    for (size_t k = 0; k < a[i].keyword_scores.size(); ++k) {
+      EXPECT_EQ(a[i].keyword_scores[k], b[i].keyword_scores[k])
+          << label << " rank " << i << " keyword " << k;
+    }
+  }
+}
+
+void ExpectParityAcrossOptions(const XOntoRank& a, const XOntoRank& b,
+                               const std::string& label) {
+  for (const char* text : kQueries) {
+    for (size_t top_k : {size_t{0}, size_t{3}, size_t{10}}) {
+      for (PruningMode pruning : {PruningMode::kExact, PruningMode::kBlockMax}) {
+        for (size_t parallelism : {size_t{1}, size_t{0}}) {
+          SearchOptions options;
+          options.top_k = top_k;
+          options.pruning = pruning;
+          options.parallelism = parallelism;
+          options.use_cache = false;
+          std::string tag = label + " [" + text + " k=" +
+                            std::to_string(top_k) + " pruning=" +
+                            (pruning == PruningMode::kExact ? "exact" : "bmw") +
+                            " par=" + std::to_string(parallelism) + "]";
+          ExpectIdenticalResults(a.Search(text, options).results,
+                                 b.Search(text, options).results, tag);
+        }
+      }
+      if (top_k >= 1) {
+        SearchOptions ranked;
+        ranked.top_k = top_k;
+        ranked.strategy = QueryExecution::kRdil;
+        ranked.use_cache = false;
+        ExpectIdenticalResults(
+            a.Search(text, ranked).results, b.Search(text, ranked).results,
+            label + " rdil [" + text + " k=" + std::to_string(top_k) + "]");
+      }
+    }
+  }
+}
+
+TEST_F(LsmFixture, ResultsIdenticalAcrossSegmentCounts) {
+  auto one = BuildGrouped(kNumDocs);  // single segment
+  ASSERT_EQ(one->snapshot()->segments().size(), 1u);
+  for (size_t group : {size_t{4}, size_t{2}, size_t{1}}) {
+    auto many = BuildGrouped(group);
+    ASSERT_EQ(many->snapshot()->segments().size(),
+              (kNumDocs + group - 1) / group);
+    ExpectParityAcrossOptions(*one, *many,
+                              "segments=" + std::to_string(
+                                  many->snapshot()->segments().size()));
+  }
+}
+
+TEST_F(LsmFixture, CommitIsIncrementalPerSegmentStats) {
+  auto engine = BuildGrouped(1);
+  auto snapshot = engine->snapshot();
+  ASSERT_EQ(snapshot->segments().size(), kNumDocs);
+  uint32_t expect_doc = 0;
+  for (const auto& segment : snapshot->segments()) {
+    EXPECT_EQ(segment->first_doc(), expect_doc);
+    EXPECT_EQ(segment->num_docs(), 1u);  // one commit per doc -> one doc each
+    expect_doc = segment->end_doc();
+  }
+  EXPECT_EQ(expect_doc, kNumDocs);
+}
+
+TEST_F(LsmFixture, CompactionPreservesResultsExactly) {
+  auto reference = BuildGrouped(kNumDocs);
+  auto engine = BuildGrouped(1);
+  ASSERT_EQ(engine->snapshot()->segments().size(), kNumDocs);
+
+  engine->CompactNow();
+  // fanin=4 over 8 equal-tier segments: two merge rounds at least; the
+  // drain runs to a fixed point, so < 4 segments of the base tier remain.
+  size_t after = engine->snapshot()->segments().size();
+  EXPECT_LT(after, kNumDocs);
+  ExpectParityAcrossOptions(*engine, *reference, "post-compaction");
+
+  // Compacting a compacted engine is a no-op for results too.
+  engine->CompactNow();
+  ExpectParityAcrossOptions(*engine, *reference, "re-compaction");
+}
+
+TEST_F(LsmFixture, BackgroundCompactionConvergesToSameResults) {
+  auto reference = BuildGrouped(kNumDocs);
+  // tier_base=1 puts every real segment in a high tier by postings, but
+  // equal-size single-doc segments still share a tier; fanin=2 compacts
+  // aggressively in the background as commits land.
+  auto engine = std::make_unique<XOntoRank>(
+      Corpus(), OntologySet(onto_),
+      LsmOptionsWith(2, 1024, /*auto_compact=*/true));
+  for (uint32_t i = 0; i < kNumDocs; ++i) engine->AddDocument(Doc(i));
+  engine->WaitForCompactionIdle();
+  engine->CompactNow();  // drain any run the idle window missed
+  ExpectParityAcrossOptions(*engine, *reference, "background-compaction");
+}
+
+TEST_F(LsmFixture, MixedReadersWritersAndCompaction) {
+  // TSan leg: concurrent AddDocument (with auto compaction), searches on
+  // pinned snapshots, and a final parity check. Determinism comes from
+  // joining everything before comparing.
+  auto engine = std::make_unique<XOntoRank>(
+      Corpus(), OntologySet(onto_), LsmOptionsWith(2, 64, true));
+  std::thread writer([&] {
+    for (uint32_t i = 0; i < kNumDocs; ++i) engine->AddDocument(Doc(i));
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      SearchOptions options;
+      options.top_k = 5;
+      options.use_cache = false;
+      for (int i = 0; i < 50; ++i) {
+        auto snapshot = engine->snapshot();
+        SearchResponse response = snapshot->Search(
+            ParseQuery("asthma theophylline"), options);
+        EXPECT_LE(response.results.size(), 5u);
+        for (const QueryResult& result : response.results) {
+          // Every result must resolve against the snapshot it came from.
+          EXPECT_NE(snapshot->ResolveResult(result), nullptr);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  engine->WaitForCompactionIdle();
+
+  auto reference = BuildGrouped(kNumDocs);
+  ExpectParityAcrossOptions(*engine, *reference, "concurrent-ingest");
+}
+
+TEST_F(LsmFixture, SaveLoadRoundtripAndGenerations) {
+  std::string dir = ::testing::TempDir() + "lsm_roundtrip";
+  std::filesystem::remove_all(dir);
+
+  auto engine = BuildGrouped(2);
+  ASSERT_EQ(engine->snapshot()->segments().size(), 4u);
+  ASSERT_TRUE(SaveSnapshot(*engine->snapshot(), dir).ok());
+
+  auto first = LoadManifest(dir + "/MANIFEST");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().generation, 1u);
+  EXPECT_EQ(first.value().segments.size(), 4u);
+
+  auto loaded = LoadEngineDir(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  XOntoRank& reloaded = (*loaded)->engine();
+  EXPECT_TRUE(reloaded.snapshot()->is_lsm());
+  EXPECT_EQ(reloaded.snapshot()->segments().size(), 4u);
+  ExpectParityAcrossOptions(reloaded, *engine, "reloaded");
+
+  // Continued commits on the reloaded engine: O(delta), fresh segment ids.
+  CdaGeneratorOptions more;
+  more.num_documents = kNumDocs + 2;
+  more.seed = 1234;
+  CdaGenerator extended_gen(onto_, more);
+  for (uint32_t i = kNumDocs; i < kNumDocs + 2; ++i) {
+    uint32_t id =
+        reloaded.AddDocument(CdaToXml(extended_gen.GenerateDocument(i), 0));
+    EXPECT_EQ(id, i);
+  }
+  EXPECT_EQ(reloaded.snapshot()->segments().size(), 6u);
+  ASSERT_TRUE(SaveSnapshot(*reloaded.snapshot(), dir).ok());
+  auto second = LoadManifest(dir + "/MANIFEST");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().generation, 2u);
+  EXPECT_EQ(second.value().segments.size(), 6u);
+
+  // The extended dir reloads and matches a fresh engine over 10 docs.
+  auto reloaded2 = LoadEngineDir(dir);
+  ASSERT_TRUE(reloaded2.ok()) << reloaded2.status().ToString();
+  auto fresh = std::make_unique<XOntoRank>(
+      Corpus(), OntologySet(onto_), LsmOptionsWith(4, 1024, false));
+  for (uint32_t i = 0; i < kNumDocs + 2; ++i) {
+    fresh->AddDocument(CdaToXml(extended_gen.GenerateDocument(i), 0));
+  }
+  ExpectParityAcrossOptions((*reloaded2)->engine(), *fresh,
+                            "reloaded-extended");
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(LsmFixture, CrashBeforeManifestPublishLoadsPreviousGeneration) {
+  std::string dir = ::testing::TempDir() + "lsm_crash";
+  std::filesystem::remove_all(dir);
+
+  auto engine = BuildGrouped(kNumDocs);
+  ASSERT_TRUE(SaveSnapshot(*engine->snapshot(), dir).ok());
+
+  // Snapshot the generation-1 MANIFEST, then run a second save (two more
+  // docs) and restore the old MANIFEST over the new one: exactly the state
+  // a crash between segment/doc writes and the MANIFEST rename leaves
+  // behind — new doc files and segment files present but unreferenced.
+  std::string old_manifest;
+  {
+    std::ifstream in(dir + "/MANIFEST", std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    old_manifest = buffer.str();
+  }
+  CdaGeneratorOptions more;
+  more.num_documents = kNumDocs + 2;
+  more.seed = 1234;
+  CdaGenerator extended_gen(onto_, more);
+  for (uint32_t i = kNumDocs; i < kNumDocs + 2; ++i) {
+    engine->AddDocument(CdaToXml(extended_gen.GenerateDocument(i), 0));
+  }
+  ASSERT_TRUE(SaveSnapshot(*engine->snapshot(), dir).ok());
+  {
+    std::ofstream out(dir + "/MANIFEST", std::ios::binary);
+    out << old_manifest;
+  }
+
+  auto loaded = LoadEngineDir(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->engine().corpus_size(), kNumDocs);
+  auto reference = BuildGrouped(kNumDocs);
+  ExpectParityAcrossOptions((*loaded)->engine(), *reference,
+                            "previous-generation");
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(LsmFixture, CorruptManifestIsRejectedNotTrusted) {
+  std::string dir = ::testing::TempDir() + "lsm_corrupt";
+  std::filesystem::remove_all(dir);
+  auto engine = BuildGrouped(4);
+  ASSERT_TRUE(SaveSnapshot(*engine->snapshot(), dir).ok());
+
+  std::string good;
+  {
+    std::ifstream in(dir + "/MANIFEST", std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    good = buffer.str();
+  }
+  auto write_manifest = [&](const std::string& bytes) {
+    std::ofstream out(dir + "/MANIFEST", std::ios::binary);
+    out << bytes;
+  };
+
+  // Truncations at every prefix length must fail cleanly (never crash,
+  // never load).
+  for (size_t len = 0; len < good.size(); ++len) {
+    ASSERT_FALSE(DecodeManifest(std::string_view(good).substr(0, len)).ok())
+        << "prefix " << len;
+  }
+  // Any single bit flip breaks the CRC (or the magic).
+  for (size_t pos = 0; pos < good.size(); pos += 7) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    EXPECT_FALSE(DecodeManifest(bad).ok()) << "flip at " << pos;
+  }
+  // CRC-valid but semantically hostile lists are still rejected.
+  {
+    EngineManifest hostile;
+    hostile.generation = 0;  // must be >= 1
+    EXPECT_FALSE(DecodeManifest(EncodeManifest(hostile)).ok());
+  }
+  {
+    EngineManifest hostile;
+    hostile.generation = 1;
+    hostile.segments = {{0, 0, 2}, {1, 3, 4}};  // gap: does not tile
+    EXPECT_FALSE(DecodeManifest(EncodeManifest(hostile)).ok());
+  }
+  {
+    EngineManifest hostile;
+    hostile.generation = 1;
+    hostile.segments = {{0, 0, 2}, {0, 2, 4}};  // duplicate id
+    EXPECT_FALSE(DecodeManifest(EncodeManifest(hostile)).ok());
+  }
+  {
+    EngineManifest hostile;
+    hostile.generation = 1;
+    hostile.segments = {{0, 0, 0}};  // empty range
+    EXPECT_FALSE(DecodeManifest(EncodeManifest(hostile)).ok());
+  }
+  {
+    // More documents than the directory holds: decodes fine, load rejects.
+    EngineManifest hostile;
+    hostile.generation = 1;
+    hostile.segments = {{0, 0, 1000}};
+    ASSERT_TRUE(DecodeManifest(EncodeManifest(hostile)).ok());
+    write_manifest(EncodeManifest(hostile));
+    EXPECT_FALSE(LoadEngineDir(dir).ok());
+  }
+
+  // A corrupted on-disk MANIFEST fails the whole load.
+  write_manifest(good.substr(0, good.size() / 2));
+  EXPECT_FALSE(LoadEngineDir(dir).ok());
+
+  // Restoring the good bytes restores the engine.
+  write_manifest(good);
+  EXPECT_TRUE(LoadEngineDir(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(LsmFixture, ManifestEncodeDecodeRoundtrip) {
+  EngineManifest manifest;
+  manifest.generation = (uint64_t{3} << 32) | 7;  // exercises the hi word
+  manifest.segments = {{(uint64_t{1} << 40) | 5, 0, 3}, {2, 3, 4}, {9, 4, 9}};
+  auto decoded = DecodeManifest(EncodeManifest(manifest));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().generation, manifest.generation);
+  ASSERT_EQ(decoded.value().segments.size(), manifest.segments.size());
+  for (size_t i = 0; i < manifest.segments.size(); ++i) {
+    EXPECT_EQ(decoded.value().segments[i].id, manifest.segments[i].id);
+    EXPECT_EQ(decoded.value().segments[i].first_doc,
+              manifest.segments[i].first_doc);
+    EXPECT_EQ(decoded.value().segments[i].end_doc,
+              manifest.segments[i].end_doc);
+  }
+}
+
+}  // namespace
+}  // namespace xontorank

@@ -346,6 +346,47 @@ class XoAnalyzeFixtureTest(unittest.TestCase):
                  "}\n"},
             "lock-order")
 
+    def test_save_mutex_under_manifest_file_mutex_fires(self):
+        # The inverted LSM-save shape: the manifest file lock is level 2,
+        # so nothing under it may take the whole-directory save lock.
+        self.assert_fires(
+            {"src/storage/w.cc":
+                 "#include \"sync.h\"\n"
+                 "void F() {\n"
+                 "  MutexLock lock(ManifestFileMutex());\n"
+                 "  MutexLock save(SaveMutex());\n"
+                 "}\n"},
+            "lock-order")
+
+    def test_manifest_under_segment_file_mutex_fires(self):
+        # Same level (both are per-file temp+rename locks): never nested,
+        # in either order.
+        self.assert_fires(
+            {"src/storage/w.cc":
+                 "#include \"sync.h\"\n"
+                 "void SaveManifestLike() {\n"
+                 "  MutexLock lock(ManifestFileMutex());\n"
+                 "}\n"
+                 "void F() {\n"
+                 "  MutexLock lock(SegmentFileMutex());\n"
+                 "  SaveManifestLike();\n"
+                 "}\n"},
+            "lock-order")
+
+    def test_manifest_under_save_is_clean(self):
+        # The real LSM SaveSnapshot -> SaveManifest shape: SaveMutex
+        # (level 1) held across the manifest publish (level 2).
+        self.assert_clean(
+            {"src/storage/w.cc":
+                 "#include \"sync.h\"\n"
+                 "void SaveManifestLike() {\n"
+                 "  MutexLock lock(ManifestFileMutex());\n"
+                 "}\n"
+                 "void F() {\n"
+                 "  MutexLock lock(SaveMutex());\n"
+                 "  SaveManifestLike();\n"
+                 "}\n"})
+
     def test_documented_order_is_clean(self):
         # SaveMutex (level 1) before FileMutex (level 2): the real
         # SaveSnapshot -> SaveIndex shape.

@@ -29,6 +29,7 @@
 #include "onto/snomed_fragment.h"
 #include "storage/coding.h"
 #include "storage/index_store.h"
+#include "storage/manifest.h"
 #include "storage/segment_format.h"
 #include "storage/segment_writer.h"
 #include "xml/xml_writer.h"
@@ -111,6 +112,17 @@ void ResignSegment(std::string* bytes) {
   std::memcpy(bytes->data() + bytes->size() - 8, &crc, sizeof(crc));
 }
 
+/// Re-signs a patched manifest image (trailing CRC over everything
+/// before it) so tampered counts/fields reach DecodeManifest's semantic
+/// validation rather than dying at the integrity gate.
+std::string ResignManifest(std::string bytes) {
+  if (bytes.size() >= 8) {
+    uint32_t crc = Crc32(std::string_view(bytes.data(), bytes.size() - 4));
+    std::memcpy(bytes.data() + bytes.size() - 4, &crc, sizeof(crc));
+  }
+  return bytes;
+}
+
 void WriteSeeds(const fs::path& out) {
   // xml_parse: real CDA shapes plus small syntax variants.
   Ontology snomed = BuildSnomedCardiologyFragment();
@@ -160,6 +172,19 @@ void WriteSeeds(const fs::path& out) {
   WriteFile(out / "dewey", "sibling.bin", DeweySeed({1, 0, 1}, {1, 0, 2}));
   WriteFile(out / "dewey", "cross_doc.bin", DeweySeed({1, 3}, {2, 3}));
   WriteFile(out / "dewey", "empty.bin", DeweySeed({}, {7}));
+
+  // manifest: valid LSM segment manifests of increasing shape — empty
+  // engine, single sealed segment, a post-compaction tiering (merged
+  // segments leave id gaps), and high-word generation/id values.
+  WriteFile(out / "manifest", "empty.xomf", EncodeManifest({1, {}}));
+  WriteFile(out / "manifest", "single.xomf",
+            EncodeManifest({1, {{0, 0, 8}}}));
+  WriteFile(out / "manifest", "tiered.xomf",
+            EncodeManifest(
+                {7, {{5, 0, 16}, {3, 16, 20}, {4, 20, 21}, {6, 21, 24}}}));
+  WriteFile(out / "manifest", "hiword.xomf",
+            EncodeManifest({uint64_t{1} << 40,
+                            {{uint64_t{1} << 36, 0, 3}, {2, 3, 5}}}));
 }
 
 void WriteHostile(const fs::path& out) {
@@ -217,6 +242,28 @@ void WriteHostile(const fs::path& out) {
 
   // dewey: counts larger than the remaining bytes (components read as 0).
   WriteFile(out / "dewey", "overlong_count.bin", std::string("\xff\x01", 2));
+
+  // manifest: the commit-point file of an LSM engine dir. Truncation
+  // (the crash-mid-write shape), CRC-valid-but-hostile segment lists
+  // (stale generation 0, tiling gap, duplicate id, empty range — all
+  // pass the integrity gate, all must die in semantic validation), and a
+  // re-signed count bomb attacking the size arithmetic.
+  std::string good = EncodeManifest({3, {{0, 0, 4}, {1, 4, 8}}});
+  WriteFile(out / "manifest", "truncated.xomf",
+            good.substr(0, good.size() - 9));
+  WriteFile(out / "manifest", "gen_zero.xomf",
+            EncodeManifest({0, {{0, 0, 4}}}));
+  WriteFile(out / "manifest", "tiling_gap.xomf",
+            EncodeManifest({2, {{0, 0, 4}, {1, 5, 8}}}));
+  WriteFile(out / "manifest", "dup_id.xomf",
+            EncodeManifest({2, {{7, 0, 4}, {7, 4, 8}}}));
+  WriteFile(out / "manifest", "empty_range.xomf",
+            EncodeManifest({2, {{0, 0, 4}, {1, 4, 4}}}));
+  std::string manifest_bomb = good;
+  uint32_t huge32 = uint32_t{1} << 28;
+  std::memcpy(manifest_bomb.data() + 16, &huge32, sizeof(huge32));  // count
+  WriteFile(out / "manifest", "count_bomb.xomf",
+            ResignManifest(std::move(manifest_bomb)));
 }
 
 }  // namespace

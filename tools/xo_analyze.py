@@ -30,7 +30,8 @@ rules:
   lock-order          cross-TU partial-order check over the named
                       process-wide locks (engine_store SaveMutex before
                       index_store FileMutex / segment_writer
-                      SegmentFileMutex): while one is held, no direct or
+                      SegmentFileMutex / manifest ManifestFileMutex):
+                      while one is held, no direct or
                       transitive callee may acquire a lock of lower or
                       equal level (DESIGN.md §9).         [scope: src/]
   view-outlives-unmap a view created from a SegmentFile (MakeView(),
@@ -105,6 +106,7 @@ LOCK_LEVELS = {
     "SaveMutex": (1, "engine_store.cc whole-directory save lock"),
     "FileMutex": (2, "index_store.cc temp+rename file lock"),
     "SegmentFileMutex": (2, "segment_writer.cc temp+rename file lock"),
+    "ManifestFileMutex": (2, "manifest.cc temp+rename file lock"),
 }
 
 # shared_ptr factories that are always pin sources for snapshot-pin.
@@ -121,7 +123,8 @@ RULE_DOCS = {
     "snapshot-pin": ".get() on a temporary shared_ptr stored as a raw "
                     "pointer (unpinned snapshot)",
     "lock-order": "named lock acquired under a lock of equal or higher "
-                  "level (SaveMutex < FileMutex/SegmentFileMutex)",
+                  "level (SaveMutex < FileMutex/SegmentFileMutex/"
+                  "ManifestFileMutex)",
     "view-outlives-unmap": "SegmentFile view used after reset/move/scope "
                            "death of its mapping",
     "unjustified-allow": "xo-analyze suppression without a justification "
@@ -1362,8 +1365,9 @@ def check_lock_order(program):
                             f"{level}, via {via}) while holding {held} "
                             f"(level {held_level}, acquired line "
                             f"{held_line}); the documented order is "
-                            "SaveMutex before FileMutex/SegmentFileMutex "
-                            "and same-level locks never nest"))
+                            "SaveMutex before FileMutex/SegmentFileMutex/"
+                            "ManifestFileMutex and same-level locks "
+                            "never nest"))
     return findings
 
 

@@ -73,16 +73,19 @@ FALLIBLE_FUNCTIONS = [
     "ConvertEmrToCda",
     "DecodeIndex",
     "DecodeIndexFlat",
+    "DecodeManifest",
     "ExplainOntoScore",
     "ExplainResult",
     "LoadEngineDir",
     "LoadIndex",
     "LoadIndexFlat",
+    "LoadManifest",
     "LoadOntology",
     "ParseOntologyText",
     "ParseXml",
     "SaveEngineDir",
     "SaveIndex",
+    "SaveManifest",
     "SaveOntology",
     "SaveSnapshot",
     "Validate",
